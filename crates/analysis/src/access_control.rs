@@ -1,0 +1,296 @@
+//! MQTT / AMQP access-control analysis (paper §4.4.2, Figures 3/6).
+//!
+//! MQTT brokers are classified by their CONNACK to an anonymous CONNECT
+//! (`Accepted` ⇒ open, `NotAuthorized`/`BadUserNameOrPassword` ⇒ access
+//! controlled); AMQP brokers by whether their advertised SASL mechanisms
+//! allow `ANONYMOUS`.
+
+use scanner::result::{Protocol, ServiceResult};
+use scanner::ScanStore;
+use std::collections::HashSet;
+use std::net::Ipv6Addr;
+use wire::mqtt::ConnectReturnCode;
+
+/// Access-control verdict of one broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Anonymous access accepted.
+    Open,
+    /// Anonymous access rejected.
+    AccessControlled,
+}
+
+/// One observed broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Broker {
+    /// Address.
+    pub addr: Ipv6Addr,
+    /// Verdict.
+    pub verdict: Verdict,
+    /// Was it a TLS listener (MQTTS/AMQPS)?
+    pub tls: bool,
+}
+
+fn mqtt_verdict(code: ConnectReturnCode) -> Option<Verdict> {
+    match code {
+        ConnectReturnCode::Accepted => Some(Verdict::Open),
+        c if c.indicates_access_control() => Some(Verdict::AccessControlled),
+        _ => None,
+    }
+}
+
+/// MQTT brokers (plain + TLS) with verdicts, one per distinct address.
+/// `tls` is set when the address runs a TLS listener (most brokers with
+/// one also answer on 1883; the flag reflects the TLS deployment, not
+/// which listener happened to deliver the verdict).
+pub fn mqtt_brokers(store: &ScanStore) -> Vec<Broker> {
+    let tls_addrs: HashSet<Ipv6Addr> = store
+        .by_protocol(Protocol::Mqtts)
+        .filter(|r| {
+            matches!(
+                &r.result,
+                ServiceResult::Mqtts {
+                    return_code: Some(_),
+                    ..
+                }
+            )
+        })
+        .map(|r| r.addr)
+        .collect();
+    let mut out = Vec::new();
+    let mut seen: HashSet<Ipv6Addr> = HashSet::new();
+    for r in store.by_protocol(Protocol::Mqtt) {
+        if let ServiceResult::Mqtt { return_code } = &r.result {
+            if let Some(verdict) = mqtt_verdict(*return_code) {
+                if seen.insert(r.addr) {
+                    out.push(Broker {
+                        addr: r.addr,
+                        verdict,
+                        tls: tls_addrs.contains(&r.addr),
+                    });
+                }
+            }
+        }
+    }
+    for r in store.by_protocol(Protocol::Mqtts) {
+        if let ServiceResult::Mqtts {
+            return_code: Some(code),
+            ..
+        } = &r.result
+        {
+            if let Some(verdict) = mqtt_verdict(*code) {
+                if seen.insert(r.addr) {
+                    out.push(Broker {
+                        addr: r.addr,
+                        verdict,
+                        tls: true,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// AMQP brokers (plain + TLS) with verdicts.
+pub fn amqp_brokers(store: &ScanStore) -> Vec<Broker> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<Ipv6Addr> = HashSet::new();
+    let verdict_of = |mechs: &str| {
+        if mechs.split(' ').any(|m| m.eq_ignore_ascii_case("ANONYMOUS")) {
+            Verdict::Open
+        } else {
+            Verdict::AccessControlled
+        }
+    };
+    for r in store.by_protocol(Protocol::Amqp) {
+        if let ServiceResult::Amqp { mechanisms, .. } = &r.result {
+            if seen.insert(r.addr) {
+                out.push(Broker {
+                    addr: r.addr,
+                    verdict: verdict_of(mechanisms),
+                    tls: false,
+                });
+            }
+        }
+    }
+    for r in store.by_protocol(Protocol::Amqps) {
+        if let ServiceResult::Amqps {
+            mechanisms: Some(mechanisms),
+            ..
+        } = &r.result
+        {
+            if seen.insert(r.addr) {
+                out.push(Broker {
+                    addr: r.addr,
+                    verdict: verdict_of(mechanisms),
+                    tls: true,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Aggregate shares.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccessControlStats {
+    /// Brokers assessed.
+    pub total: u64,
+    /// With access control.
+    pub controlled: u64,
+}
+
+impl AccessControlStats {
+    /// Computes stats.
+    pub fn over(brokers: &[Broker]) -> AccessControlStats {
+        AccessControlStats {
+            total: brokers.len() as u64,
+            controlled: brokers
+                .iter()
+                .filter(|b| b.verdict == Verdict::AccessControlled)
+                .count() as u64,
+        }
+    }
+
+    /// Share with access control.
+    pub fn controlled_share(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.controlled as f64 / self.total as f64
+        }
+    }
+
+    /// Figure 6's variant: count distinct /`len` networks instead of
+    /// addresses.
+    pub fn over_networks(brokers: &[Broker], len: u8) -> AccessControlStats {
+        let mask = v6addr::Prefix::netmask(len);
+        let nets: HashSet<u128> = brokers.iter().map(|b| u128::from(b.addr) & mask).collect();
+        let controlled: HashSet<u128> = brokers
+            .iter()
+            .filter(|b| b.verdict == Verdict::AccessControlled)
+            .map(|b| u128::from(b.addr) & mask)
+            .collect();
+        // A network counts as open if ANY broker in it is open.
+        let open: HashSet<u128> = brokers
+            .iter()
+            .filter(|b| b.verdict == Verdict::Open)
+            .map(|b| u128::from(b.addr) & mask)
+            .collect();
+        AccessControlStats {
+            total: nets.len() as u64,
+            controlled: controlled.difference(&open).count() as u64,
+        }
+    }
+
+    /// Stats restricted to TLS (or plain) listeners — the paper's Figure 6
+    /// observation that TLS-fronted MQTT brokers skip access control more
+    /// often.
+    pub fn over_filtered(brokers: &[Broker], tls: bool) -> AccessControlStats {
+        let filtered: Vec<Broker> = brokers.iter().filter(|b| b.tls == tls).cloned().collect();
+        AccessControlStats::over(&filtered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimTime;
+    use scanner::result::ScanRecord;
+
+    fn mqtt_rec(addr: u128, code: ConnectReturnCode) -> ScanRecord {
+        ScanRecord {
+            addr: std::net::Ipv6Addr::from(addr),
+            time: SimTime(0),
+            protocol: Protocol::Mqtt,
+            result: ServiceResult::Mqtt { return_code: code },
+        }
+    }
+
+    fn amqp_rec(addr: u128, mechs: &str) -> ScanRecord {
+        ScanRecord {
+            addr: std::net::Ipv6Addr::from(addr),
+            time: SimTime(0),
+            protocol: Protocol::Amqp,
+            result: ServiceResult::Amqp {
+                mechanisms: mechs.into(),
+                product: "RabbitMQ".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn mqtt_verdicts() {
+        let mut store = ScanStore::new();
+        store.push(mqtt_rec(1, ConnectReturnCode::Accepted));
+        store.push(mqtt_rec(2, ConnectReturnCode::NotAuthorized));
+        store.push(mqtt_rec(3, ConnectReturnCode::BadUserNameOrPassword));
+        store.push(mqtt_rec(4, ConnectReturnCode::ServerUnavailable)); // inconclusive
+        let brokers = mqtt_brokers(&store);
+        assert_eq!(brokers.len(), 3);
+        let stats = AccessControlStats::over(&brokers);
+        assert_eq!(stats.total, 3);
+        assert_eq!(stats.controlled, 2);
+        assert!((stats.controlled_share() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amqp_anonymous_is_open() {
+        let mut store = ScanStore::new();
+        store.push(amqp_rec(1, "ANONYMOUS PLAIN"));
+        store.push(amqp_rec(2, "PLAIN AMQPLAIN"));
+        let brokers = amqp_brokers(&store);
+        assert_eq!(brokers[0].verdict, Verdict::Open);
+        assert_eq!(brokers[1].verdict, Verdict::AccessControlled);
+    }
+
+    #[test]
+    fn dedup_prefers_plain_listener() {
+        let mut store = ScanStore::new();
+        store.push(mqtt_rec(7, ConnectReturnCode::Accepted));
+        store.push(ScanRecord {
+            addr: std::net::Ipv6Addr::from(7u128),
+            time: SimTime(0),
+            protocol: Protocol::Mqtts,
+            result: ServiceResult::Mqtts {
+                tls: scanner::result::TlsOutcome::Failed(wire::tls::Alert::HandshakeFailure),
+                return_code: None,
+            },
+        });
+        let brokers = mqtt_brokers(&store);
+        assert_eq!(brokers.len(), 1);
+        assert!(!brokers[0].tls);
+    }
+
+    #[test]
+    fn empty_store_share_is_zero() {
+        let stats = AccessControlStats::over(&[]);
+        assert_eq!(stats.controlled_share(), 0.0);
+    }
+
+    #[test]
+    fn network_counting_collapses_and_any_open_wins() {
+        let b = |addr: &str, verdict, tls| Broker {
+            addr: addr.parse().unwrap(),
+            verdict,
+            tls,
+        };
+        let brokers = vec![
+            // Two brokers in the same /64: one open → net counts open.
+            b("2a00::1", Verdict::AccessControlled, false),
+            b("2a00::2", Verdict::Open, false),
+            // A controlled broker in its own net.
+            b("2a00:0:0:1::1", Verdict::AccessControlled, true),
+        ];
+        let s = AccessControlStats::over_networks(&brokers, 64);
+        assert_eq!(s.total, 2);
+        assert_eq!(s.controlled, 1);
+        let tls_only = AccessControlStats::over_filtered(&brokers, true);
+        assert_eq!(tls_only.total, 1);
+        assert_eq!(tls_only.controlled, 1);
+        let plain_only = AccessControlStats::over_filtered(&brokers, false);
+        assert_eq!(plain_only.total, 2);
+        assert_eq!(plain_only.controlled, 1);
+    }
+}

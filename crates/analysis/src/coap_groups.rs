@@ -1,0 +1,185 @@
+//! CoAP resource grouping (paper §4.3.3, Table 3 bottom-right).
+//!
+//! Devices are grouped by the *prefix* of their advertised resources:
+//! `/castDeviceSearch` → `castdevice`, `/qlink/*` → `qlink`, `/efento/*`
+//! → `efento`, and so on; the boilerplate `/.well-known/core` entry is
+//! ignored when other resources exist.
+
+use scanner::result::{Protocol, ServiceResult};
+use scanner::ScanStore;
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// Label for devices advertising no resources at all.
+pub const EMPTY_GROUP: &str = "empty";
+/// Label for unrecognised resource sets.
+pub const OTHER_GROUP: &str = "other";
+
+/// Maps a resource list to its group label.
+pub fn group_of_resources(resources: &[String]) -> String {
+    let meaningful: Vec<&str> = resources
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|r| *r != "/.well-known/core" && !r.is_empty() && *r != "/")
+        .collect();
+    if meaningful.is_empty() {
+        return EMPTY_GROUP.to_string();
+    }
+    let known = [
+        ("/castDeviceSearch", "castdevice"),
+        ("/qlink", "qlink"),
+        ("/efento", "efento"),
+        ("/nanoleaf", "nanoleaf"),
+        ("/api", "api-backend"),
+    ];
+    for (prefix, label) in known {
+        if meaningful.iter().any(|r| r.starts_with(prefix)) {
+            return label.to_string();
+        }
+    }
+    OTHER_GROUP.to_string()
+}
+
+/// One CoAP device observation (CoAP has no certificates; the address is
+/// the dedup unit, as in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoapDevice {
+    /// Address.
+    pub addr: Ipv6Addr,
+    /// Group label.
+    pub group: String,
+    /// Raw resources.
+    pub resources: Vec<String>,
+}
+
+/// CoAP devices of a store, one per address.
+pub fn coap_devices(store: &ScanStore) -> Vec<CoapDevice> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for r in store.by_protocol(Protocol::Coap) {
+        if let ServiceResult::Coap { resources } = &r.result {
+            if seen.insert(r.addr) {
+                out.push(CoapDevice {
+                    addr: r.addr,
+                    group: group_of_resources(resources),
+                    resources: resources.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// §4.2's CoAP deduplication check: CoAP has no certificates, so the
+/// paper filters by MAC addresses embedded in EUI-64 IIDs. Returns
+/// `(devices with an embedded MAC, distinct MACs)` — a distinct/embedded
+/// ratio near 1 means the scan did not keep re-finding the same hosts
+/// (the paper measures ~70 %).
+pub fn mac_dedup(devices: &[CoapDevice]) -> (u64, u64) {
+    let mut with_mac = 0u64;
+    let mut distinct = std::collections::HashSet::new();
+    for d in devices {
+        if let Some(mac) = v6addr::eui64::extract_mac(d.addr) {
+            with_mac += 1;
+            distinct.insert(mac);
+        }
+    }
+    (with_mac, distinct.len() as u64)
+}
+
+/// Group → device count, descending.
+pub fn group_distribution(devices: &[CoapDevice]) -> Vec<(String, u64)> {
+    let mut counts: HashMap<&str, u64> = HashMap::new();
+    for d in devices {
+        *counts.entry(d.group.as_str()).or_insert(0) += 1;
+    }
+    let mut v: Vec<(String, u64)> = counts
+        .into_iter()
+        .map(|(k, n)| (k.to_string(), n))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimTime;
+    use scanner::result::ScanRecord;
+
+    fn rec(addr: u128, resources: &[&str]) -> ScanRecord {
+        ScanRecord {
+            addr: std::net::Ipv6Addr::from(addr),
+            time: SimTime(0),
+            protocol: Protocol::Coap,
+            result: ServiceResult::Coap {
+                resources: resources.iter().map(|s| s.to_string()).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn known_groups() {
+        assert_eq!(group_of_resources(&["/castDeviceSearch".into()]), "castdevice");
+        assert_eq!(
+            group_of_resources(&["/qlink/scan".into(), "/qlink/upstream".into()]),
+            "qlink"
+        );
+        assert_eq!(group_of_resources(&["/efento/m".into()]), "efento");
+        assert_eq!(group_of_resources(&["/nanoleaf/state".into()]), "nanoleaf");
+        assert_eq!(group_of_resources(&["/maha".into()]), OTHER_GROUP);
+        assert_eq!(group_of_resources(&[]), EMPTY_GROUP);
+        assert_eq!(group_of_resources(&["/.well-known/core".into()]), EMPTY_GROUP);
+    }
+
+    #[test]
+    fn well_known_ignored_when_others_present() {
+        assert_eq!(
+            group_of_resources(&["/.well-known/core".into(), "/qlink/scan".into()]),
+            "qlink"
+        );
+    }
+
+    #[test]
+    fn mac_dedup_counts() {
+        use v6addr::{Eui64, Mac};
+        let with_mac = |prefix: u64, mac: &str| {
+            let mac: Mac = mac.parse().unwrap();
+            CoapDevice {
+                addr: std::net::Ipv6Addr::from(
+                    (u128::from(prefix) << 64) | u128::from(Eui64::from_mac(mac).0),
+                ),
+                group: "castdevice".into(),
+                resources: vec![],
+            }
+        };
+        let devices = vec![
+            with_mac(1, "28:fa:a0:00:00:01"),
+            with_mac(2, "28:fa:a0:00:00:01"), // same device, churned prefix
+            with_mac(3, "28:fa:a0:00:00:02"),
+            CoapDevice {
+                addr: "2001:db8::1".parse().unwrap(), // no EUI-64
+                group: "castdevice".into(),
+                resources: vec![],
+            },
+        ];
+        assert_eq!(mac_dedup(&devices), (3, 2));
+        assert_eq!(mac_dedup(&[]), (0, 0));
+    }
+
+    #[test]
+    fn device_dedup_and_distribution() {
+        let mut store = ScanStore::new();
+        store.push(rec(1, &["/castDeviceSearch"]));
+        store.push(rec(1, &["/castDeviceSearch"])); // same address
+        store.push(rec(2, &["/castDeviceSearch"]));
+        store.push(rec(3, &["/qlink/scan"]));
+        store.push(rec(4, &[]));
+        let devices = coap_devices(&store);
+        assert_eq!(devices.len(), 4);
+        let dist = group_distribution(&devices);
+        assert_eq!(dist[0], ("castdevice".to_string(), 2));
+        assert!(dist.contains(&("qlink".to_string(), 1)));
+        assert!(dist.contains(&(EMPTY_GROUP.to_string(), 1)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 1: address structure (IID classes) and AS-type shares.
+
+use netsim::peeringdb::AsType;
+use netsim::topology::Topology;
+use v6addr::{AddrSet, IidDistribution};
+
+/// The Figure 1 data for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddressStructure {
+    /// IID class distribution.
+    pub iid: IidDistribution,
+    /// Share of addresses whose origin AS is labelled Cable/DSL/ISP.
+    pub eyeball_as_share: f64,
+    /// Addresses counted.
+    pub total: u64,
+}
+
+/// Computes Figure 1's data over an address set.
+pub fn address_structure(set: &AddrSet, topology: &Topology) -> AddressStructure {
+    let mut iid = IidDistribution::new();
+    let mut eyeball = 0u64;
+    let mut total = 0u64;
+    for addr in set.iter() {
+        iid.add(addr);
+        total += 1;
+        if topology.as_type_of(addr) == AsType::CableDslIsp {
+            eyeball += 1;
+        }
+    }
+    AddressStructure {
+        iid,
+        eyeball_as_share: if total == 0 {
+            0.0
+        } else {
+            eyeball as f64 / total as f64
+        },
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::country;
+    use netsim::topology::{AsInfo, Asn};
+    use std::net::Ipv6Addr;
+    use v6addr::IidClass;
+
+    #[test]
+    fn structure_over_mixed_set() {
+        let mut topo = Topology::new();
+        topo.register(AsInfo {
+            asn: Asn(1),
+            name: "isp".into(),
+            kind: AsType::CableDslIsp,
+            country: country::DE,
+            allocations: vec!["2a00::/32".parse().unwrap()],
+        });
+        topo.register(AsInfo {
+            asn: Asn(2),
+            name: "dc".into(),
+            kind: AsType::Hosting,
+            country: country::US,
+            allocations: vec!["2600::/32".parse().unwrap()],
+        });
+        let set: AddrSet = [
+            "2a00::a1f3:9c42:7e5b:d608", // eyeball, high entropy
+            "2600::1",                   // hosting, low byte
+            "2600::",                    // hosting, zero
+            "2600:0:1::53",              // hosting, low byte
+        ]
+        .iter()
+        .map(|s| s.parse::<Ipv6Addr>().unwrap())
+        .collect();
+        let s = address_structure(&set, &topo);
+        assert_eq!(s.total, 4);
+        assert!((s.eyeball_as_share - 0.25).abs() < 1e-12);
+        assert_eq!(s.iid.count(IidClass::LowByte), 2);
+        assert_eq!(s.iid.count(IidClass::Zero), 1);
+        assert_eq!(s.iid.count(IidClass::HighEntropy), 1);
+    }
+
+    #[test]
+    fn empty_set() {
+        let topo = Topology::new();
+        let s = address_structure(&AddrSet::new(), &topo);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.eyeball_as_share, 0.0);
+    }
+}

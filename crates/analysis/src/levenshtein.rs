@@ -1,0 +1,163 @@
+//! Levenshtein distance and greedy clustering.
+//!
+//! The paper groups HTML titles "if their Levenshtein distance normalized
+//! to 0-1 is at most 0.25" (§4.3.1) — minor version-number variation lands
+//! in one group, distinct products stay apart.
+
+/// Levenshtein (edit) distance between two strings, by Unicode scalar
+/// values, with the classic two-row dynamic program.
+pub fn distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Distance normalised by the longer string's length, in `0.0..=1.0`.
+/// Two empty strings have distance 0.
+pub fn normalized(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        0.0
+    } else {
+        distance(a, b) as f64 / max as f64
+    }
+}
+
+/// A cluster of similar strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster<V> {
+    /// The representative (the highest-weight member).
+    pub representative: String,
+    /// Members with their payloads.
+    pub members: Vec<(String, V)>,
+}
+
+/// Greedy threshold clustering: items are processed in descending weight
+/// order; each item joins the first cluster whose representative is
+/// within `threshold` normalised distance, else founds a new cluster.
+///
+/// `items` is `(string, weight-like payload)`; ordering uses
+/// `weight(payload)`.
+pub fn cluster_by_distance<V, W>(
+    items: Vec<(String, V)>,
+    threshold: f64,
+    weight: W,
+) -> Vec<Cluster<V>>
+where
+    W: Fn(&V) -> u64,
+{
+    let mut sorted = items;
+    sorted.sort_by(|(sa, va), (sb, vb)| {
+        weight(vb)
+            .cmp(&weight(va))
+            .then_with(|| sa.cmp(sb))
+    });
+    let mut clusters: Vec<Cluster<V>> = Vec::new();
+    for (s, v) in sorted {
+        match clusters
+            .iter_mut()
+            .find(|c| normalized(&c.representative, &s) <= threshold)
+        {
+            Some(c) => c.members.push((s, v)),
+            None => clusters.push(Cluster {
+                representative: s.clone(),
+                members: vec![(s, v)],
+            }),
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(distance("", ""), 0);
+        assert_eq!(distance("abc", ""), 3);
+        assert_eq!(distance("", "abc"), 3);
+        assert_eq!(distance("abc", "abc"), 0);
+        assert_eq!(distance("kitten", "sitting"), 3);
+        assert_eq!(distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn distance_unicode() {
+        assert_eq!(distance("UFI配置管理", "UFI配置管制"), 1);
+    }
+
+    #[test]
+    fn normalized_bounds_and_symmetry() {
+        assert_eq!(normalized("", ""), 0.0);
+        assert_eq!(normalized("a", ""), 1.0);
+        let a = "FRITZ!Box 7590";
+        let b = "FRITZ!Box 7530";
+        assert_eq!(normalized(a, b), normalized(b, a));
+        assert!(normalized(a, b) <= 0.25, "version variants must group");
+        assert!(normalized("FRITZ!Box 7590", "D-LINK") > 0.25);
+    }
+
+    #[test]
+    fn paper_threshold_examples() {
+        // Minor version drift groups…
+        assert!(normalized("Plesk Obsidian 18.0.34", "Plesk Obsidian 18.0.31") <= 0.25);
+        assert!(normalized("FRITZ!Repeater 6000", "FRITZ!Repeater 2400") <= 0.25);
+        // …different products do not.
+        assert!(normalized("FRITZ!Box 7590", "FRITZ!Repeater 6000") > 0.25);
+        assert!(normalized("Welcome to nginx!", "Apache2 Ubuntu Default Page: It works") > 0.25);
+    }
+
+    #[test]
+    fn clustering_groups_variants() {
+        let items = vec![
+            ("FRITZ!Box 7590".to_string(), 50u64),
+            ("FRITZ!Box 7530".to_string(), 30),
+            ("FRITZ!Box 6690".to_string(), 5),
+            ("D-LINK".to_string(), 10),
+            ("Welcome to nginx!".to_string(), 8),
+        ];
+        let clusters = cluster_by_distance(items, 0.25, |w| *w);
+        assert_eq!(clusters.len(), 3);
+        // Highest-weight member is the representative.
+        assert_eq!(clusters[0].representative, "FRITZ!Box 7590");
+        assert_eq!(clusters[0].members.len(), 3);
+        let total: u64 = clusters[0].members.iter().map(|(_, w)| *w).sum();
+        assert_eq!(total, 85);
+    }
+
+    #[test]
+    fn clustering_empty_and_singleton() {
+        let clusters = cluster_by_distance::<u64, _>(vec![], 0.25, |w| *w);
+        assert!(clusters.is_empty());
+        let clusters = cluster_by_distance(vec![("x".to_string(), 1u64)], 0.25, |w| *w);
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_exact_grouping() {
+        let items = vec![
+            ("a".to_string(), 1u64),
+            ("a".to_string(), 1),
+            ("b".to_string(), 1),
+        ];
+        let clusters = cluster_by_distance(items, 0.0, |w| *w);
+        assert_eq!(clusters.len(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Aggregation by network, AS and country (paper Appendix C, Tables 5/6).
+
+use netsim::geodb::GeoDb;
+use netsim::topology::Topology;
+use std::collections::HashSet;
+use std::net::Ipv6Addr;
+use v6addr::Prefix;
+
+/// Counts of one address population at every aggregation level of
+/// Table 5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkCounts {
+    /// Distinct addresses.
+    pub addrs: u64,
+    /// Distinct /32 networks.
+    pub nets32: u64,
+    /// Distinct /48 networks.
+    pub nets48: u64,
+    /// Distinct /56 networks.
+    pub nets56: u64,
+    /// Distinct /64 networks.
+    pub nets64: u64,
+    /// Distinct origin ASes.
+    pub ases: u64,
+    /// Distinct countries.
+    pub countries: u64,
+}
+
+/// Computes all aggregation levels over an address iterator.
+pub fn network_counts<'a, I>(addrs: I, topology: &Topology) -> NetworkCounts
+where
+    I: IntoIterator<Item = &'a Ipv6Addr>,
+{
+    let geo = GeoDb::new(topology);
+    let mut a = HashSet::new();
+    let (mut n32, mut n48, mut n56, mut n64) = (
+        HashSet::new(),
+        HashSet::new(),
+        HashSet::new(),
+        HashSet::new(),
+    );
+    let mut ases = HashSet::new();
+    let mut countries = HashSet::new();
+    for addr in addrs {
+        if !a.insert(*addr) {
+            continue;
+        }
+        let bits = u128::from(*addr);
+        n32.insert(bits & Prefix::netmask(32));
+        n48.insert(bits & Prefix::netmask(48));
+        n56.insert(bits & Prefix::netmask(56));
+        n64.insert(bits & Prefix::netmask(64));
+        if let Some(asn) = topology.origin(*addr) {
+            ases.insert(asn);
+        }
+        if let Some(c) = geo.lookup(*addr) {
+            countries.insert(c);
+        }
+    }
+    NetworkCounts {
+        addrs: a.len() as u64,
+        nets32: n32.len() as u64,
+        nets48: n48.len() as u64,
+        nets56: n56.len() as u64,
+        nets64: n64.len() as u64,
+        ases: ases.len() as u64,
+        countries: countries.len() as u64,
+    }
+}
+
+/// Table 6 view: group labels counted by IPs and by /48, /56, /64
+/// networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupNetworkRow {
+    /// Group label.
+    pub label: String,
+    /// Distinct addresses.
+    pub ips: u64,
+    /// Distinct /48s.
+    pub nets48: u64,
+    /// Distinct /56s.
+    pub nets56: u64,
+    /// Distinct /64s.
+    pub nets64: u64,
+}
+
+/// Counts each labelled group by networks.
+pub fn group_network_rows(groups: &[(String, Vec<Ipv6Addr>)]) -> Vec<GroupNetworkRow> {
+    let mut rows: Vec<GroupNetworkRow> = groups
+        .iter()
+        .map(|(label, addrs)| {
+            let distinct: HashSet<Ipv6Addr> = addrs.iter().copied().collect();
+            let count = |len: u8| {
+                distinct
+                    .iter()
+                    .map(|a| u128::from(*a) & Prefix::netmask(len))
+                    .collect::<HashSet<_>>()
+                    .len() as u64
+            };
+            GroupNetworkRow {
+                label: label.clone(),
+                ips: distinct.len() as u64,
+                nets48: count(48),
+                nets56: count(56),
+                nets64: count(64),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.ips.cmp(&a.ips).then_with(|| a.label.cmp(&b.label)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::country;
+    use netsim::peeringdb::AsType;
+    use netsim::topology::{AsInfo, Asn};
+
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        t.register(AsInfo {
+            asn: Asn(1),
+            name: "a".into(),
+            kind: AsType::CableDslIsp,
+            country: country::DE,
+            allocations: vec!["2a00::/32".parse().unwrap()],
+        });
+        t.register(AsInfo {
+            asn: Asn(2),
+            name: "b".into(),
+            kind: AsType::Hosting,
+            country: country::US,
+            allocations: vec!["2600::/32".parse().unwrap()],
+        });
+        t
+    }
+
+    #[test]
+    fn counts_all_levels() {
+        let topo = topo();
+        let addrs: Vec<Ipv6Addr> = [
+            "2a00:0:1::1",
+            "2a00:0:1::2",     // same /64
+            "2a00:0:1:100::1", // same /48, new /56+/64
+            "2600::1",         // other AS/country
+            "2a00:0:1::1",     // duplicate
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let c = network_counts(addrs.iter(), &topo);
+        assert_eq!(c.addrs, 4);
+        assert_eq!(c.nets32, 2);
+        assert_eq!(c.nets48, 2);
+        assert_eq!(c.nets56, 3);
+        assert_eq!(c.nets64, 3);
+        assert_eq!(c.ases, 2);
+        assert_eq!(c.countries, 2);
+    }
+
+    #[test]
+    fn unrouted_addresses_count_networks_only() {
+        let topo = topo();
+        let addrs: Vec<Ipv6Addr> = vec!["3fff::1".parse().unwrap()];
+        let c = network_counts(addrs.iter(), &topo);
+        assert_eq!(c.addrs, 1);
+        assert_eq!(c.ases, 0);
+        assert_eq!(c.countries, 0);
+    }
+
+    #[test]
+    fn group_rows_sorted_by_ips() {
+        let groups = vec![
+            (
+                "small".to_string(),
+                vec!["2a00::1".parse().unwrap()],
+            ),
+            (
+                "big".to_string(),
+                vec![
+                    "2a00:0:1::1".parse().unwrap(),
+                    "2a00:0:1::2".parse().unwrap(),
+                    "2a00:0:2::1".parse().unwrap(),
+                ],
+            ),
+        ];
+        let rows = group_network_rows(&groups);
+        assert_eq!(rows[0].label, "big");
+        assert_eq!(rows[0].ips, 3);
+        assert_eq!(rows[0].nets48, 2);
+        assert_eq!(rows[0].nets64, 2);
+        assert_eq!(rows[1].ips, 1);
+    }
+}

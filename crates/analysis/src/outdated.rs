@@ -1,0 +1,218 @@
+//! SSH patch-level up-to-dateness (paper §4.4.1, Figures 2/5).
+//!
+//! Only Debian-derived distributions expose their patch level in the
+//! identification comment (`Debian-2+deb12u3`), so — exactly as the paper
+//! restricts itself — only those hosts are assessed. Every non-latest
+//! patch level counts as outdated, since stable-release updates contain
+//! only security and important bug fixes.
+
+use crate::ssh_os::SshHost;
+use netsim::archetype::DISTRO_LATEST;
+
+/// Assessment of one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchStatus {
+    /// Latest patch level for its distribution.
+    UpToDate,
+    /// Lagging by `lag` levels.
+    Outdated {
+        /// Patch levels behind the latest.
+        lag: u32,
+    },
+    /// No Debian-derived patch level visible — not assessable.
+    NotAssessable,
+}
+
+/// Parses the patch level from a comment given the distro's comment
+/// prefix, e.g. prefix `Debian-2+deb12u` over `Debian-2+deb12u3` → 3.
+fn parse_level(comment: &str, prefix: &str) -> Option<u32> {
+    comment.strip_prefix(prefix)?.parse().ok()
+}
+
+/// Assesses one host against the distro's latest patch level.
+pub fn assess(host: &SshHost) -> PatchStatus {
+    let Some(comment) = &host.comment else {
+        return PatchStatus::NotAssessable;
+    };
+    for (os, software, prefix, latest) in DISTRO_LATEST {
+        if host.os == *os && host.software == *software {
+            return match parse_level(comment, prefix) {
+                Some(level) if level >= *latest => PatchStatus::UpToDate,
+                Some(level) => PatchStatus::Outdated {
+                    lag: latest - level,
+                },
+                None => PatchStatus::NotAssessable,
+            };
+        }
+    }
+    PatchStatus::NotAssessable
+}
+
+/// Aggregate up-to-dateness over a host population.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OutdatedStats {
+    /// Hosts with a readable patch level.
+    pub assessable: u64,
+    /// Of those: outdated.
+    pub outdated: u64,
+    /// Hosts without a readable patch level.
+    pub not_assessable: u64,
+}
+
+impl OutdatedStats {
+    /// Computes stats over hosts.
+    pub fn over<'a>(hosts: impl IntoIterator<Item = &'a SshHost>) -> OutdatedStats {
+        let mut s = OutdatedStats::default();
+        for h in hosts {
+            match assess(h) {
+                PatchStatus::UpToDate => s.assessable += 1,
+                PatchStatus::Outdated { .. } => {
+                    s.assessable += 1;
+                    s.outdated += 1;
+                }
+                PatchStatus::NotAssessable => s.not_assessable += 1,
+            }
+        }
+        s
+    }
+
+    /// Outdated share among assessable hosts.
+    pub fn outdated_share(&self) -> f64 {
+        if self.assessable == 0 {
+            0.0
+        } else {
+            self.outdated as f64 / self.assessable as f64
+        }
+    }
+
+    /// Figure 5's variant: weight each host by the number of distinct
+    /// /`len` networks its key was observed in, instead of counting keys
+    /// once. Key-reusing outdated hosts then count once per network —
+    /// which is why the paper's by-network view shows *more* outdated
+    /// hosts and a wider NTP-vs-hitlist gap.
+    pub fn over_networks<'a>(
+        hosts: impl IntoIterator<Item = &'a crate::ssh_os::SshHost>,
+        len: u8,
+    ) -> OutdatedStats {
+        let mut s = OutdatedStats::default();
+        for h in hosts {
+            let nets: std::collections::HashSet<u128> = h
+                .addrs
+                .iter()
+                .map(|a| u128::from(*a) & v6addr::Prefix::netmask(len))
+                .collect();
+            let weight = nets.len().max(1) as u64;
+            match assess(h) {
+                PatchStatus::UpToDate => s.assessable += weight,
+                PatchStatus::Outdated { .. } => {
+                    s.assessable += weight;
+                    s.outdated += weight;
+                }
+                PatchStatus::NotAssessable => s.not_assessable += weight,
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(software: &str, comment: Option<&str>) -> SshHost {
+        SshHost {
+            addr: "2001:db8::1".parse().unwrap(),
+            fingerprint: [0; 32],
+            software: software.into(),
+            comment: comment.map(str::to_string),
+            os: crate::ssh_os::os_of_comment(comment),
+            addrs: vec![],
+        }
+    }
+
+    #[test]
+    fn latest_is_up_to_date() {
+        assert_eq!(
+            assess(&host("OpenSSH_9.2p1", Some("Debian-2+deb12u3"))),
+            PatchStatus::UpToDate
+        );
+        assert_eq!(
+            assess(&host("OpenSSH_8.9p1", Some("Ubuntu-3ubuntu0.13"))),
+            PatchStatus::UpToDate
+        );
+    }
+
+    #[test]
+    fn lag_detected() {
+        assert_eq!(
+            assess(&host("OpenSSH_9.2p1", Some("Debian-2+deb12u1"))),
+            PatchStatus::Outdated { lag: 2 }
+        );
+        assert_eq!(
+            assess(&host("OpenSSH_8.4p1", Some("Raspbian-5+deb11u2"))),
+            PatchStatus::Outdated { lag: 1 }
+        );
+    }
+
+    #[test]
+    fn non_debian_derived_not_assessable() {
+        assert_eq!(
+            assess(&host("OpenSSH_9.6", Some("FreeBSD-20240806"))),
+            PatchStatus::NotAssessable
+        );
+        assert_eq!(assess(&host("dropbear_2022.83", None)), PatchStatus::NotAssessable);
+        // Mismatched software/comment combination.
+        assert_eq!(
+            assess(&host("OpenSSH_9.9p9", Some("Debian-2+deb12u3"))),
+            PatchStatus::NotAssessable
+        );
+        // Unparseable level.
+        assert_eq!(
+            assess(&host("OpenSSH_9.2p1", Some("Debian-2+deb12uXY"))),
+            PatchStatus::NotAssessable
+        );
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let hosts = vec![
+            host("OpenSSH_9.2p1", Some("Debian-2+deb12u3")),
+            host("OpenSSH_9.2p1", Some("Debian-2+deb12u1")),
+            host("OpenSSH_9.2p1", Some("Debian-2+deb12u2")),
+            host("OpenSSH_9.6", Some("FreeBSD-20240806")),
+        ];
+        let s = OutdatedStats::over(&hosts);
+        assert_eq!(s.assessable, 3);
+        assert_eq!(s.outdated, 2);
+        assert_eq!(s.not_assessable, 1);
+        assert!((s.outdated_share() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population() {
+        let s = OutdatedStats::over([]);
+        assert_eq!(s.outdated_share(), 0.0);
+    }
+
+    #[test]
+    fn network_weighting_amplifies_key_reuse() {
+        // One outdated host key seen in three /56s, one current key in
+        // one /56.
+        let mut reused = host("OpenSSH_9.2p1", Some("Debian-2+deb12u1"));
+        reused.addrs = vec![
+            "2a00:0:0:100::1".parse().unwrap(),
+            "2a00:0:0:200::1".parse().unwrap(),
+            "2a00:0:1:100::1".parse().unwrap(),
+        ];
+        let mut current = host("OpenSSH_9.2p1", Some("Debian-2+deb12u3"));
+        current.addrs = vec!["2a00:0:2::1".parse().unwrap()];
+        let hosts = vec![reused, current];
+
+        let by_key = OutdatedStats::over(&hosts);
+        assert!((by_key.outdated_share() - 0.5).abs() < 1e-12);
+        let by_net = OutdatedStats::over_networks(&hosts, 56);
+        assert_eq!(by_net.assessable, 4);
+        assert_eq!(by_net.outdated, 3);
+        assert!(by_net.outdated_share() > by_key.outdated_share());
+    }
+}

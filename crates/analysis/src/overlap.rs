@@ -1,0 +1,138 @@
+//! Dataset comparison (paper Table 1): distinct counts, overlaps and
+//! density medians across address sets.
+
+use netsim::topology::Topology;
+use std::collections::{HashMap, HashSet};
+use v6addr::set::median_u64;
+use v6addr::AddrSet;
+
+/// One dataset column of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset label.
+    pub label: String,
+    /// Distinct addresses.
+    pub addresses: u64,
+    /// Distinct /48 networks.
+    pub nets48: u64,
+    /// Distinct origin ASes.
+    pub ases: u64,
+    /// Median addresses per /48.
+    pub median_per_48: f64,
+    /// Median addresses per AS.
+    pub median_per_as: f64,
+}
+
+/// Computes a dataset's column.
+pub fn dataset_stats(label: &str, set: &AddrSet, topology: &Topology) -> DatasetStats {
+    let mut per_as: HashMap<u32, u64> = HashMap::new();
+    let mut ases: HashSet<u32> = HashSet::new();
+    for addr in set.iter() {
+        if let Some(asn) = topology.origin(addr) {
+            ases.insert(asn.0);
+            *per_as.entry(asn.0).or_insert(0) += 1;
+        }
+    }
+    DatasetStats {
+        label: label.to_string(),
+        addresses: set.len() as u64,
+        nets48: set.network_count(48) as u64,
+        ases: ases.len() as u64,
+        median_per_48: set.median_network_density(48).unwrap_or(0.0),
+        median_per_as: median_u64(per_as.values().copied()).unwrap_or(0.0),
+    }
+}
+
+/// Overlap of one dataset against a reference (the paper's "⋯ overlap"
+/// rows, reference = "Our Data").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapStats {
+    /// Shared addresses.
+    pub addresses: u64,
+    /// Shared /48s.
+    pub nets48: u64,
+    /// Shared origin ASes.
+    pub ases: u64,
+}
+
+/// Computes overlaps between `ours` and `other`.
+pub fn overlap_stats(ours: &AddrSet, other: &AddrSet, topology: &Topology) -> OverlapStats {
+    let as_set = |s: &AddrSet| -> HashSet<u32> {
+        s.iter()
+            .filter_map(|a| topology.origin(a))
+            .map(|asn| asn.0)
+            .collect()
+    };
+    OverlapStats {
+        addresses: ours.overlap(other) as u64,
+        nets48: ours.network_overlap(other, 48) as u64,
+        ases: as_set(ours).intersection(&as_set(other)).count() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::country;
+    use netsim::peeringdb::AsType;
+    use netsim::topology::{AsInfo, Asn};
+    use std::net::Ipv6Addr;
+
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        for (i, p) in ["2a00::/32", "2a01::/32", "2600::/32"].iter().enumerate() {
+            t.register(AsInfo {
+                asn: Asn(i as u32 + 1),
+                name: format!("as{i}"),
+                kind: AsType::CableDslIsp,
+                country: country::DE,
+                allocations: vec![p.parse().unwrap()],
+            });
+        }
+        t
+    }
+
+    fn set(addrs: &[&str]) -> AddrSet {
+        addrs.iter().map(|s| s.parse::<Ipv6Addr>().unwrap()).collect()
+    }
+
+    #[test]
+    fn stats_and_medians() {
+        let topo = topo();
+        let s = set(&[
+            "2a00:0:1::1",
+            "2a00:0:1::2",
+            "2a00:0:1::3",
+            "2a00:0:2::1",
+            "2a01:0:1::1",
+        ]);
+        let d = dataset_stats("test", &s, &topo);
+        assert_eq!(d.addresses, 5);
+        assert_eq!(d.nets48, 3);
+        assert_eq!(d.ases, 2);
+        // /48 densities: [3, 1, 1] → median 1; AS densities: [4, 1] → 2.5.
+        assert_eq!(d.median_per_48, 1.0);
+        assert_eq!(d.median_per_as, 2.5);
+    }
+
+    #[test]
+    fn overlaps() {
+        let topo = topo();
+        let ours = set(&["2a00:0:1::1", "2a00:0:2::1", "2a01:0:1::1"]);
+        let other = set(&["2a00:0:1::1", "2a00:0:1::9", "2600:0:1::1"]);
+        let o = overlap_stats(&ours, &other, &topo);
+        assert_eq!(o.addresses, 1);
+        assert_eq!(o.nets48, 1);
+        assert_eq!(o.ases, 1); // only AS 1 shared
+    }
+
+    #[test]
+    fn empty_sets() {
+        let topo = topo();
+        let d = dataset_stats("empty", &AddrSet::new(), &topo);
+        assert_eq!(d.addresses, 0);
+        assert_eq!(d.median_per_48, 0.0);
+        let o = overlap_stats(&AddrSet::new(), &AddrSet::new(), &topo);
+        assert_eq!(o.addresses, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Combined security classification (the paper's headline takeaway):
+//! "the proportion of secure deployments drops from 43.5 % to 28.4 %
+//! when instead scanning the NTP-sourced addresses" over SSH and
+//! IoT-related hosts.
+//!
+//! A host counts as *secure* when:
+//! * SSH: its Debian-derived patch level is current
+//!   (non-assessable hosts stay in the denominator, like hosts whose
+//!   configuration cannot be shown to be secure);
+//! * MQTT / AMQP: the broker enforces access control.
+//!
+//! Deduplication follows the paper's §4.2 choice: hosts are counted by
+//! unique SSH host keys and unique TLS certificates (the 854 704 /
+//! 73 975 denominators are key/cert counts). Plain-text-only brokers
+//! cannot be deduplicated under dynamic addresses and are therefore
+//! excluded here — they still drive Figure 3, which is address-based.
+
+use crate::access_control::Verdict;
+use crate::outdated::{assess, PatchStatus};
+use crate::ssh_os::unique_ssh_hosts;
+use scanner::result::{Protocol, ServiceResult, TlsOutcome};
+use scanner::ScanStore;
+use std::collections::HashMap;
+
+/// Security summary over one address source.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SecuritySummary {
+    /// SSH hosts (unique keys).
+    pub ssh_hosts: u64,
+    /// Of those: up-to-date.
+    pub ssh_secure: u64,
+    /// MQTT brokers.
+    pub mqtt_brokers: u64,
+    /// Of those: access controlled.
+    pub mqtt_secure: u64,
+    /// AMQP brokers.
+    pub amqp_brokers: u64,
+    /// Of those: access controlled.
+    pub amqp_secure: u64,
+}
+
+/// Collects `fingerprint → access-control verdict` for the TLS variant
+/// of a broker protocol. Conflicting observations of one cert resolve to
+/// the *insecure* verdict (a broker open anywhere is open).
+fn tls_broker_verdicts(store: &ScanStore, proto: Protocol) -> HashMap<[u8; 32], Verdict> {
+    let mut out: HashMap<[u8; 32], Verdict> = HashMap::new();
+    for r in store.by_protocol(proto) {
+        let (tls, verdict) = match &r.result {
+            ServiceResult::Mqtts {
+                tls,
+                return_code: Some(code),
+            } => (
+                tls,
+                if code.indicates_access_control() {
+                    Verdict::AccessControlled
+                } else {
+                    Verdict::Open
+                },
+            ),
+            ServiceResult::Amqps {
+                tls,
+                mechanisms: Some(mechs),
+            } => (
+                tls,
+                if mechs.split(' ').any(|m| m.eq_ignore_ascii_case("ANONYMOUS")) {
+                    Verdict::Open
+                } else {
+                    Verdict::AccessControlled
+                },
+            ),
+            _ => continue,
+        };
+        let Some(cert) = (match tls {
+            TlsOutcome::Established(c) => Some(c),
+            TlsOutcome::Failed(_) => None,
+        }) else {
+            continue;
+        };
+        out.entry(cert.fingerprint)
+            .and_modify(|v| {
+                if verdict == Verdict::Open {
+                    *v = Verdict::Open;
+                }
+            })
+            .or_insert(verdict);
+    }
+    out
+}
+
+impl SecuritySummary {
+    /// Computes the summary over a store.
+    pub fn over(store: &ScanStore) -> SecuritySummary {
+        let ssh = unique_ssh_hosts(store);
+        let ssh_secure = ssh
+            .iter()
+            .filter(|h| assess(h) == PatchStatus::UpToDate)
+            .count() as u64;
+        let mqtt = tls_broker_verdicts(store, Protocol::Mqtts);
+        let amqp = tls_broker_verdicts(store, Protocol::Amqps);
+        let secure = |m: &HashMap<[u8; 32], Verdict>| {
+            m.values().filter(|v| **v == Verdict::AccessControlled).count() as u64
+        };
+        SecuritySummary {
+            ssh_hosts: ssh.len() as u64,
+            ssh_secure,
+            mqtt_brokers: mqtt.len() as u64,
+            mqtt_secure: secure(&mqtt),
+            amqp_brokers: amqp.len() as u64,
+            amqp_secure: secure(&amqp),
+        }
+    }
+
+    /// Total SSH + IoT hosts.
+    pub fn total_hosts(&self) -> u64 {
+        self.ssh_hosts + self.mqtt_brokers + self.amqp_brokers
+    }
+
+    /// Secure hosts.
+    pub fn secure_hosts(&self) -> u64 {
+        self.ssh_secure + self.mqtt_secure + self.amqp_secure
+    }
+
+    /// Secure share.
+    pub fn secure_share(&self) -> f64 {
+        let t = self.total_hosts();
+        if t == 0 {
+            0.0
+        } else {
+            self.secure_hosts() as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimTime;
+    use scanner::result::{Protocol, ScanRecord, ServiceResult};
+    use wire::mqtt::ConnectReturnCode;
+
+    fn ssh(addr: u128, fp: u8, comment: &str) -> ScanRecord {
+        ScanRecord {
+            addr: std::net::Ipv6Addr::from(addr),
+            time: SimTime(0),
+            protocol: Protocol::Ssh,
+            result: ServiceResult::Ssh {
+                software: "OpenSSH_9.2p1".into(),
+                comment: Some(comment.into()),
+                fingerprint: [fp; 32],
+            },
+        }
+    }
+
+    fn mqtts(addr: u128, fp: u8, code: ConnectReturnCode) -> ScanRecord {
+        ScanRecord {
+            addr: std::net::Ipv6Addr::from(addr),
+            time: SimTime(0),
+            protocol: Protocol::Mqtts,
+            result: ServiceResult::Mqtts {
+                tls: TlsOutcome::Established(scanner::result::CertMeta {
+                    fingerprint: [fp; 32],
+                    subject: "b".into(),
+                    issuer: "b".into(),
+                    self_signed: true,
+                    version: wire::tls::Version::Tls13,
+                }),
+                return_code: Some(code),
+            },
+        }
+    }
+
+    #[test]
+    fn summary_composition() {
+        let mut store = ScanStore::new();
+        store.push(ssh(1, 1, "Debian-2+deb12u3")); // secure
+        store.push(ssh(2, 2, "Debian-2+deb12u1")); // outdated
+        store.push(mqtts(3, 10, ConnectReturnCode::Accepted)); // open
+        store.push(mqtts(4, 11, ConnectReturnCode::NotAuthorized)); // secure
+        let s = SecuritySummary::over(&store);
+        assert_eq!(s.total_hosts(), 4);
+        assert_eq!(s.secure_hosts(), 2);
+        assert!((s.secure_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brokers_dedup_by_cert_and_resolve_conflicts_insecurely() {
+        let mut store = ScanStore::new();
+        // One broker (one cert) seen at two churned addresses: once
+        // rejecting, once accepting the anonymous probe.
+        store.push(mqtts(1, 7, ConnectReturnCode::NotAuthorized));
+        store.push(mqtts(2, 7, ConnectReturnCode::Accepted));
+        let s = SecuritySummary::over(&store);
+        assert_eq!(s.mqtt_brokers, 1);
+        assert_eq!(s.mqtt_secure, 0);
+    }
+
+    #[test]
+    fn plain_only_brokers_excluded_from_summary() {
+        let mut store = ScanStore::new();
+        store.push(ScanRecord {
+            addr: std::net::Ipv6Addr::from(1u128),
+            time: SimTime(0),
+            protocol: Protocol::Mqtt,
+            result: ServiceResult::Mqtt {
+                return_code: ConnectReturnCode::Accepted,
+            },
+        });
+        let s = SecuritySummary::over(&store);
+        assert_eq!(s.mqtt_brokers, 0);
+        assert_eq!(s.total_hosts(), 0);
+    }
+
+    #[test]
+    fn non_assessable_ssh_stays_in_denominator() {
+        let mut store = ScanStore::new();
+        store.push(ScanRecord {
+            addr: std::net::Ipv6Addr::from(1u128),
+            time: SimTime(0),
+            protocol: Protocol::Ssh,
+            result: ServiceResult::Ssh {
+                software: "dropbear_2022.83".into(),
+                comment: None,
+                fingerprint: [7; 32],
+            },
+        });
+        let s = SecuritySummary::over(&store);
+        assert_eq!(s.ssh_hosts, 1);
+        assert_eq!(s.ssh_secure, 0);
+        assert_eq!(s.secure_share(), 0.0);
+    }
+
+    #[test]
+    fn empty() {
+        let s = SecuritySummary::over(&ScanStore::new());
+        assert_eq!(s.total_hosts(), 0);
+        assert_eq!(s.secure_share(), 0.0);
+    }
+}

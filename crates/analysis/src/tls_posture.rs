@@ -1,0 +1,112 @@
+//! TLS deployment posture (extension beyond the paper's tables).
+//!
+//! The paper's related work (§2.1.2) motivates NTP sourcing partly with
+//! TLS findings — low TLS 1.3 support and self-signed certificates on
+//! IoT/consumer gear. This module measures both per address source so
+//! the claim can be checked against the reproduced data: consumer
+//! devices (NTP side) serve predominantly self-signed certificates,
+//! hosting (hitlist side) predominantly CA-issued ones.
+
+use scanner::result::Protocol;
+use scanner::ScanStore;
+use std::collections::HashMap;
+use wire::tls::Version;
+
+/// TLS posture over the unique certificates of one store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TlsPosture {
+    /// Unique certificates observed.
+    pub certs: u64,
+    /// Self-signed certificates.
+    pub self_signed: u64,
+    /// Certificates negotiated over each TLS version.
+    pub by_version: HashMap<Version, u64>,
+}
+
+impl TlsPosture {
+    /// Computes the posture over the TLS-wrapped protocols of a store.
+    pub fn over(store: &ScanStore) -> TlsPosture {
+        let mut seen = std::collections::HashSet::new();
+        let mut p = TlsPosture::default();
+        for proto in [Protocol::Https, Protocol::Mqtts, Protocol::Amqps] {
+            for r in store.by_protocol(proto) {
+                let Some(tls) = r.result.tls() else { continue };
+                let Some(cert) = tls.cert() else { continue };
+                if !seen.insert(cert.fingerprint) {
+                    continue;
+                }
+                p.certs += 1;
+                if cert.self_signed {
+                    p.self_signed += 1;
+                }
+                *p.by_version.entry(cert.version).or_insert(0) += 1;
+            }
+        }
+        p
+    }
+
+    /// Share of self-signed certificates.
+    pub fn self_signed_share(&self) -> f64 {
+        if self.certs == 0 {
+            0.0
+        } else {
+            self.self_signed as f64 / self.certs as f64
+        }
+    }
+
+    /// Share negotiated at TLS 1.3.
+    pub fn tls13_share(&self) -> f64 {
+        if self.certs == 0 {
+            0.0
+        } else {
+            self.by_version.get(&Version::Tls13).copied().unwrap_or(0) as f64 / self.certs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimTime;
+    use scanner::result::{CertMeta, ScanRecord, ServiceResult, TlsOutcome};
+
+    fn rec(fp: u8, self_signed: bool, version: Version) -> ScanRecord {
+        ScanRecord {
+            addr: std::net::Ipv6Addr::from(u128::from(fp)),
+            time: SimTime(0),
+            protocol: Protocol::Https,
+            result: ServiceResult::Https {
+                tls: TlsOutcome::Established(CertMeta {
+                    fingerprint: [fp; 32],
+                    subject: "s".into(),
+                    issuer: if self_signed { "s".into() } else { "ca".into() },
+                    self_signed,
+                    version,
+                }),
+                status: Some(200),
+                title: None,
+            },
+        }
+    }
+
+    #[test]
+    fn posture_counts_unique_certs() {
+        let mut store = ScanStore::new();
+        store.push(rec(1, true, Version::Tls12));
+        store.push(rec(1, true, Version::Tls12)); // same cert
+        store.push(rec(2, false, Version::Tls13));
+        store.push(rec(3, false, Version::Tls13));
+        let p = TlsPosture::over(&store);
+        assert_eq!(p.certs, 3);
+        assert_eq!(p.self_signed, 1);
+        assert!((p.self_signed_share() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p.tls13_share() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store() {
+        let p = TlsPosture::over(&ScanStore::new());
+        assert_eq!(p.self_signed_share(), 0.0);
+        assert_eq!(p.tls13_share(), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the analysis primitives.
+
+use analysis::levenshtein::{cluster_by_distance, distance, normalized};
+use proptest::prelude::*;
+
+fn short() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 !.-]{0,20}"
+}
+
+proptest! {
+    /// Metric axioms (identity, symmetry) and the length bounds of edit
+    /// distance.
+    #[test]
+    fn levenshtein_metric_properties(a in short(), b in short()) {
+        prop_assert_eq!(distance(&a, &a), 0);
+        prop_assert_eq!(distance(&a, &b), distance(&b, &a));
+        let la = a.chars().count();
+        let lb = b.chars().count();
+        let d = distance(&a, &b);
+        prop_assert!(d <= la.max(lb));
+        prop_assert!(d >= la.abs_diff(lb));
+        let n = normalized(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&n));
+    }
+
+    /// Triangle inequality.
+    #[test]
+    fn levenshtein_triangle(a in short(), b in short(), c in short()) {
+        prop_assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c));
+    }
+
+    /// Clustering invariants: membership preserved, members within the
+    /// threshold of their representative, and the representative has
+    /// maximal weight in its cluster.
+    #[test]
+    fn clustering_invariants(
+        items in proptest::collection::vec((short(), 1u64..100), 0..30),
+        thr in 0.0f64..0.6,
+    ) {
+        let n_in: usize = items.len();
+        let clusters = cluster_by_distance(items, thr, |w| *w);
+        let n_out: usize = clusters.iter().map(|c| c.members.len()).sum();
+        prop_assert_eq!(n_in, n_out, "items lost or duplicated");
+        for c in &clusters {
+            for (s, _) in &c.members {
+                prop_assert!(
+                    normalized(&c.representative, s) <= thr + 1e-12,
+                    "member {s:?} outside threshold of {:?}",
+                    c.representative
+                );
+            }
+            let max_w = c.members.iter().map(|(_, w)| *w).max().unwrap();
+            let rep_w = c
+                .members
+                .iter()
+                .find(|(s, _)| *s == c.representative)
+                .map(|(_, w)| *w);
+            // The representative is one of its own members with maximal
+            // weight among titles equal to it (greedy order guarantee).
+            prop_assert!(rep_w.is_some());
+            prop_assert!(rep_w.unwrap() <= max_w);
+        }
+    }
+
+    /// Cluster count is monotonically non-increasing in the threshold.
+    #[test]
+    fn cluster_count_monotone(items in proptest::collection::vec((short(), 1u64..50), 0..20)) {
+        let counts: Vec<usize> = [0.0, 0.2, 0.4, 0.8, 1.0]
+            .iter()
+            .map(|thr| cluster_by_distance(items.clone(), *thr, |w| *w).len())
+            .collect();
+        prop_assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+    }
+
+    /// SSH OS extraction is total and never empty.
+    #[test]
+    fn os_extraction_total(comment in proptest::option::of("[a-zA-Z0-9.+ -]{0,30}")) {
+        let os = analysis::ssh_os::os_of_comment(comment.as_deref());
+        prop_assert!(!os.is_empty());
+    }
+
+    /// CoAP grouping is total and deterministic.
+    #[test]
+    fn coap_grouping_total(resources in proptest::collection::vec("[a-z/]{0,16}", 0..6)) {
+        let a = analysis::coap_groups::group_of_resources(&resources);
+        let b = analysis::coap_groups::group_of_resources(&resources);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(!a.is_empty());
+    }
+}

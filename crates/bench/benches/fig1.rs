@@ -1,0 +1,19 @@
+//! Reproduces Figure 1 (IID-class and AS-type proportions) and benchmarks its compute path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = bench::bench_study();
+    println!("{}", timetoscan::experiments::fig1::render(&study));
+    c.bench_function("fig1/compute", |b| {
+        b.iter(|| black_box(timetoscan::experiments::fig1::compute(black_box(&study))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

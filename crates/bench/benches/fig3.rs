@@ -1,0 +1,19 @@
+//! Reproduces Figure 3 (broker access control) and benchmarks its compute path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = bench::bench_study();
+    println!("{}", timetoscan::experiments::fig3::render(&study));
+    c.bench_function("fig3/compute", |b| {
+        b.iter(|| black_box(timetoscan::experiments::fig3::compute(black_box(&study))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

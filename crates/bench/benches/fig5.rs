@@ -1,0 +1,19 @@
+//! Reproduces Figure 5 (outdated SSH by networks) and benchmarks its compute path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = bench::bench_study();
+    println!("{}", timetoscan::experiments::fig5::render(&study));
+    c.bench_function("fig5/compute", |b| {
+        b.iter(|| black_box(timetoscan::experiments::fig5::compute(black_box(&study))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Reproduces the §6 key-reuse analysis and benchmarks its compute path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = bench::bench_study();
+    println!("{}", timetoscan::experiments::keyreuse::render(&study));
+    c.bench_function("keyreuse/compute", |b| {
+        b.iter(|| black_box(timetoscan::experiments::keyreuse::compute(black_box(&study))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks for the wire codecs and address analytics — the
+//! per-packet costs the whole pipeline pays millions of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::Ipv6Addr;
+use wire::ntp::{NtpTimestamp, Packet};
+
+fn bench_ntp(c: &mut Criterion) {
+    let req = Packet::client_request(NtpTimestamp::from_unix_secs(1_721_500_000));
+    let bytes = req.emit();
+    c.bench_function("wire/ntp_emit", |b| b.iter(|| black_box(req.emit())));
+    c.bench_function("wire/ntp_parse", |b| {
+        b.iter(|| black_box(Packet::parse(black_box(&bytes)).unwrap()))
+    });
+}
+
+fn bench_coap(c: &mut Criterion) {
+    let msg = wire::coap::Message::get_well_known_core(7, b"tt");
+    let bytes = msg.emit();
+    c.bench_function("wire/coap_roundtrip", |b| {
+        b.iter(|| {
+            let m = wire::coap::Message::parse(black_box(&bytes)).unwrap();
+            black_box(m.emit())
+        })
+    });
+    let links = "</castDeviceSearch>,</qlink/scan>;rt=\"q\",</.well-known/core>";
+    c.bench_function("wire/link_format_parse", |b| {
+        b.iter(|| black_box(wire::coap::parse_link_format(black_box(links))))
+    });
+}
+
+fn bench_mqtt_ssh(c: &mut Criterion) {
+    let connect = wire::mqtt::Connect::anonymous_probe("bench").emit();
+    c.bench_function("wire/mqtt_connect_parse", |b| {
+        b.iter(|| black_box(wire::mqtt::Connect::parse(black_box(&connect)).unwrap()))
+    });
+    let id = wire::ssh::Identification::new("OpenSSH_9.2p1", Some("Debian-2+deb12u3")).emit();
+    c.bench_function("wire/ssh_id_parse", |b| {
+        b.iter(|| black_box(wire::ssh::Identification::parse(black_box(&id)).unwrap()))
+    });
+}
+
+fn bench_addr_analytics(c: &mut Criterion) {
+    let addrs: Vec<Ipv6Addr> = (0..4096u64)
+        .map(|i| Ipv6Addr::from((0x2a00u128 << 112) | u128::from(netsim::mix64(i))))
+        .collect();
+    c.bench_function("v6addr/classify_iid_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for a in &addrs {
+                acc += v6addr::classify_iid(*a) as usize;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("v6addr/addrset_insert_4k", |b| {
+        b.iter(|| {
+            let mut set = v6addr::AddrSet::with_capacity(addrs.len());
+            for a in &addrs {
+                set.insert(*a);
+            }
+            black_box(set.network_count(48))
+        })
+    });
+    c.bench_function("analysis/levenshtein_titles", |b| {
+        b.iter(|| {
+            black_box(analysis::levenshtein::normalized(
+                black_box("FRITZ!Box 7590"),
+                black_box("FRITZ!Repeater 6000"),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = bench_ntp, bench_coap, bench_mqtt_ssh, bench_addr_analytics
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Reproduces Table 1 (distinct IPs/networks per dataset) and benchmarks its compute path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = bench::bench_study();
+    println!("{}", timetoscan::experiments::table1::render(&study));
+    c.bench_function("table1/compute", |b| {
+        b.iter(|| black_box(timetoscan::experiments::table1::compute(black_box(&study))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Reproduces Table 2 (successful scans by protocol) and benchmarks its compute path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = bench::bench_study();
+    println!("{}", timetoscan::experiments::table2::render(&study));
+    c.bench_function("table2/compute", |b| {
+        b.iter(|| black_box(timetoscan::experiments::table2::compute(black_box(&study))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Reproduces Table 4 + Figure 4 (EUI-64 vendors and per-server embedding) and benchmarks its compute path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = bench::bench_study();
+    println!("{}", timetoscan::experiments::fig4::render(&study));
+    c.bench_function("table4_fig4/compute", |b| {
+        b.iter(|| black_box(timetoscan::experiments::fig4::compute(black_box(&study))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

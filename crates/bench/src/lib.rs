@@ -1,0 +1,26 @@
+//! Shared helpers for the bench harness.
+//!
+//! Every table/figure bench follows the same pattern: build one study
+//! (small preset — a few seconds), print the reproduced table so
+//! `cargo bench | tee bench_output.txt` captures it, then benchmark the
+//! experiment's compute path with Criterion.
+
+use timetoscan::{Study, StudyConfig};
+
+/// The seed all benches share, so every printed table comes from the
+/// same simulated world.
+pub const BENCH_SEED: u64 = 2024;
+
+/// Builds the bench-scale study.
+pub fn bench_study() -> Study {
+    Study::run(StudyConfig::small(BENCH_SEED))
+}
+
+/// Standard Criterion config: few samples — the interesting output is
+/// the reproduced table; the timing guards against pathological
+/// regressions in the analysis paths.
+pub fn criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .without_plots()
+}

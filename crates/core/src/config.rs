@@ -1,0 +1,101 @@
+//! Study configuration.
+
+use netsim::time::Duration;
+use netsim::world::WorldConfig;
+
+/// Full configuration of one study run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyConfig {
+    /// World generation parameters.
+    pub world: WorldConfig,
+    /// Length of the address-collection window (paper: four weeks).
+    pub collection: Duration,
+    /// When, within the collection window, the hitlist is built and its
+    /// scan starts (paper: the last week).
+    pub hitlist_scan_offset: Duration,
+    /// When, within the window, the telescope queries the pool.
+    pub telescope_offset: Duration,
+    /// Target request rate for netspeed tuning, requests/second. The
+    /// paper tunes to its 100 kpps scan budget; scaled worlds use a
+    /// proportionally scaled target.
+    pub target_rps: f64,
+    /// Address samples per client for the R&L comparison set.
+    pub rl_samples: u32,
+    /// Run the telescope + actor experiment.
+    pub telescope: bool,
+}
+
+impl StudyConfig {
+    fn base(world: WorldConfig, target_rps: f64, rl_samples: u32) -> StudyConfig {
+        StudyConfig {
+            world,
+            collection: Duration::days(28),
+            hitlist_scan_offset: Duration::days(21),
+            telescope_offset: Duration::days(7),
+            target_rps,
+            rl_samples,
+            telescope: true,
+        }
+    }
+
+    /// Minimal study for unit tests (seconds in debug builds). Uses a
+    /// shortened one-week collection.
+    pub fn tiny(seed: u64) -> StudyConfig {
+        StudyConfig {
+            collection: Duration::days(7),
+            hitlist_scan_offset: Duration::days(5),
+            telescope_offset: Duration::days(2),
+            ..StudyConfig::base(WorldConfig::tiny(seed), 0.05, 8)
+        }
+    }
+
+    /// Small study for integration tests.
+    pub fn small(seed: u64) -> StudyConfig {
+        StudyConfig {
+            collection: Duration::days(14),
+            hitlist_scan_offset: Duration::days(10),
+            telescope_offset: Duration::days(3),
+            ..StudyConfig::base(WorldConfig::small(seed), 0.5, 10)
+        }
+    }
+
+    /// Bench-scale study (≈ 1:10 000 of the paper).
+    pub fn medium(seed: u64) -> StudyConfig {
+        StudyConfig::base(WorldConfig::medium(seed), 5.0, 14)
+    }
+
+    /// The largest preset (≈ 1:1 000 of the paper's *household*
+    /// population; the EXPERIMENTS.md reference run uses `medium`).
+    pub fn paper_milli(seed: u64) -> StudyConfig {
+        StudyConfig::base(WorldConfig::paper_milli(seed), 40.0, 14)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_ordered() {
+        for cfg in [
+            StudyConfig::tiny(1),
+            StudyConfig::small(1),
+            StudyConfig::medium(1),
+            StudyConfig::paper_milli(1),
+        ] {
+            assert!(cfg.hitlist_scan_offset < cfg.collection);
+            assert!(cfg.telescope_offset < cfg.collection);
+        }
+    }
+
+    #[test]
+    fn presets_scale_up() {
+        assert!(StudyConfig::small(1).world.households > StudyConfig::tiny(1).world.households);
+        assert!(StudyConfig::medium(1).world.households > StudyConfig::small(1).world.households);
+        assert!(
+            StudyConfig::paper_milli(1).world.households
+                > StudyConfig::medium(1).world.households
+        );
+    }
+}

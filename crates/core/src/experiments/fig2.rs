@@ -1,0 +1,45 @@
+//! Figure 2: NTP-sourcing unveils more outdated SSH hosts.
+
+use crate::report::{fmt_int, fmt_pct, TextTable};
+use crate::Study;
+use analysis::outdated::OutdatedStats;
+use analysis::ssh_os::unique_ssh_hosts;
+
+/// Computed Figure 2: outdatedness per source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2 {
+    /// NTP-sourced SSH hosts.
+    pub ours: OutdatedStats,
+    /// Hitlist SSH hosts.
+    pub tum: OutdatedStats,
+}
+
+/// Computes Figure 2 over unique host keys.
+pub fn compute(study: &Study) -> Fig2 {
+    Fig2 {
+        ours: OutdatedStats::over(&unique_ssh_hosts(&study.ntp_scan)),
+        tum: OutdatedStats::over(&unique_ssh_hosts(&study.hitlist_scan)),
+    }
+}
+
+/// Renders Figure 2.
+pub fn render(study: &Study) -> String {
+    let f = compute(study);
+    let mut t = TextTable::new(vec!["SSH up-to-dateness", "assessable", "outdated", "share"]);
+    t.row(vec![
+        "Our Data".to_string(),
+        fmt_int(f.ours.assessable),
+        fmt_int(f.ours.outdated),
+        fmt_pct(f.ours.outdated_share()),
+    ]);
+    t.row(vec![
+        "TUM IPv6 Hitlist".to_string(),
+        fmt_int(f.tum.assessable),
+        fmt_int(f.tum.outdated),
+        fmt_pct(f.tum.outdated_share()),
+    ]);
+    format!(
+        "== Figure 2: outdated SSH servers (Debian-derived, by unique key) ==\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,50 @@
+//! Figure 3: NTP-sourced MQTT/AMQP brokers show worse access control.
+
+use crate::report::{fmt_int, fmt_pct, TextTable};
+use crate::Study;
+use analysis::access_control::{amqp_brokers, mqtt_brokers, AccessControlStats};
+
+/// Computed Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3 {
+    /// MQTT, NTP side.
+    pub our_mqtt: AccessControlStats,
+    /// MQTT, hitlist side.
+    pub tum_mqtt: AccessControlStats,
+    /// AMQP, NTP side.
+    pub our_amqp: AccessControlStats,
+    /// AMQP, hitlist side.
+    pub tum_amqp: AccessControlStats,
+}
+
+/// Computes Figure 3.
+pub fn compute(study: &Study) -> Fig3 {
+    Fig3 {
+        our_mqtt: AccessControlStats::over(&mqtt_brokers(&study.ntp_scan)),
+        tum_mqtt: AccessControlStats::over(&mqtt_brokers(&study.hitlist_scan)),
+        our_amqp: AccessControlStats::over(&amqp_brokers(&study.ntp_scan)),
+        tum_amqp: AccessControlStats::over(&amqp_brokers(&study.hitlist_scan)),
+    }
+}
+
+/// Renders Figure 3.
+pub fn render(study: &Study) -> String {
+    let f = compute(study);
+    let mut t = TextTable::new(vec!["Brokers", "total", "access ctrl", "share"]);
+    let mut row = |label: &str, s: AccessControlStats| {
+        t.row(vec![
+            label.to_string(),
+            fmt_int(s.total),
+            fmt_int(s.controlled),
+            fmt_pct(s.controlled_share()),
+        ]);
+    };
+    row("MQTT  / Our Data", f.our_mqtt);
+    row("MQTT  / TUM Hitlist", f.tum_mqtt);
+    row("AMQP  / Our Data", f.our_amqp);
+    row("AMQP  / TUM Hitlist", f.tum_amqp);
+    format!(
+        "== Figure 3: broker access control per source ==\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,88 @@
+//! Table 4 + Figure 4 (Appendix B): EUI-64 vendor ranking and the
+//! distribution of MAC-embedding classes per collecting-server location.
+
+use crate::report::{fmt_int, fmt_pct, TextTable};
+use crate::Study;
+use analysis::eui64_vendors::{
+    embedding_by_location, vendor_ranking, Eui64Stats, VendorRow,
+};
+use netsim::country::Country;
+use std::collections::HashMap;
+use v6addr::eui64::MacEmbedding;
+use v6addr::AddrSet;
+
+/// Computed Appendix B data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eui64Analysis {
+    /// Aggregate stats over the whole collected set.
+    pub stats: Eui64Stats,
+    /// Vendor ranking (Table 4).
+    pub vendors: Vec<VendorRow>,
+    /// Embedding-class distribution per collecting-server location
+    /// (Figure 4).
+    pub per_location: Vec<(Country, HashMap<MacEmbedding, u64>)>,
+}
+
+/// Computes Table 4 / Figure 4.
+pub fn compute(study: &Study) -> Eui64Analysis {
+    let (stats, vendors) = vendor_ranking(study.collector.global(), &study.oui_db);
+    let empty = AddrSet::new();
+    let sets: Vec<(Country, &AddrSet)> = study
+        .study_servers
+        .iter()
+        .map(|(id, c)| {
+            (
+                *c,
+                study.collector.per_server(*id).unwrap_or(&empty),
+            )
+        })
+        .collect();
+    let per_location = embedding_by_location(&sets, &study.oui_db);
+    Eui64Analysis {
+        stats,
+        vendors,
+        per_location,
+    }
+}
+
+/// Renders Table 4 (top 20 vendors) and Figure 4.
+pub fn render(study: &Study) -> String {
+    let a = compute(study);
+    let mut t4 = TextTable::new(vec!["Manufacturer", "#MACs", "#IPs"]);
+    for v in a.vendors.iter().take(20) {
+        t4.row(vec![v.manufacturer.clone(), fmt_int(v.macs), fmt_int(v.ips)]);
+    }
+    let mut f4 = TextTable::new(vec![
+        "Server location",
+        "listed",
+        "unlisted",
+        "local MAC",
+        "no EUI-64",
+    ]);
+    for (c, counts) in &a.per_location {
+        let g = |k: MacEmbedding| fmt_int(counts.get(&k).copied().unwrap_or(0));
+        f4.row(vec![
+            netsim::country::name(*c).to_string(),
+            g(MacEmbedding::UniversalListed),
+            g(MacEmbedding::UniversalUnlisted),
+            g(MacEmbedding::Local),
+            g(MacEmbedding::None),
+        ]);
+    }
+    let eui_share = if a.stats.addresses == 0 {
+        0.0
+    } else {
+        a.stats.eui64_addresses as f64 / a.stats.addresses as f64
+    };
+    format!(
+        "== Table 4 / Appendix B: EUI-64 vendors ==\n{} of {} addresses carry an EUI-64 IID ({}); \
+         {} distinct universal MACs, {} with listed OUI\n{}\n== Figure 4: embedding class by collecting server ==\n{}",
+        fmt_int(a.stats.eui64_addresses),
+        fmt_int(a.stats.addresses),
+        fmt_pct(eui_share),
+        fmt_int(a.stats.distinct_universal_macs),
+        fmt_int(a.stats.distinct_listed_macs),
+        t4.render(),
+        f4.render(),
+    )
+}

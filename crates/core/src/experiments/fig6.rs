@@ -1,0 +1,86 @@
+//! Figure 6 (Appendix C): MQTT/AMQP access control counted by networks,
+//! plus the TLS-vs-plain split — TLS-fronted MQTT brokers disable access
+//! control more often (operators mistaking transport security for
+//! authentication).
+
+use crate::report::{fmt_int, fmt_pct, TextTable};
+use crate::Study;
+use analysis::access_control::{amqp_brokers, mqtt_brokers, AccessControlStats, Broker};
+
+/// Computed Figure 6 for one protocol and source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetView {
+    /// Address-based stats (Figure 3's view).
+    pub by_addr: AccessControlStats,
+    /// /64-network stats.
+    pub by_net64: AccessControlStats,
+    /// Plain-listener subset.
+    pub plain: AccessControlStats,
+    /// TLS-listener subset.
+    pub tls: AccessControlStats,
+}
+
+fn view(brokers: &[Broker]) -> NetView {
+    NetView {
+        by_addr: AccessControlStats::over(brokers),
+        by_net64: AccessControlStats::over_networks(brokers, 64),
+        plain: AccessControlStats::over_filtered(brokers, false),
+        tls: AccessControlStats::over_filtered(brokers, true),
+    }
+}
+
+/// Computed Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6 {
+    /// MQTT, NTP side.
+    pub our_mqtt: NetView,
+    /// MQTT, hitlist side.
+    pub tum_mqtt: NetView,
+    /// AMQP, NTP side.
+    pub our_amqp: NetView,
+    /// AMQP, hitlist side.
+    pub tum_amqp: NetView,
+}
+
+/// Computes Figure 6.
+pub fn compute(study: &Study) -> Fig6 {
+    Fig6 {
+        our_mqtt: view(&mqtt_brokers(&study.ntp_scan)),
+        tum_mqtt: view(&mqtt_brokers(&study.hitlist_scan)),
+        our_amqp: view(&amqp_brokers(&study.ntp_scan)),
+        tum_amqp: view(&amqp_brokers(&study.hitlist_scan)),
+    }
+}
+
+/// Renders Figure 6.
+pub fn render(study: &Study) -> String {
+    let f = compute(study);
+    let mut t = TextTable::new(vec![
+        "Brokers",
+        "addr total",
+        "addr AC",
+        "/64 total",
+        "/64 AC",
+        "TLS total",
+        "TLS AC%",
+    ]);
+    let mut row = |label: &str, v: NetView| {
+        t.row(vec![
+            label.to_string(),
+            fmt_int(v.by_addr.total),
+            fmt_pct(v.by_addr.controlled_share()),
+            fmt_int(v.by_net64.total),
+            fmt_pct(v.by_net64.controlled_share()),
+            fmt_int(v.tls.total),
+            fmt_pct(v.tls.controlled_share()),
+        ]);
+    };
+    row("MQTT / Our Data", f.our_mqtt);
+    row("MQTT / TUM Hitlist", f.tum_mqtt);
+    row("AMQP / Our Data", f.our_amqp);
+    row("AMQP / TUM Hitlist", f.tum_amqp);
+    format!(
+        "== Figure 6: broker access control by networks and listener type (Appendix C) ==\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,55 @@
+//! §6 "Certificate and Key Reuse": secrets appearing in more than two
+//! ASes, with the most-used and most-widespread key per source.
+
+use crate::report::{fmt_int, TextTable};
+use crate::Study;
+use analysis::keyreuse::{reuse_stats, ReuseStats};
+use scanner::result::Protocol;
+
+/// Protocols whose secrets enter the reuse analysis (HTTPS certificates
+/// and SSH host keys, as in the paper).
+pub const REUSE_PROTOCOLS: [Protocol; 2] = [Protocol::Https, Protocol::Ssh];
+
+/// Computed §6 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyReuse {
+    /// NTP side.
+    pub ours: ReuseStats,
+    /// Hitlist side.
+    pub tum: ReuseStats,
+}
+
+/// Computes reuse for both sources.
+pub fn compute(study: &Study) -> KeyReuse {
+    let topo = &study.world.topology;
+    KeyReuse {
+        ours: reuse_stats(&study.ntp_scan, &REUSE_PROTOCOLS, topo),
+        tum: reuse_stats(&study.hitlist_scan, &REUSE_PROTOCOLS, topo),
+    }
+}
+
+/// Renders the reuse comparison.
+pub fn render(study: &Study) -> String {
+    let k = compute(study);
+    let mut t = TextTable::new(vec![
+        "Key reuse (>2 ASes)",
+        "reused keys",
+        "IPs on reused keys",
+        "most-used key IPs",
+        "most-used key ASes",
+        "most-widespread ASes",
+    ]);
+    let mut row = |label: &str, s: &ReuseStats| {
+        t.row(vec![
+            label.to_string(),
+            fmt_int(s.reused_keys.len() as u64),
+            fmt_int(s.total_addrs),
+            fmt_int(s.most_used().map(|x| x.addrs).unwrap_or(0)),
+            fmt_int(s.most_used().map(|x| x.ases).unwrap_or(0)),
+            fmt_int(s.most_widespread().map(|x| x.ases).unwrap_or(0)),
+        ]);
+    };
+    row("Our Data", &k.ours);
+    row("TUM IPv6 Hitlist", &k.tum);
+    format!("== §6: certificate and key reuse ==\n{}", t.render())
+}

@@ -1,0 +1,47 @@
+//! One module per paper table/figure. Each exposes `compute(&Study)`
+//! returning typed data and `render(&Study) -> String` producing the
+//! table as text (what the bench harness prints).
+
+pub mod actors;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod keyreuse;
+pub mod security;
+pub mod table1;
+pub mod takeaways;
+pub mod table2;
+pub mod table3;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod table9;
+
+/// Renders every experiment in paper order (the "full report").
+pub fn render_all(study: &crate::Study) -> String {
+    let parts = [
+        table1::render(study),
+        fig1::render(study),
+        table2::render(study),
+        table3::render(study),
+        fig2::render(study),
+        fig3::render(study),
+        fig5::render(study),
+        fig6::render(study),
+        actors::render(study),
+        keyreuse::render(study),
+        security::render(study),
+        table5::render(study),
+        table6::render(study),
+        fig4::render(study),
+        table7::render(study),
+        table8::render(study),
+        table9::render(study),
+        takeaways::render(study),
+    ];
+    parts.join("\n")
+}

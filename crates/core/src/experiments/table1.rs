@@ -1,0 +1,97 @@
+//! Table 1: number of distinct IPs/networks per dataset, overlaps with
+//! our NTP-sourced set, and density medians.
+
+use crate::report::{fmt_int, TextTable};
+use crate::Study;
+use analysis::overlap::{dataset_stats, overlap_stats, DatasetStats, OverlapStats};
+use v6addr::AddrSet;
+
+/// The computed table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Our NTP-sourced dataset.
+    pub ours: DatasetStats,
+    /// The R&L emulation dataset.
+    pub rl: DatasetStats,
+    /// The hitlist's public (responsive) variant.
+    pub public: DatasetStats,
+    /// The hitlist's full variant.
+    pub full: DatasetStats,
+    /// Our overlap with R&L.
+    pub overlap_rl: OverlapStats,
+    /// Our overlap with the public hitlist.
+    pub overlap_public: OverlapStats,
+    /// Our overlap with the full hitlist.
+    pub overlap_full: OverlapStats,
+}
+
+/// Computes Table 1.
+pub fn compute(study: &Study) -> Table1 {
+    let ours: &AddrSet = study.collector.global();
+    let topo = &study.world.topology;
+    Table1 {
+        ours: dataset_stats("Our Data", ours, topo),
+        rl: dataset_stats("Rye and Levin (emulated)", &study.rl_set, topo),
+        public: dataset_stats("TUM public", &study.hitlist.public, topo),
+        full: dataset_stats("TUM full", &study.hitlist.full, topo),
+        overlap_rl: overlap_stats(ours, &study.rl_set, topo),
+        overlap_public: overlap_stats(ours, &study.hitlist.public, topo),
+        overlap_full: overlap_stats(ours, &study.hitlist.full, topo),
+    }
+}
+
+/// Renders Table 1.
+pub fn render(study: &Study) -> String {
+    let t = compute(study);
+    let mut out = TextTable::new(vec![
+        "Table 1",
+        "Our Data",
+        "R&L (emul.)",
+        "TUM public",
+        "TUM full",
+    ]);
+    let row =
+        |f: &dyn Fn(&DatasetStats) -> String| -> Vec<String> {
+            vec![f(&t.ours), f(&t.rl), f(&t.public), f(&t.full)]
+        };
+    let mut cells = vec!["IP addresses".to_string()];
+    cells.extend(row(&|d| fmt_int(d.addresses)));
+    out.row(cells);
+    out.row(vec![
+        "... overlap w/ ours".to_string(),
+        "-".to_string(),
+        fmt_int(t.overlap_rl.addresses),
+        fmt_int(t.overlap_public.addresses),
+        fmt_int(t.overlap_full.addresses),
+    ]);
+    let mut cells = vec!["/48 networks".to_string()];
+    cells.extend(row(&|d| fmt_int(d.nets48)));
+    out.row(cells);
+    out.row(vec![
+        "... overlap w/ ours".to_string(),
+        "-".to_string(),
+        fmt_int(t.overlap_rl.nets48),
+        fmt_int(t.overlap_public.nets48),
+        fmt_int(t.overlap_full.nets48),
+    ]);
+    let mut cells = vec!["ASes".to_string()];
+    cells.extend(row(&|d| fmt_int(d.ases)));
+    out.row(cells);
+    out.row(vec![
+        "... overlap w/ ours".to_string(),
+        "-".to_string(),
+        fmt_int(t.overlap_rl.ases),
+        fmt_int(t.overlap_public.ases),
+        fmt_int(t.overlap_full.ases),
+    ]);
+    let mut cells = vec!["median IPs in /48s".to_string()];
+    cells.extend(row(&|d| format!("{:.1}", d.median_per_48)));
+    out.row(cells);
+    let mut cells = vec!["median IPs in ASes".to_string()];
+    cells.extend(row(&|d| format!("{:.1}", d.median_per_as)));
+    out.row(cells);
+    format!(
+        "== Table 1: distinct IPs/networks per dataset ==\n{}",
+        out.render()
+    )
+}

@@ -1,0 +1,127 @@
+//! Table 3: new device types — HTML title groups (by unique cert), SSH
+//! OSes (by unique host key), and CoAP resource groups (by address),
+//! NTP-sourced vs hitlist side by side.
+
+use crate::report::{fmt_int, fmt_pct, TextTable};
+use crate::Study;
+use analysis::coap_groups::{coap_devices, group_distribution};
+use analysis::ssh_os::{os_distribution, unique_ssh_hosts};
+use analysis::title_cluster::https_title_groups_dual;
+use analysis::title_cluster::DualTitleGroup;
+
+/// Computed Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    /// HTTPS title groups, clustered jointly over both sources.
+    pub titles: Vec<DualTitleGroup>,
+    /// SSH OS distribution, NTP side.
+    pub our_os: Vec<(String, u64)>,
+    /// SSH OS distribution, hitlist side.
+    pub tum_os: Vec<(String, u64)>,
+    /// CoAP groups, NTP side.
+    pub our_coap: Vec<(String, u64)>,
+    /// CoAP groups, hitlist side.
+    pub tum_coap: Vec<(String, u64)>,
+}
+
+/// Computes Table 3.
+pub fn compute(study: &Study) -> Table3 {
+    Table3 {
+        titles: https_title_groups_dual(&study.ntp_scan, &study.hitlist_scan),
+        our_os: os_distribution(&unique_ssh_hosts(&study.ntp_scan)),
+        tum_os: os_distribution(&unique_ssh_hosts(&study.hitlist_scan)),
+        our_coap: group_distribution(&coap_devices(&study.ntp_scan)),
+        tum_coap: group_distribution(&coap_devices(&study.hitlist_scan)),
+    }
+}
+
+fn count_of(dist: &[(String, u64)], label: &str) -> u64 {
+    dist.iter().find(|(k, _)| k == label).map(|(_, n)| *n).unwrap_or(0)
+}
+
+fn dual_rows(
+    title: &str,
+    ours: &[(String, u64)],
+    tum: &[(String, u64)],
+    top: usize,
+) -> TextTable {
+    // Union of the top labels of both sides, ordered by combined count.
+    let mut labels: Vec<String> = Vec::new();
+    for (l, _) in ours.iter().take(top).chain(tum.iter().take(top)) {
+        if !labels.contains(l) {
+            labels.push(l.clone());
+        }
+    }
+    labels.sort_by_key(|l| std::cmp::Reverse(count_of(ours, l) + count_of(tum, l)));
+    let our_total: u64 = ours.iter().map(|(_, n)| n).sum();
+    let tum_total: u64 = tum.iter().map(|(_, n)| n).sum();
+    let mut t = TextTable::new(vec![title, "Our Data", "", "TUM Hitlist", ""]);
+    for l in labels {
+        let a = count_of(ours, &l);
+        let b = count_of(tum, &l);
+        t.row(vec![
+            l,
+            fmt_int(a),
+            if our_total > 0 {
+                format!("({})", fmt_pct(a as f64 / our_total as f64))
+            } else {
+                String::new()
+            },
+            fmt_int(b),
+            if tum_total > 0 {
+                format!("({})", fmt_pct(b as f64 / tum_total as f64))
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    t
+}
+
+/// Renders Table 3 (top groups per category).
+pub fn render(study: &Study) -> String {
+    let t = compute(study);
+    let our_t: Vec<(String, u64)> = t
+        .titles
+        .iter()
+        .map(|g| (g.label.clone(), g.our_hosts))
+        .collect();
+    let tum_t: Vec<(String, u64)> = t
+        .titles
+        .iter()
+        .map(|g| (g.label.clone(), g.tum_hosts))
+        .collect();
+    format!
+        ("== Table 3: device types unveiled per source ==\n-- HTML title groups (#certificates) --\n{}\n-- SSH OS (#host keys) --\n{}\n-- CoAP resource groups (#addresses) --\n{}",
+        dual_rows("HTML Title Group", &our_t, &tum_t, 12).render(),
+        dual_rows("OS", &t.our_os, &t.tum_os, 8).render(),
+        dual_rows("resource group", &t.our_coap, &t.tum_coap, 8).render(),
+    )
+}
+
+/// Our-side host count of the title group matching `needle` (distance
+/// threshold matching).
+pub fn our_title_count(titles: &[DualTitleGroup], needle: &str) -> u64 {
+    titles
+        .iter()
+        .filter(|g| {
+            analysis::levenshtein::normalized(&g.label, needle)
+                <= analysis::title_cluster::TITLE_THRESHOLD
+        })
+        .map(|g| g.our_hosts)
+        .sum()
+}
+
+/// The paper's headline count: devices of types missed or underrepresented
+/// by the hitlist — FRITZ! products, the Cisco WAP, castdevice CoAP
+/// nodes, and Raspbian SSH hosts found via NTP.
+pub fn new_device_count(study: &Study) -> u64 {
+    let t = compute(study);
+    our_title_count(&t.titles, "FRITZ!Box 7590")
+        + our_title_count(&t.titles, "FRITZ!Repeater 6000")
+        + our_title_count(&t.titles, "FRITZ!Powerline 1260")
+        + our_title_count(&t.titles, "WAP150 Wireless-AC/N Dual Radio Access Point with PoE")
+        + count_of(&t.our_coap, "castdevice")
+        + count_of(&t.our_coap, "qlink")
+        + count_of(&t.our_os, "Raspbian")
+}

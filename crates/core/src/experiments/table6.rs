@@ -1,0 +1,119 @@
+//! Table 6: device-type groups counted by networks instead of unique
+//! keys (Appendix C).
+
+use crate::report::{fmt_int, TextTable};
+use crate::Study;
+use analysis::coap_groups::coap_devices;
+use analysis::network_groups::{group_network_rows, GroupNetworkRow};
+use analysis::ssh_os::unique_ssh_hosts;
+use analysis::title_cluster::{group_titles, http_titles_by_addr, unique_https_titles};
+use scanner::ScanStore;
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// Computed Table 6 (per source: titles, OSes and CoAP groups by nets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table6 {
+    /// Title groups by networks, NTP side.
+    pub our_titles: Vec<GroupNetworkRow>,
+    /// Title groups by networks, hitlist side.
+    pub tum_titles: Vec<GroupNetworkRow>,
+    /// SSH OSes by networks, NTP side.
+    pub our_os: Vec<GroupNetworkRow>,
+    /// SSH OSes by networks, hitlist side.
+    pub tum_os: Vec<GroupNetworkRow>,
+    /// CoAP groups by networks, NTP side.
+    pub our_coap: Vec<GroupNetworkRow>,
+    /// CoAP groups by networks, hitlist side.
+    pub tum_coap: Vec<GroupNetworkRow>,
+}
+
+fn title_groups_all_addrs(store: &ScanStore) -> Vec<(String, Vec<Ipv6Addr>)> {
+    // Appendix C counts by address/network: combine HTTP and HTTPS
+    // observations (plain hosts have no certificate to dedup on).
+    let mut obs = unique_https_titles(store);
+    obs.extend(http_titles_by_addr(store));
+    group_titles(obs)
+        .into_iter()
+        .map(|g| (g.label, g.addrs))
+        .collect()
+}
+
+fn os_groups(store: &ScanStore) -> Vec<(String, Vec<Ipv6Addr>)> {
+    let mut map: HashMap<String, Vec<Ipv6Addr>> = HashMap::new();
+    for h in unique_ssh_hosts(store) {
+        map.entry(h.os).or_default().extend(h.addrs);
+    }
+    map.into_iter().collect()
+}
+
+fn coap_groups(store: &ScanStore) -> Vec<(String, Vec<Ipv6Addr>)> {
+    let mut map: HashMap<String, Vec<Ipv6Addr>> = HashMap::new();
+    for d in coap_devices(store) {
+        map.entry(d.group).or_default().push(d.addr);
+    }
+    map.into_iter().collect()
+}
+
+/// Computes Table 6.
+pub fn compute(study: &Study) -> Table6 {
+    Table6 {
+        our_titles: group_network_rows(&title_groups_all_addrs(&study.ntp_scan)),
+        tum_titles: group_network_rows(&title_groups_all_addrs(&study.hitlist_scan)),
+        our_os: group_network_rows(&os_groups(&study.ntp_scan)),
+        tum_os: group_network_rows(&os_groups(&study.hitlist_scan)),
+        our_coap: group_network_rows(&coap_groups(&study.ntp_scan)),
+        tum_coap: group_network_rows(&coap_groups(&study.hitlist_scan)),
+    }
+}
+
+fn section(title: &str, ours: &[GroupNetworkRow], tum: &[GroupNetworkRow], top: usize) -> String {
+    let mut t = TextTable::new(vec![
+        title, "our IPs", "/48", "/56", "/64", "TUM IPs", "/48", "/56", "/64",
+    ]);
+    let mut labels: Vec<&str> = Vec::new();
+    for r in ours.iter().take(top).chain(tum.iter().take(top)) {
+        if !labels.contains(&r.label.as_str()) {
+            labels.push(&r.label);
+        }
+    }
+    let find = |rows: &'_ [GroupNetworkRow], l: &str| -> GroupNetworkRow {
+        rows.iter()
+            .find(|r| r.label == l)
+            .cloned()
+            .unwrap_or(GroupNetworkRow {
+                label: l.to_string(),
+                ips: 0,
+                nets48: 0,
+                nets56: 0,
+                nets64: 0,
+            })
+    };
+    for l in labels {
+        let a = find(ours, l);
+        let b = find(tum, l);
+        t.row(vec![
+            l.to_string(),
+            fmt_int(a.ips),
+            fmt_int(a.nets48),
+            fmt_int(a.nets56),
+            fmt_int(a.nets64),
+            fmt_int(b.ips),
+            fmt_int(b.nets48),
+            fmt_int(b.nets56),
+            fmt_int(b.nets64),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders Table 6.
+pub fn render(study: &Study) -> String {
+    let t = compute(study);
+    format!(
+        "== Table 6: groups counted by networks (Appendix C) ==\n-- HTML titles --\n{}\n-- SSH OS --\n{}\n-- CoAP --\n{}",
+        section("HTML Title Group", &t.our_titles, &t.tum_titles, 10),
+        section("OS", &t.our_os, &t.tum_os, 6),
+        section("resource group", &t.our_coap, &t.tum_coap, 6),
+    )
+}

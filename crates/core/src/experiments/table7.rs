@@ -1,0 +1,44 @@
+//! Table 7: collected addresses per NTP-server location.
+
+use crate::report::{fmt_int, TextTable};
+use crate::Study;
+use netsim::country::Country;
+
+/// Computed Table 7: `(location, distinct addresses, raw requests)`,
+/// sorted descending by addresses — India first, as in the paper.
+pub fn compute(study: &Study) -> Vec<(Country, u64, u64)> {
+    let mut rows: Vec<(Country, u64, u64)> = study
+        .study_servers
+        .iter()
+        .map(|(id, c)| {
+            (
+                *c,
+                study
+                    .collector
+                    .per_server(*id)
+                    .map(|s| s.len() as u64)
+                    .unwrap_or(0),
+                study.collector.requests(*id),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+/// Renders Table 7.
+pub fn render(study: &Study) -> String {
+    let rows = compute(study);
+    let mut t = TextTable::new(vec!["Location", "#Addresses", "#Requests"]);
+    for (c, addrs, reqs) in &rows {
+        t.row(vec![
+            netsim::country::name(*c).to_string(),
+            fmt_int(*addrs),
+            fmt_int(*reqs),
+        ]);
+    }
+    format!(
+        "== Table 7: collected addresses per server location ==\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,48 @@
+//! Table 8: top HTML title groups by unique certificate, both sources.
+
+use crate::report::{fmt_int, fmt_pct, TextTable};
+use crate::Study;
+use analysis::title_cluster::{https_title_groups_dual, DualTitleGroup};
+
+/// Maximum rows, matching the paper's "top 100".
+pub const TOP: usize = 100;
+
+/// Computes Table 8: jointly clustered title groups.
+pub fn compute(study: &Study) -> Vec<DualTitleGroup> {
+    https_title_groups_dual(&study.ntp_scan, &study.hitlist_scan)
+}
+
+/// Renders Table 8 (top groups by combined count).
+pub fn render(study: &Study) -> String {
+    let groups = compute(study);
+    let our_total: u64 = groups.iter().map(|g| g.our_hosts).sum();
+    let tum_total: u64 = groups.iter().map(|g| g.tum_hosts).sum();
+    let mut t = TextTable::new(vec!["HTML Title Group", "Our Data", "", "TUM Hitlist", ""]);
+    for g in groups.iter().take(TOP) {
+        t.row(vec![
+            g.label.clone(),
+            fmt_int(g.our_hosts),
+            format!(
+                "({})",
+                fmt_pct(if our_total > 0 {
+                    g.our_hosts as f64 / our_total as f64
+                } else {
+                    0.0
+                })
+            ),
+            fmt_int(g.tum_hosts),
+            format!(
+                "({})",
+                fmt_pct(if tum_total > 0 {
+                    g.tum_hosts as f64 / tum_total as f64
+                } else {
+                    0.0
+                })
+            ),
+        ]);
+    }
+    format!(
+        "== Table 8: top HTML title groups by unique certificate ==\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,61 @@
+//! Table 9: top OSes extracted from SSH server identifications, by unique
+//! host key, both sources.
+
+use crate::report::{fmt_int, fmt_pct, TextTable};
+use crate::Study;
+use analysis::ssh_os::{os_distribution, unique_ssh_hosts};
+
+/// Maximum rows, matching the paper's "top 100".
+pub const TOP: usize = 100;
+
+/// Computed Table 9.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table9 {
+    /// NTP-side OS distribution.
+    pub ours: Vec<(String, u64)>,
+    /// Hitlist-side distribution.
+    pub tum: Vec<(String, u64)>,
+}
+
+/// Computes Table 9.
+pub fn compute(study: &Study) -> Table9 {
+    Table9 {
+        ours: os_distribution(&unique_ssh_hosts(&study.ntp_scan)),
+        tum: os_distribution(&unique_ssh_hosts(&study.hitlist_scan)),
+    }
+}
+
+fn count(dist: &[(String, u64)], label: &str) -> u64 {
+    dist.iter().find(|(k, _)| k == label).map(|(_, n)| *n).unwrap_or(0)
+}
+
+/// Renders Table 9.
+pub fn render(study: &Study) -> String {
+    let t9 = compute(study);
+    let our_total: u64 = t9.ours.iter().map(|(_, n)| n).sum();
+    let tum_total: u64 = t9.tum.iter().map(|(_, n)| n).sum();
+    let mut labels: Vec<String> = Vec::new();
+    for (l, _) in t9.ours.iter().take(TOP).chain(t9.tum.iter().take(TOP)) {
+        if !labels.contains(l) {
+            labels.push(l.clone());
+        }
+    }
+    labels.sort_by_key(|l| std::cmp::Reverse(count(&t9.ours, l) + count(&t9.tum, l)));
+    labels.truncate(TOP);
+    let mut t = TextTable::new(vec!["OS", "Our Data", "", "TUM Hitlist", ""]);
+    for l in labels {
+        let a = count(&t9.ours, &l);
+        let b = count(&t9.tum, &l);
+        t.row(vec![
+            l,
+            fmt_int(a),
+            format!("({})", fmt_pct(if our_total > 0 { a as f64 / our_total as f64 } else { 0.0 })),
+            fmt_int(b),
+            format!("({})", fmt_pct(if tum_total > 0 { b as f64 / tum_total as f64 } else { 0.0 })),
+        ]);
+    }
+    format!(
+        "== Table 9: top OSes from SSH server IDs by unique host key ==\n{}",
+        t.render()
+    )
+}

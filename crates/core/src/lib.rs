@@ -1,0 +1,30 @@
+//! # timetoscan — study orchestration
+//!
+//! The top of the workspace: wires the simulated world, the NTP Pool
+//! collection, the real-time and hitlist scans, and the telescope into
+//! one reproducible [`Study`], and regenerates every table and figure of
+//!
+//! > *Time To Scan: Digging into NTP-based IPv6 Scanning* (IMC '25).
+//!
+//! ```no_run
+//! use timetoscan::{Study, StudyConfig};
+//!
+//! let study = Study::run(StudyConfig::tiny(42));
+//! println!("{}", timetoscan::experiments::table1::render(&study));
+//! println!("{}", timetoscan::experiments::security::render(&study));
+//! ```
+//!
+//! Every experiment lives in [`experiments`], one module per paper
+//! artefact, each with a `compute(&Study) -> …` returning typed rows and
+//! a `render(&Study) -> String` producing the table as text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod study;
+
+pub use config::StudyConfig;
+pub use study::Study;

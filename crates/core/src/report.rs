@@ -1,0 +1,139 @@
+//! Plain-text table rendering for the experiment reports.
+
+/// Formats an integer with thin thousands separators, as the paper prints
+/// large counts (`3 040 325 302`).
+pub fn fmt_int(v: u64) -> String {
+    let s = v.to_string();
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(' ');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+/// Formats a share as a percentage with one decimal.
+pub fn fmt_pct(share: f64) -> String {
+    format!("{:.1}%", share * 100.0)
+}
+
+/// Formats a share as the paper's per-mille notation.
+pub fn fmt_permille(share: f64) -> String {
+    format!("{:.2}\u{2030}", share * 1000.0)
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders with space-padded columns; first column left-aligned,
+    /// the rest right-aligned (numeric convention).
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for i in 0..cols {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if i == 0 {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad));
+                } else {
+                    out.push_str("  ");
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_formatting() {
+        assert_eq!(fmt_int(0), "0");
+        assert_eq!(fmt_int(999), "999");
+        assert_eq!(fmt_int(1_000), "1 000");
+        assert_eq!(fmt_int(3_040_325_302), "3 040 325 302");
+    }
+
+    #[test]
+    fn pct_and_permille() {
+        assert_eq!(fmt_pct(0.435), "43.5%");
+        assert_eq!(fmt_pct(0.0), "0.0%");
+        assert_eq!(fmt_permille(0.00042), "0.42‰");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["name", "count"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].ends_with("12345"));
+        // Columns align: the count column is right-aligned.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn ragged_rows_tolerated() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["x", "extra"]);
+        t.row(Vec::<String>::new());
+        let s = t.render();
+        assert_eq!(s.lines().count(), 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! The end-to-end study pipeline.
+
+use crate::config::StudyConfig;
+use hitlist::{Hitlist, HitlistConfig};
+use netsim::country::{Country, COLLECTOR_LOCATIONS};
+use netsim::time::{Duration, SimTime};
+use netsim::world::World;
+use ntppool::collector::VecSink;
+use ntppool::monitor::{tune_collecting_servers, TuneOutcome};
+use ntppool::{AddressCollector, CollectionRun, Observation, Operator, Pool, PoolServer, RunStats, ServerId};
+use scanner::{BatchScan, RealTimeScanner, ScanPolicy, ScanStore};
+use telescope::{covert_actor, gt_actor, match_captures, Actor, CaptureLog, TelescopeReport, Vantage};
+use v6addr::{AddrSet, OuiDb};
+
+/// Gap between the R&L emulation window and the study window (the real
+/// gap was ≈ 2 years).
+const RL_GAP: Duration = Duration::days(550);
+
+/// Everything one study run produces. All downstream experiments read
+/// from this structure.
+pub struct Study {
+    /// Configuration.
+    pub config: StudyConfig,
+    /// The simulated Internet.
+    pub world: World,
+    /// The pool, post-tuning, including actor servers.
+    pub pool: Pool,
+    /// The 11 collecting servers with their locations.
+    pub study_servers: Vec<(ServerId, Country)>,
+    /// Collected client addresses (study servers only).
+    pub collector: AddressCollector,
+    /// First-sight feed, in observation order.
+    pub feed: Vec<Observation>,
+    /// The Rye & Levin comparison set.
+    pub rl_set: AddrSet,
+    /// The TUM-style hitlist.
+    pub hitlist: Hitlist,
+    /// Results of the real-time NTP-fed scan.
+    pub ntp_scan: ScanStore,
+    /// Results of the hitlist scan (full list).
+    pub hitlist_scan: ScanStore,
+    /// Telescope findings (when enabled).
+    pub telescope: Option<TelescopeReport>,
+    /// The simulated actors (for §5 reporting).
+    pub actors: Vec<Actor>,
+    /// Collection run statistics.
+    pub run_stats: RunStats,
+    /// Netspeed tuning outcomes.
+    pub tuning: Vec<TuneOutcome>,
+    /// OUI registry used by the vendor analyses.
+    pub oui_db: OuiDb,
+}
+
+impl Study {
+    /// Runs the full pipeline. Deterministic in the config.
+    pub fn run(config: StudyConfig) -> Study {
+        let world = World::generate(config.world.clone());
+
+        // --- R&L emulation: an earlier, longer collection (Table 1). ---
+        let rl_end = SimTime::EPOCH + rl_window(&config);
+        let rl_set =
+            ntppool::run::sample_addresses(&world, SimTime::EPOCH, rl_end, config.rl_samples);
+
+        let start = study_start(&config);
+        let end = start + config.collection;
+
+        // --- Pool setup: background + our 11 servers, then tuning. ---
+        let mut pool = Pool::with_background();
+        let mut study_servers = Vec::new();
+        for (i, c) in COLLECTOR_LOCATIONS.iter().enumerate() {
+            let id = pool.add(PoolServer {
+                operator: Operator::Study {
+                    location_index: i as u8,
+                },
+                ..PoolServer::background(*c)
+            });
+            study_servers.push((id, *c));
+        }
+        let tuning = tune_collecting_servers(&mut pool, &world, config.target_rps);
+
+        // --- Third-party actors join the pool after our tuning. ---
+        let mut actors = Vec::new();
+        if config.telescope {
+            let mut gt = gt_actor();
+            gt.register(&mut pool);
+            let mut covert = covert_actor();
+            covert.register(&mut pool);
+            actors.push(gt);
+            actors.push(covert);
+        }
+
+        // --- Four weeks of collection, feeding the scanner. ---
+        let sink = VecSink::default();
+        let feed_buf = sink.0.clone();
+        let mut collector = AddressCollector::with_sink(Box::new(sink));
+        let run = CollectionRun::new(&world, &pool, start, end);
+        let run_stats = run.run(|server, addr, t| {
+            if matches!(pool.server(server).operator, Operator::Study { .. }) {
+                collector.record(server, addr, t);
+            }
+            // Actor servers source addresses too, but only their scans of
+            // the telescope's vantage addresses are analysed (§5).
+        });
+        let feed: Vec<Observation> = std::mem::take(&mut *feed_buf.lock());
+
+        // --- Real-time scan of every first-sighted address. ---
+        let ntp_scan = RealTimeScanner::new(ScanPolicy::default()).run(&world, &feed);
+
+        // --- Hitlist build + batch scan in the last week. ---
+        let hitlist_t = start + config.hitlist_scan_offset;
+        let hitlist = Hitlist::build(&world, hitlist_t, &HitlistConfig::for_world(&world));
+        let hitlist_scan =
+            BatchScan::new(ScanPolicy::default()).run(&world, hitlist.full.iter(), hitlist_t);
+
+        // --- Telescope (§5). ---
+        let telescope = config.telescope.then(|| {
+            let mut vantage = Vantage::new("3fff:909::/48".parse().unwrap());
+            vantage.query_all(&pool, start + config.telescope_offset, Duration::secs(7));
+            let mut log = CaptureLog::new();
+            for actor in &actors {
+                actor.scan_sourced(&vantage, &mut log);
+            }
+            match_captures(&vantage, &pool, &log, &actors)
+        });
+
+        Study {
+            config,
+            world,
+            pool,
+            study_servers,
+            collector,
+            feed,
+            rl_set,
+            hitlist,
+            ntp_scan,
+            hitlist_scan,
+            telescope,
+            actors,
+            run_stats,
+            tuning,
+            oui_db: OuiDb::builtin(),
+        }
+    }
+
+    /// The study's collection window.
+    pub fn window(&self) -> (SimTime, SimTime) {
+        let s = study_start(&self.config);
+        (s, s + self.config.collection)
+    }
+}
+
+/// Length of the R&L emulation window: scaled down alongside shortened
+/// collection windows (full study: 210 days ≈ R&L's seven months).
+pub fn rl_window(config: &StudyConfig) -> Duration {
+    Duration::days((config.collection.as_secs() / 86_400) * 15 / 2)
+}
+
+/// Start of the study window: after the R&L window plus the two-year-ish
+/// gap, scaled.
+pub fn study_start(config: &StudyConfig) -> SimTime {
+    let scale = (config.collection.as_secs() / 86_400).max(1) as f64 / 28.0;
+    let gap = Duration::days((RL_GAP.as_secs() as f64 / 86_400.0 * scale) as u64);
+    SimTime::EPOCH + rl_window(config) + gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_study_runs_end_to_end() {
+        let study = Study::run(StudyConfig::tiny(7));
+        assert!(study.run_stats.polls > 0);
+        assert!(study.collector.global().len() > 100, "{}", study.collector.global().len());
+        assert_eq!(study.feed.len(), study.collector.global().len());
+        assert!(!study.rl_set.is_empty());
+        assert!(!study.hitlist.full.is_empty());
+        assert!(study.ntp_scan.targets() > 0);
+        assert!(study.hitlist_scan.targets() > 0);
+        let telescope = study.telescope.as_ref().expect("telescope enabled");
+        assert_eq!(telescope.unmatched_packets, 0);
+        assert_eq!(telescope.actors.len(), 2);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = Study::run(StudyConfig::tiny(9));
+        let b = Study::run(StudyConfig::tiny(9));
+        assert_eq!(a.collector.global().len(), b.collector.global().len());
+        assert_eq!(a.ntp_scan.records().len(), b.ntp_scan.records().len());
+        assert_eq!(a.hitlist.full.len(), b.hitlist.full.len());
+        assert_eq!(a.feed.len(), b.feed.len());
+    }
+
+    #[test]
+    fn windows_do_not_overlap_rl() {
+        let cfg = StudyConfig::tiny(1);
+        let rl_end = SimTime::EPOCH + rl_window(&cfg);
+        assert!(study_start(&cfg) > rl_end);
+    }
+}

@@ -1,0 +1,81 @@
+//! Aliased-prefix detection (Gasser et al., "Clusters in the Expanse").
+//!
+//! A prefix is *aliased* when one machine answers on every address inside
+//! it — scanning it enumerates load balancers, not hosts. Like the TUM
+//! pipeline, we probe a handful of pseudo-random addresses per candidate
+//! prefix and flag the prefix when (nearly) all of them respond.
+
+use netsim::time::SimTime;
+use netsim::world::World;
+use netsim::mix2;
+use v6addr::Prefix;
+use wire::http::Request;
+
+/// Number of probe addresses per candidate prefix.
+pub const PROBES_PER_PREFIX: usize = 16;
+
+/// Fraction of probes that must answer for the prefix to count as aliased.
+pub const ALIAS_THRESHOLD: f64 = 0.9;
+
+/// Probes `prefix` at `t` and decides whether it is aliased.
+///
+/// Probe addresses are deterministic pseudo-random hosts inside the
+/// prefix; responsiveness is tested with the scanner's HTTP probe (any
+/// transport-level answer counts).
+pub fn is_aliased(world: &World, prefix: Prefix, t: SimTime) -> bool {
+    let probe = Request::scanner_get("ttscan-apd/0.1").emit();
+    let mut responses = 0usize;
+    for k in 0..PROBES_PER_PREFIX {
+        let h = mix2(prefix.bits() as u64 ^ 0xa11a, k as u64);
+        let host = (u128::from(h) << 64) | u128::from(mix2(h, 1));
+        let addr = prefix.host(host);
+        if world.respond(addr, 80, &probe, t).is_some() {
+            responses += 1;
+        }
+    }
+    responses as f64 / PROBES_PER_PREFIX as f64 >= ALIAS_THRESHOLD
+}
+
+/// Scans candidate prefixes and returns those detected as aliased.
+pub fn detect(world: &World, candidates: &[Prefix], t: SimTime) -> Vec<Prefix> {
+    candidates
+        .iter()
+        .copied()
+        .filter(|p| is_aliased(world, *p, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::world::{World, WorldConfig};
+
+    #[test]
+    fn cdn_region_is_detected() {
+        let w = World::generate(WorldConfig::tiny(55));
+        let region = w.aliased_regions()[0].prefix;
+        assert!(is_aliased(&w, region, SimTime(0)));
+        // Sub-prefixes of the region are aliased too.
+        assert!(is_aliased(&w, region.subnet(48, 3), SimTime(0)));
+    }
+
+    #[test]
+    fn normal_space_is_not_aliased() {
+        let w = World::generate(WorldConfig::tiny(55));
+        // A hosting /48 answers only on the few addresses where servers
+        // actually live — random probes miss.
+        let hosting: Prefix = "2600:8000::/48".parse().unwrap();
+        assert!(!is_aliased(&w, hosting, SimTime(0)));
+        let unrouted: Prefix = "3fff::/48".parse().unwrap();
+        assert!(!is_aliased(&w, unrouted, SimTime(0)));
+    }
+
+    #[test]
+    fn detect_filters() {
+        let w = World::generate(WorldConfig::tiny(55));
+        let region = w.aliased_regions()[0].prefix;
+        let normal: Prefix = "2600:8000::/48".parse().unwrap();
+        let found = detect(&w, &[region, normal], SimTime(0));
+        assert_eq!(found, vec![region]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Synthetic PeeringDB: AS → network-type labels.
+//!
+//! Figure 1 of the paper compares the share of addresses whose origin AS
+//! is labelled `Cable/DSL/ISP` in the PeeringDB — the "eyeball network"
+//! signal. This module defines the label vocabulary and a lookup view
+//! over the topology; the labels themselves are assigned at world
+//! generation, mirroring how real ASes self-describe in the PeeringDB.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// PeeringDB `info_type` values used by the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AsType {
+    /// Cable/DSL/ISP — end-user "eyeball" access networks.
+    CableDslIsp,
+    /// NSP — transit/backbone carriers.
+    Nsp,
+    /// Content — CDNs, hyperscalers, hosting-adjacent content delivery.
+    Content,
+    /// Enterprise networks.
+    Enterprise,
+    /// Educational / research networks.
+    Educational,
+    /// Cloud / hosting providers.
+    Hosting,
+    /// Not present in the PeeringDB.
+    Unlisted,
+}
+
+impl AsType {
+    /// The PeeringDB label string.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AsType::CableDslIsp => "Cable/DSL/ISP",
+            AsType::Nsp => "NSP",
+            AsType::Content => "Content",
+            AsType::Enterprise => "Enterprise",
+            AsType::Educational => "Educational/Research",
+            AsType::Hosting => "Cloud/Hosting",
+            AsType::Unlisted => "(unlisted)",
+        }
+    }
+
+    /// Is this the eyeball-network label of Figure 1?
+    pub fn is_eyeball(&self) -> bool {
+        matches!(self, AsType::CableDslIsp)
+    }
+}
+
+impl fmt::Display for AsType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_eyeball_flag() {
+        assert_eq!(AsType::CableDslIsp.label(), "Cable/DSL/ISP");
+        assert!(AsType::CableDslIsp.is_eyeball());
+        assert!(!AsType::Hosting.is_eyeball());
+        assert!(!AsType::Unlisted.is_eyeball());
+        assert_eq!(AsType::Hosting.to_string(), "Cloud/Hosting");
+    }
+}

@@ -1,0 +1,997 @@
+//! The assembled world: topology + device populations + address plan.
+//!
+//! [`World::generate`] builds, from a seed and size preset, a synthetic
+//! Internet whose *observable* statistics follow the paper's ground truth:
+//!
+//! * eyeball ISPs per country (client weight per [`crate::country`]),
+//!   delegating **dynamic /48 prefixes** to households that rotate daily;
+//! * households of a CPE router plus LAN devices (phones, TVs, speakers,
+//!   IoT, hobby servers) — mostly silent to scans but chatty NTP clients;
+//! * hosting ASes full of statically numbered, DNS-named servers — the
+//!   population hitlists are built from;
+//! * NSP ASes with traceroute-visible core routers;
+//! * one CDN AS with an **aliased** prefix answering HTTP on every address
+//!   but failing TLS without SNI (the Cloudfront effect of §4.2).
+//!
+//! The world resolves an address *at a time* to a device and dispatches
+//! probe bytes to its service stack.
+
+use crate::archetype::{build_services, BuildCtx, DeviceKind, KeyPools};
+use crate::country::{self, Continent, Country};
+use crate::device::{Addressing, Attachment, Device, DeviceId, NtpClientCfg};
+use crate::peeringdb::AsType;
+use crate::services::{HttpService, ServiceSet, TlsEndpoint};
+use crate::time::{Duration, SimTime};
+use crate::topology::{AsInfo, Asn, Topology};
+use crate::mix2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+use v6addr::{Iid, Mac, Oui, Prefix};
+
+/// First /48 subnet index used for household delegation inside an eyeball
+/// /32 (lower indices are reserved for ISP infrastructure).
+const POOL_BASE: u32 = 0x100;
+
+/// Size/behaviour preset for world generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// RNG seed; equal configs generate bit-identical worlds.
+    pub seed: u64,
+    /// Number of eyeball households (each ≈ 3–7 devices).
+    pub households: u32,
+    /// Number of hosting/infrastructure servers.
+    pub servers: u32,
+    /// Number of traceroute-visible core routers.
+    pub routers: u32,
+    /// Eyeball ASes to spread households over.
+    pub eyeball_ases: u32,
+    /// Hosting ASes.
+    pub hosting_ases: u32,
+    /// NSP (transit) ASes.
+    pub nsp_ases: u32,
+    /// Dynamic-prefix rotation period for eyeball ISPs.
+    pub rotation: Duration,
+    /// SLAAC privacy-extension IID regeneration interval.
+    pub privacy_regen: Duration,
+    /// Model the aliased CDN prefix.
+    pub cdn: bool,
+}
+
+impl WorldConfig {
+    /// Minimal world for unit tests (hundreds of devices).
+    pub fn tiny(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            households: 220,
+            servers: 160,
+            routers: 25,
+            eyeball_ases: 24,
+            hosting_ases: 14,
+            nsp_ases: 6,
+            rotation: Duration::days(1),
+            privacy_regen: Duration::days(1),
+            cdn: true,
+        }
+    }
+
+    /// Small world for integration tests (thousands of devices).
+    pub fn small(seed: u64) -> WorldConfig {
+        WorldConfig {
+            households: 2_200,
+            servers: 1_400,
+            routers: 120,
+            eyeball_ases: 60,
+            hosting_ases: 40,
+            nsp_ases: 12,
+            ..WorldConfig::tiny(seed)
+        }
+    }
+
+    /// Medium world for benches (≈ 1:10 000 of the paper's population).
+    pub fn medium(seed: u64) -> WorldConfig {
+        WorldConfig {
+            households: 26_000,
+            servers: 15_000,
+            routers: 900,
+            eyeball_ases: 170,
+            hosting_ases: 110,
+            nsp_ases: 30,
+            ..WorldConfig::tiny(seed)
+        }
+    }
+
+    /// Large world (≈ 1:1 000 of the paper) for the EXPERIMENTS.md run.
+    pub fn paper_milli(seed: u64) -> WorldConfig {
+        WorldConfig {
+            households: 230_000,
+            servers: 120_000,
+            routers: 6_000,
+            eyeball_ases: 600,
+            hosting_ases: 420,
+            nsp_ases: 90,
+            ..WorldConfig::tiny(seed)
+        }
+    }
+}
+
+/// One eyeball household: a CPE plus LAN members sharing a delegated /48.
+#[derive(Debug, Clone)]
+pub struct Household {
+    /// Owning eyeball AS.
+    pub asn: Asn,
+    /// Index within the AS's delegation pool.
+    pub index_in_as: u32,
+    /// Member devices; element 0 is the CPE.
+    pub members: Vec<DeviceId>,
+}
+
+/// Per-AS dynamic delegation pool.
+#[derive(Debug, Clone)]
+struct EyeballPool {
+    alloc: Prefix,
+    /// Household ids by pool index.
+    households: Vec<u32>,
+    /// Slot space size (≥ households, leaving head-room so prefixes move
+    /// to fresh /48s for a while).
+    space: u32,
+    /// Rotation stride, coprime with `space`.
+    step: u32,
+}
+
+impl EyeballPool {
+    fn slot_at(&self, house_idx: u32, epoch: u64) -> u32 {
+        ((house_idx as u64 + epoch * self.step as u64) % self.space as u64) as u32
+    }
+
+    fn house_at(&self, slot: u32, epoch: u64) -> Option<u32> {
+        let shift = (epoch * self.step as u64 % self.space as u64) as u32;
+        let idx = (slot + self.space - shift) % self.space;
+        self.households.get(idx as usize).copied()
+    }
+}
+
+/// An aliased region: a whole prefix that answers on every address
+/// (CDN/hyperscaler front-end).
+#[derive(Debug, Clone)]
+pub struct AliasedRegion {
+    /// The responding prefix.
+    pub prefix: Prefix,
+    /// Shared service surface of every address inside.
+    pub services: ServiceSet,
+}
+
+/// The simulated Internet.
+pub struct World {
+    /// Generation config.
+    pub config: WorldConfig,
+    /// AS-level topology.
+    pub topology: Topology,
+    devices: Vec<Device>,
+    households: Vec<Household>,
+    pools: HashMap<Asn, EyeballPool>,
+    static64: HashMap<u128, DeviceId>,
+    aliased: Vec<AliasedRegion>,
+}
+
+impl World {
+    /// Generates a world from a config. Deterministic in `config`.
+    pub fn generate(config: WorldConfig) -> World {
+        Generator::new(config).run()
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// A device by id.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0 as usize]
+    }
+
+    /// All households.
+    pub fn households(&self) -> &[Household] {
+        &self.households
+    }
+
+    /// Aliased (CDN) regions.
+    pub fn aliased_regions(&self) -> &[AliasedRegion] {
+        &self.aliased
+    }
+
+    /// Prefix-rotation epoch at `t`.
+    pub fn epoch(&self, t: SimTime) -> u64 {
+        t.as_secs() / self.config.rotation.as_secs().max(1)
+    }
+
+    /// The device's global address at time `t`.
+    pub fn address_of(&self, id: DeviceId, t: SimTime) -> Ipv6Addr {
+        let dev = self.device(id);
+        let net64 = self.net64_of(dev, t);
+        net64.host(u128::from(dev.iid_at(t).0))
+    }
+
+    /// The /64 the device lives in at `t`.
+    pub fn net64_of(&self, dev: &Device, t: SimTime) -> Prefix {
+        match dev.attachment {
+            Attachment::Static { net64 } => net64,
+            Attachment::Household { household, member } => {
+                let hh = &self.households[household as usize];
+                let pool = &self.pools[&hh.asn];
+                let slot = pool.slot_at(hh.index_in_as, self.epoch(t));
+                pool.alloc
+                    .subnet(48, u128::from(POOL_BASE + slot))
+                    .subnet(64, u128::from(member))
+            }
+        }
+    }
+
+    /// Resolves an address at time `t` to the device holding it, verifying
+    /// that the interface identifier matches (a stale address resolves to
+    /// nothing — exactly the staleness the paper's §6 warns about).
+    pub fn device_at(&self, addr: Ipv6Addr, t: SimTime) -> Option<&Device> {
+        let bits = u128::from(addr);
+        let iid = Iid(bits as u64);
+        // Static host?
+        if let Some(&id) = self.static64.get(&(bits & Prefix::netmask(64))) {
+            let dev = self.device(id);
+            return (dev.iid_at(t) == iid).then_some(dev);
+        }
+        // Household member?
+        let asn = self.topology.origin(addr)?;
+        let pool = self.pools.get(&asn)?;
+        let slot48 = ((bits >> 80) & 0xffff) as u32;
+        if slot48 < POOL_BASE {
+            return None;
+        }
+        let house = pool.house_at(slot48 - POOL_BASE, self.epoch(t))?;
+        let hh = &self.households[house as usize];
+        let member = ((bits >> 64) & 0xffff) as usize;
+        let &id = hh.members.get(member)?;
+        let dev = self.device(id);
+        (dev.iid_at(t) == iid).then_some(dev)
+    }
+
+    /// Dispatches probe bytes to whatever answers `addr:port` at `t`.
+    /// `None` models silence: unrouted space, firewalled device, closed
+    /// port, stale address, or a host that rejected the bytes.
+    pub fn respond(&self, addr: Ipv6Addr, port: u16, probe: &[u8], t: SimTime) -> Option<Vec<u8>> {
+        for region in &self.aliased {
+            if region.prefix.contains(addr) {
+                return region.services.respond(port, probe);
+            }
+        }
+        self.device_at(addr, t)?.services.respond(port, probe)
+    }
+
+    /// Devices that run an NTP pool client, with their configs.
+    pub fn ntp_clients(&self) -> impl Iterator<Item = (&Device, NtpClientCfg)> + '_ {
+        self.devices.iter().filter_map(|d| d.ntp.map(|c| (d, c)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------
+
+struct Generator {
+    config: WorldConfig,
+    rng: StdRng,
+    pools_keys: KeyPools,
+    topology: Topology,
+    devices: Vec<Device>,
+    households: Vec<Household>,
+    pools: HashMap<Asn, EyeballPool>,
+    static64: HashMap<u128, DeviceId>,
+    aliased: Vec<AliasedRegion>,
+    next_asn: u32,
+    eyeball_as_list: Vec<(Asn, Country)>,
+    hosting_as_list: Vec<(Asn, Country)>,
+    nsp_as_list: Vec<(Asn, Country)>,
+    /// Next static /64 index per hosting AS.
+    next_static: HashMap<Asn, u64>,
+}
+
+impl Generator {
+    fn new(config: WorldConfig) -> Generator {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let pools_keys = KeyPools::new(config.seed ^ 0x6b65_7970_6f6f_6c73);
+        Generator {
+            config,
+            rng,
+            pools_keys,
+            topology: Topology::new(),
+            devices: Vec::new(),
+            households: Vec::new(),
+            pools: HashMap::new(),
+            static64: HashMap::new(),
+            aliased: Vec::new(),
+            next_asn: 64_500,
+            eyeball_as_list: Vec::new(),
+            hosting_as_list: Vec::new(),
+            nsp_as_list: Vec::new(),
+            next_static: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> World {
+        self.build_topology();
+        self.build_households();
+        self.build_servers();
+        self.build_routers();
+        if self.config.cdn {
+            self.build_cdn();
+        }
+        World {
+            config: self.config,
+            topology: self.topology,
+            devices: self.devices,
+            households: self.households,
+            pools: self.pools,
+            static64: self.static64,
+            aliased: self.aliased,
+        }
+    }
+
+    fn alloc_prefix(base: u32, idx: u32) -> Prefix {
+        Prefix::new(Ipv6Addr::from(u128::from(base + idx) << 96), 32)
+    }
+
+    fn register_as(&mut self, name: String, kind: AsType, country: Country, alloc: Prefix) -> Asn {
+        let asn = Asn(self.next_asn);
+        self.next_asn += 1;
+        self.topology.register(AsInfo {
+            asn,
+            name,
+            kind,
+            country,
+            allocations: vec![alloc],
+        });
+        asn
+    }
+
+    fn build_topology(&mut self) {
+        // Eyeball ASes proportional to country client weight.
+        let weights: Vec<(Country, u64)> = country::COUNTRY_TABLE
+            .iter()
+            .map(|(c, _, _, w, _)| (*c, *w))
+            .collect();
+        for i in 0..self.config.eyeball_ases {
+            let c = weighted_pick(&mut self.rng, &weights);
+            let alloc = Self::alloc_prefix(0x2a00_0000, i);
+            let asn = self.register_as(
+                format!("{} Broadband {}", country::name(c), i),
+                AsType::CableDslIsp,
+                c,
+                alloc,
+            );
+            self.eyeball_as_list.push((asn, c));
+        }
+        // Hosting ASes, concentrated in DE/US/NL/FR/GB.
+        let hosting_weights: Vec<(Country, u64)> = [
+            (country::DE, 30u64),
+            (country::US, 30),
+            (country::NL, 15),
+            (country::FR, 10),
+            (country::GB, 10),
+            (country::JP, 5),
+            (country::AU, 3),
+            (country::BR, 3),
+        ]
+        .into();
+        for i in 0..self.config.hosting_ases {
+            let c = weighted_pick(&mut self.rng, &hosting_weights);
+            let alloc = Self::alloc_prefix(0x2600_8000, i);
+            let asn = self.register_as(
+                format!("Hosting {} {}", c.code(), i),
+                AsType::Hosting,
+                c,
+                alloc,
+            );
+            self.hosting_as_list.push((asn, c));
+        }
+        // NSPs.
+        let nsp_weights: Vec<(Country, u64)> = [
+            (country::US, 30u64),
+            (country::DE, 15),
+            (country::GB, 12),
+            (country::JP, 10),
+            (country::BR, 8),
+            (country::IN, 8),
+            (country::ZA, 5),
+        ]
+        .into();
+        for i in 0..self.config.nsp_ases {
+            let c = weighted_pick(&mut self.rng, &nsp_weights);
+            let alloc = Self::alloc_prefix(0x2001_4000, i);
+            let asn = self.register_as(format!("Transit {} {}", c.code(), i), AsType::Nsp, c, alloc);
+            self.nsp_as_list.push((asn, c));
+        }
+    }
+
+    fn build_ctx_salt(&self) -> u64 {
+        mix2(self.config.seed, self.devices.len() as u64)
+    }
+
+    fn push_device(
+        &mut self,
+        kind: DeviceKind,
+        asn: Asn,
+        c: Country,
+        attachment: Attachment,
+        addressing: Addressing,
+        services: ServiceSet,
+    ) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        let ntp = self
+            .rng
+            .random_bool(kind.pool_client_probability())
+            .then(|| {
+                let poll = Duration::hours(6);
+                NtpClientCfg {
+                    poll_interval: poll,
+                    phase: Duration::secs(
+                        mix2(self.config.seed ^ 0x9019, u64::from(id.0)) % poll.as_secs(),
+                    ),
+                }
+            });
+        self.devices.push(Device {
+            id,
+            kind,
+            asn,
+            country: c,
+            attachment,
+            addressing,
+            services,
+            ntp,
+        });
+        id
+    }
+
+    fn sample_addressing(&mut self, kind: DeviceKind) -> Addressing {
+        let salt = self.build_ctx_salt();
+        if self.rng.random_bool(kind.eui64_probability()) {
+            let mac = if self.rng.random_bool(kind.local_mac_probability()) {
+                // Locally administered (randomised) MAC.
+                let mut m = Mac::from_u64(mix2(salt, 0x10ca1) & 0xffff_ffff_ffff);
+                m.0[0] = (m.0[0] | 0x02) & !0x01;
+                m
+            } else {
+                let ouis = kind.vendor_ouis();
+                // A small share of hardware carries OUIs absent from the
+                // registry (paper Table 4's "(Unlisted)" row): model it
+                // with 0xD4:xx:xx, a range no registry entry uses.
+                let unlisted = self.rng.random_bool(0.04);
+                let oui = if ouis.is_empty() || unlisted {
+                    let v = (mix2(salt, 0x0517) as u32) & 0xffff;
+                    Oui::from_u32(0xD4_0000 | v)
+                } else {
+                    Oui::from_u32(ouis[self.rng.random_range(0..ouis.len())])
+                };
+                let mut m = Mac::from_parts(oui, (mix2(salt, 0x71c) & 0xff_ffff) as u32);
+                m.0[0] &= !0x03; // universal, unicast
+                m
+            };
+            Addressing::Eui64(mac)
+        } else {
+            Addressing::Privacy {
+                regen: self.config.privacy_regen,
+            }
+        }
+    }
+
+    fn build_households(&mut self) {
+        // Pre-size per-AS pools.
+        let mut per_as: HashMap<Asn, Vec<u32>> = HashMap::new();
+        for h in 0..self.config.households {
+            let (asn, c) = self.eyeball_as_list[weighted_as(&mut self.rng, &self.eyeball_as_list)];
+            let house_id = self.households.len() as u32;
+            let index_in_as = {
+                let v = per_as.entry(asn).or_default();
+                v.push(house_id);
+                (v.len() - 1) as u32
+            };
+            let members = self.sample_household(house_id, asn, c);
+            self.households.push(Household {
+                asn,
+                index_in_as,
+                members,
+            });
+            let _ = h;
+        }
+        // Freeze pools.
+        for (asn, houses) in per_as {
+            let alloc = self.topology.info(asn).unwrap().allocations[0];
+            let n = houses.len() as u32;
+            let space = (n * 4).clamp(8, 0xffff - POOL_BASE);
+            // Stride: odd and ≠ 0 mod space ⇒ walks all slots for
+            // power-of-two-free spaces; good enough rotation behaviour.
+            let step = (mix2(self.config.seed, u64::from(asn.0)) as u32 % space) | 1;
+            self.pools.insert(
+                asn,
+                EyeballPool {
+                    alloc,
+                    households: houses,
+                    space,
+                    step,
+                },
+            );
+        }
+    }
+
+    fn sample_household(&mut self, house_id: u32, asn: Asn, c: Country) -> Vec<DeviceId> {
+        let continent = country::continent(c);
+        // CPE choice by region: AVM's European market share is what makes
+        // AVM the top EUI-64 vendor (Appendix B).
+        let cpe_kind = {
+            let r: f64 = self.rng.random();
+            match continent {
+                Some(Continent::Europe) => {
+                    let avm = if c == country::DE { 0.75 } else { 0.52 };
+                    if r < avm {
+                        DeviceKind::FritzBox
+                    } else if r < avm + 0.05 {
+                        DeviceKind::MyModemCpe
+                    } else {
+                        DeviceKind::GenericCpe
+                    }
+                }
+                Some(Continent::Asia) => {
+                    if r < 0.25 {
+                        DeviceKind::GponGateway
+                    } else if r < 0.40 {
+                        DeviceKind::UfiRouter
+                    } else if r < 0.43 {
+                        DeviceKind::FritzBox
+                    } else {
+                        DeviceKind::GenericCpe
+                    }
+                }
+                _ => {
+                    if r < 0.06 {
+                        DeviceKind::FritzBox
+                    } else if r < 0.16 {
+                        DeviceKind::MyModemCpe
+                    } else {
+                        DeviceKind::GenericCpe
+                    }
+                }
+            }
+        };
+        let mut members = Vec::new();
+        let cpe = self.spawn_member(cpe_kind, asn, c, house_id, 0);
+        members.push(cpe);
+        let is_fritz = cpe_kind == DeviceKind::FritzBox;
+        let n_members = 1 + self.rng.random_range(0..7);
+        for m in 1..=n_members {
+            let kind = self.sample_member_kind(is_fritz, continent);
+            members.push(self.spawn_member(kind, asn, c, house_id, m));
+        }
+        members
+    }
+
+    fn sample_member_kind(&mut self, fritz_household: bool, continent: Option<Continent>) -> DeviceKind {
+        use DeviceKind::*;
+        let r: f64 = self.rng.random();
+        // Fritz households may add AVM accessories.
+        if fritz_household {
+            if r < 0.10 {
+                return FritzRepeater;
+            }
+            if r < 0.12 {
+                return FritzPowerline;
+            }
+        } else if r < 0.001 {
+            return CiscoWap150;
+        }
+        let r: f64 = self.rng.random();
+        let asia = matches!(continent, Some(Continent::Asia));
+        if asia {
+            // Phone-heavy markets: the bulk of Asian NTP clients are
+            // mobile devices with randomised MACs / privacy IIDs, which
+            // is why the paper's listed-OUI MACs concentrate on the
+            // European collectors (Appendix B, Figure 4).
+            return match r {
+                x if x < 0.50 => AndroidPhone,
+                x if x < 0.64 => IPhone,
+                x if x < 0.79 => LaptopPc,
+                x if x < 0.82 => SmartTv,
+                x if x < 0.83 => EchoSpeaker,
+                x if x < 0.86 => QlinkWifi,
+                x if x < 0.89 => CastDevice,
+                x if x < 0.90 => RaspberryPi,
+                x if x < 0.906 => HomeServerDebian,
+                x if x < 0.915 => HomeServerUbuntu,
+                x if x < 0.928 => HomeMqttBroker,
+                x if x < 0.931 => HomeAmqpBroker,
+                x if x < 0.933 => EfentoSensor,
+                _ => AndroidPhone,
+            };
+        }
+        match r {
+            x if x < 0.30 => AndroidPhone,
+            x if x < 0.46 => IPhone,
+            x if x < 0.64 => LaptopPc,
+            x if x < 0.72 => SmartTv,
+            x if x < 0.732 => SonosSpeaker,
+            x if x < 0.757 => EchoSpeaker,
+            x if x < 0.787 => CastDevice,
+            x if x < 0.812 => RaspberryPi,
+            x if x < 0.824 => HomeServerDebian,
+            x if x < 0.842 => HomeServerUbuntu,
+            x if x < 0.862 => HomeMqttBroker,
+            x if x < 0.867 => HomeAmqpBroker,
+            x if x < 0.870 => EfentoSensor,
+            x if x < 0.871 => NanoleafLight,
+            _ => LaptopPc, // silent filler
+        }
+    }
+
+    fn spawn_member(
+        &mut self,
+        kind: DeviceKind,
+        asn: Asn,
+        c: Country,
+        house_id: u32,
+        member: u8,
+    ) -> DeviceId {
+        let salt = self.build_ctx_salt();
+        let services = {
+            let mut ctx = BuildCtx {
+                rng: &mut self.rng,
+                pools: &self.pools_keys,
+                salt,
+                now_unix: SimTime::EPOCH.to_unix(),
+            };
+            build_services(kind, &mut ctx)
+        };
+        let addressing = self.sample_addressing(kind);
+        self.push_device(
+            kind,
+            asn,
+            c,
+            Attachment::Household {
+                household: house_id,
+                member,
+            },
+            addressing,
+            services,
+        )
+    }
+
+    fn sample_server_kind(&mut self) -> DeviceKind {
+        use DeviceKind::*;
+        let r: f64 = self.rng.random();
+        match r {
+            x if x < 0.20 => NginxServer,
+            x if x < 0.34 => ApacheUbuntuServer,
+            x if x < 0.48 => DebianServer,
+            x if x < 0.51 => FreeBsdServer,
+            x if x < 0.56 => PleskServer,
+            x if x < 0.66 => HostEuropeVhost,
+            x if x < 0.70 => ThreeCxServer,
+            x if x < 0.745 => ThreeCxWebclient,
+            x if x < 0.79 => DlinkInfra,
+            x if x < 0.855 => GponGateway,
+            x if x < 0.88 => QlinkWifi, // statically-wired Wi-Fi service nodes
+            x if x < 0.905 => SynologyNas,
+            x if x < 0.935 => ManagedMqttBroker,
+            x if x < 0.952 => ManagedAmqpBroker,
+            x if x < 0.97 => ManagedCoapBackend,
+            x if x < 0.985 => EfentoCloudSensor,
+            _ => NanoleafShowroom,
+        }
+    }
+
+    fn build_servers(&mut self) {
+        for _ in 0..self.config.servers {
+            let kind = self.sample_server_kind();
+            let (asn, c) = self.hosting_as_list
+                [weighted_as(&mut self.rng, &self.hosting_as_list)];
+            self.spawn_static(kind, asn, c);
+        }
+    }
+
+    fn build_routers(&mut self) {
+        for _ in 0..self.config.routers {
+            let (asn, c) = self.nsp_as_list[weighted_as(&mut self.rng, &self.nsp_as_list)];
+            self.spawn_static(DeviceKind::CoreRouter, asn, c);
+        }
+    }
+
+    fn spawn_static(&mut self, kind: DeviceKind, asn: Asn, c: Country) -> DeviceId {
+        let alloc = self.topology.info(asn).unwrap().allocations[0];
+        let idx = {
+            let e = self.next_static.entry(asn).or_insert(0);
+            let v = *e;
+            *e += 1;
+            v
+        };
+        // Spread servers over /48s (4 per /48) with structured subnets:
+        // keeps the hitlist's per-/48 density low (Table 1's medians).
+        let net48 = alloc.subnet(48, u128::from(idx / 4));
+        let net64 = net48.subnet(64, u128::from(idx % 4));
+        let salt = self.build_ctx_salt();
+        let services = {
+            let mut ctx = BuildCtx {
+                rng: &mut self.rng,
+                pools: &self.pools_keys,
+                salt,
+                now_unix: SimTime::EPOCH.to_unix(),
+            };
+            build_services(kind, &mut ctx)
+        };
+        let addressing = if kind == DeviceKind::CoreRouter {
+            if self.rng.random_bool(0.6) {
+                Addressing::Zero
+            } else {
+                Addressing::Structured(self.rng.random_range(1..=2u64))
+            }
+        } else {
+            let r: f64 = self.rng.random();
+            if r < 0.45 {
+                // Operators overwhelmingly number hosts ::1, ::2, ... —
+                // the clustering that makes target-generation algorithms
+                // productive on server space.
+                let iid = if self.rng.random_bool(0.6) {
+                    self.rng.random_range(1..=8u64)
+                } else {
+                    self.rng.random_range(9..=255u64)
+                };
+                Addressing::Structured(iid)
+            } else if r < 0.62 {
+                Addressing::Structured(self.rng.random_range(0x100..=0xffffu64))
+            } else if r < 0.72 {
+                Addressing::Zero
+            } else {
+                Addressing::Privacy {
+                    regen: Duration::days(3650), // effectively stable
+                }
+            }
+        };
+        let id = self.push_device(
+            kind,
+            asn,
+            c,
+            Attachment::Static { net64 },
+            addressing,
+            services,
+        );
+        self.static64.insert(net64.bits(), id);
+        id
+    }
+
+    fn build_cdn(&mut self) {
+        let alloc = Self::alloc_prefix(0x2606_4700, 0);
+        self.register_as(
+            "EdgeCloud CDN".into(),
+            AsType::Content,
+            country::US,
+            alloc,
+        );
+        // The whole /36 answers HTTP on every address; TLS demands SNI.
+        let prefix = Prefix::new(alloc.network(), 36);
+        let services = ServiceSet {
+            http: Some(HttpService {
+                title: None, // CDN error page without a title
+                status: 403,
+                server_header: Some("EdgeCloud".into()),
+                plain: true,
+                tls: Some(TlsEndpoint {
+                    cert: wire::tls::Certificate {
+                        subject: "edgecloud.example".into(),
+                        issuer: "R3".into(),
+                        serial: 0xcd41,
+                        not_before: 0,
+                        not_after: u64::MAX,
+                        key_blob: b"edgecloud-frontend".to_vec(),
+                    },
+                    version: wire::tls::Version::Tls13,
+                    require_sni: true,
+                }),
+            }),
+            ..ServiceSet::default()
+        };
+        self.aliased.push(AliasedRegion { prefix, services });
+    }
+}
+
+/// Weighted pick over `(value, weight)` pairs.
+fn weighted_pick<T: Copy>(rng: &mut StdRng, items: &[(T, u64)]) -> T {
+    let total: u64 = items.iter().map(|(_, w)| w).sum();
+    let mut target = rng.random_range(0..total.max(1));
+    for (v, w) in items {
+        if target < *w {
+            return *v;
+        }
+        target -= w;
+    }
+    items.last().expect("non-empty").0
+}
+
+/// Index pick over AS lists, weighted by the country's client weight.
+fn weighted_as(rng: &mut StdRng, list: &[(Asn, Country)]) -> usize {
+    let total: u64 = list
+        .iter()
+        .map(|(_, c)| country::client_weight(*c).max(1))
+        .sum();
+    let mut target = rng.random_range(0..total.max(1));
+    for (i, (_, c)) in list.iter().enumerate() {
+        let w = country::client_weight(*c).max(1);
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    list.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> World {
+        World::generate(WorldConfig::tiny(11))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(WorldConfig::tiny(5));
+        let b = World::generate(WorldConfig::tiny(5));
+        assert_eq!(a.devices().len(), b.devices().len());
+        for (x, y) in a.devices().iter().zip(b.devices()) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.asn, y.asn);
+        }
+        let c = World::generate(WorldConfig::tiny(6));
+        // Different seed ⇒ (almost surely) different population layout.
+        let same = a
+            .devices()
+            .iter()
+            .zip(c.devices())
+            .filter(|(x, y)| x.kind == y.kind)
+            .count();
+        assert!(same < a.devices().len());
+    }
+
+    #[test]
+    fn addresses_resolve_back_to_device() {
+        let w = tiny();
+        for t in [SimTime(0), SimTime(100_000), SimTime(2_000_000)] {
+            for dev in w.devices().iter().take(300) {
+                let addr = w.address_of(dev.id, t);
+                let found = w
+                    .device_at(addr, t)
+                    .unwrap_or_else(|| panic!("{addr} at {t} unresolvable ({:?})", dev.kind));
+                assert_eq!(found.id, dev.id);
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_prefixes_go_stale() {
+        let w = tiny();
+        // A household device's address at t=0 no longer resolves after the
+        // prefix rotates away (unless the pool cycled back, impossible in
+        // one epoch with step != 0 mod space).
+        let dev = w
+            .devices()
+            .iter()
+            .find(|d| matches!(d.attachment, Attachment::Household { .. }))
+            .unwrap();
+        let addr0 = w.address_of(dev.id, SimTime(0));
+        let later = SimTime(Duration::days(1).as_secs() + 10);
+        assert_ne!(w.address_of(dev.id, later), addr0, "prefix did not rotate");
+        assert!(w.device_at(addr0, later).is_none(), "stale address resolved");
+    }
+
+    #[test]
+    fn static_servers_are_stable() {
+        let w = tiny();
+        let dev = w
+            .devices()
+            .iter()
+            .find(|d| matches!(d.attachment, Attachment::Static { .. }))
+            .unwrap();
+        let a = w.address_of(dev.id, SimTime(0));
+        let b = w.address_of(dev.id, SimTime(2_000_000));
+        // Static attachment keeps the /64; Privacy IID servers use an
+        // effectively-infinite regen interval.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cdn_answers_everywhere_without_device() {
+        let w = tiny();
+        let region = &w.aliased_regions()[0];
+        let probe = wire::http::Request::scanner_get("t").emit();
+        for host in [1u128, 0xdead_beef, 1 << 60] {
+            let addr = region.prefix.host(host);
+            let resp = w.respond(addr, 80, &probe, SimTime(0)).expect("CDN silent");
+            let parsed = wire::http::Response::parse(&resp).unwrap();
+            assert_eq!(parsed.status, 403);
+        }
+        // TLS without SNI fails.
+        let mut probe = wire::tls::ClientHello {
+            version: wire::tls::Version::Tls13,
+            server_name: None,
+        }
+        .emit();
+        probe.extend(wire::http::Request::scanner_get("t").emit());
+        let resp = w
+            .respond(region.prefix.host(7), 443, &probe, SimTime(0))
+            .unwrap();
+        assert!(matches!(
+            wire::tls::ServerResponse::parse(&resp).unwrap(),
+            wire::tls::ServerResponse::Alert(_)
+        ));
+    }
+
+    #[test]
+    fn unrouted_space_is_silent() {
+        let w = tiny();
+        let probe = wire::http::Request::scanner_get("t").emit();
+        assert!(w
+            .respond("9999::1".parse().unwrap(), 80, &probe, SimTime(0))
+            .is_none());
+    }
+
+    #[test]
+    fn population_composition_sane() {
+        let w = tiny();
+        let total = w.devices().len();
+        assert!(total > 500, "only {total} devices");
+        let eyeball = w.devices().iter().filter(|d| d.kind.is_eyeball()).count();
+        let servers = total - eyeball;
+        assert!(eyeball > servers, "eyeball {eyeball} vs static {servers}");
+        // Germany-heavy AVM: at least some FritzBoxes exist.
+        // Europe is ~10 % of the client-weighted household mass, so a
+        // tiny world still carries a handful of FritzBoxes.
+        let fritz = w
+            .devices()
+            .iter()
+            .filter(|d| d.kind == DeviceKind::FritzBox)
+            .count();
+        assert!(fritz >= 4, "only {fritz} FritzBoxes");
+        // Consumer devices overwhelmingly run pool clients; servers
+        // mostly do not (provider/distro time sources).
+        let eyeball_ntp = w
+            .ntp_clients()
+            .filter(|(d, _)| d.kind.is_eyeball())
+            .count();
+        let server_ntp = w.ntp_clients().count() - eyeball_ntp;
+        assert!(eyeball_ntp as f64 / eyeball as f64 > 0.85);
+        assert!((server_ntp as f64) < 0.25 * servers as f64);
+    }
+
+    #[test]
+    fn household_members_share_48_at_same_time() {
+        let w = tiny();
+        let hh = &w.households()[0];
+        let t = SimTime(50_000);
+        let nets: Vec<Prefix> = hh
+            .members
+            .iter()
+            .map(|&m| Prefix::of(w.address_of(m, t), 48))
+            .collect();
+        assert!(nets.windows(2).all(|w| w[0] == w[1]), "members scattered: {nets:?}");
+    }
+
+    #[test]
+    fn pool_inverse_is_correct() {
+        let pool = EyeballPool {
+            alloc: "2a00::/32".parse().unwrap(),
+            households: (0..97).collect(),
+            space: 391,
+            step: 17,
+        };
+        for epoch in [0u64, 1, 5, 27, 1000] {
+            for h in 0..97u32 {
+                let slot = pool.slot_at(h, epoch);
+                assert_eq!(pool.house_at(slot, epoch), Some(h));
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Address collection: what the modified NTP servers log.
+//!
+//! The collector keeps, per collecting server, the set of distinct client
+//! addresses (Table 7 / Figure 4) plus a global set (Table 1), and emits a
+//! **first-sight feed**: every address is handed to the real-time scanner
+//! exactly once, when first observed — re-observations only bump counters,
+//! mirroring how the study's zgrab2 pipeline deduplicates its input.
+
+use crate::pool::ServerId;
+use netsim::time::SimTime;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+use v6addr::AddrSet;
+
+/// One first-sight observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// The client address.
+    pub addr: Ipv6Addr,
+    /// When it was first seen.
+    pub seen: SimTime,
+    /// Which collecting server saw it first.
+    pub server: ServerId,
+}
+
+/// Sink for first-sight observations, shareable with a concurrently
+/// running scanner.
+pub trait FeedSink: Send + Sync {
+    /// Called once per distinct address.
+    fn on_first_sight(&mut self, obs: Observation);
+}
+
+/// A sink that simply buffers the feed.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink(pub Arc<Mutex<Vec<Observation>>>);
+
+impl FeedSink for VecSink {
+    fn on_first_sight(&mut self, obs: Observation) {
+        self.0.lock().push(obs);
+    }
+}
+
+/// A sink that forwards into a crossbeam channel (live pipeline mode).
+pub struct ChannelSink(pub crossbeam::channel::Sender<Observation>);
+
+impl FeedSink for ChannelSink {
+    fn on_first_sight(&mut self, obs: Observation) {
+        // A disconnected consumer just means collection outlives scanning.
+        let _ = self.0.send(obs);
+    }
+}
+
+/// The address collector.
+pub struct AddressCollector {
+    global: AddrSet,
+    per_server: HashMap<ServerId, AddrSet>,
+    requests: HashMap<ServerId, u64>,
+    sink: Option<Box<dyn FeedSink>>,
+}
+
+impl std::fmt::Debug for AddressCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AddressCollector")
+            .field("distinct", &self.global.len())
+            .field("servers", &self.per_server.len())
+            .finish()
+    }
+}
+
+impl Default for AddressCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressCollector {
+    /// Collector without a feed sink.
+    pub fn new() -> AddressCollector {
+        AddressCollector {
+            global: AddrSet::new(),
+            per_server: HashMap::new(),
+            requests: HashMap::new(),
+            sink: None,
+        }
+    }
+
+    /// Collector forwarding first sights into `sink`.
+    pub fn with_sink(sink: Box<dyn FeedSink>) -> AddressCollector {
+        AddressCollector {
+            sink: Some(sink),
+            ..AddressCollector::new()
+        }
+    }
+
+    /// Records one observed request.
+    pub fn record(&mut self, server: ServerId, addr: Ipv6Addr, at: SimTime) {
+        *self.requests.entry(server).or_insert(0) += 1;
+        self.per_server.entry(server).or_default().insert(addr);
+        if self.global.insert(addr) {
+            if let Some(sink) = &mut self.sink {
+                sink.on_first_sight(Observation {
+                    addr,
+                    seen: at,
+                    server,
+                });
+            }
+        }
+    }
+
+    /// The global distinct-address set.
+    pub fn global(&self) -> &AddrSet {
+        &self.global
+    }
+
+    /// Distinct addresses per server.
+    pub fn per_server(&self, server: ServerId) -> Option<&AddrSet> {
+        self.per_server.get(&server)
+    }
+
+    /// Total raw requests a server received.
+    pub fn requests(&self, server: ServerId) -> u64 {
+        self.requests.get(&server).copied().unwrap_or(0)
+    }
+
+    /// Servers with any recorded data.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        let mut v: Vec<ServerId> = self.per_server.keys().copied().collect();
+        v.sort();
+        v.into_iter()
+    }
+
+    /// Consumes the collector, returning the global set.
+    pub fn into_global(self) -> AddrSet {
+        self.global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn dedup_and_counters() {
+        let mut c = AddressCollector::new();
+        let s0 = ServerId(0);
+        let s1 = ServerId(1);
+        c.record(s0, a("2001:db8::1"), SimTime(1));
+        c.record(s0, a("2001:db8::1"), SimTime(2));
+        c.record(s1, a("2001:db8::1"), SimTime(3));
+        c.record(s1, a("2001:db8::2"), SimTime(4));
+        assert_eq!(c.global().len(), 2);
+        assert_eq!(c.per_server(s0).unwrap().len(), 1);
+        assert_eq!(c.per_server(s1).unwrap().len(), 2);
+        assert_eq!(c.requests(s0), 2);
+        assert_eq!(c.requests(s1), 2);
+        assert_eq!(c.servers().collect::<Vec<_>>(), vec![s0, s1]);
+    }
+
+    #[test]
+    fn feed_fires_once_per_address() {
+        let sink = VecSink::default();
+        let buf = sink.0.clone();
+        let mut c = AddressCollector::with_sink(Box::new(sink));
+        c.record(ServerId(0), a("2001:db8::1"), SimTime(5));
+        c.record(ServerId(1), a("2001:db8::1"), SimTime(9)); // re-sight
+        c.record(ServerId(0), a("2001:db8::2"), SimTime(12));
+        let feed = buf.lock().clone();
+        assert_eq!(feed.len(), 2);
+        assert_eq!(feed[0].addr, a("2001:db8::1"));
+        assert_eq!(feed[0].seen, SimTime(5));
+        assert_eq!(feed[0].server, ServerId(0));
+        assert_eq!(feed[1].addr, a("2001:db8::2"));
+    }
+
+    #[test]
+    fn channel_sink_delivers() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let mut c = AddressCollector::with_sink(Box::new(ChannelSink(tx)));
+        c.record(ServerId(0), a("2001:db8::7"), SimTime(1));
+        drop(c);
+        let got: Vec<Observation> = rx.iter().collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].addr, a("2001:db8::7"));
+    }
+
+    #[test]
+    fn empty_lookups() {
+        let c = AddressCollector::new();
+        assert_eq!(c.requests(ServerId(9)), 0);
+        assert!(c.per_server(ServerId(9)).is_none());
+        assert_eq!(c.global().len(), 0);
+    }
+}

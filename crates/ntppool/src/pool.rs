@@ -1,0 +1,213 @@
+//! The pool registry and client → server mapping.
+//!
+//! Selection follows the NTP Pool's documented behaviour (Moura et al.,
+//! ref \[38\]): a client is served from its **country zone** when that
+//! zone has servers, otherwise from its **continent zone**, otherwise from
+//! the **global zone**; within a zone, the DNS rotation hands out servers
+//! with probability proportional to their operator-configured netspeed.
+//!
+//! Selection is deterministic: the "random" draw is a hash of
+//! `(client id, poll sequence)`, so simulation runs are reproducible.
+
+use crate::server::PoolServer;
+use netsim::country::{self, Continent, Country};
+use netsim::mix2;
+use std::collections::HashMap;
+
+/// Index of a server in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub u32);
+
+/// The pool.
+#[derive(Debug, Clone, Default)]
+pub struct Pool {
+    servers: Vec<PoolServer>,
+    by_country: HashMap<Country, Vec<ServerId>>,
+    by_continent: HashMap<Continent, Vec<ServerId>>,
+    global: Vec<ServerId>,
+}
+
+impl Pool {
+    /// Empty pool.
+    pub fn new() -> Pool {
+        Pool::default()
+    }
+
+    /// A pool pre-populated with every country's background servers (per
+    /// [`netsim::country::background_servers`]).
+    pub fn with_background() -> Pool {
+        let mut pool = Pool::new();
+        for (c, _, _, _, n) in country::COUNTRY_TABLE {
+            for _ in 0..*n {
+                pool.add(PoolServer::background(*c));
+            }
+        }
+        pool
+    }
+
+    /// Adds a server, returning its id.
+    pub fn add(&mut self, server: PoolServer) -> ServerId {
+        let id = ServerId(self.servers.len() as u32);
+        self.by_country.entry(server.country).or_default().push(id);
+        if let Some(k) = country::continent(server.country) {
+            self.by_continent.entry(k).or_default().push(id);
+        }
+        self.global.push(id);
+        self.servers.push(server);
+        id
+    }
+
+    /// Immutable server access.
+    pub fn server(&self, id: ServerId) -> &PoolServer {
+        &self.servers[id.0 as usize]
+    }
+
+    /// Mutable server access (netspeed tuning).
+    pub fn server_mut(&mut self, id: ServerId) -> &mut PoolServer {
+        &mut self.servers[id.0 as usize]
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> impl Iterator<Item = (ServerId, &PoolServer)> + '_ {
+        self.servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ServerId(i as u32), s))
+    }
+
+    /// Ids of collecting servers with a given operator filter.
+    pub fn collecting_servers(&self) -> impl Iterator<Item = (ServerId, &PoolServer)> + '_ {
+        self.servers().filter(|(_, s)| s.operator.collects())
+    }
+
+    /// The zone (server list) a client in `c` is served from.
+    pub fn zone_of(&self, c: Country) -> &[ServerId] {
+        if let Some(z) = self.by_country.get(&c) {
+            if !z.is_empty() {
+                return z;
+            }
+        }
+        if let Some(k) = country::continent(c) {
+            if let Some(z) = self.by_continent.get(&k) {
+                if !z.is_empty() {
+                    return z;
+                }
+            }
+        }
+        &self.global
+    }
+
+    /// Total netspeed of a zone.
+    pub fn zone_netspeed(&self, c: Country) -> u64 {
+        self.zone_of(c).iter().map(|id| self.server(*id).netspeed).sum()
+    }
+
+    /// A collecting server's share of its zone's queries.
+    pub fn zone_share(&self, id: ServerId) -> f64 {
+        let c = self.server(id).country;
+        let total = self.zone_netspeed(c);
+        if total == 0 {
+            0.0
+        } else {
+            self.server(id).netspeed as f64 / total as f64
+        }
+    }
+
+    /// Deterministic weighted pick for one query: `client` and `seq`
+    /// replace the DNS rotation's randomness.
+    pub fn select(&self, client_country: Country, client: u64, seq: u64) -> Option<ServerId> {
+        let zone = self.zone_of(client_country);
+        if zone.is_empty() {
+            return None;
+        }
+        let total: u64 = zone.iter().map(|id| self.server(*id).netspeed).sum();
+        if total == 0 {
+            return Some(zone[0]);
+        }
+        let mut target = mix2(client, seq) % total;
+        for id in zone {
+            let w = self.server(*id).netspeed;
+            if target < w {
+                return Some(*id);
+            }
+            target -= w;
+        }
+        zone.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::country;
+
+    #[test]
+    fn background_pool_matches_country_table() {
+        let pool = Pool::with_background();
+        assert_eq!(
+            pool.zone_of(country::DE).len(),
+            country::background_servers(country::DE) as usize
+        );
+        assert_eq!(
+            pool.zone_of(country::IN).len(),
+            country::background_servers(country::IN) as usize
+        );
+    }
+
+    #[test]
+    fn empty_country_falls_back_to_continent_then_global() {
+        let mut pool = Pool::new();
+        let de = pool.add(PoolServer::background(country::DE));
+        // Spain has no servers in this pool, but DE shares the continent.
+        assert_eq!(pool.zone_of(country::ES), &[de]);
+        // India: no Asian servers at all → global.
+        assert_eq!(pool.zone_of(country::IN), &[de]);
+        let jp = pool.add(PoolServer::background(country::JP));
+        assert_eq!(pool.zone_of(country::IN), &[jp]);
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_weighted() {
+        let mut pool = Pool::new();
+        let small = pool.add(PoolServer::background(country::DE));
+        let big = pool.add(PoolServer {
+            netspeed: 9_000,
+            ..PoolServer::background(country::DE)
+        });
+        assert_eq!(
+            pool.select(country::DE, 1, 1),
+            pool.select(country::DE, 1, 1)
+        );
+        let mut hits = [0u32; 2];
+        for client in 0..500u64 {
+            for seq in 0..10u64 {
+                match pool.select(country::DE, client, seq).unwrap() {
+                    s if s == small => hits[0] += 1,
+                    s if s == big => hits[1] += 1,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let share = hits[1] as f64 / (hits[0] + hits[1]) as f64;
+        assert!((0.85..0.95).contains(&share), "big server share {share}");
+        assert!((pool.zone_share(big) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn select_on_empty_pool_is_none() {
+        let pool = Pool::new();
+        assert_eq!(pool.select(country::DE, 1, 1), None);
+    }
+
+    #[test]
+    fn collecting_servers_filter() {
+        let mut pool = Pool::with_background();
+        let n_bg = pool.servers().count();
+        pool.add(PoolServer {
+            operator: crate::server::Operator::Study { location_index: 0 },
+            ..PoolServer::background(country::AU)
+        });
+        assert_eq!(pool.collecting_servers().count(), 1);
+        assert_eq!(pool.servers().count(), n_bg + 1);
+    }
+}

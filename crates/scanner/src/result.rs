@@ -1,0 +1,298 @@
+//! Scan protocols and typed scan results.
+
+use netsim::time::SimTime;
+use std::fmt;
+use std::net::Ipv6Addr;
+use wire::mqtt::ConnectReturnCode;
+use wire::tls::{Alert, Certificate, Version};
+
+/// The protocols the study scans, with their IANA ports (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// HTTP on 80.
+    Http,
+    /// HTTPS on 443.
+    Https,
+    /// SSH on 22.
+    Ssh,
+    /// MQTT on 1883.
+    Mqtt,
+    /// MQTT over TLS on 8883.
+    Mqtts,
+    /// AMQP on 5672.
+    Amqp,
+    /// AMQP over TLS on 5671.
+    Amqps,
+    /// CoAP on 5683/UDP.
+    Coap,
+}
+
+impl Protocol {
+    /// All protocols in Table 2 order.
+    pub const ALL: [Protocol; 8] = [
+        Protocol::Http,
+        Protocol::Https,
+        Protocol::Ssh,
+        Protocol::Mqtt,
+        Protocol::Mqtts,
+        Protocol::Amqp,
+        Protocol::Amqps,
+        Protocol::Coap,
+    ];
+
+    /// The scanned port.
+    pub fn port(&self) -> u16 {
+        match self {
+            Protocol::Http => 80,
+            Protocol::Https => 443,
+            Protocol::Ssh => 22,
+            Protocol::Mqtt => 1883,
+            Protocol::Mqtts => 8883,
+            Protocol::Amqp => 5672,
+            Protocol::Amqps => 5671,
+            Protocol::Coap => 5683,
+        }
+    }
+
+    /// Display name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Http => "HTTP",
+            Protocol::Https => "HTTPS",
+            Protocol::Ssh => "SSH",
+            Protocol::Mqtt => "MQTT",
+            Protocol::Mqtts => "MQTTS",
+            Protocol::Amqp => "AMQP",
+            Protocol::Amqps => "AMQPS",
+            Protocol::Coap => "CoAP",
+        }
+    }
+
+    /// Is this a TLS-wrapped variant?
+    pub fn is_tls(&self) -> bool {
+        matches!(self, Protocol::Https | Protocol::Mqtts | Protocol::Amqps)
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Certificate metadata the analyses consume (dedup key + validity).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CertMeta {
+    /// Fingerprint (dedup key).
+    pub fingerprint: [u8; 32],
+    /// Subject CN.
+    pub subject: String,
+    /// Issuer CN.
+    pub issuer: String,
+    /// Self-signed?
+    pub self_signed: bool,
+    /// Negotiated TLS version.
+    pub version: Version,
+}
+
+impl CertMeta {
+    /// Extracts metadata from a wire certificate.
+    pub fn from_wire(cert: &Certificate, version: Version) -> CertMeta {
+        CertMeta {
+            fingerprint: cert.fingerprint(),
+            subject: cert.subject.clone(),
+            issuer: cert.issuer.clone(),
+            self_signed: cert.is_self_signed(),
+            version,
+        }
+    }
+}
+
+/// Outcome of a TLS handshake attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsOutcome {
+    /// Handshake completed.
+    Established(CertMeta),
+    /// Server aborted with an alert (the Cloudfront-without-SNI case).
+    Failed(Alert),
+}
+
+impl TlsOutcome {
+    /// The certificate, if the handshake succeeded.
+    pub fn cert(&self) -> Option<&CertMeta> {
+        match self {
+            TlsOutcome::Established(c) => Some(c),
+            TlsOutcome::Failed(_) => None,
+        }
+    }
+}
+
+/// A typed scan result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceResult {
+    /// Plain HTTP answer.
+    Http {
+        /// Status code.
+        status: u16,
+        /// Extracted `<title>` (collapsed whitespace).
+        title: Option<String>,
+    },
+    /// HTTPS: TLS outcome plus, if established, the inner HTTP answer.
+    Https {
+        /// Handshake outcome.
+        tls: TlsOutcome,
+        /// Inner response when the handshake succeeded.
+        status: Option<u16>,
+        /// Inner page title.
+        title: Option<String>,
+    },
+    /// SSH identification + host key.
+    Ssh {
+        /// Software version from the identification string.
+        software: String,
+        /// Comment (distro + patch level) if present.
+        comment: Option<String>,
+        /// Host-key fingerprint (dedup key).
+        fingerprint: [u8; 32],
+    },
+    /// MQTT CONNACK.
+    Mqtt {
+        /// Broker return code for the anonymous probe.
+        return_code: ConnectReturnCode,
+    },
+    /// MQTTS: TLS outcome plus inner CONNACK.
+    Mqtts {
+        /// Handshake outcome.
+        tls: TlsOutcome,
+        /// Inner CONNACK code when established.
+        return_code: Option<ConnectReturnCode>,
+    },
+    /// AMQP Connection.Start.
+    Amqp {
+        /// Advertised SASL mechanisms.
+        mechanisms: String,
+        /// Broker product string.
+        product: String,
+    },
+    /// AMQPS: TLS outcome plus inner greeting.
+    Amqps {
+        /// Handshake outcome.
+        tls: TlsOutcome,
+        /// Mechanisms when established.
+        mechanisms: Option<String>,
+    },
+    /// CoAP `/.well-known/core` listing.
+    Coap {
+        /// Advertised resource targets.
+        resources: Vec<String>,
+    },
+}
+
+impl ServiceResult {
+    /// The TLS outcome, for TLS-wrapped results.
+    pub fn tls(&self) -> Option<&TlsOutcome> {
+        match self {
+            ServiceResult::Https { tls, .. }
+            | ServiceResult::Mqtts { tls, .. }
+            | ServiceResult::Amqps { tls, .. } => Some(tls),
+            _ => None,
+        }
+    }
+
+    /// The dedup fingerprint (certificate or host key), if this result
+    /// carries one.
+    pub fn fingerprint(&self) -> Option<[u8; 32]> {
+        match self {
+            ServiceResult::Ssh { fingerprint, .. } => Some(*fingerprint),
+            other => other.tls().and_then(|t| t.cert()).map(|c| c.fingerprint),
+        }
+    }
+}
+
+/// One successful scan record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRecord {
+    /// Target address.
+    pub addr: Ipv6Addr,
+    /// When the probe completed.
+    pub time: SimTime,
+    /// Protocol.
+    pub protocol: Protocol,
+    /// Typed result.
+    pub result: ServiceResult,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_match_table2() {
+        assert_eq!(Protocol::Http.port(), 80);
+        assert_eq!(Protocol::Https.port(), 443);
+        assert_eq!(Protocol::Ssh.port(), 22);
+        assert_eq!(Protocol::Mqtt.port(), 1883);
+        assert_eq!(Protocol::Mqtts.port(), 8883);
+        assert_eq!(Protocol::Amqp.port(), 5672);
+        assert_eq!(Protocol::Amqps.port(), 5671);
+        assert_eq!(Protocol::Coap.port(), 5683);
+    }
+
+    #[test]
+    fn tls_flags() {
+        assert!(Protocol::Https.is_tls());
+        assert!(Protocol::Mqtts.is_tls());
+        assert!(Protocol::Amqps.is_tls());
+        assert!(!Protocol::Http.is_tls());
+        assert!(!Protocol::Coap.is_tls());
+    }
+
+    #[test]
+    fn fingerprint_extraction() {
+        let ssh = ServiceResult::Ssh {
+            software: "x".into(),
+            comment: None,
+            fingerprint: [7; 32],
+        };
+        assert_eq!(ssh.fingerprint(), Some([7; 32]));
+        let plain = ServiceResult::Http {
+            status: 200,
+            title: None,
+        };
+        assert_eq!(plain.fingerprint(), None);
+        let failed = ServiceResult::Https {
+            tls: TlsOutcome::Failed(Alert::UnrecognizedName),
+            status: None,
+            title: None,
+        };
+        assert_eq!(failed.fingerprint(), None);
+        let cert = CertMeta {
+            fingerprint: [9; 32],
+            subject: "s".into(),
+            issuer: "s".into(),
+            self_signed: true,
+            version: Version::Tls13,
+        };
+        let ok = ServiceResult::Https {
+            tls: TlsOutcome::Established(cert),
+            status: Some(200),
+            title: Some("t".into()),
+        };
+        assert_eq!(ok.fingerprint(), Some([9; 32]));
+    }
+
+    #[test]
+    fn cert_meta_from_wire() {
+        let cert = Certificate {
+            subject: "a".into(),
+            issuer: "b".into(),
+            serial: 1,
+            not_before: 0,
+            not_after: 10,
+            key_blob: vec![1],
+        };
+        let meta = CertMeta::from_wire(&cert, Version::Tls12);
+        assert!(!meta.self_signed);
+        assert_eq!(meta.fingerprint, cert.fingerprint());
+    }
+}

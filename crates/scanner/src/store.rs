@@ -1,0 +1,201 @@
+//! The scan-result store and hit-rate accounting.
+
+use crate::result::{Protocol, ScanRecord};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv6Addr;
+
+/// Collected scan results for one address source (NTP feed or hitlist).
+#[derive(Debug, Clone, Default)]
+pub struct ScanStore {
+    records: Vec<ScanRecord>,
+    attempts: HashMap<Protocol, u64>,
+    targets: u64,
+}
+
+impl ScanStore {
+    /// Empty store.
+    pub fn new() -> ScanStore {
+        ScanStore::default()
+    }
+
+    /// Notes that one target address entered the pipeline.
+    pub fn note_target(&mut self) {
+        self.targets += 1;
+    }
+
+    /// Notes a probe attempt.
+    pub fn note_attempt(&mut self, protocol: Protocol) {
+        *self.attempts.entry(protocol).or_insert(0) += 1;
+    }
+
+    /// Adds a successful record.
+    pub fn push(&mut self, record: ScanRecord) {
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ScanRecord] {
+        &self.records
+    }
+
+    /// Records for one protocol.
+    pub fn by_protocol(&self, p: Protocol) -> impl Iterator<Item = &ScanRecord> + '_ {
+        self.records.iter().filter(move |r| r.protocol == p)
+    }
+
+    /// Distinct responsive addresses for a protocol.
+    pub fn addrs(&self, p: Protocol) -> HashSet<Ipv6Addr> {
+        self.by_protocol(p).map(|r| r.addr).collect()
+    }
+
+    /// Distinct responsive addresses whose TLS handshake succeeded.
+    pub fn addrs_with_tls(&self, p: Protocol) -> HashSet<Ipv6Addr> {
+        self.by_protocol(p)
+            .filter(|r| {
+                r.result
+                    .tls()
+                    .is_some_and(|t| t.cert().is_some())
+            })
+            .map(|r| r.addr)
+            .collect()
+    }
+
+    /// Distinct certificate / host-key fingerprints for a protocol.
+    pub fn fingerprints(&self, p: Protocol) -> HashSet<[u8; 32]> {
+        self.by_protocol(p)
+            .filter_map(|r| r.result.fingerprint())
+            .collect()
+    }
+
+    /// One representative record per fingerprint (first seen), the unit of
+    /// the paper's "unique hosts by cert/key" analyses.
+    pub fn unique_by_fingerprint(&self, p: Protocol) -> Vec<&ScanRecord> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for r in self.by_protocol(p) {
+            if let Some(fp) = r.result.fingerprint() {
+                if seen.insert(fp) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Probe attempts per protocol.
+    pub fn attempts(&self, p: Protocol) -> u64 {
+        self.attempts.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Target addresses fed into the pipeline.
+    pub fn targets(&self) -> u64 {
+        self.targets
+    }
+
+    /// Overall hit rate: distinct responsive addresses on any protocol
+    /// over targets (the paper reports 0.42 ‰ for NTP-sourced scans).
+    pub fn hit_rate(&self) -> f64 {
+        if self.targets == 0 {
+            return 0.0;
+        }
+        let responsive: HashSet<Ipv6Addr> = self.records.iter().map(|r| r.addr).collect();
+        responsive.len() as f64 / self.targets as f64
+    }
+
+    /// Merges another store (used to combine shard results).
+    pub fn merge(&mut self, other: ScanStore) {
+        self.records.extend(other.records);
+        for (p, n) in other.attempts {
+            *self.attempts.entry(p).or_insert(0) += n;
+        }
+        self.targets += other.targets;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::{CertMeta, ServiceResult, TlsOutcome};
+    use netsim::time::SimTime;
+    use wire::tls::Version;
+
+    fn rec(addr: &str, p: Protocol, result: ServiceResult) -> ScanRecord {
+        ScanRecord {
+            addr: addr.parse().unwrap(),
+            time: SimTime(0),
+            protocol: p,
+            result,
+        }
+    }
+
+    fn https_ok(fp: u8) -> ServiceResult {
+        ServiceResult::Https {
+            tls: TlsOutcome::Established(CertMeta {
+                fingerprint: [fp; 32],
+                subject: "s".into(),
+                issuer: "s".into(),
+                self_signed: true,
+                version: Version::Tls13,
+            }),
+            status: Some(200),
+            title: Some("T".into()),
+        }
+    }
+
+    #[test]
+    fn dedup_by_fingerprint() {
+        let mut s = ScanStore::new();
+        s.push(rec("2001:db8::1", Protocol::Https, https_ok(1)));
+        s.push(rec("2001:db8::2", Protocol::Https, https_ok(1))); // same key
+        s.push(rec("2001:db8::3", Protocol::Https, https_ok(2)));
+        assert_eq!(s.addrs(Protocol::Https).len(), 3);
+        assert_eq!(s.fingerprints(Protocol::Https).len(), 2);
+        let uniq = s.unique_by_fingerprint(Protocol::Https);
+        assert_eq!(uniq.len(), 2);
+        assert_eq!(uniq[0].addr, "2001:db8::1".parse::<Ipv6Addr>().unwrap());
+    }
+
+    #[test]
+    fn tls_failures_counted_as_addrs_not_tls() {
+        let mut s = ScanStore::new();
+        s.push(rec(
+            "2001:db8::9",
+            Protocol::Https,
+            ServiceResult::Https {
+                tls: TlsOutcome::Failed(wire::tls::Alert::UnrecognizedName),
+                status: None,
+                title: None,
+            },
+        ));
+        assert_eq!(s.addrs(Protocol::Https).len(), 1);
+        assert_eq!(s.addrs_with_tls(Protocol::Https).len(), 0);
+        assert_eq!(s.fingerprints(Protocol::Https).len(), 0);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut s = ScanStore::new();
+        for _ in 0..1000 {
+            s.note_target();
+        }
+        s.push(rec("2001:db8::1", Protocol::Http, ServiceResult::Http { status: 200, title: None }));
+        s.push(rec("2001:db8::1", Protocol::Ssh, ServiceResult::Ssh { software: "x".into(), comment: None, fingerprint: [0; 32] }));
+        // One distinct responsive address out of 1000 targets.
+        assert!((s.hit_rate() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = ScanStore::new();
+        a.note_target();
+        a.note_attempt(Protocol::Http);
+        a.push(rec("2001:db8::1", Protocol::Http, ServiceResult::Http { status: 200, title: None }));
+        let mut b = ScanStore::new();
+        b.note_target();
+        b.note_attempt(Protocol::Http);
+        a.merge(b);
+        assert_eq!(a.targets(), 2);
+        assert_eq!(a.attempts(Protocol::Http), 2);
+        assert_eq!(a.records().len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # telescope — detecting NTP-sourcing scanners (paper §5)
+//!
+//! The study's final experiment flips perspective: instead of sourcing
+//! addresses, it *baits* NTP-sourcing scanners. Every server in the pool
+//! is queried from a **distinct source IPv6 address**; traffic arriving at
+//! such an address afterwards can only come from an actor that recorded
+//! it at the queried NTP server. Monitoring the surrounding address space
+//! rules out coincidental scans.
+//!
+//! * [`vantage`] — unique-source query generation and the address ↔
+//!   server ledger;
+//! * [`capture`] — the packet capture at the vantage prefix;
+//! * [`actors`] — scripted third-party actors: a Georgia-Tech-like
+//!   research scanner (overt: identifies itself, reacts within the hour,
+//!   scans 1011 ports for ~10 minutes) and a covert cloud-hosted actor
+//!   (anonymous, Amazon/Linode-style ASes, remote-access/database ports,
+//!   multi-day spread, partial port coverage);
+//! * [`matching`] — scan → query attribution and actor characterisation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actors;
+pub mod capture;
+pub mod matching;
+pub mod vantage;
+
+pub use actors::{covert_actor, gt_actor, Actor, ActorId, ActorProfile};
+pub use capture::{CaptureLog, CapturedPacket};
+pub use matching::{match_captures, ActorCharacter, ActorReport, TelescopeReport};
+pub use vantage::Vantage;

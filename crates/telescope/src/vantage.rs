@@ -1,0 +1,145 @@
+//! Vantage addresses: one distinct source address per queried server.
+
+use netsim::time::{Duration, SimTime};
+use ntppool::{Pool, ServerId};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+use v6addr::Prefix;
+use wire::ntp::{NtpTimestamp, Packet};
+
+/// The telescope: a dedicated prefix, a ledger of which source address
+/// queried which pool server, and the surrounding addresses monitored for
+/// scatter.
+#[derive(Debug, Clone)]
+pub struct Vantage {
+    /// The announced vantage prefix.
+    pub prefix: Prefix,
+    by_addr: HashMap<Ipv6Addr, ServerId>,
+    by_server: HashMap<ServerId, Ipv6Addr>,
+    /// When each server was queried.
+    query_times: HashMap<ServerId, SimTime>,
+}
+
+impl Vantage {
+    /// A telescope over `prefix` (a /48 gives plenty of room).
+    pub fn new(prefix: Prefix) -> Vantage {
+        Vantage {
+            prefix,
+            by_addr: HashMap::new(),
+            by_server: HashMap::new(),
+            query_times: HashMap::new(),
+        }
+    }
+
+    /// The (deterministic) vantage address for the `i`-th server: its own
+    /// /64 with a low IID, so neighbouring monitored addresses exist.
+    pub fn addr_for(&self, server: ServerId) -> Ipv6Addr {
+        self.prefix
+            .subnet(64, u128::from(server.0) + 1)
+            .host(1)
+    }
+
+    /// A neighbouring (never-used) address next to a vantage address —
+    /// the scatter monitor.
+    pub fn scatter_neighbor(&self, server: ServerId) -> Ipv6Addr {
+        self.prefix
+            .subnet(64, u128::from(server.0) + 1)
+            .host(0x2222)
+    }
+
+    /// Queries every pool server once, spreading queries `gap` apart
+    /// starting at `start`. Each query is a full wire-level exchange; the
+    /// ledger records the source address used.
+    pub fn query_all(&mut self, pool: &Pool, start: SimTime, gap: Duration) -> u64 {
+        let mut answered = 0;
+        let mut t = start;
+        for (id, server) in pool.servers() {
+            let src = self.addr_for(id);
+            let req = Packet::client_request(NtpTimestamp::from_unix_secs(t.to_unix())).emit();
+            if server.handle(&req, t).is_some() {
+                answered += 1;
+            }
+            self.by_addr.insert(src, id);
+            self.by_server.insert(id, src);
+            self.query_times.insert(id, t);
+            t += gap;
+        }
+        answered
+    }
+
+    /// Which server was queried from `addr`, if any.
+    pub fn server_of(&self, addr: Ipv6Addr) -> Option<ServerId> {
+        self.by_addr.get(&addr).copied()
+    }
+
+    /// The address used to query `server`.
+    pub fn addr_of(&self, server: ServerId) -> Option<Ipv6Addr> {
+        self.by_server.get(&server).copied()
+    }
+
+    /// When `server` was queried.
+    pub fn query_time(&self, server: ServerId) -> Option<SimTime> {
+        self.query_times.get(&server).copied()
+    }
+
+    /// Is `addr` inside the monitored prefix but *not* a vantage address
+    /// (i.e. would a packet there indicate scattering)?
+    pub fn is_scatter(&self, addr: Ipv6Addr) -> bool {
+        self.prefix.contains(addr) && !self.by_addr.contains_key(&addr)
+    }
+
+    /// Number of queried servers.
+    pub fn queried(&self) -> usize {
+        self.by_server.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::country;
+    use ntppool::PoolServer;
+
+    fn pool(n: u32) -> Pool {
+        let mut p = Pool::new();
+        for _ in 0..n {
+            p.add(PoolServer::background(country::DE));
+        }
+        p
+    }
+
+    #[test]
+    fn addresses_are_unique_per_server() {
+        let v = Vantage::new("2001:db8:aa::/48".parse().unwrap());
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            assert!(seen.insert(v.addr_for(ServerId(i))));
+        }
+    }
+
+    #[test]
+    fn query_ledger_roundtrip() {
+        let p = pool(10);
+        let mut v = Vantage::new("2001:db8:aa::/48".parse().unwrap());
+        let answered = v.query_all(&p, SimTime(100), Duration::secs(5));
+        assert_eq!(answered, 10);
+        assert_eq!(v.queried(), 10);
+        for i in 0..10 {
+            let id = ServerId(i);
+            let addr = v.addr_of(id).unwrap();
+            assert_eq!(v.server_of(addr), Some(id));
+            assert_eq!(v.query_time(id), Some(SimTime(100 + u64::from(i) * 5)));
+        }
+    }
+
+    #[test]
+    fn scatter_detection() {
+        let p = pool(3);
+        let mut v = Vantage::new("2001:db8:aa::/48".parse().unwrap());
+        v.query_all(&p, SimTime(0), Duration::secs(1));
+        let vantage = v.addr_for(ServerId(1));
+        assert!(!v.is_scatter(vantage));
+        assert!(v.is_scatter(v.scatter_neighbor(ServerId(1))));
+        assert!(!v.is_scatter("2600::1".parse().unwrap())); // outside prefix
+    }
+}

@@ -1,0 +1,348 @@
+//! Address sets with aggregation, overlap and density statistics.
+//!
+//! [`AddrSet`] backs every dataset-level number in the paper's Table 1:
+//! distinct addresses, distinct /48 networks, overlaps between datasets,
+//! and the median number of addresses per /48 or per AS ("density", the
+//! signal that NTP-sourced data covers client networks more deeply than
+//! the hitlist).
+
+use crate::prefix::Prefix;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv6Addr;
+
+/// A deduplicating set of IPv6 addresses.
+#[derive(Debug, Clone, Default)]
+pub struct AddrSet {
+    addrs: HashSet<u128>,
+}
+
+impl AddrSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        AddrSet {
+            addrs: HashSet::with_capacity(n),
+        }
+    }
+
+    /// Inserts an address; returns `true` if it was new.
+    #[inline]
+    pub fn insert(&mut self, addr: Ipv6Addr) -> bool {
+        self.addrs.insert(u128::from(addr))
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        self.addrs.contains(&u128::from(addr))
+    }
+
+    /// Number of distinct addresses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Iterates addresses in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = Ipv6Addr> + '_ {
+        self.addrs.iter().map(|&b| Ipv6Addr::from(b))
+    }
+
+    /// Addresses sorted ascending (stable output for reports and tests).
+    pub fn sorted(&self) -> Vec<Ipv6Addr> {
+        let mut v: Vec<u128> = self.addrs.iter().copied().collect();
+        v.sort_unstable();
+        v.into_iter().map(Ipv6Addr::from).collect()
+    }
+
+    /// Distinct enclosing networks at `len` bits (e.g. `networks(48)` for
+    /// Table 1's "/48 networks" row).
+    pub fn networks(&self, len: u8) -> HashSet<Prefix> {
+        let mask = Prefix::netmask(len);
+        self.addrs
+            .iter()
+            .map(|&b| Prefix::new(Ipv6Addr::from(b & mask), len))
+            .collect()
+    }
+
+    /// Number of distinct /`len` networks.
+    pub fn network_count(&self, len: u8) -> usize {
+        let mask = Prefix::netmask(len);
+        let nets: HashSet<u128> = self.addrs.iter().map(|&b| b & mask).collect();
+        nets.len()
+    }
+
+    /// Addresses per /`len` network.
+    pub fn network_density(&self, len: u8) -> HashMap<Prefix, u64> {
+        let mask = Prefix::netmask(len);
+        let mut out: HashMap<Prefix, u64> = HashMap::new();
+        for &b in &self.addrs {
+            *out.entry(Prefix::new(Ipv6Addr::from(b & mask), len))
+                .or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Median addresses per /`len` network (`None` for an empty set).
+    ///
+    /// Uses the usual even-count convention (mean of the two central
+    /// values), which is how the paper arrives at fractional medians such
+    /// as 708.5 IPs per AS.
+    pub fn median_network_density(&self, len: u8) -> Option<f64> {
+        median_u64(self.network_density(len).values().copied())
+    }
+
+    /// Groups addresses by an arbitrary key (e.g. origin AS) and returns
+    /// per-key counts.
+    pub fn group_counts<K, F>(&self, key: F) -> HashMap<K, u64>
+    where
+        K: std::hash::Hash + Eq,
+        F: Fn(Ipv6Addr) -> K,
+    {
+        let mut out: HashMap<K, u64> = HashMap::new();
+        for &b in &self.addrs {
+            *out.entry(key(Ipv6Addr::from(b))).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Number of addresses shared with `other`.
+    pub fn overlap(&self, other: &AddrSet) -> usize {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .addrs
+            .iter()
+            .filter(|b| large.addrs.contains(b))
+            .count()
+    }
+
+    /// Number of /`len` networks shared with `other`.
+    pub fn network_overlap(&self, other: &AddrSet, len: u8) -> usize {
+        let mask = Prefix::netmask(len);
+        let mine: HashSet<u128> = self.addrs.iter().map(|&b| b & mask).collect();
+        let theirs: HashSet<u128> = other.addrs.iter().map(|&b| b & mask).collect();
+        mine.intersection(&theirs).count()
+    }
+
+    /// Union in place.
+    pub fn extend_from(&mut self, other: &AddrSet) {
+        self.addrs.extend(other.addrs.iter().copied());
+    }
+
+    /// Serialises to the hitlist interchange format: one lowercase
+    /// address per line, sorted ascending, trailing newline. This is the
+    /// format the TUM hitlist publishes and downstream scanners consume.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 20);
+        for a in self.sorted() {
+            out.push_str(&a.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the one-address-per-line format. Blank lines and `#`
+    /// comments are skipped; any other unparsable line is an error
+    /// reporting its (1-based) line number.
+    pub fn from_text(text: &str) -> Result<AddrSet, ParseSetError> {
+        let mut set = AddrSet::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let addr: Ipv6Addr = line.parse().map_err(|_| ParseSetError { line: i + 1 })?;
+            set.insert(addr);
+        }
+        Ok(set)
+    }
+}
+
+/// Error from [`AddrSet::from_text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseSetError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+}
+
+impl std::fmt::Display for ParseSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid IPv6 address on line {}", self.line)
+    }
+}
+
+impl std::error::Error for ParseSetError {}
+
+impl FromIterator<Ipv6Addr> for AddrSet {
+    fn from_iter<I: IntoIterator<Item = Ipv6Addr>>(iter: I) -> Self {
+        let mut s = AddrSet::new();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+}
+
+impl Extend<Ipv6Addr> for AddrSet {
+    fn extend<I: IntoIterator<Item = Ipv6Addr>>(&mut self, iter: I) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+/// Median of an iterator of counts, even-count mean convention.
+pub fn median_u64<I: IntoIterator<Item = u64>>(values: I) -> Option<f64> {
+    let mut v: Vec<u64> = values.into_iter().collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_unstable();
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2] as f64
+    } else {
+        (v[n / 2 - 1] as f64 + v[n / 2] as f64) / 2.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn set(addrs: &[&str]) -> AddrSet {
+        addrs.iter().map(|s| a(s)).collect()
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = AddrSet::new();
+        assert!(s.insert(a("2001:db8::1")));
+        assert!(!s.insert(a("2001:db8::1")));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(a("2001:db8::1")));
+        assert!(!s.contains(a("2001:db8::2")));
+    }
+
+    #[test]
+    fn network_counts() {
+        let s = set(&[
+            "2001:db8:1::1",
+            "2001:db8:1::2",
+            "2001:db8:1:55::3",
+            "2001:db8:2::1",
+        ]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.network_count(48), 2);
+        assert_eq!(s.network_count(64), 3);
+        assert_eq!(s.network_count(32), 1);
+        let nets = s.networks(48);
+        assert!(nets.contains(&"2001:db8:1::/48".parse().unwrap()));
+        assert!(nets.contains(&"2001:db8:2::/48".parse().unwrap()));
+    }
+
+    #[test]
+    fn density_and_median() {
+        let s = set(&[
+            "2001:db8:1::1",
+            "2001:db8:1::2",
+            "2001:db8:1::3",
+            "2001:db8:2::1",
+        ]);
+        let d = s.network_density(48);
+        assert_eq!(d[&"2001:db8:1::/48".parse().unwrap()], 3);
+        assert_eq!(d[&"2001:db8:2::/48".parse().unwrap()], 1);
+        // Median of [1, 3] = 2.0 (even-count mean).
+        assert_eq!(s.median_network_density(48), Some(2.0));
+    }
+
+    #[test]
+    fn median_conventions() {
+        assert_eq!(median_u64([]), None);
+        assert_eq!(median_u64([5]), Some(5.0));
+        assert_eq!(median_u64([1, 2]), Some(1.5));
+        assert_eq!(median_u64([3, 1, 2]), Some(2.0));
+        assert_eq!(median_u64([708, 709, 1, 100_000]), Some(708.5));
+    }
+
+    #[test]
+    fn overlap_counts() {
+        let x = set(&["2001:db8:1::1", "2001:db8:2::1", "2001:db8:3::1"]);
+        let y = set(&["2001:db8:2::1", "2001:db8:3::2", "2001:db8:4::1"]);
+        assert_eq!(x.overlap(&y), 1);
+        assert_eq!(y.overlap(&x), 1); // symmetric
+        assert_eq!(x.network_overlap(&y, 48), 2); // db8:2 and db8:3
+        assert_eq!(x.network_overlap(&y, 128), 1);
+    }
+
+    #[test]
+    fn group_counts_by_key() {
+        let s = set(&["2001:db8:1::1", "2001:db8:1::2", "2001:db8:2::1"]);
+        let groups = s.group_counts(|addr| Prefix::of(addr, 48));
+        assert_eq!(groups[&"2001:db8:1::/48".parse().unwrap()], 2);
+        assert_eq!(groups[&"2001:db8:2::/48".parse().unwrap()], 1);
+    }
+
+    #[test]
+    fn extend_and_union() {
+        let mut x = set(&["2001:db8::1"]);
+        let y = set(&["2001:db8::1", "2001:db8::2"]);
+        x.extend_from(&y);
+        assert_eq!(x.len(), 2);
+        x.extend([a("2001:db8::3")]);
+        assert_eq!(x.len(), 3);
+    }
+
+    #[test]
+    fn sorted_is_ascending_and_complete() {
+        let s = set(&["2001:db8::3", "2001:db8::1", "2001:db8::2"]);
+        let v = s.sorted();
+        assert_eq!(v, vec![a("2001:db8::1"), a("2001:db8::2"), a("2001:db8::3")]);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let s = set(&["2001:db8::3", "2001:db8::1", "2001:db8::2"]);
+        let text = s.to_text();
+        assert_eq!(text, "2001:db8::1\n2001:db8::2\n2001:db8::3\n");
+        let back = AddrSet::from_text(&text).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.overlap(&s), 3);
+    }
+
+    #[test]
+    fn from_text_skips_comments_and_reports_errors() {
+        let parsed = AddrSet::from_text("# header\n\n2001:db8::1\n  2001:db8::2  \n").unwrap();
+        assert_eq!(parsed.len(), 2);
+        let err = AddrSet::from_text("2001:db8::1\nnot-an-address\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn empty_set_stats() {
+        let s = AddrSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.network_count(48), 0);
+        assert_eq!(s.median_network_density(48), None);
+        assert_eq!(s.overlap(&s.clone()), 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! AMQP 0-9-1 connection opening (subset).
+//!
+//! A scanner probing an AMQP broker sends the 8-byte protocol header
+//! `AMQP\x00\x00\x09\x01`; a live broker answers with a
+//! `Connection.Start` method frame advertising its SASL mechanisms, which
+//! reveals whether anonymous access is possible — the access-control
+//! signal of the paper's Figure 3. Brokers that require TLS or reject the
+//! version answer with their own protocol header instead.
+//!
+//! Implemented: the protocol header, the general frame format
+//! (type/channel/size/payload/frame-end 0xCE), `Connection.Start` and
+//! `Connection.Close` with the field subset the probe reads.
+
+use crate::{WireError, WireResult};
+use bytes::{BufMut, BytesMut};
+
+/// The AMQP 0-9-1 protocol header.
+pub const PROTOCOL_HEADER: [u8; 8] = *b"AMQP\x00\x00\x09\x01";
+
+/// Frame-end octet.
+pub const FRAME_END: u8 = 0xCE;
+
+/// Frame types.
+pub mod frame_type {
+    /// Method frame.
+    pub const METHOD: u8 = 1;
+}
+
+/// Class / method ids used here.
+pub mod class {
+    /// Connection class (10).
+    pub const CONNECTION: u16 = 10;
+    /// Connection.Start method id.
+    pub const METHOD_START: u16 = 10;
+    /// Connection.Close method id.
+    pub const METHOD_CLOSE: u16 = 50;
+}
+
+/// `Connection.Start`: the broker's greeting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionStart {
+    /// Protocol major version (0).
+    pub version_major: u8,
+    /// Protocol minor version (9).
+    pub version_minor: u8,
+    /// Space-separated SASL mechanisms, e.g. `"PLAIN AMQPLAIN"` or
+    /// `"ANONYMOUS PLAIN"`.
+    pub mechanisms: String,
+    /// Space-separated locales.
+    pub locales: String,
+    /// Broker product name (from server-properties; flattened to one
+    /// string here — the probe only logs it).
+    pub product: String,
+}
+
+impl ConnectionStart {
+    /// A typical RabbitMQ-style greeting.
+    pub fn new(mechanisms: &str, product: &str) -> ConnectionStart {
+        ConnectionStart {
+            version_major: 0,
+            version_minor: 9,
+            mechanisms: mechanisms.into(),
+            locales: "en_US".into(),
+            product: product.into(),
+        }
+    }
+
+    /// Does the broker accept unauthenticated sessions?
+    pub fn allows_anonymous(&self) -> bool {
+        self.mechanisms
+            .split(' ')
+            .any(|m| m.eq_ignore_ascii_case("ANONYMOUS"))
+    }
+
+    /// Serialises as a full method frame on channel 0.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut args = BytesMut::new();
+        args.put_u8(self.version_major);
+        args.put_u8(self.version_minor);
+        put_longstr(&mut args, self.product.as_bytes()); // stand-in for the server-properties table
+        put_longstr(&mut args, self.mechanisms.as_bytes());
+        put_longstr(&mut args, self.locales.as_bytes());
+        emit_method_frame(class::CONNECTION, class::METHOD_START, &args)
+    }
+
+    /// Parses from a full frame.
+    pub fn parse(buf: &[u8]) -> WireResult<ConnectionStart> {
+        let (class_id, method_id, args) = open_method_frame(buf)?;
+        if class_id != class::CONNECTION || method_id != class::METHOD_START {
+            return Err(WireError::Malformed("not Connection.Start"));
+        }
+        if args.len() < 2 {
+            return Err(WireError::Truncated);
+        }
+        let mut off = 2;
+        let product = get_longstr(args, &mut off)?;
+        let mechanisms = get_longstr(args, &mut off)?;
+        let locales = get_longstr(args, &mut off)?;
+        Ok(ConnectionStart {
+            version_major: args[0],
+            version_minor: args[1],
+            product: String::from_utf8(product).map_err(|_| WireError::Malformed("utf-8"))?,
+            mechanisms: String::from_utf8(mechanisms).map_err(|_| WireError::Malformed("utf-8"))?,
+            locales: String::from_utf8(locales).map_err(|_| WireError::Malformed("utf-8"))?,
+        })
+    }
+}
+
+/// `Connection.Close`: sent by a broker rejecting the session (e.g. ACCESS_REFUSED).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionClose {
+    /// Reply code, e.g. 403 ACCESS_REFUSED.
+    pub reply_code: u16,
+    /// Reply text.
+    pub reply_text: String,
+}
+
+impl ConnectionClose {
+    /// 403 ACCESS_REFUSED.
+    pub fn access_refused() -> ConnectionClose {
+        ConnectionClose {
+            reply_code: 403,
+            reply_text: "ACCESS_REFUSED".into(),
+        }
+    }
+
+    /// Serialises as a method frame.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut args = BytesMut::new();
+        args.put_u16(self.reply_code);
+        put_shortstr(&mut args, &self.reply_text);
+        args.put_u16(0); // failing class id
+        args.put_u16(0); // failing method id
+        emit_method_frame(class::CONNECTION, class::METHOD_CLOSE, &args)
+    }
+
+    /// Parses from a full frame.
+    pub fn parse(buf: &[u8]) -> WireResult<ConnectionClose> {
+        let (class_id, method_id, args) = open_method_frame(buf)?;
+        if class_id != class::CONNECTION || method_id != class::METHOD_CLOSE {
+            return Err(WireError::Malformed("not Connection.Close"));
+        }
+        let mut off = 0;
+        let reply_code = get_u16(args, &mut off)?;
+        let reply_text = get_shortstr(args, &mut off)?;
+        Ok(ConnectionClose {
+            reply_code,
+            reply_text,
+        })
+    }
+}
+
+/// Either frame a broker may answer the header with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerAnswer {
+    /// Session may proceed (greeting received).
+    Start(ConnectionStart),
+    /// Session rejected.
+    Close(ConnectionClose),
+    /// Broker insisted on another protocol version (echoed its header).
+    VersionMismatch,
+}
+
+/// Classifies a broker's first bytes after the client protocol header.
+pub fn parse_broker_answer(buf: &[u8]) -> WireResult<BrokerAnswer> {
+    if buf.starts_with(b"AMQP") {
+        return Ok(BrokerAnswer::VersionMismatch);
+    }
+    if let Ok(start) = ConnectionStart::parse(buf) {
+        return Ok(BrokerAnswer::Start(start));
+    }
+    ConnectionClose::parse(buf).map(BrokerAnswer::Close)
+}
+
+fn emit_method_frame(class_id: u16, method_id: u16, args: &[u8]) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(4 + args.len());
+    payload.put_u16(class_id);
+    payload.put_u16(method_id);
+    payload.put_slice(args);
+    let mut out = BytesMut::with_capacity(8 + payload.len());
+    out.put_u8(frame_type::METHOD);
+    out.put_u16(0); // channel 0
+    out.put_u32(payload.len() as u32);
+    out.put_slice(&payload);
+    out.put_u8(FRAME_END);
+    out.to_vec()
+}
+
+fn open_method_frame(buf: &[u8]) -> WireResult<(u16, u16, &[u8])> {
+    if buf.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    if buf[0] != frame_type::METHOD {
+        return Err(WireError::Malformed("frame type"));
+    }
+    let size = u32::from_be_bytes(buf[3..7].try_into().unwrap()) as usize;
+    if buf.len() < 7 + size + 1 {
+        return Err(WireError::Truncated);
+    }
+    if buf[7 + size] != FRAME_END {
+        return Err(WireError::Malformed("frame end"));
+    }
+    let payload = &buf[7..7 + size];
+    if payload.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok((
+        u16::from_be_bytes(payload[..2].try_into().unwrap()),
+        u16::from_be_bytes(payload[2..4].try_into().unwrap()),
+        &payload[4..],
+    ))
+}
+
+fn put_longstr(buf: &mut BytesMut, s: &[u8]) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s);
+}
+
+fn get_longstr(buf: &[u8], off: &mut usize) -> WireResult<Vec<u8>> {
+    if buf.len() < *off + 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = u32::from_be_bytes(buf[*off..*off + 4].try_into().unwrap()) as usize;
+    *off += 4;
+    if buf.len() < *off + len {
+        return Err(WireError::Truncated);
+    }
+    let out = buf[*off..*off + len].to_vec();
+    *off += len;
+    Ok(out)
+}
+
+fn put_shortstr(buf: &mut BytesMut, s: &str) {
+    buf.put_u8(s.len() as u8);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_shortstr(buf: &[u8], off: &mut usize) -> WireResult<String> {
+    if buf.len() <= *off {
+        return Err(WireError::Truncated);
+    }
+    let len = buf[*off] as usize;
+    *off += 1;
+    if buf.len() < *off + len {
+        return Err(WireError::Truncated);
+    }
+    let s = std::str::from_utf8(&buf[*off..*off + len])
+        .map_err(|_| WireError::Malformed("utf-8"))?
+        .to_string();
+    *off += len;
+    Ok(s)
+}
+
+fn get_u16(buf: &[u8], off: &mut usize) -> WireResult<u16> {
+    if buf.len() < *off + 2 {
+        return Err(WireError::Truncated);
+    }
+    let v = u16::from_be_bytes(buf[*off..*off + 2].try_into().unwrap());
+    *off += 2;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_header_bytes() {
+        assert_eq!(&PROTOCOL_HEADER, b"AMQP\x00\x00\x09\x01");
+    }
+
+    #[test]
+    fn connection_start_roundtrip() {
+        let s = ConnectionStart::new("PLAIN AMQPLAIN", "RabbitMQ 3.12");
+        let parsed = ConnectionStart::parse(&s.emit()).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.version_major, 0);
+        assert_eq!(parsed.version_minor, 9);
+    }
+
+    #[test]
+    fn anonymous_detection() {
+        assert!(ConnectionStart::new("ANONYMOUS PLAIN", "x").allows_anonymous());
+        assert!(ConnectionStart::new("anonymous", "x").allows_anonymous());
+        assert!(!ConnectionStart::new("PLAIN AMQPLAIN", "x").allows_anonymous());
+        assert!(!ConnectionStart::new("", "x").allows_anonymous());
+    }
+
+    #[test]
+    fn connection_close_roundtrip() {
+        let c = ConnectionClose::access_refused();
+        let parsed = ConnectionClose::parse(&c.emit()).unwrap();
+        assert_eq!(parsed.reply_code, 403);
+        assert_eq!(parsed.reply_text, "ACCESS_REFUSED");
+    }
+
+    #[test]
+    fn broker_answer_classification() {
+        let start = ConnectionStart::new("PLAIN", "x").emit();
+        assert!(matches!(
+            parse_broker_answer(&start).unwrap(),
+            BrokerAnswer::Start(_)
+        ));
+        let close = ConnectionClose::access_refused().emit();
+        assert!(matches!(
+            parse_broker_answer(&close).unwrap(),
+            BrokerAnswer::Close(_)
+        ));
+        assert_eq!(
+            parse_broker_answer(&PROTOCOL_HEADER).unwrap(),
+            BrokerAnswer::VersionMismatch
+        );
+        assert!(parse_broker_answer(b"\x02junk").is_err());
+    }
+
+    #[test]
+    fn frame_end_enforced() {
+        let mut bytes = ConnectionStart::new("PLAIN", "x").emit();
+        let last = bytes.len() - 1;
+        bytes[last] = 0x00;
+        assert_eq!(
+            ConnectionStart::parse(&bytes),
+            Err(WireError::Malformed("frame end"))
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let full = ConnectionStart::new("PLAIN AMQPLAIN", "RabbitMQ").emit();
+        for cut in [0, 4, 7, full.len() - 1] {
+            assert!(ConnectionStart::parse(&full[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn wrong_method_rejected() {
+        let close = ConnectionClose::access_refused().emit();
+        assert!(ConnectionStart::parse(&close).is_err());
+        let start = ConnectionStart::new("PLAIN", "x").emit();
+        assert!(ConnectionClose::parse(&start).is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! Minimal HTTP/1.1 messages (request serialisation, response parsing).
+//!
+//! The scanner issues `GET /` requests exactly like zgrab2's http module
+//! and parses status line + headers + body from the answer. Analysis-side
+//! helpers extract the `<title>` element, which the paper clusters with a
+//! Levenshtein distance to identify device families (FRITZ!Box, D-LINK,
+//! 3CX, …).
+
+use crate::{WireError, WireResult};
+use std::fmt;
+
+/// An HTTP request (only what a banner-grab scanner needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Request target, e.g. `/`.
+    pub target: String,
+    /// `Host` header value (empty string → header omitted, like a raw
+    /// IP-literal scan without SNI/hostname).
+    pub host: String,
+    /// `User-Agent` header value.
+    pub user_agent: String,
+    /// Extra headers as (name, value) pairs.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// A scanner-style `GET /` with a research-identifying user agent, as
+    /// the paper's ethics appendix requires ("identify ourselves in
+    /// protocol-specific fields where possible").
+    pub fn scanner_get(user_agent: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            target: "/".into(),
+            host: String::new(),
+            user_agent: user_agent.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Serialises to wire bytes.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str(&self.method);
+        out.push(' ');
+        out.push_str(&self.target);
+        out.push_str(" HTTP/1.1\r\n");
+        if !self.host.is_empty() {
+            out.push_str("Host: ");
+            out.push_str(&self.host);
+            out.push_str("\r\n");
+        }
+        if !self.user_agent.is_empty() {
+            out.push_str("User-Agent: ");
+            out.push_str(&self.user_agent);
+            out.push_str("\r\n");
+        }
+        for (k, v) in &self.headers {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+            out.push_str("\r\n");
+        }
+        out.push_str("Connection: close\r\n\r\n");
+        out.into_bytes()
+    }
+
+    /// Parses a request (used by simulated servers).
+    pub fn parse(buf: &[u8]) -> WireResult<Request> {
+        let text = std::str::from_utf8(buf).map_err(|_| WireError::Malformed("utf-8"))?;
+        let mut lines = text.split("\r\n");
+        let reqline = lines.next().ok_or(WireError::Truncated)?;
+        let mut parts = reqline.split(' ');
+        let method = parts.next().ok_or(WireError::Malformed("method"))?;
+        let target = parts.next().ok_or(WireError::Malformed("target"))?;
+        let version = parts.next().ok_or(WireError::Malformed("version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(WireError::UnsupportedVersion);
+        }
+        let mut req = Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            host: String::new(),
+            user_agent: String::new(),
+            headers: Vec::new(),
+        };
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            let (k, v) = line.split_once(':').ok_or(WireError::Malformed("header"))?;
+            let v = v.trim();
+            match k.to_ascii_lowercase().as_str() {
+                "host" => req.host = v.to_string(),
+                "user-agent" => req.user_agent = v.to_string(),
+                _ => req.headers.push((k.to_string(), v.to_string())),
+            }
+        }
+        Ok(req)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Headers in order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Builds a simple HTML response with the given status and body.
+    pub fn html(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            reason: reason_phrase(status).to_string(),
+            headers: vec![
+                ("Content-Type".into(), "text/html; charset=utf-8".into()),
+                ("Content-Length".into(), body.len().to_string()),
+            ],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// Builds an HTML page whose `<title>` is `title` — the shape every
+    /// simulated device's landing page takes.
+    pub fn titled_page(status: u16, title: &str, server: Option<&str>) -> Response {
+        let body = format!(
+            "<!DOCTYPE html><html><head><title>{title}</title></head><body><h1>{title}</h1></body></html>"
+        );
+        let mut r = Response::html(status, &body);
+        if let Some(s) = server {
+            r.headers.insert(0, ("Server".into(), s.to_string()));
+        }
+        r
+    }
+
+    /// Value of a header (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serialises to wire bytes.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        for (k, v) in &self.headers {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+
+    /// Parses a response. The body is everything after the header block
+    /// (`Connection: close` framing; chunked encoding is not supported).
+    pub fn parse(buf: &[u8]) -> WireResult<Response> {
+        let split = find_header_end(buf).ok_or(WireError::Truncated)?;
+        let head = std::str::from_utf8(&buf[..split]).map_err(|_| WireError::Malformed("utf-8"))?;
+        let body = buf[split + 4..].to_vec();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or(WireError::Truncated)?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().ok_or(WireError::Malformed("version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(WireError::UnsupportedVersion);
+        }
+        let status: u16 = parts
+            .next()
+            .ok_or(WireError::Malformed("status"))?
+            .parse()
+            .map_err(|_| WireError::Malformed("status"))?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line.split_once(':').ok_or(WireError::Malformed("header"))?;
+            headers.push((k.to_string(), v.trim().to_string()));
+        }
+        Ok(Response {
+            status,
+            reason,
+            headers,
+            body,
+        })
+    }
+
+    /// Extracts the HTML `<title>` from the body, if any. Whitespace is
+    /// collapsed; comparison is what the paper's clustering consumes.
+    pub fn html_title(&self) -> Option<String> {
+        extract_title(&self.body)
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HTTP {} {} ({} bytes)", self.status, self.reason, self.body.len())
+    }
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Extracts the contents of the first `<title>` element (case-insensitive
+/// tag matching, whitespace collapsed).
+pub fn extract_title(body: &[u8]) -> Option<String> {
+    let text = String::from_utf8_lossy(body);
+    let lower = text.to_lowercase();
+    let open = lower.find("<title")?;
+    let open_end = lower[open..].find('>')? + open + 1;
+    let close = lower[open_end..].find("</title")? + open_end;
+    let raw = &text[open_end..close];
+    let collapsed: String = raw.split_whitespace().collect::<Vec<_>>().join(" ");
+    Some(collapsed)
+}
+
+/// Canonical reason phrase for common status codes.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        301 => "Moved Permanently",
+        302 => "Found",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request {
+            method: "GET".into(),
+            target: "/index.html".into(),
+            host: "example.org".into(),
+            user_agent: "research-scan/1.0".into(),
+            headers: vec![("Accept".into(), "*/*".into())],
+        };
+        let parsed = Request::parse(&req.emit()).unwrap();
+        assert_eq!(parsed.method, "GET");
+        assert_eq!(parsed.target, "/index.html");
+        assert_eq!(parsed.host, "example.org");
+        assert_eq!(parsed.user_agent, "research-scan/1.0");
+        assert_eq!(parsed.headers, vec![
+            ("Accept".to_string(), "*/*".to_string()),
+            ("Connection".to_string(), "close".to_string()),
+        ]);
+    }
+
+    #[test]
+    fn scanner_get_omits_host() {
+        let bytes = Request::scanner_get("ttscan/0.1 (+https://example.org/scan)").emit();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("GET / HTTP/1.1\r\n"));
+        assert!(!text.contains("Host:"));
+        assert!(text.contains("User-Agent: ttscan/0.1"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn response_roundtrip_with_title() {
+        let resp = Response::titled_page(200, "FRITZ!Box", Some("AVM"));
+        let parsed = Response::parse(&resp.emit()).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.reason, "OK");
+        assert_eq!(parsed.header("server"), Some("AVM"));
+        assert_eq!(parsed.header("SERVER"), Some("AVM"));
+        assert_eq!(parsed.html_title().as_deref(), Some("FRITZ!Box"));
+    }
+
+    #[test]
+    fn title_extraction_edge_cases() {
+        assert_eq!(
+            extract_title(b"<html><head><TITLE>  Mixed \n Case  </TITLE></head>"),
+            Some("Mixed Case".to_string())
+        );
+        assert_eq!(
+            extract_title(b"<title lang=\"en\">attr title</title>"),
+            Some("attr title".to_string())
+        );
+        assert_eq!(extract_title(b"<html><body>no title</body>"), None);
+        assert_eq!(extract_title(b"<title>unterminated"), None);
+        assert_eq!(extract_title(b"<title></title>"), Some(String::new()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Response::parse(b"not http"), Err(WireError::Truncated));
+        assert_eq!(
+            Response::parse(b"SPDY/3 200 OK\r\n\r\n"),
+            Err(WireError::UnsupportedVersion)
+        );
+        assert_eq!(
+            Response::parse(b"HTTP/1.1 abc OK\r\n\r\n"),
+            Err(WireError::Malformed("status"))
+        );
+    }
+
+    #[test]
+    fn empty_reason_accepted() {
+        let parsed = Response::parse(b"HTTP/1.1 200\r\n\r\nbody").unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.reason, "");
+        assert_eq!(parsed.body, b"body");
+    }
+
+    #[test]
+    fn status_code_phrases() {
+        assert_eq!(reason_phrase(200), "OK");
+        assert_eq!(reason_phrase(404), "Not Found");
+        assert_eq!(reason_phrase(999), "Unknown");
+    }
+}

@@ -1,0 +1,72 @@
+//! Pool-operator view: the §3.1 mechanics in isolation — adding servers
+//! to the pool, watching the request rate, and raising the netspeed
+//! weight until it approaches the scanning budget; plus the server-side
+//! rate-limiting (Kiss-o'-Death) path.
+//!
+//! ```sh
+//! cargo run --release --example pool_operator
+//! ```
+
+use netsim::country::{self, COLLECTOR_LOCATIONS};
+use netsim::time::SimTime;
+use netsim::world::{World, WorldConfig};
+use ntppool::monitor::{client_rates, expected_rps, tune_collecting_servers};
+use ntppool::{Operator, Pool, PoolServer};
+use wire::ntp::{NtpTimestamp, Packet};
+
+fn main() {
+    let world = World::generate(WorldConfig::small(1));
+    println!("{}", netsim::stats::WorldStats::of(&world).render());
+
+    let mut pool = Pool::with_background();
+    let mut ids = Vec::new();
+    for (i, c) in COLLECTOR_LOCATIONS.iter().enumerate() {
+        ids.push((
+            pool.add(PoolServer {
+                operator: Operator::Study {
+                    location_index: i as u8,
+                },
+                ..PoolServer::background(*c)
+            }),
+            *c,
+        ));
+    }
+
+    let rates = client_rates(&world);
+    println!("before tuning (default netspeed 1000):");
+    for (id, c) in &ids {
+        println!(
+            "  {:16} zone share {:6.2}%  expected {:8.4} req/s",
+            country::name(*c),
+            pool.zone_share(*id) * 100.0,
+            expected_rps(&pool, &rates, *id)
+        );
+    }
+
+    let target = 0.5; // scaled-down scanning budget
+    let outcomes = tune_collecting_servers(&mut pool, &world, target);
+    println!("\nafter tuning toward {target} req/s:");
+    for o in &outcomes {
+        let c = pool.server(o.server).country;
+        println!(
+            "  {:16} netspeed {:>9}  expected {:8.4} req/s",
+            country::name(c),
+            o.netspeed,
+            o.expected_rps
+        );
+    }
+
+    // The overload path: a busy server sheds with RATE KoD but the
+    // operator still sees (and a collecting server still records) the
+    // client address.
+    let mut server = PoolServer::background(country::IN);
+    server.max_rps = 1_000;
+    let req = Packet::client_request(NtpTimestamp::from_unix_secs(SimTime(0).to_unix())).emit();
+    let normal = Packet::parse(&server.handle_at_rate(&req, SimTime(0), 500).unwrap()).unwrap();
+    let shed = Packet::parse(&server.handle_at_rate(&req, SimTime(0), 5_000).unwrap()).unwrap();
+    println!(
+        "\nrate limiting: at 500 req/s the server answers stratum {}, at 5000 req/s it sends {:?}",
+        normal.stratum,
+        shed.kiss_code().unwrap()
+    );
+}

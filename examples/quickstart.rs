@@ -1,0 +1,38 @@
+//! Quickstart: run a small end-to-end study and print every reproduced
+//! table and figure.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [seed] [tiny|small|medium]
+//! ```
+
+use timetoscan::{experiments, Study, StudyConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let preset = args.next().unwrap_or_else(|| "tiny".to_string());
+    let config = match preset.as_str() {
+        "small" => StudyConfig::small(seed),
+        "medium" => StudyConfig::medium(seed),
+        "paper-milli" => StudyConfig::paper_milli(seed),
+        _ => StudyConfig::tiny(seed),
+    };
+
+    eprintln!(
+        "generating world ({} households, {} servers) and running the study…",
+        config.world.households, config.world.servers
+    );
+    let study = Study::run(config);
+    eprintln!(
+        "collection: {} polls, {} observed, {} distinct addresses; scans: {} NTP targets, {} hitlist targets",
+        study.run_stats.polls,
+        study.run_stats.observed,
+        study.collector.global().len(),
+        study.ntp_scan.targets(),
+        study.hitlist_scan.targets(),
+    );
+    println!("{}", experiments::render_all(&study));
+}

@@ -1,0 +1,18 @@
+//! # timetoscan-repro — the workspace facade
+//!
+//! Re-exports every crate of the *Time To Scan* (IMC '25) reproduction so
+//! examples and integration tests can use one dependency. See the README
+//! for the architecture overview and DESIGN.md / EXPERIMENTS.md for the
+//! experiment inventory.
+
+#![forbid(unsafe_code)]
+
+pub use analysis;
+pub use hitlist;
+pub use netsim;
+pub use ntppool;
+pub use scanner;
+pub use telescope;
+pub use timetoscan;
+pub use v6addr;
+pub use wire;

@@ -1,0 +1,285 @@
+//! End-to-end shape tests: every qualitative finding of the paper must
+//! hold in the reproduced pipeline. One `small` study is shared across
+//! the tests in this file.
+
+use std::sync::OnceLock;
+use timetoscan::experiments::{
+    fig1, fig2, fig3, fig4, fig5, fig6, security, table1, table2, table3,
+};
+use timetoscan::{Study, StudyConfig};
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(StudyConfig::small(2024)))
+}
+
+#[test]
+fn takeaway_ntp_sources_more_eyeball_structure() {
+    // §3.2: NTP-sourced addresses are less "structured" and sit in
+    // eyeball ASes; hitlists are the opposite.
+    let f = fig1::compute(study());
+    assert!(f.ours.iid.structured_share() < 0.05, "{}", f.ours.iid.structured_share());
+    assert!(f.full.iid.structured_share() > 0.4, "{}", f.full.iid.structured_share());
+    assert!(f.ours.eyeball_as_share > 0.9);
+    assert!(f.full.eyeball_as_share < 0.5);
+    // EUI-64 and privacy IIDs dominate the NTP side.
+    use v6addr::IidClass;
+    assert!(f.ours.iid.share(IidClass::Eui64) > 0.05);
+    assert!(f.ours.iid.share(IidClass::HighEntropy) > 0.5);
+}
+
+#[test]
+fn takeaway_table1_densities_and_overlaps() {
+    let t = table1::compute(study());
+    // Higher per-/48 density on the NTP side (client networks).
+    assert!(t.ours.median_per_48 > t.full.median_per_48);
+    assert!(t.ours.median_per_as > t.public.median_per_as);
+    // The hitlist covers more ASes in total, and contains most of ours.
+    assert!(t.full.ases > t.ours.ases);
+    assert!(t.overlap_full.ases as f64 > 0.8 * t.ours.ases as f64);
+    // Address-level overlap with R&L's old collection is tiny relative
+    // to either set (dynamic addresses), but /48 overlap is substantial.
+    assert!((t.overlap_rl.addresses as f64) < 0.1 * t.ours.addresses as f64);
+    assert!(t.overlap_rl.nets48 as f64 > 0.5 * t.ours.nets48 as f64);
+}
+
+#[test]
+fn takeaway_hitlist_wins_most_protocols_but_not_coap() {
+    // §4.2 / Table 2: the hitlist finds more endpoints for everything
+    // except CoAP, where NTP sourcing finds a multiple.
+    let rows = table2::compute(study());
+    let by_label = |l: &str| rows.iter().find(|r| r.label.starts_with(l)).unwrap().clone();
+    let http = by_label("HTTP");
+    assert!(http.tum_addrs > http.our_addrs);
+    let ssh = by_label("SSH");
+    assert!(ssh.tum_keys.unwrap() > ssh.our_keys.unwrap());
+    let coap = by_label("CoAP");
+    assert!(
+        coap.our_addrs > 3 * coap.tum_addrs,
+        "CoAP: ours {} vs hitlist {}",
+        coap.our_addrs,
+        coap.tum_addrs
+    );
+}
+
+#[test]
+fn takeaway_cloudfront_effect() {
+    // §4.2: the hitlist's HTTP responders are dominated by CDN addresses
+    // whose TLS handshake fails without a hostname → very low TLS share;
+    // the NTP side's TLS share is much higher.
+    let rows = table2::compute(study());
+    let http = rows.iter().find(|r| r.label.starts_with("HTTP")).unwrap();
+    let our_share = http.our_tls.unwrap() as f64 / http.our_addrs.max(1) as f64;
+    let tum_share = http.tum_tls.unwrap() as f64 / http.tum_addrs.max(1) as f64;
+    assert!(tum_share < 0.1, "hitlist TLS share {tum_share}");
+    assert!(our_share > 0.3, "NTP TLS share {our_share}");
+}
+
+#[test]
+fn takeaway_fritz_dominates_ntp_titles() {
+    // §4.3.1: consumer AVM devices dominate NTP-found HTTPS hosts and are
+    // marginal on the hitlist; D-LINK infrastructure is hitlist-only.
+    let t = table3::compute(study());
+    let fritz_our = table3::our_title_count(&t.titles, "FRITZ!Box 7590");
+    let total_our: u64 = t.titles.iter().map(|g| g.our_hosts).sum();
+    assert!(
+        fritz_our as f64 > 0.4 * total_our as f64,
+        "FRITZ!Box is only {fritz_our} of {total_our} NTP-side certs"
+    );
+    let fritz_tum: u64 = t
+        .titles
+        .iter()
+        .filter(|g| g.label.starts_with("FRITZ!Box"))
+        .map(|g| g.tum_hosts)
+        .sum();
+    let total_tum: u64 = t.titles.iter().map(|g| g.tum_hosts).sum();
+    assert!((fritz_tum as f64) < 0.1 * total_tum as f64);
+}
+
+#[test]
+fn takeaway_raspbian_via_ntp_freebsd_via_hitlist() {
+    // §4.3.2.
+    let t = table3::compute(study());
+    let get = |d: &[(String, u64)], k: &str| {
+        d.iter().find(|(l, _)| l == k).map(|(_, n)| *n).unwrap_or(0)
+    };
+    let our_total: u64 = t.our_os.iter().map(|(_, n)| n).sum();
+    let tum_total: u64 = t.tum_os.iter().map(|(_, n)| n).sum();
+    let our_raspbian = get(&t.our_os, "Raspbian") as f64 / our_total.max(1) as f64;
+    let tum_raspbian = get(&t.tum_os, "Raspbian") as f64 / tum_total.max(1) as f64;
+    assert!(our_raspbian > 5.0 * tum_raspbian.max(1e-9) || get(&t.tum_os, "Raspbian") == 0);
+    let our_freebsd = get(&t.our_os, "FreeBSD") as f64 / our_total.max(1) as f64;
+    let tum_freebsd = get(&t.tum_os, "FreeBSD") as f64 / tum_total.max(1) as f64;
+    assert!(tum_freebsd > our_freebsd);
+}
+
+#[test]
+fn takeaway_castdevice_is_invisible_to_hitlists() {
+    // §4.3.3: the castDeviceSearch population cannot be found via the
+    // hitlist.
+    let t = table3::compute(study());
+    let get = |d: &[(String, u64)], k: &str| {
+        d.iter().find(|(l, _)| l == k).map(|(_, n)| *n).unwrap_or(0)
+    };
+    assert!(get(&t.our_coap, "castdevice") > 50);
+    assert_eq!(get(&t.tum_coap, "castdevice"), 0);
+    // qlink appears on both sides (static service nodes reach hitlists).
+    assert!(get(&t.our_coap, "qlink") > 0);
+    assert!(get(&t.tum_coap, "qlink") > 0);
+}
+
+#[test]
+fn takeaway_ntp_hosts_more_outdated() {
+    // §4.4.1 / Figure 2.
+    let f = fig2::compute(study());
+    assert!(f.ours.assessable > 50);
+    assert!(f.tum.assessable > 50);
+    assert!(
+        f.ours.outdated_share() > f.tum.outdated_share() + 0.1,
+        "ours {} vs tum {}",
+        f.ours.outdated_share(),
+        f.tum.outdated_share()
+    );
+}
+
+#[test]
+fn takeaway_mqtt_access_control_gap() {
+    // §4.4.2 / Figure 3: hitlist MQTT brokers enforce access control far
+    // more often; AMQP is high on both sides.
+    let f = fig3::compute(study());
+    assert!(f.our_mqtt.total > 50);
+    assert!(
+        f.tum_mqtt.controlled_share() > f.our_mqtt.controlled_share() + 0.2,
+        "tum {} vs ours {}",
+        f.tum_mqtt.controlled_share(),
+        f.our_mqtt.controlled_share()
+    );
+    assert!(f.our_amqp.controlled_share() > 0.5);
+    assert!(f.tum_amqp.controlled_share() > 0.5);
+}
+
+#[test]
+fn takeaway_secure_share_drops() {
+    // The headline: 43.5 % → 28.4 % in the paper; the ordering (and a
+    // clear gap) must reproduce.
+    let s = security::compute(study());
+    assert!(s.ours.total_hosts() > 100);
+    assert!(s.tum.total_hosts() > 100);
+    assert!(
+        s.tum.secure_share() > s.ours.secure_share() + 0.05,
+        "hitlist {} vs NTP {}",
+        s.tum.secure_share(),
+        s.ours.secure_share()
+    );
+}
+
+#[test]
+fn appendix_c_network_counting_amplifies_outdatedness() {
+    // Figure 5: by-network counting weights key-reusing hosts by their
+    // network spread. The paper observed this *raising* the outdated
+    // share in its data (reused keys there were mostly outdated); the
+    // direction is empirical, so we assert only the invariants: the
+    // NTP-vs-hitlist gap persists, and network weights can only grow the
+    // assessable mass.
+    let f = fig5::compute(study());
+    assert!(f.ours_by_net.outdated_share() > f.tum_by_net.outdated_share());
+    assert!(f.ours_by_net.assessable >= f.ours_by_key.assessable);
+    assert!(f.tum_by_net.assessable >= f.tum_by_key.assessable);
+}
+
+#[test]
+fn appendix_c_tls_mqtt_brokers_more_often_open() {
+    // Figure 6: TLS-fronted MQTT brokers skip access control more often
+    // than plain ones (both sources pooled for statistical mass).
+    let f = fig6::compute(study());
+    let tls_total = f.our_mqtt.tls.total + f.tum_mqtt.tls.total;
+    let tls_ac = f.our_mqtt.tls.controlled + f.tum_mqtt.tls.controlled;
+    let plain_total = f.our_mqtt.plain.total + f.tum_mqtt.plain.total;
+    let plain_ac = f.our_mqtt.plain.controlled + f.tum_mqtt.plain.controlled;
+    assert!(tls_total > 5, "too few TLS brokers ({tls_total}) to compare");
+    let tls_share = tls_ac as f64 / tls_total as f64;
+    let plain_share = plain_ac as f64 / plain_total.max(1) as f64;
+    assert!(
+        tls_share < plain_share,
+        "TLS AC {tls_share} vs plain {plain_share}"
+    );
+    // The per-network gap between sources remains (paper: ~40 points).
+    assert!(
+        f.tum_mqtt.by_net64.controlled_share() > f.our_mqtt.by_net64.controlled_share(),
+        "per-network MQTT gap vanished"
+    );
+}
+
+#[test]
+fn takeaway_two_actors_detected() {
+    // §5: all captured packets match queries; one research actor, one
+    // covert actor.
+    let report = study().telescope.as_ref().expect("telescope ran");
+    assert_eq!(report.unmatched_packets, 0);
+    assert_eq!(report.scatter_packets, 0);
+    assert_eq!(report.actors.len(), 2);
+    use telescope::ActorCharacter;
+    assert_eq!(report.actors[0].character(), ActorCharacter::Research);
+    assert_eq!(report.actors[0].ports.len(), 1011);
+    assert_eq!(report.actors[1].character(), ActorCharacter::Covert);
+    assert!(report.actors[1].ports.len() <= 10);
+    assert!(report.actors[1].identification.is_none());
+}
+
+#[test]
+fn takeaway_avm_tops_vendor_ranking() {
+    // Appendix B: AVM's two registry entities lead the MAC ranking.
+    let a = fig4::compute(study());
+    assert!(!a.vendors.is_empty());
+    assert!(
+        a.vendors[0].manufacturer.contains("AVM"),
+        "top vendor is {}",
+        a.vendors[0].manufacturer
+    );
+    // The paper's "unique bit" subtlety: universal MACs are a subset of
+    // all EUI-64 observations.
+    assert!(a.stats.distinct_universal_macs <= a.stats.distinct_eui64);
+    assert!(a.stats.distinct_listed_macs <= a.stats.distinct_universal_macs);
+}
+
+#[test]
+fn takeaway_key_reuse_heavier_on_ntp_side() {
+    // §6: the most-used key spans far more addresses on the NTP side.
+    let k = timetoscan::experiments::keyreuse::compute(study());
+    let ours = k.ours.most_used().map(|x| x.addrs).unwrap_or(0);
+    let tum = k.tum.most_used().map(|x| x.addrs).unwrap_or(0);
+    assert!(ours > tum, "most-used key: ours {ours} vs tum {tum}");
+}
+
+#[test]
+fn hit_rate_is_low_and_lower_than_hitlist() {
+    // §6: NTP-sourced scans have an inherently low hit rate. The absolute
+    // value is scale-compressed (documented in EXPERIMENTS.md); the
+    // ordering against the responsive-heavy public hitlist holds.
+    let s = study();
+    assert!(s.ntp_scan.hit_rate() < 0.15, "{}", s.ntp_scan.hit_rate());
+}
+
+#[test]
+fn reports_render_without_panicking() {
+    let all = timetoscan::experiments::render_all(study());
+    for needle in [
+        "Table 1",
+        "Figure 1",
+        "Table 2",
+        "Table 3",
+        "Figure 2",
+        "Figure 3",
+        "Table 5",
+        "Table 7",
+        "Table 8",
+        "Table 9",
+        "NTP-sourcing by others",
+        "key reuse",
+    ] {
+        assert!(
+            all.to_lowercase().contains(&needle.to_lowercase()),
+            "report lacks {needle}"
+        );
+    }
+}

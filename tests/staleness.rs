@@ -1,0 +1,97 @@
+//! §6 dynamics: NTP-sourced addresses decay under prefix rotation —
+//! the quantitative argument for live sourcing over static lists.
+
+use netsim::time::{Duration, SimTime};
+use scanner::probers;
+use scanner::result::Protocol;
+use std::sync::OnceLock;
+use timetoscan::{Study, StudyConfig};
+
+fn study() -> &'static Study {
+    static S: OnceLock<Study> = OnceLock::new();
+    S.get_or_init(|| Study::run(StudyConfig::tiny(17)))
+}
+
+fn responsive_share(delay: Duration) -> f64 {
+    let s = study();
+    let sample: Vec<_> = s.feed.iter().take(1500).collect();
+    let n = sample
+        .iter()
+        .filter(|o| {
+            Protocol::ALL
+                .iter()
+                .any(|p| probers::probe(&s.world, o.addr, *p, o.seen + delay).is_some())
+        })
+        .count();
+    n as f64 / sample.len().max(1) as f64
+}
+
+#[test]
+fn sourced_addresses_decay_after_rotation() {
+    let fresh = responsive_share(Duration::secs(30));
+    let after_rotation = responsive_share(Duration::days(2));
+    assert!(fresh > 0.0, "nothing responds even when fresh");
+    assert!(
+        after_rotation < fresh * 0.25,
+        "no decay: fresh {fresh}, after rotation {after_rotation}"
+    );
+}
+
+#[test]
+fn survivors_are_static_hosts() {
+    // Whatever still answers two days later must be statically addressed
+    // (the few pool-client servers), never a household device.
+    let s = study();
+    let delay = Duration::days(2);
+    for obs in s.feed.iter().take(1500) {
+        let t = obs.seen + delay;
+        if Protocol::ALL
+            .iter()
+            .any(|p| probers::probe(&s.world, obs.addr, *p, t).is_some())
+        {
+            let dev = s.world.device_at(obs.addr, t).expect("responder resolves");
+            assert!(
+                matches!(dev.attachment, netsim::device::Attachment::Static { .. }),
+                "{:?} survived rotation",
+                dev.kind
+            );
+        }
+    }
+}
+
+#[test]
+fn rescanning_later_finds_new_addresses_for_same_devices() {
+    // The flip side of decay: the same device population keeps emitting
+    // *fresh* addresses — live sourcing keeps working where a static
+    // list dies.
+    let s = study();
+    let (start, end) = s.window();
+    let mid = SimTime((start.as_secs() + end.as_secs()) / 2);
+    let early: Vec<_> = s.feed.iter().filter(|o| o.seen < mid).collect();
+    let late: Vec<_> = s.feed.iter().filter(|o| o.seen >= mid).collect();
+    assert!(!early.is_empty() && !late.is_empty());
+    // The feed is first-sight deduplicated, so every late observation is
+    // an address the early half never saw.
+    let early_addrs: std::collections::HashSet<_> = early.iter().map(|o| o.addr).collect();
+    assert!(late.iter().all(|o| !early_addrs.contains(&o.addr)));
+    // And late addresses still resolve to devices largely seen before
+    // (same population, new addresses).
+    let mut known_device = 0;
+    let early_devices: std::collections::HashSet<u32> = early
+        .iter()
+        .filter_map(|o| s.world.device_at(o.addr, o.seen).map(|d| d.id.0))
+        .collect();
+    let late_sample: Vec<_> = late.iter().take(500).collect();
+    for o in &late_sample {
+        if let Some(d) = s.world.device_at(o.addr, o.seen) {
+            if early_devices.contains(&d.id.0) {
+                known_device += 1;
+            }
+        }
+    }
+    assert!(
+        known_device as f64 > 0.3 * late_sample.len() as f64,
+        "late feed is not the same population: {known_device}/{}",
+        late_sample.len()
+    );
+}

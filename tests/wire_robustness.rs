@@ -1,0 +1,110 @@
+//! Robustness: the scanner's parsers must never panic on corrupted
+//! responses — every byte of a valid response is flipped/truncated and
+//! fed back through `parse_response`.
+
+use proptest::prelude::*;
+use scanner::probers::{build_probe, parse_response};
+use scanner::result::Protocol;
+
+/// Produces one canonical valid response per protocol by asking a
+/// fully-featured service stack.
+fn valid_response(proto: Protocol) -> Option<Vec<u8>> {
+    use netsim::services::*;
+    use wire::tls::{Certificate, Version};
+    let cert = Certificate {
+        subject: "robustness.example".into(),
+        issuer: "robustness.example".into(),
+        serial: 7,
+        not_before: 0,
+        not_after: u64::MAX,
+        key_blob: vec![1, 2, 3],
+    };
+    let tls = TlsEndpoint {
+        cert,
+        version: Version::Tls13,
+        require_sni: false,
+    };
+    let set = ServiceSet {
+        http: Some(HttpService {
+            title: Some("Robustness".into()),
+            status: 200,
+            server_header: Some("sim".into()),
+            plain: true,
+            tls: Some(tls.clone()),
+        }),
+        ssh: Some(SshService {
+            software: "OpenSSH_9.2p1".into(),
+            comment: Some("Debian-2+deb12u3".into()),
+            host_key_blob: vec![9, 9, 9],
+        }),
+        mqtt: Some(MqttService {
+            require_auth: false,
+            plain: true,
+            tls: Some(tls.clone()),
+        }),
+        amqp: Some(AmqpService {
+            mechanisms: "PLAIN".into(),
+            product: "RabbitMQ".into(),
+            plain: true,
+            tls: Some(tls),
+        }),
+        coap: Some(CoapService {
+            resources: vec!["/castDeviceSearch".into()],
+        }),
+    };
+    set.respond(proto.port(), &build_probe(proto))
+}
+
+#[test]
+fn every_protocol_has_a_valid_response_that_parses() {
+    for proto in Protocol::ALL {
+        let resp = valid_response(proto).unwrap_or_else(|| panic!("{proto} silent"));
+        assert!(
+            parse_response(proto, &resp).is_some(),
+            "{proto}: canonical response failed to parse"
+        );
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics() {
+    for proto in Protocol::ALL {
+        let resp = valid_response(proto).unwrap();
+        for i in 0..resp.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bad = resp.clone();
+                bad[i] ^= flip;
+                // May parse or not — must not panic.
+                let _ = parse_response(proto, &bad);
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_never_panics() {
+    for proto in Protocol::ALL {
+        let resp = valid_response(proto).unwrap();
+        for cut in 0..resp.len() {
+            let _ = parse_response(proto, &resp[..cut]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random byte-splices into valid responses never panic either.
+    #[test]
+    fn random_splices_never_panic(
+        proto_idx in 0usize..8,
+        offset in any::<u16>(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let proto = Protocol::ALL[proto_idx];
+        let mut resp = valid_response(proto).unwrap();
+        let at = offset as usize % (resp.len() + 1);
+        resp.splice(at..at, garbage);
+        let _ = parse_response(proto, &resp);
+    }
+}

@@ -97,7 +97,10 @@ pub fn amqp_brokers(store: &ScanStore) -> Vec<Broker> {
     let mut out = Vec::new();
     let mut seen: HashSet<Ipv6Addr> = HashSet::new();
     let verdict_of = |mechs: &str| {
-        if mechs.split(' ').any(|m| m.eq_ignore_ascii_case("ANONYMOUS")) {
+        if mechs
+            .split(' ')
+            .any(|m| m.eq_ignore_ascii_case("ANONYMOUS"))
+        {
             Verdict::Open
         } else {
             Verdict::AccessControlled

@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn known_groups() {
-        assert_eq!(group_of_resources(&["/castDeviceSearch".into()]), "castdevice");
+        assert_eq!(
+            group_of_resources(&["/castDeviceSearch".into()]),
+            "castdevice"
+        );
         assert_eq!(
             group_of_resources(&["/qlink/scan".into(), "/qlink/upstream".into()]),
             "qlink"
@@ -129,7 +132,10 @@ mod tests {
         assert_eq!(group_of_resources(&["/nanoleaf/state".into()]), "nanoleaf");
         assert_eq!(group_of_resources(&["/maha".into()]), OTHER_GROUP);
         assert_eq!(group_of_resources(&[]), EMPTY_GROUP);
-        assert_eq!(group_of_resources(&["/.well-known/core".into()]), EMPTY_GROUP);
+        assert_eq!(
+            group_of_resources(&["/.well-known/core".into()]),
+            EMPTY_GROUP
+        );
     }
 
     #[test]

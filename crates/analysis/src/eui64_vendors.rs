@@ -70,7 +70,10 @@ pub fn vendor_ranking(set: &AddrSet, db: &OuiDb) -> (Eui64Stats, Vec<VendorRow>)
             }
             None => UNLISTED.to_string(),
         };
-        macs_per_vendor.entry(vendor.clone()).or_default().insert(mac);
+        macs_per_vendor
+            .entry(vendor.clone())
+            .or_default()
+            .insert(mac);
         *ips_per_vendor.entry(vendor).or_insert(0) += 1;
     }
 
@@ -86,7 +89,11 @@ pub fn vendor_ranking(set: &AddrSet, db: &OuiDb) -> (Eui64Stats, Vec<VendorRow>)
             manufacturer,
         })
         .collect();
-    rows.sort_by(|a, b| b.macs.cmp(&a.macs).then_with(|| a.manufacturer.cmp(&b.manufacturer)));
+    rows.sort_by(|a, b| {
+        b.macs
+            .cmp(&a.macs)
+            .then_with(|| a.manufacturer.cmp(&b.manufacturer))
+    });
     (stats, rows)
 }
 
@@ -143,10 +150,15 @@ mod tests {
         assert_eq!(stats.distinct_universal_macs, 4);
         assert_eq!(stats.distinct_listed_macs, 3);
 
-        assert_eq!(rows[0].manufacturer, "AVM Audiovisuelles Marketing und Computersysteme GmbH");
+        assert_eq!(
+            rows[0].manufacturer,
+            "AVM Audiovisuelles Marketing und Computersysteme GmbH"
+        );
         assert_eq!(rows[0].macs, 2);
         assert_eq!(rows[0].ips, 3);
-        assert!(rows.iter().any(|r| r.manufacturer == UNLISTED && r.macs == 1));
+        assert!(rows
+            .iter()
+            .any(|r| r.manufacturer == UNLISTED && r.macs == 1));
         assert!(rows.iter().any(|r| r.manufacturer == "Sonos, Inc."));
     }
 

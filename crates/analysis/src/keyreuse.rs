@@ -80,7 +80,11 @@ pub fn reuse_stats(store: &ScanStore, protocols: &[Protocol], topology: &Topolog
             });
         }
     }
-    reused_keys.sort_by(|a, b| b.addrs.cmp(&a.addrs).then(a.fingerprint.cmp(&b.fingerprint)));
+    reused_keys.sort_by(|a, b| {
+        b.addrs
+            .cmp(&a.addrs)
+            .then(a.fingerprint.cmp(&b.fingerprint))
+    });
     ReuseStats {
         reused_keys,
         total_addrs,
@@ -111,8 +115,7 @@ mod tests {
     }
 
     fn ssh_rec(as_idx: u32, host: u64, fp: u8) -> ScanRecord {
-        let addr: Ipv6Addr =
-            format!("2a{:02x}::{:x}", as_idx, host + 1).parse().unwrap();
+        let addr: Ipv6Addr = format!("2a{:02x}::{:x}", as_idx, host + 1).parse().unwrap();
         ScanRecord {
             addr,
             time: SimTime(0),

@@ -63,11 +63,7 @@ where
     W: Fn(&V) -> u64,
 {
     let mut sorted = items;
-    sorted.sort_by(|(sa, va), (sb, vb)| {
-        weight(vb)
-            .cmp(&weight(va))
-            .then_with(|| sa.cmp(sb))
-    });
+    sorted.sort_by(|(sa, va), (sb, vb)| weight(vb).cmp(&weight(va)).then_with(|| sa.cmp(sb)));
     let mut clusters: Vec<Cluster<V>> = Vec::new();
     for (s, v) in sorted {
         match clusters

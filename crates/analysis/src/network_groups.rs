@@ -172,10 +172,7 @@ mod tests {
     #[test]
     fn group_rows_sorted_by_ips() {
         let groups = vec![
-            (
-                "small".to_string(),
-                vec!["2a00::1".parse().unwrap()],
-            ),
+            ("small".to_string(), vec!["2a00::1".parse().unwrap()]),
             (
                 "big".to_string(),
                 vec![

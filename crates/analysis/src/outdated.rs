@@ -160,7 +160,10 @@ mod tests {
             assess(&host("OpenSSH_9.6", Some("FreeBSD-20240806"))),
             PatchStatus::NotAssessable
         );
-        assert_eq!(assess(&host("dropbear_2022.83", None)), PatchStatus::NotAssessable);
+        assert_eq!(
+            assess(&host("dropbear_2022.83", None)),
+            PatchStatus::NotAssessable
+        );
         // Mismatched software/comment combination.
         assert_eq!(
             assess(&host("OpenSSH_9.9p9", Some("Debian-2+deb12u3"))),

@@ -93,7 +93,10 @@ mod tests {
     }
 
     fn set(addrs: &[&str]) -> AddrSet {
-        addrs.iter().map(|s| s.parse::<Ipv6Addr>().unwrap()).collect()
+        addrs
+            .iter()
+            .map(|s| s.parse::<Ipv6Addr>().unwrap())
+            .collect()
     }
 
     #[test]

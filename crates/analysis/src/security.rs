@@ -62,7 +62,10 @@ fn tls_broker_verdicts(store: &ScanStore, proto: Protocol) -> HashMap<[u8; 32], 
                 mechanisms: Some(mechs),
             } => (
                 tls,
-                if mechs.split(' ').any(|m| m.eq_ignore_ascii_case("ANONYMOUS")) {
+                if mechs
+                    .split(' ')
+                    .any(|m| m.eq_ignore_ascii_case("ANONYMOUS"))
+                {
                     Verdict::Open
                 } else {
                     Verdict::AccessControlled
@@ -88,9 +91,15 @@ fn tls_broker_verdicts(store: &ScanStore, proto: Protocol) -> HashMap<[u8; 32], 
 }
 
 impl SecuritySummary {
-    /// Computes the summary over a store.
+    /// Computes the summary over a store, parsing SSH hosts itself.
     pub fn over(store: &ScanStore) -> SecuritySummary {
-        let ssh = unique_ssh_hosts(store);
+        SecuritySummary::over_hosts(store, &unique_ssh_hosts(store))
+    }
+
+    /// Computes the summary over a store with an already-parsed unique
+    /// SSH host list (as produced by [`unique_ssh_hosts`]) — the entry
+    /// point for callers that memoize the SSH parse across analyses.
+    pub fn over_hosts(store: &ScanStore, ssh: &[crate::ssh_os::SshHost]) -> SecuritySummary {
         let ssh_secure = ssh
             .iter()
             .filter(|h| assess(h) == PatchStatus::UpToDate)
@@ -98,7 +107,9 @@ impl SecuritySummary {
         let mqtt = tls_broker_verdicts(store, Protocol::Mqtts);
         let amqp = tls_broker_verdicts(store, Protocol::Amqps);
         let secure = |m: &HashMap<[u8; 32], Verdict>| {
-            m.values().filter(|v| **v == Verdict::AccessControlled).count() as u64
+            m.values()
+                .filter(|v| **v == Verdict::AccessControlled)
+                .count() as u64
         };
         SecuritySummary {
             ssh_hosts: ssh.len() as u64,

@@ -71,7 +71,7 @@ pub fn unique_ssh_hosts(store: &ScanStore) -> Vec<SshHost> {
         }
     }
     let mut hosts: Vec<SshHost> = by_fp.into_values().collect();
-    hosts.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+    hosts.sort_by_key(|a| a.fingerprint);
     hosts
 }
 
@@ -91,7 +91,10 @@ pub fn os_distribution(hosts: &[SshHost]) -> Vec<(String, u64)> {
 
 /// Count for one OS label.
 pub fn os_count(dist: &[(String, u64)], os: &str) -> u64 {
-    dist.iter().find(|(k, _)| k == os).map(|(_, n)| *n).unwrap_or(0)
+    dist.iter()
+        .find(|(k, _)| k == os)
+        .map(|(_, n)| *n)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -148,7 +151,12 @@ mod tests {
     fn distribution_sorted_descending() {
         let mut store = ScanStore::new();
         for i in 0..5u8 {
-            store.push(rec(u128::from(i), i, "OpenSSH_8.9p1", Some("Ubuntu-3ubuntu0.13")));
+            store.push(rec(
+                u128::from(i),
+                i,
+                "OpenSSH_8.9p1",
+                Some("Ubuntu-3ubuntu0.13"),
+            ));
         }
         store.push(rec(99, 99, "OpenSSH_9.2p1", Some("Debian-2+deb12u3")));
         let dist = os_distribution(&unique_ssh_hosts(&store));

@@ -147,7 +147,8 @@ pub fn group_titles_dual(
     for (t, a) in tum {
         by_title.entry(t).or_default().1.push(a);
     }
-    let items: Vec<(String, (Vec<Ipv6Addr>, Vec<Ipv6Addr>))> = by_title.into_iter().collect();
+    type DualSide = (Vec<Ipv6Addr>, Vec<Ipv6Addr>);
+    let items: Vec<(String, DualSide)> = by_title.into_iter().collect();
     let clusters = cluster_by_distance(items, TITLE_THRESHOLD, |(a, b)| (a.len() + b.len()) as u64);
     let mut groups: Vec<DualTitleGroup> = clusters
         .into_iter()
@@ -186,8 +187,7 @@ pub fn group_count(groups: &[TitleGroup], label: &str) -> u64 {
     groups
         .iter()
         .find(|g| {
-            g.label == label
-                || crate::levenshtein::normalized(&g.label, label) <= TITLE_THRESHOLD
+            g.label == label || crate::levenshtein::normalized(&g.label, label) <= TITLE_THRESHOLD
         })
         .map(|g| g.hosts)
         .unwrap_or(0)
@@ -240,7 +240,11 @@ mod tests {
                 u128::from(i),
                 i,
                 200,
-                Some(if i < 20 { "FRITZ!Box 7590" } else { "FRITZ!Box 7530" }),
+                Some(if i < 20 {
+                    "FRITZ!Box 7590"
+                } else {
+                    "FRITZ!Box 7530"
+                }),
             ));
         }
         for i in 30..34u8 {

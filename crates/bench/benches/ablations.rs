@@ -20,7 +20,10 @@ use std::hint::black_box;
 
 fn ablation_dedup(study: &timetoscan::Study) {
     println!("== Ablation: dedup key (SSH hosts) ==");
-    for (label, store) in [("Our Data", &study.ntp_scan), ("TUM Hitlist", &study.hitlist_scan)] {
+    for (label, store) in [
+        ("Our Data", &study.ntp_scan),
+        ("TUM Hitlist", &study.hitlist_scan),
+    ] {
         let keys = store.fingerprints(Protocol::Ssh).len();
         let addrs = store.addrs(Protocol::Ssh);
         let nets64: HashSet<u128> = addrs
@@ -49,8 +52,7 @@ fn ablation_cluster_threshold(study: &timetoscan::Study) {
             }
             m.into_iter().collect()
         };
-        let clusters =
-            analysis::levenshtein::cluster_by_distance(items, thr, |v| v.len() as u64);
+        let clusters = analysis::levenshtein::cluster_by_distance(items, thr, |v| v.len() as u64);
         let biggest = clusters
             .iter()
             .map(|c| c.members.iter().map(|(_, v)| v.len()).sum::<usize>())
@@ -119,7 +121,7 @@ fn ablation_staleness(study: &timetoscan::Study) {
 fn ablation_tga_on_ntp(study: &timetoscan::Study) {
     println!("== Ablation: TGA trained on NTP-sourced addresses (paper §6 future work) ==");
     let scan_t = study.hitlist.built_at;
-    let mut run = |label: &str, seeds: Vec<std::net::Ipv6Addr>| {
+    let run = |label: &str, seeds: Vec<std::net::Ipv6Addr>| {
         let tga = hitlist::sources::TgaSource {
             seeds,
             budget: 4_000,
@@ -142,7 +144,13 @@ fn ablation_tga_on_ntp(study: &timetoscan::Study) {
     };
     run(
         "seeds: public hitlist",
-        study.hitlist.public.sorted().into_iter().take(2_000).collect(),
+        study
+            .hitlist
+            .public
+            .sorted()
+            .into_iter()
+            .take(2_000)
+            .collect(),
     );
     run(
         "seeds: NTP feed",

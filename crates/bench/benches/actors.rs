@@ -5,9 +5,15 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let study = bench::bench_study();
-    println!("{}", timetoscan::experiments::actors::render(&study));
+    println!(
+        "{}",
+        timetoscan::experiments::actors::render(&study.derived())
+    );
     c.bench_function("actors/compute", |b| {
-        b.iter(|| black_box(timetoscan::experiments::actors::compute(black_box(&study))))
+        b.iter(|| {
+            let derived = black_box(&study).derived();
+            black_box(timetoscan::experiments::actors::compute(&derived).is_some())
+        })
     });
 }
 

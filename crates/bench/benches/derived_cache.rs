@@ -1,0 +1,26 @@
+//! The memoized derived layer's payoff: rendering the full report
+//! against a cold cache (every artifact built once) vs re-rendering
+//! against a warm one (every cell a hit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use timetoscan::experiments::render_all;
+
+fn bench(c: &mut Criterion) {
+    let study = bench::bench_study();
+    c.bench_function("derived/render_all_cold", |b| {
+        b.iter(|| black_box(render_all(&black_box(&study).derived())))
+    });
+    let warm = study.derived();
+    let _ = render_all(&warm); // populate every cell
+    c.bench_function("derived/render_all_warm", |b| {
+        b.iter(|| black_box(render_all(black_box(&warm))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

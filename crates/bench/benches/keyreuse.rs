@@ -5,9 +5,16 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let study = bench::bench_study();
-    println!("{}", timetoscan::experiments::keyreuse::render(&study));
+    println!(
+        "{}",
+        timetoscan::experiments::keyreuse::render(&study.derived())
+    );
     c.bench_function("keyreuse/compute", |b| {
-        b.iter(|| black_box(timetoscan::experiments::keyreuse::compute(black_box(&study))))
+        b.iter(|| {
+            black_box(timetoscan::experiments::keyreuse::compute(
+                &black_box(&study).derived(),
+            ))
+        })
     });
 }
 

@@ -5,9 +5,16 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let study = bench::bench_study();
-    println!("{}", timetoscan::experiments::security::render(&study));
+    println!(
+        "{}",
+        timetoscan::experiments::security::render(&study.derived())
+    );
     c.bench_function("security/compute", |b| {
-        b.iter(|| black_box(timetoscan::experiments::security::compute(black_box(&study))))
+        b.iter(|| {
+            black_box(timetoscan::experiments::security::compute(
+                &black_box(&study).derived(),
+            ))
+        })
     });
 }
 

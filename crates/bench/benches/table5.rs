@@ -5,9 +5,16 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let study = bench::bench_study();
-    println!("{}", timetoscan::experiments::table5::render(&study));
+    println!(
+        "{}",
+        timetoscan::experiments::table5::render(&study.derived())
+    );
     c.bench_function("table5/compute", |b| {
-        b.iter(|| black_box(timetoscan::experiments::table5::compute(black_box(&study))))
+        b.iter(|| {
+            black_box(timetoscan::experiments::table5::compute(
+                &black_box(&study).derived(),
+            ))
+        })
     });
 }
 

@@ -3,6 +3,25 @@
 use netsim::time::Duration;
 use netsim::world::WorldConfig;
 
+/// How the collection stage hands addresses to the real-time scanner.
+///
+/// Both modes produce **bit-identical** results (enforced by
+/// `tests/streaming_equivalence.rs`): the feed is ordered either way and
+/// the scanner consumes it in order. They differ only in *when* scanning
+/// happens relative to collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Buffer the whole first-sight feed, then scan it after the
+    /// collection run finishes. Simple, single-threaded.
+    Buffered,
+    /// Stream observations through a bounded channel into a scanner
+    /// thread that runs concurrently with collection — the shape of the
+    /// real study, where zgrab2 probes addresses minutes after first
+    /// sight (§4.1).
+    #[default]
+    Streaming,
+}
+
 /// Full configuration of one study run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StudyConfig {
@@ -23,6 +42,8 @@ pub struct StudyConfig {
     pub rl_samples: u32,
     /// Run the telescope + actor experiment.
     pub telescope: bool,
+    /// How collection feeds the real-time scanner.
+    pub pipeline: PipelineMode,
 }
 
 impl StudyConfig {
@@ -35,6 +56,7 @@ impl StudyConfig {
             target_rps,
             rl_samples,
             telescope: true,
+            pipeline: PipelineMode::default(),
         }
     }
 
@@ -70,6 +92,11 @@ impl StudyConfig {
         StudyConfig::base(WorldConfig::paper_milli(seed), 40.0, 14)
     }
 
+    /// The same config with a different pipeline mode.
+    pub fn with_pipeline(mut self, pipeline: PipelineMode) -> StudyConfig {
+        self.pipeline = pipeline;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -90,12 +117,24 @@ mod tests {
     }
 
     #[test]
+    fn streaming_is_the_default_pipeline() {
+        assert_eq!(StudyConfig::tiny(1).pipeline, PipelineMode::Streaming);
+        assert_eq!(
+            StudyConfig::paper_milli(1).pipeline,
+            PipelineMode::Streaming
+        );
+        let buffered = StudyConfig::tiny(1).with_pipeline(PipelineMode::Buffered);
+        assert_eq!(buffered.pipeline, PipelineMode::Buffered);
+        // Everything but the pipeline mode is untouched.
+        assert_eq!(buffered.collection, StudyConfig::tiny(1).collection);
+    }
+
+    #[test]
     fn presets_scale_up() {
         assert!(StudyConfig::small(1).world.households > StudyConfig::tiny(1).world.households);
         assert!(StudyConfig::medium(1).world.households > StudyConfig::small(1).world.households);
         assert!(
-            StudyConfig::paper_milli(1).world.households
-                > StudyConfig::medium(1).world.households
+            StudyConfig::paper_milli(1).world.households > StudyConfig::medium(1).world.households
         );
     }
 }

@@ -1,0 +1,305 @@
+//! Lazily-memoized derived analyses shared across experiments.
+//!
+//! Several expensive artifacts — HTTPS title clustering, SSH host-key
+//! parsing, broker extraction, fingerprint indexes, network groupings —
+//! are consumed by more than one experiment module. Recomputing them per
+//! table/figure dominated `render_all`'s runtime. [`Derived`] wraps a
+//! [`Study`] and computes each artifact **exactly once**, on first use,
+//! via [`OnceLock`] cells; every experiment's `compute`/`render` takes
+//! `&Derived`, which [derefs](std::ops::Deref) to `&Study` for raw
+//! access.
+//!
+//! The exactly-once contract is observable: [`Derived::stats`] returns
+//! build counters, and `crates/core/tests/experiments.rs` asserts that
+//! rendering the full report twice still builds each artifact once.
+
+use crate::Study;
+use analysis::access_control::{amqp_brokers, mqtt_brokers, Broker};
+use analysis::coap_groups::{coap_devices, CoapDevice};
+use analysis::network_groups::{network_counts, NetworkCounts};
+use analysis::ssh_os::{unique_ssh_hosts, SshHost};
+use analysis::title_cluster::{
+    group_titles, http_titles_by_addr, https_title_groups_dual, unique_https_titles, DualTitleGroup,
+};
+use scanner::result::Protocol;
+use scanner::ScanStore;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv6Addr;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// Which address source a per-store artifact is derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// The real-time scan over NTP-collected addresses ("Our Data").
+    Ntp,
+    /// The batch scan over the TUM-style hitlist.
+    Hitlist,
+}
+
+impl Source {
+    /// Both sources, in the paper's our-then-hitlist order.
+    pub const BOTH: [Source; 2] = [Source::Ntp, Source::Hitlist];
+
+    fn idx(self) -> usize {
+        match self {
+            Source::Ntp => 0,
+            Source::Hitlist => 1,
+        }
+    }
+}
+
+/// One memoization cell per source.
+type PerSource<T> = [OnceLock<T>; 2];
+
+fn cells<T>() -> PerSource<T> {
+    [OnceLock::new(), OnceLock::new()]
+}
+
+/// Build counters (how many times each artifact kind was computed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DerivedStats {
+    /// Dual (our vs hitlist) HTTPS title clusterings. At most 1.
+    pub title_cluster_builds: u32,
+    /// Per-store combined HTTP+HTTPS title groupings (Appendix C view).
+    pub addr_title_builds: u32,
+    /// Per-store SSH host-key parses/dedups.
+    pub ssh_parse_builds: u32,
+    /// Per-store CoAP device extractions.
+    pub coap_builds: u32,
+    /// Per-store-and-protocol broker extractions (MQTT, AMQP).
+    pub broker_builds: u32,
+    /// Per-store fingerprint index builds.
+    pub fingerprint_builds: u32,
+    /// Per-store network groupings (per-protocol /32../64, AS, country).
+    pub network_grouping_builds: u32,
+}
+
+#[derive(Default)]
+struct Counters {
+    title_cluster: AtomicU32,
+    addr_title: AtomicU32,
+    ssh_parse: AtomicU32,
+    coap: AtomicU32,
+    broker: AtomicU32,
+    fingerprint: AtomicU32,
+    network_grouping: AtomicU32,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU32) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A [`Study`] plus its memoized derived analyses.
+///
+/// Construct with [`Study::derived`] (or [`Derived::new`]); pass
+/// `&Derived` to every experiment. Direct `Study` fields remain
+/// reachable through `Deref`: `derived.ntp_scan`, `derived.world`, …
+pub struct Derived<'a> {
+    study: &'a Study,
+    titles: OnceLock<Vec<DualTitleGroup>>,
+    addr_titles: PerSource<Vec<(String, Vec<Ipv6Addr>)>>,
+    ssh_hosts: PerSource<Vec<SshHost>>,
+    coap: PerSource<Vec<CoapDevice>>,
+    mqtt: PerSource<Vec<Broker>>,
+    amqp: PerSource<Vec<Broker>>,
+    fingerprints: PerSource<HashMap<Protocol, HashSet<[u8; 32]>>>,
+    networks: PerSource<Vec<(Protocol, NetworkCounts)>>,
+    counters: Counters,
+}
+
+impl<'a> Deref for Derived<'a> {
+    type Target = Study;
+
+    fn deref(&self) -> &Study {
+        self.study
+    }
+}
+
+impl<'a> Derived<'a> {
+    /// Wraps a study with empty (not-yet-computed) cells.
+    pub fn new(study: &'a Study) -> Derived<'a> {
+        Derived {
+            study,
+            titles: OnceLock::new(),
+            addr_titles: cells(),
+            ssh_hosts: cells(),
+            coap: cells(),
+            mqtt: cells(),
+            amqp: cells(),
+            fingerprints: cells(),
+            networks: cells(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The scan store behind a [`Source`].
+    pub fn store(&self, src: Source) -> &ScanStore {
+        match src {
+            Source::Ntp => &self.study.ntp_scan,
+            Source::Hitlist => &self.study.hitlist_scan,
+        }
+    }
+
+    /// Dual HTTPS title clusters over both sources (Tables 3 and 8).
+    pub fn title_clusters(&self) -> &[DualTitleGroup] {
+        self.titles.get_or_init(|| {
+            Counters::bump(&self.counters.title_cluster);
+            https_title_groups_dual(&self.study.ntp_scan, &self.study.hitlist_scan)
+        })
+    }
+
+    /// Combined HTTP+HTTPS title groups with their addresses — the
+    /// Appendix C (Table 6) per-network view, where plain-HTTP hosts
+    /// (no certificate to dedup on) count too.
+    pub fn addr_title_groups(&self, src: Source) -> &[(String, Vec<Ipv6Addr>)] {
+        self.addr_titles[src.idx()].get_or_init(|| {
+            Counters::bump(&self.counters.addr_title);
+            let store = self.store(src);
+            let mut obs = unique_https_titles(store);
+            obs.extend(http_titles_by_addr(store));
+            group_titles(obs)
+                .into_iter()
+                .map(|g| (g.label, g.addrs))
+                .collect()
+        })
+    }
+
+    /// Unique SSH hosts (deduped by host key) for one source.
+    pub fn ssh_hosts(&self, src: Source) -> &[SshHost] {
+        self.ssh_hosts[src.idx()].get_or_init(|| {
+            Counters::bump(&self.counters.ssh_parse);
+            unique_ssh_hosts(self.store(src))
+        })
+    }
+
+    /// CoAP devices (parsed resource lists) for one source.
+    pub fn coap_devices(&self, src: Source) -> &[CoapDevice] {
+        self.coap[src.idx()].get_or_init(|| {
+            Counters::bump(&self.counters.coap);
+            coap_devices(self.store(src))
+        })
+    }
+
+    /// MQTT brokers (plain + TLS listeners) for one source.
+    pub fn mqtt_brokers(&self, src: Source) -> &[Broker] {
+        self.mqtt[src.idx()].get_or_init(|| {
+            Counters::bump(&self.counters.broker);
+            mqtt_brokers(self.store(src))
+        })
+    }
+
+    /// AMQP brokers (plain + TLS listeners) for one source.
+    pub fn amqp_brokers(&self, src: Source) -> &[Broker] {
+        self.amqp[src.idx()].get_or_init(|| {
+            Counters::bump(&self.counters.broker);
+            amqp_brokers(self.store(src))
+        })
+    }
+
+    /// Certificate/host-key fingerprints per protocol for one source.
+    pub fn fingerprints(&self, src: Source, p: Protocol) -> &HashSet<[u8; 32]> {
+        let map = self.fingerprints[src.idx()].get_or_init(|| {
+            Counters::bump(&self.counters.fingerprint);
+            let store = self.store(src);
+            Protocol::ALL
+                .iter()
+                .map(|p| (*p, store.fingerprints(*p)))
+                .collect()
+        });
+        &map[&p]
+    }
+
+    /// Per-protocol network/AS/country counts for one source (Table 5).
+    pub fn network_counts(&self, src: Source) -> &[(Protocol, NetworkCounts)] {
+        self.networks[src.idx()].get_or_init(|| {
+            Counters::bump(&self.counters.network_grouping);
+            let store = self.store(src);
+            let topo = &self.study.world.topology;
+            Protocol::ALL
+                .iter()
+                .map(|p| {
+                    let addrs: Vec<Ipv6Addr> = store.addrs(*p).into_iter().collect();
+                    (*p, network_counts(addrs.iter(), topo))
+                })
+                .collect()
+        })
+    }
+
+    /// Snapshot of the build counters.
+    pub fn stats(&self) -> DerivedStats {
+        let c = &self.counters;
+        DerivedStats {
+            title_cluster_builds: c.title_cluster.load(Ordering::Relaxed),
+            addr_title_builds: c.addr_title.load(Ordering::Relaxed),
+            ssh_parse_builds: c.ssh_parse.load(Ordering::Relaxed),
+            coap_builds: c.coap.load(Ordering::Relaxed),
+            broker_builds: c.broker.load(Ordering::Relaxed),
+            fingerprint_builds: c.fingerprint.load(Ordering::Relaxed),
+            network_grouping_builds: c.network_grouping.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Study {
+    /// Wraps this study in a fresh [`Derived`] cache.
+    pub fn derived(&self) -> Derived<'_> {
+        Derived::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StudyConfig;
+
+    #[test]
+    fn cells_memoize_and_count_once() {
+        let study = Study::run(StudyConfig::tiny(3));
+        let d = study.derived();
+        assert_eq!(d.stats(), DerivedStats::default());
+
+        let first = d.title_clusters().len();
+        let again = d.title_clusters().len();
+        assert_eq!(first, again);
+        for src in Source::BOTH {
+            let hosts = d.ssh_hosts(src).len();
+            assert_eq!(d.ssh_hosts(src).len(), hosts);
+            d.coap_devices(src);
+            d.mqtt_brokers(src);
+            d.amqp_brokers(src);
+            d.network_counts(src);
+            d.addr_title_groups(src);
+            for p in Protocol::ALL {
+                d.fingerprints(src, p);
+            }
+        }
+        let s = d.stats();
+        assert_eq!(s.title_cluster_builds, 1);
+        assert_eq!(s.addr_title_builds, 2);
+        assert_eq!(s.ssh_parse_builds, 2);
+        assert_eq!(s.coap_builds, 2);
+        assert_eq!(s.broker_builds, 4);
+        assert_eq!(s.fingerprint_builds, 2);
+        assert_eq!(s.network_grouping_builds, 2);
+    }
+
+    #[test]
+    fn derived_matches_direct_computation() {
+        let study = Study::run(StudyConfig::tiny(5));
+        let d = study.derived();
+        assert_eq!(
+            d.ssh_hosts(Source::Ntp),
+            analysis::ssh_os::unique_ssh_hosts(&study.ntp_scan).as_slice()
+        );
+        assert_eq!(
+            d.fingerprints(Source::Hitlist, Protocol::Https),
+            &study.hitlist_scan.fingerprints(Protocol::Https)
+        );
+        // Deref exposes the raw study.
+        assert_eq!(d.ntp_scan.targets(), study.ntp_scan.targets());
+    }
+}

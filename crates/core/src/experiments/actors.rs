@@ -1,16 +1,16 @@
 //! §5: NTP-sourcing by others — the telescope's actor findings.
 
 use crate::report::{fmt_int, TextTable};
-use crate::Study;
+use crate::Derived;
 use telescope::{ActorCharacter, TelescopeReport};
 
 /// Computes (returns) the telescope report.
-pub fn compute(study: &Study) -> Option<&TelescopeReport> {
+pub fn compute<'a>(study: &'a Derived<'_>) -> Option<&'a TelescopeReport> {
     study.telescope.as_ref()
 }
 
 /// Renders the §5 findings.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let Some(report) = compute(study) else {
         return "== §5: telescope disabled for this run ==\n".to_string();
     };

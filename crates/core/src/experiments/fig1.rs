@@ -2,7 +2,7 @@
 //! Cable/DSL/ISP AS label.
 
 use crate::report::{fmt_pct, TextTable};
-use crate::Study;
+use crate::Derived;
 use analysis::iid_dist::{address_structure, AddressStructure};
 use v6addr::IidClass;
 
@@ -20,7 +20,7 @@ pub struct Fig1 {
 }
 
 /// Computes Figure 1.
-pub fn compute(study: &Study) -> Fig1 {
+pub fn compute(study: &Derived) -> Fig1 {
     let topo = &study.world.topology;
     Fig1 {
         ours: address_structure(study.collector.global(), topo),
@@ -31,7 +31,7 @@ pub fn compute(study: &Study) -> Fig1 {
 }
 
 /// Renders Figure 1 as a share table.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let f = compute(study);
     let mut out = TextTable::new(vec![
         "Figure 1",

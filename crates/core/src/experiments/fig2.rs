@@ -1,9 +1,8 @@
 //! Figure 2: NTP-sourcing unveils more outdated SSH hosts.
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Study;
+use crate::{Derived, Source};
 use analysis::outdated::OutdatedStats;
-use analysis::ssh_os::unique_ssh_hosts;
 
 /// Computed Figure 2: outdatedness per source.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,17 +14,22 @@ pub struct Fig2 {
 }
 
 /// Computes Figure 2 over unique host keys.
-pub fn compute(study: &Study) -> Fig2 {
+pub fn compute(study: &Derived) -> Fig2 {
     Fig2 {
-        ours: OutdatedStats::over(&unique_ssh_hosts(&study.ntp_scan)),
-        tum: OutdatedStats::over(&unique_ssh_hosts(&study.hitlist_scan)),
+        ours: OutdatedStats::over(study.ssh_hosts(Source::Ntp)),
+        tum: OutdatedStats::over(study.ssh_hosts(Source::Hitlist)),
     }
 }
 
 /// Renders Figure 2.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let f = compute(study);
-    let mut t = TextTable::new(vec!["SSH up-to-dateness", "assessable", "outdated", "share"]);
+    let mut t = TextTable::new(vec![
+        "SSH up-to-dateness",
+        "assessable",
+        "outdated",
+        "share",
+    ]);
     t.row(vec![
         "Our Data".to_string(),
         fmt_int(f.ours.assessable),

@@ -1,8 +1,8 @@
 //! Figure 3: NTP-sourced MQTT/AMQP brokers show worse access control.
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Study;
-use analysis::access_control::{amqp_brokers, mqtt_brokers, AccessControlStats};
+use crate::{Derived, Source};
+use analysis::access_control::AccessControlStats;
 
 /// Computed Figure 3.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,17 +18,17 @@ pub struct Fig3 {
 }
 
 /// Computes Figure 3.
-pub fn compute(study: &Study) -> Fig3 {
+pub fn compute(study: &Derived) -> Fig3 {
     Fig3 {
-        our_mqtt: AccessControlStats::over(&mqtt_brokers(&study.ntp_scan)),
-        tum_mqtt: AccessControlStats::over(&mqtt_brokers(&study.hitlist_scan)),
-        our_amqp: AccessControlStats::over(&amqp_brokers(&study.ntp_scan)),
-        tum_amqp: AccessControlStats::over(&amqp_brokers(&study.hitlist_scan)),
+        our_mqtt: AccessControlStats::over(study.mqtt_brokers(Source::Ntp)),
+        tum_mqtt: AccessControlStats::over(study.mqtt_brokers(Source::Hitlist)),
+        our_amqp: AccessControlStats::over(study.amqp_brokers(Source::Ntp)),
+        tum_amqp: AccessControlStats::over(study.amqp_brokers(Source::Hitlist)),
     }
 }
 
 /// Renders Figure 3.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let f = compute(study);
     let mut t = TextTable::new(vec!["Brokers", "total", "access ctrl", "share"]);
     let mut row = |label: &str, s: AccessControlStats| {

@@ -2,10 +2,8 @@
 //! distribution of MAC-embedding classes per collecting-server location.
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Study;
-use analysis::eui64_vendors::{
-    embedding_by_location, vendor_ranking, Eui64Stats, VendorRow,
-};
+use crate::Derived;
+use analysis::eui64_vendors::{embedding_by_location, vendor_ranking, Eui64Stats, VendorRow};
 use netsim::country::Country;
 use std::collections::HashMap;
 use v6addr::eui64::MacEmbedding;
@@ -24,18 +22,13 @@ pub struct Eui64Analysis {
 }
 
 /// Computes Table 4 / Figure 4.
-pub fn compute(study: &Study) -> Eui64Analysis {
+pub fn compute(study: &Derived) -> Eui64Analysis {
     let (stats, vendors) = vendor_ranking(study.collector.global(), &study.oui_db);
     let empty = AddrSet::new();
     let sets: Vec<(Country, &AddrSet)> = study
         .study_servers
         .iter()
-        .map(|(id, c)| {
-            (
-                *c,
-                study.collector.per_server(*id).unwrap_or(&empty),
-            )
-        })
+        .map(|(id, c)| (*c, study.collector.per_server(*id).unwrap_or(&empty)))
         .collect();
     let per_location = embedding_by_location(&sets, &study.oui_db);
     Eui64Analysis {
@@ -46,11 +39,15 @@ pub fn compute(study: &Study) -> Eui64Analysis {
 }
 
 /// Renders Table 4 (top 20 vendors) and Figure 4.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let a = compute(study);
     let mut t4 = TextTable::new(vec!["Manufacturer", "#MACs", "#IPs"]);
     for v in a.vendors.iter().take(20) {
-        t4.row(vec![v.manufacturer.clone(), fmt_int(v.macs), fmt_int(v.ips)]);
+        t4.row(vec![
+            v.manufacturer.clone(),
+            fmt_int(v.macs),
+            fmt_int(v.ips),
+        ]);
     }
     let mut f4 = TextTable::new(vec![
         "Server location",

@@ -3,9 +3,8 @@
 //! per /56 network, widening the NTP-vs-hitlist gap.
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Study;
+use crate::{Derived, Source};
 use analysis::outdated::OutdatedStats;
-use analysis::ssh_os::unique_ssh_hosts;
 
 /// Network length used for the by-network view.
 pub const NET_LEN: u8 = 56;
@@ -24,19 +23,19 @@ pub struct Fig5 {
 }
 
 /// Computes Figure 5.
-pub fn compute(study: &Study) -> Fig5 {
-    let ours = unique_ssh_hosts(&study.ntp_scan);
-    let tum = unique_ssh_hosts(&study.hitlist_scan);
+pub fn compute(study: &Derived) -> Fig5 {
+    let ours = study.ssh_hosts(Source::Ntp);
+    let tum = study.ssh_hosts(Source::Hitlist);
     Fig5 {
-        ours_by_key: OutdatedStats::over(&ours),
-        ours_by_net: OutdatedStats::over_networks(&ours, NET_LEN),
-        tum_by_key: OutdatedStats::over(&tum),
-        tum_by_net: OutdatedStats::over_networks(&tum, NET_LEN),
+        ours_by_key: OutdatedStats::over(ours),
+        ours_by_net: OutdatedStats::over_networks(ours, NET_LEN),
+        tum_by_key: OutdatedStats::over(tum),
+        tum_by_net: OutdatedStats::over_networks(tum, NET_LEN),
     }
 }
 
 /// Renders Figure 5.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let f = compute(study);
     let mut t = TextTable::new(vec![
         "SSH up-to-dateness",

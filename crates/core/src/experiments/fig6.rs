@@ -4,8 +4,8 @@
 //! authentication).
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Study;
-use analysis::access_control::{amqp_brokers, mqtt_brokers, AccessControlStats, Broker};
+use crate::{Derived, Source};
+use analysis::access_control::{AccessControlStats, Broker};
 
 /// Computed Figure 6 for one protocol and source.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,17 +43,17 @@ pub struct Fig6 {
 }
 
 /// Computes Figure 6.
-pub fn compute(study: &Study) -> Fig6 {
+pub fn compute(study: &Derived) -> Fig6 {
     Fig6 {
-        our_mqtt: view(&mqtt_brokers(&study.ntp_scan)),
-        tum_mqtt: view(&mqtt_brokers(&study.hitlist_scan)),
-        our_amqp: view(&amqp_brokers(&study.ntp_scan)),
-        tum_amqp: view(&amqp_brokers(&study.hitlist_scan)),
+        our_mqtt: view(study.mqtt_brokers(Source::Ntp)),
+        tum_mqtt: view(study.mqtt_brokers(Source::Hitlist)),
+        our_amqp: view(study.amqp_brokers(Source::Ntp)),
+        tum_amqp: view(study.amqp_brokers(Source::Hitlist)),
     }
 }
 
 /// Renders Figure 6.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let f = compute(study);
     let mut t = TextTable::new(vec![
         "Brokers",

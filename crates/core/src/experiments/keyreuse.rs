@@ -2,7 +2,7 @@
 //! ASes, with the most-used and most-widespread key per source.
 
 use crate::report::{fmt_int, TextTable};
-use crate::Study;
+use crate::Derived;
 use analysis::keyreuse::{reuse_stats, ReuseStats};
 use scanner::result::Protocol;
 
@@ -20,7 +20,7 @@ pub struct KeyReuse {
 }
 
 /// Computes reuse for both sources.
-pub fn compute(study: &Study) -> KeyReuse {
+pub fn compute(study: &Derived) -> KeyReuse {
     let topo = &study.world.topology;
     KeyReuse {
         ours: reuse_stats(&study.ntp_scan, &REUSE_PROTOCOLS, topo),
@@ -29,7 +29,7 @@ pub fn compute(study: &Study) -> KeyReuse {
 }
 
 /// Renders the reuse comparison.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let k = compute(study);
     let mut t = TextTable::new(vec![
         "Key reuse (>2 ASes)",

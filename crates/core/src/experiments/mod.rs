@@ -1,6 +1,9 @@
-//! One module per paper table/figure. Each exposes `compute(&Study)`
-//! returning typed data and `render(&Study) -> String` producing the
-//! table as text (what the bench harness prints).
+//! One module per paper table/figure. Each exposes `compute(&Derived)`
+//! returning typed data and `render(&Derived) -> String` producing the
+//! table as text (what the bench harness prints). [`crate::Derived`]
+//! derefs to [`crate::Study`], so raw study fields stay reachable while
+//! shared artifacts (title clusters, SSH parses, fingerprint indexes,
+//! network groupings) are computed once and reused across modules.
 
 pub mod actors;
 pub mod fig1;
@@ -12,7 +15,6 @@ pub mod fig6;
 pub mod keyreuse;
 pub mod security;
 pub mod table1;
-pub mod takeaways;
 pub mod table2;
 pub mod table3;
 pub mod table5;
@@ -20,9 +22,14 @@ pub mod table6;
 pub mod table7;
 pub mod table8;
 pub mod table9;
+pub mod takeaways;
 
 /// Renders every experiment in paper order (the "full report").
-pub fn render_all(study: &crate::Study) -> String {
+///
+/// Expensive derived artifacts are shared through `study`'s memoization
+/// cells: e.g. the dual title clustering feeds Tables 3 and 8 (and the
+/// takeaways) from a single build.
+pub fn render_all(study: &crate::Derived) -> String {
     let parts = [
         table1::render(study),
         fig1::render(study),

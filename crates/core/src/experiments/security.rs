@@ -2,7 +2,7 @@
 //! per address source (paper: 43.5 % hitlist vs 28.4 % NTP-sourced).
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Study;
+use crate::{Derived, Source};
 use analysis::security::SecuritySummary;
 
 /// Computed security comparison.
@@ -15,15 +15,15 @@ pub struct Security {
 }
 
 /// Computes both summaries.
-pub fn compute(study: &Study) -> Security {
+pub fn compute(study: &Derived) -> Security {
     Security {
-        ours: SecuritySummary::over(&study.ntp_scan),
-        tum: SecuritySummary::over(&study.hitlist_scan),
+        ours: SecuritySummary::over_hosts(&study.ntp_scan, study.ssh_hosts(Source::Ntp)),
+        tum: SecuritySummary::over_hosts(&study.hitlist_scan, study.ssh_hosts(Source::Hitlist)),
     }
 }
 
 /// Renders the comparison with the takeaway line.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let s = compute(study);
     let mut t = TextTable::new(vec![
         "Security summary",

@@ -2,7 +2,7 @@
 //! our NTP-sourced set, and density medians.
 
 use crate::report::{fmt_int, TextTable};
-use crate::Study;
+use crate::Derived;
 use analysis::overlap::{dataset_stats, overlap_stats, DatasetStats, OverlapStats};
 use v6addr::AddrSet;
 
@@ -26,7 +26,7 @@ pub struct Table1 {
 }
 
 /// Computes Table 1.
-pub fn compute(study: &Study) -> Table1 {
+pub fn compute(study: &Derived) -> Table1 {
     let ours: &AddrSet = study.collector.global();
     let topo = &study.world.topology;
     Table1 {
@@ -41,7 +41,7 @@ pub fn compute(study: &Study) -> Table1 {
 }
 
 /// Renders Table 1.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let t = compute(study);
     let mut out = TextTable::new(vec![
         "Table 1",
@@ -50,10 +50,9 @@ pub fn render(study: &Study) -> String {
         "TUM public",
         "TUM full",
     ]);
-    let row =
-        |f: &dyn Fn(&DatasetStats) -> String| -> Vec<String> {
-            vec![f(&t.ours), f(&t.rl), f(&t.public), f(&t.full)]
-        };
+    let row = |f: &dyn Fn(&DatasetStats) -> String| -> Vec<String> {
+        vec![f(&t.ours), f(&t.rl), f(&t.public), f(&t.full)]
+    };
     let mut cells = vec!["IP addresses".to_string()];
     cells.extend(row(&|d| fmt_int(d.addresses)));
     out.row(cells);

@@ -3,7 +3,7 @@
 //! the two address sources.
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Study;
+use crate::{Derived, Source};
 use scanner::result::Protocol;
 use scanner::ScanStore;
 use std::collections::HashSet;
@@ -78,24 +78,24 @@ fn family_addrs(store: &ScanStore, f: &Family) -> u64 {
     addrs.len() as u64
 }
 
-fn family_keys(store: &ScanStore, f: &Family) -> Option<HashSet<[u8; 32]>> {
+fn family_keys(study: &Derived, src: Source, f: &Family) -> Option<HashSet<[u8; 32]>> {
     if f.key_source.is_empty() {
         return None;
     }
     let mut keys = HashSet::new();
     for p in f.key_source {
-        keys.extend(store.fingerprints(*p));
+        keys.extend(study.fingerprints(src, *p));
     }
     Some(keys)
 }
 
 /// Computes Table 2.
-pub fn compute(study: &Study) -> Vec<Row> {
+pub fn compute(study: &Derived) -> Vec<Row> {
     FAMILIES
         .iter()
         .map(|f| {
-            let our_keys_set = family_keys(&study.ntp_scan, f);
-            let tum_keys_set = family_keys(&study.hitlist_scan, f);
+            let our_keys_set = family_keys(study, Source::Ntp, f);
+            let tum_keys_set = family_keys(study, Source::Hitlist, f);
             let key_overlap = match (&our_keys_set, &tum_keys_set) {
                 (Some(a), Some(b)) => Some(a.intersection(b).count() as u64),
                 _ => None,
@@ -106,7 +106,9 @@ pub fn compute(study: &Study) -> Vec<Row> {
                 our_tls: f.tls.map(|t| study.ntp_scan.addrs_with_tls(t).len() as u64),
                 our_keys: our_keys_set.map(|s| s.len() as u64),
                 tum_addrs: family_addrs(&study.hitlist_scan, f),
-                tum_tls: f.tls.map(|t| study.hitlist_scan.addrs_with_tls(t).len() as u64),
+                tum_tls: f
+                    .tls
+                    .map(|t| study.hitlist_scan.addrs_with_tls(t).len() as u64),
                 tum_keys: tum_keys_set.map(|s| s.len() as u64),
                 key_overlap,
             }
@@ -128,14 +130,13 @@ fn opt_with_share(v: Option<u64>, of: u64) -> String {
 
 /// The §4.2 CoAP dedup check: `(devices with embedded MAC, distinct
 /// MACs)` for the NTP-side CoAP population.
-pub fn coap_mac_dedup(study: &Study) -> (u64, u64) {
-    let devices = analysis::coap_groups::coap_devices(&study.ntp_scan);
-    analysis::coap_groups::mac_dedup(&devices)
+pub fn coap_mac_dedup(study: &Derived) -> (u64, u64) {
+    analysis::coap_groups::mac_dedup(study.coap_devices(Source::Ntp))
 }
 
 /// Renders Table 2, plus the NTP-side hit rate the paper discusses in §6
 /// and the CoAP MAC-dedup check of §4.2.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let rows = compute(study);
     let (coap_macs, coap_distinct) = coap_mac_dedup(study);
     let mut out = TextTable::new(vec![

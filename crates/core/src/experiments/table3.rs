@@ -3,10 +3,9 @@
 //! NTP-sourced vs hitlist side by side.
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Study;
-use analysis::coap_groups::{coap_devices, group_distribution};
-use analysis::ssh_os::{os_distribution, unique_ssh_hosts};
-use analysis::title_cluster::https_title_groups_dual;
+use crate::{Derived, Source};
+use analysis::coap_groups::group_distribution;
+use analysis::ssh_os::os_distribution;
 use analysis::title_cluster::DualTitleGroup;
 
 /// Computed Table 3.
@@ -25,26 +24,24 @@ pub struct Table3 {
 }
 
 /// Computes Table 3.
-pub fn compute(study: &Study) -> Table3 {
+pub fn compute(study: &Derived) -> Table3 {
     Table3 {
-        titles: https_title_groups_dual(&study.ntp_scan, &study.hitlist_scan),
-        our_os: os_distribution(&unique_ssh_hosts(&study.ntp_scan)),
-        tum_os: os_distribution(&unique_ssh_hosts(&study.hitlist_scan)),
-        our_coap: group_distribution(&coap_devices(&study.ntp_scan)),
-        tum_coap: group_distribution(&coap_devices(&study.hitlist_scan)),
+        titles: study.title_clusters().to_vec(),
+        our_os: os_distribution(study.ssh_hosts(Source::Ntp)),
+        tum_os: os_distribution(study.ssh_hosts(Source::Hitlist)),
+        our_coap: group_distribution(study.coap_devices(Source::Ntp)),
+        tum_coap: group_distribution(study.coap_devices(Source::Hitlist)),
     }
 }
 
 fn count_of(dist: &[(String, u64)], label: &str) -> u64 {
-    dist.iter().find(|(k, _)| k == label).map(|(_, n)| *n).unwrap_or(0)
+    dist.iter()
+        .find(|(k, _)| k == label)
+        .map(|(_, n)| *n)
+        .unwrap_or(0)
 }
 
-fn dual_rows(
-    title: &str,
-    ours: &[(String, u64)],
-    tum: &[(String, u64)],
-    top: usize,
-) -> TextTable {
+fn dual_rows(title: &str, ours: &[(String, u64)], tum: &[(String, u64)], top: usize) -> TextTable {
     // Union of the top labels of both sides, ordered by combined count.
     let mut labels: Vec<String> = Vec::new();
     for (l, _) in ours.iter().take(top).chain(tum.iter().take(top)) {
@@ -79,7 +76,7 @@ fn dual_rows(
 }
 
 /// Renders Table 3 (top groups per category).
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let t = compute(study);
     let our_t: Vec<(String, u64)> = t
         .titles
@@ -115,12 +112,15 @@ pub fn our_title_count(titles: &[DualTitleGroup], needle: &str) -> u64 {
 /// The paper's headline count: devices of types missed or underrepresented
 /// by the hitlist — FRITZ! products, the Cisco WAP, castdevice CoAP
 /// nodes, and Raspbian SSH hosts found via NTP.
-pub fn new_device_count(study: &Study) -> u64 {
+pub fn new_device_count(study: &Derived) -> u64 {
     let t = compute(study);
     our_title_count(&t.titles, "FRITZ!Box 7590")
         + our_title_count(&t.titles, "FRITZ!Repeater 6000")
         + our_title_count(&t.titles, "FRITZ!Powerline 1260")
-        + our_title_count(&t.titles, "WAP150 Wireless-AC/N Dual Radio Access Point with PoE")
+        + our_title_count(
+            &t.titles,
+            "WAP150 Wireless-AC/N Dual Radio Access Point with PoE",
+        )
         + count_of(&t.our_coap, "castdevice")
         + count_of(&t.our_coap, "qlink")
         + count_of(&t.our_os, "Raspbian")

@@ -2,10 +2,9 @@
 //! country, for both sources.
 
 use crate::report::{fmt_int, TextTable};
-use crate::Study;
-use analysis::network_groups::{network_counts, NetworkCounts};
+use crate::{Derived, Source};
+use analysis::network_groups::NetworkCounts;
 use scanner::result::Protocol;
-use scanner::ScanStore;
 
 /// Computed Table 5: per protocol, counts for both sources.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,52 +13,47 @@ pub struct Table5 {
     pub rows: Vec<(Protocol, NetworkCounts, NetworkCounts)>,
 }
 
-fn counts(study: &Study, store: &ScanStore, p: Protocol) -> NetworkCounts {
-    let addrs: Vec<std::net::Ipv6Addr> = store.addrs(p).into_iter().collect();
-    network_counts(addrs.iter(), &study.world.topology)
-}
-
-/// Computes Table 5.
-pub fn compute(study: &Study) -> Table5 {
+/// Computes Table 5 from the memoized per-protocol network groupings.
+pub fn compute(study: &Derived) -> Table5 {
     Table5 {
-        rows: Protocol::ALL
+        rows: study
+            .network_counts(Source::Ntp)
             .iter()
-            .map(|p| {
-                (
-                    *p,
-                    counts(study, &study.ntp_scan, *p),
-                    counts(study, &study.hitlist_scan, *p),
-                )
-            })
+            .zip(study.network_counts(Source::Hitlist))
+            .map(|(&(p, ours), &(_, tum))| (p, ours, tum))
             .collect(),
     }
 }
 
 /// Renders Table 5.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let t = compute(study);
-    let render_side = |label: &str, pick: &dyn Fn(&(Protocol, NetworkCounts, NetworkCounts)) -> NetworkCounts| {
-        let mut table = TextTable::new(vec![
-            label, "HTTP", "HTTPS", "SSH", "MQTT", "MQTTS", "AMQP", "AMQPS", "CoAP",
-        ]);
-        let field = |f: &dyn Fn(&NetworkCounts) -> u64| -> Vec<String> {
-            t.rows.iter().map(|r| fmt_int(f(&pick(r)))).collect()
+    let render_side =
+        |label: &str, pick: &dyn Fn(&(Protocol, NetworkCounts, NetworkCounts)) -> NetworkCounts| {
+            let mut table = TextTable::new(vec![
+                label, "HTTP", "HTTPS", "SSH", "MQTT", "MQTTS", "AMQP", "AMQPS", "CoAP",
+            ]);
+            let field = |f: &dyn Fn(&NetworkCounts) -> u64| -> Vec<String> {
+                t.rows.iter().map(|r| fmt_int(f(&pick(r)))).collect()
+            };
+            for (name, f) in [
+                (
+                    "IPv6 Addrs",
+                    (&|c: &NetworkCounts| c.addrs) as &dyn Fn(&NetworkCounts) -> u64,
+                ),
+                ("/32 nets", &|c| c.nets32),
+                ("/48 nets", &|c| c.nets48),
+                ("/56 nets", &|c| c.nets56),
+                ("/64 nets", &|c| c.nets64),
+                ("ASes", &|c| c.ases),
+                ("Countries", &|c| c.countries),
+            ] {
+                let mut cells = vec![name.to_string()];
+                cells.extend(field(f));
+                table.row(cells);
+            }
+            table.render()
         };
-        for (name, f) in [
-            ("IPv6 Addrs", (&|c: &NetworkCounts| c.addrs) as &dyn Fn(&NetworkCounts) -> u64),
-            ("/32 nets", &|c| c.nets32),
-            ("/48 nets", &|c| c.nets48),
-            ("/56 nets", &|c| c.nets56),
-            ("/64 nets", &|c| c.nets64),
-            ("ASes", &|c| c.ases),
-            ("Countries", &|c| c.countries),
-        ] {
-            let mut cells = vec![name.to_string()];
-            cells.extend(field(f));
-            table.row(cells);
-        }
-        table.render()
-    };
     format!(
         "== Table 5: successful scans per network, AS and country ==\n-- Our Data --\n{}\n-- TUM IPv6 Hitlist --\n{}",
         render_side("Our Data", &|r| r.1),

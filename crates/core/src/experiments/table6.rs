@@ -2,12 +2,10 @@
 //! keys (Appendix C).
 
 use crate::report::{fmt_int, TextTable};
-use crate::Study;
-use analysis::coap_groups::coap_devices;
+use crate::{Derived, Source};
+use analysis::coap_groups::CoapDevice;
 use analysis::network_groups::{group_network_rows, GroupNetworkRow};
-use analysis::ssh_os::unique_ssh_hosts;
-use analysis::title_cluster::{group_titles, http_titles_by_addr, unique_https_titles};
-use scanner::ScanStore;
+use analysis::ssh_os::SshHost;
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
@@ -28,42 +26,35 @@ pub struct Table6 {
     pub tum_coap: Vec<GroupNetworkRow>,
 }
 
-fn title_groups_all_addrs(store: &ScanStore) -> Vec<(String, Vec<Ipv6Addr>)> {
-    // Appendix C counts by address/network: combine HTTP and HTTPS
-    // observations (plain hosts have no certificate to dedup on).
-    let mut obs = unique_https_titles(store);
-    obs.extend(http_titles_by_addr(store));
-    group_titles(obs)
-        .into_iter()
-        .map(|g| (g.label, g.addrs))
-        .collect()
-}
-
-fn os_groups(store: &ScanStore) -> Vec<(String, Vec<Ipv6Addr>)> {
+fn os_groups(hosts: &[SshHost]) -> Vec<(String, Vec<Ipv6Addr>)> {
     let mut map: HashMap<String, Vec<Ipv6Addr>> = HashMap::new();
-    for h in unique_ssh_hosts(store) {
-        map.entry(h.os).or_default().extend(h.addrs);
+    for h in hosts {
+        map.entry(h.os.clone())
+            .or_default()
+            .extend(h.addrs.iter().copied());
     }
     map.into_iter().collect()
 }
 
-fn coap_groups(store: &ScanStore) -> Vec<(String, Vec<Ipv6Addr>)> {
+fn coap_groups(devices: &[CoapDevice]) -> Vec<(String, Vec<Ipv6Addr>)> {
     let mut map: HashMap<String, Vec<Ipv6Addr>> = HashMap::new();
-    for d in coap_devices(store) {
-        map.entry(d.group).or_default().push(d.addr);
+    for d in devices {
+        map.entry(d.group.clone()).or_default().push(d.addr);
     }
     map.into_iter().collect()
 }
 
-/// Computes Table 6.
-pub fn compute(study: &Study) -> Table6 {
+/// Computes Table 6. The combined HTTP+HTTPS title grouping comes from
+/// the memoized [`Derived::addr_title_groups`] cell; SSH hosts and CoAP
+/// devices are shared with Tables 3/9 and Figure 2 through their cells.
+pub fn compute(study: &Derived) -> Table6 {
     Table6 {
-        our_titles: group_network_rows(&title_groups_all_addrs(&study.ntp_scan)),
-        tum_titles: group_network_rows(&title_groups_all_addrs(&study.hitlist_scan)),
-        our_os: group_network_rows(&os_groups(&study.ntp_scan)),
-        tum_os: group_network_rows(&os_groups(&study.hitlist_scan)),
-        our_coap: group_network_rows(&coap_groups(&study.ntp_scan)),
-        tum_coap: group_network_rows(&coap_groups(&study.hitlist_scan)),
+        our_titles: group_network_rows(study.addr_title_groups(Source::Ntp)),
+        tum_titles: group_network_rows(study.addr_title_groups(Source::Hitlist)),
+        our_os: group_network_rows(&os_groups(study.ssh_hosts(Source::Ntp))),
+        tum_os: group_network_rows(&os_groups(study.ssh_hosts(Source::Hitlist))),
+        our_coap: group_network_rows(&coap_groups(study.coap_devices(Source::Ntp))),
+        tum_coap: group_network_rows(&coap_groups(study.coap_devices(Source::Hitlist))),
     }
 }
 
@@ -108,7 +99,7 @@ fn section(title: &str, ours: &[GroupNetworkRow], tum: &[GroupNetworkRow], top: 
 }
 
 /// Renders Table 6.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let t = compute(study);
     format!(
         "== Table 6: groups counted by networks (Appendix C) ==\n-- HTML titles --\n{}\n-- SSH OS --\n{}\n-- CoAP --\n{}",

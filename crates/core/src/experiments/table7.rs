@@ -1,12 +1,12 @@
 //! Table 7: collected addresses per NTP-server location.
 
 use crate::report::{fmt_int, TextTable};
-use crate::Study;
+use crate::Derived;
 use netsim::country::Country;
 
 /// Computed Table 7: `(location, distinct addresses, raw requests)`,
 /// sorted descending by addresses — India first, as in the paper.
-pub fn compute(study: &Study) -> Vec<(Country, u64, u64)> {
+pub fn compute(study: &Derived) -> Vec<(Country, u64, u64)> {
     let mut rows: Vec<(Country, u64, u64)> = study
         .study_servers
         .iter()
@@ -27,7 +27,7 @@ pub fn compute(study: &Study) -> Vec<(Country, u64, u64)> {
 }
 
 /// Renders Table 7.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let rows = compute(study);
     let mut t = TextTable::new(vec!["Location", "#Addresses", "#Requests"]);
     for (c, addrs, reqs) in &rows {

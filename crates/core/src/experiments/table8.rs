@@ -1,19 +1,19 @@
 //! Table 8: top HTML title groups by unique certificate, both sources.
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Study;
-use analysis::title_cluster::{https_title_groups_dual, DualTitleGroup};
+use crate::Derived;
+use analysis::title_cluster::DualTitleGroup;
 
 /// Maximum rows, matching the paper's "top 100".
 pub const TOP: usize = 100;
 
 /// Computes Table 8: jointly clustered title groups.
-pub fn compute(study: &Study) -> Vec<DualTitleGroup> {
-    https_title_groups_dual(&study.ntp_scan, &study.hitlist_scan)
+pub fn compute(study: &Derived) -> Vec<DualTitleGroup> {
+    study.title_clusters().to_vec()
 }
 
 /// Renders Table 8 (top groups by combined count).
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let groups = compute(study);
     let our_total: u64 = groups.iter().map(|g| g.our_hosts).sum();
     let tum_total: u64 = groups.iter().map(|g| g.tum_hosts).sum();

@@ -2,8 +2,8 @@
 //! host key, both sources.
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Study;
-use analysis::ssh_os::{os_distribution, unique_ssh_hosts};
+use crate::{Derived, Source};
+use analysis::ssh_os::os_distribution;
 
 /// Maximum rows, matching the paper's "top 100".
 pub const TOP: usize = 100;
@@ -18,19 +18,22 @@ pub struct Table9 {
 }
 
 /// Computes Table 9.
-pub fn compute(study: &Study) -> Table9 {
+pub fn compute(study: &Derived) -> Table9 {
     Table9 {
-        ours: os_distribution(&unique_ssh_hosts(&study.ntp_scan)),
-        tum: os_distribution(&unique_ssh_hosts(&study.hitlist_scan)),
+        ours: os_distribution(study.ssh_hosts(Source::Ntp)),
+        tum: os_distribution(study.ssh_hosts(Source::Hitlist)),
     }
 }
 
 fn count(dist: &[(String, u64)], label: &str) -> u64 {
-    dist.iter().find(|(k, _)| k == label).map(|(_, n)| *n).unwrap_or(0)
+    dist.iter()
+        .find(|(k, _)| k == label)
+        .map(|(_, n)| *n)
+        .unwrap_or(0)
 }
 
 /// Renders Table 9.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let t9 = compute(study);
     let our_total: u64 = t9.ours.iter().map(|(_, n)| n).sum();
     let tum_total: u64 = t9.tum.iter().map(|(_, n)| n).sum();
@@ -49,9 +52,23 @@ pub fn render(study: &Study) -> String {
         t.row(vec![
             l,
             fmt_int(a),
-            format!("({})", fmt_pct(if our_total > 0 { a as f64 / our_total as f64 } else { 0.0 })),
+            format!(
+                "({})",
+                fmt_pct(if our_total > 0 {
+                    a as f64 / our_total as f64
+                } else {
+                    0.0
+                })
+            ),
             fmt_int(b),
-            format!("({})", fmt_pct(if tum_total > 0 { b as f64 / tum_total as f64 } else { 0.0 })),
+            format!(
+                "({})",
+                fmt_pct(if tum_total > 0 {
+                    b as f64 / tum_total as f64
+                } else {
+                    0.0
+                })
+            ),
         ]);
     }
     format!(

@@ -2,10 +2,10 @@
 //! numbers — the one-screen summary of the whole reproduction.
 
 use crate::report::fmt_pct;
-use crate::Study;
+use crate::Derived;
 
 /// Renders every takeaway with measured values.
-pub fn render(study: &Study) -> String {
+pub fn render(study: &Derived) -> String {
     let f1 = super::fig1::compute(study);
     let t2 = super::table2::compute(study);
     let sec = super::security::compute(study);
@@ -34,11 +34,9 @@ pub fn render(study: &Study) -> String {
          more endpoints via NTP ({} vs {}).\n",
         new_devices,
         fmt_pct(fritz as f64 / our_certs.max(1) as f64),
-        if coap.tum_addrs > 0 {
-            coap.our_addrs / coap.tum_addrs
-        } else {
-            coap.our_addrs
-        },
+        coap.our_addrs
+            .checked_div(coap.tum_addrs)
+            .unwrap_or(coap.our_addrs),
         coap.our_addrs,
         coap.tum_addrs,
     ));

@@ -10,21 +10,30 @@
 //! use timetoscan::{Study, StudyConfig};
 //!
 //! let study = Study::run(StudyConfig::tiny(42));
-//! println!("{}", timetoscan::experiments::table1::render(&study));
-//! println!("{}", timetoscan::experiments::security::render(&study));
+//! let derived = study.derived();
+//! println!("{}", timetoscan::experiments::table1::render(&derived));
+//! println!("{}", timetoscan::experiments::security::render(&derived));
 //! ```
 //!
-//! Every experiment lives in [`experiments`], one module per paper
-//! artefact, each with a `compute(&Study) -> …` returning typed rows and
-//! a `render(&Study) -> String` producing the table as text.
+//! The pipeline is staged: collector → bounded channel → streaming
+//! scanner (or a buffered fallback, [`config::PipelineMode`]) → the
+//! [`derived`] memoization layer → experiments. Every experiment lives
+//! in [`experiments`], one module per paper artefact, each with a
+//! `compute(&Derived) -> …` returning typed rows and a
+//! `render(&Derived) -> String` producing the table as text; [`Derived`]
+//! derefs to [`Study`] and computes shared artifacts (title clusters,
+//! SSH host parses, fingerprint indexes, network groupings) exactly
+//! once per study.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod derived;
 pub mod experiments;
 pub mod report;
 pub mod study;
 
-pub use config::StudyConfig;
+pub use config::{PipelineMode, StudyConfig};
+pub use derived::{Derived, Source};
 pub use study::Study;

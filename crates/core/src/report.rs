@@ -7,7 +7,7 @@ pub fn fmt_int(v: u64) -> String {
     let bytes = s.as_bytes();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, b) in bytes.iter().enumerate() {
-        if i > 0 && (bytes.len() - i) % 3 == 0 {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
             out.push(' ');
         }
         out.push(*b as char);
@@ -66,9 +66,9 @@ impl TextTable {
         }
         let mut out = String::new();
         let fmt_row = |row: &[String], out: &mut String| {
-            for i in 0..cols {
+            for (i, width) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
-                let pad = widths[i].saturating_sub(cell.chars().count());
+                let pad = width.saturating_sub(cell.chars().count());
                 if i == 0 {
                     out.push_str(cell);
                     out.push_str(&" ".repeat(pad));

@@ -1,15 +1,25 @@
 //! The end-to-end study pipeline.
+//!
+//! The collection → scan stage runs in one of two [`PipelineMode`]s:
+//! *buffered* (collect the whole feed, then scan) or *streaming* (a
+//! scanner thread drains a bounded channel while collection produces).
+//! Both yield bit-identical results; see [`crate::config::PipelineMode`].
 
-use crate::config::StudyConfig;
+use crate::config::{PipelineMode, StudyConfig};
 use hitlist::{Hitlist, HitlistConfig};
 use netsim::country::{Country, COLLECTOR_LOCATIONS};
 use netsim::time::{Duration, SimTime};
 use netsim::world::World;
-use ntppool::collector::VecSink;
+use ntppool::collector::{ChannelSink, VecSink};
 use ntppool::monitor::{tune_collecting_servers, TuneOutcome};
-use ntppool::{AddressCollector, CollectionRun, Observation, Operator, Pool, PoolServer, RunStats, ServerId};
-use scanner::{BatchScan, RealTimeScanner, ScanPolicy, ScanStore};
-use telescope::{covert_actor, gt_actor, match_captures, Actor, CaptureLog, TelescopeReport, Vantage};
+use ntppool::{
+    AddressCollector, CollectionRun, Observation, Operator, Pool, PoolServer, RunStats, ServerId,
+};
+use scanner::streaming::{feed_channel, FEED_CHANNEL_BOUND};
+use scanner::{BatchScan, RealTimeScanner, ScanPolicy, ScanStore, StreamingScanner};
+use telescope::{
+    covert_actor, gt_actor, match_captures, Actor, CaptureLog, TelescopeReport, Vantage,
+};
 use v6addr::{AddrSet, OuiDb};
 
 /// Gap between the R&L emulation window and the study window (the real
@@ -90,27 +100,18 @@ impl Study {
         }
 
         // --- Four weeks of collection, feeding the scanner. ---
-        let sink = VecSink::default();
-        let feed_buf = sink.0.clone();
-        let mut collector = AddressCollector::with_sink(Box::new(sink));
-        let run = CollectionRun::new(&world, &pool, start, end);
-        let run_stats = run.run(|server, addr, t| {
-            if matches!(pool.server(server).operator, Operator::Study { .. }) {
-                collector.record(server, addr, t);
-            }
-            // Actor servers source addresses too, but only their scans of
-            // the telescope's vantage addresses are analysed (§5).
-        });
-        let feed: Vec<Observation> = std::mem::take(&mut *feed_buf.lock());
-
-        // --- Real-time scan of every first-sighted address. ---
-        let ntp_scan = RealTimeScanner::new(ScanPolicy::default()).run(&world, &feed);
+        let (collector, feed, run_stats, ntp_scan) =
+            run_collection_and_scan(&world, &pool, start, end, config.pipeline);
 
         // --- Hitlist build + batch scan in the last week. ---
         let hitlist_t = start + config.hitlist_scan_offset;
         let hitlist = Hitlist::build(&world, hitlist_t, &HitlistConfig::for_world(&world));
+        // Scan in sorted address order: `AddrSet` iteration order is
+        // per-instance random, and the token bucket turns submission
+        // order into probe times — sorting keeps the store bit-identical
+        // across runs (and across pipeline modes).
         let hitlist_scan =
-            BatchScan::new(ScanPolicy::default()).run(&world, hitlist.full.iter(), hitlist_t);
+            BatchScan::new(ScanPolicy::default()).run(&world, hitlist.full.sorted(), hitlist_t);
 
         // --- Telescope (§5). ---
         let telescope = config.telescope.then(|| {
@@ -149,6 +150,59 @@ impl Study {
     }
 }
 
+/// Runs the collection window and the real-time NTP-fed scan in the
+/// requested [`PipelineMode`].
+///
+/// * [`PipelineMode::Buffered`]: the collector's first-sight feed is
+///   buffered in a [`VecSink`], then replayed through
+///   [`RealTimeScanner::run`] after collection ends.
+/// * [`PipelineMode::Streaming`]: a [`StreamingScanner`] thread drains a
+///   bounded channel ([`FEED_CHANNEL_BOUND`]) while the collection run
+///   produces first sights; detaching the sink disconnects the channel
+///   and lets the scanner finish.
+///
+/// Both paths return the same `(collector, feed, run_stats, ntp_scan)`
+/// bit for bit: the feed is emitted in the same deterministic order and
+/// consumed in order by a single scanner either way.
+fn run_collection_and_scan(
+    world: &World,
+    pool: &Pool,
+    start: SimTime,
+    end: SimTime,
+    mode: PipelineMode,
+) -> (AddressCollector, Vec<Observation>, RunStats, ScanStore) {
+    let run = CollectionRun::new(world, pool, start, end);
+    let record = |collector: &mut AddressCollector, server, addr, t| {
+        if matches!(pool.server(server).operator, Operator::Study { .. }) {
+            collector.record(server, addr, t);
+        }
+        // Actor servers source addresses too, but only their scans of
+        // the telescope's vantage addresses are analysed (§5).
+    };
+    match mode {
+        PipelineMode::Buffered => {
+            let sink = VecSink::default();
+            let feed_buf = sink.0.clone();
+            let mut collector = AddressCollector::with_sink(Box::new(sink));
+            let run_stats = run.run(|server, addr, t| record(&mut collector, server, addr, t));
+            let feed: Vec<Observation> = std::mem::take(&mut *feed_buf.lock());
+            let ntp_scan = RealTimeScanner::new(ScanPolicy::default()).run(world, &feed);
+            (collector, feed, run_stats, ntp_scan)
+        }
+        PipelineMode::Streaming => std::thread::scope(|scope| {
+            let (tx, rx) = feed_channel(FEED_CHANNEL_BOUND);
+            let scanner = StreamingScanner::spawn(scope, ScanPolicy::default(), world, rx);
+            let mut collector = AddressCollector::with_sink(Box::new(ChannelSink(tx)));
+            let run_stats = run.run(|server, addr, t| record(&mut collector, server, addr, t));
+            // Collection over: drop the sender so the scanner's receive
+            // loop terminates once the channel drains.
+            collector.detach_sink();
+            let (ntp_scan, feed) = scanner.join();
+            (collector, feed, run_stats, ntp_scan)
+        }),
+    }
+}
+
 /// Length of the R&L emulation window: scaled down alongside shortened
 /// collection windows (full study: 210 days ≈ R&L's seven months).
 pub fn rl_window(config: &StudyConfig) -> Duration {
@@ -171,7 +225,11 @@ mod tests {
     fn tiny_study_runs_end_to_end() {
         let study = Study::run(StudyConfig::tiny(7));
         assert!(study.run_stats.polls > 0);
-        assert!(study.collector.global().len() > 100, "{}", study.collector.global().len());
+        assert!(
+            study.collector.global().len() > 100,
+            "{}",
+            study.collector.global().len()
+        );
         assert_eq!(study.feed.len(), study.collector.global().len());
         assert!(!study.rl_set.is_empty());
         assert!(!study.hitlist.full.is_empty());

@@ -11,9 +11,14 @@ fn study() -> &'static Study {
     S.get_or_init(|| Study::run(StudyConfig::tiny(31)))
 }
 
+/// A fresh (empty-celled) derived view over the shared study.
+fn derived() -> timetoscan::Derived<'static> {
+    study().derived()
+}
+
 #[test]
 fn table1_internal_consistency() {
-    let t = table1::compute(study());
+    let t = table1::compute(&derived());
     // Overlaps can never exceed either side.
     for (o, d) in [
         (&t.overlap_rl, &t.rl),
@@ -33,7 +38,7 @@ fn table1_internal_consistency() {
 
 #[test]
 fn fig1_shares_sum_to_one() {
-    let f = fig1::compute(study());
+    let f = fig1::compute(&derived());
     for s in [&f.ours, &f.rl, &f.public, &f.full] {
         if s.total > 0 {
             let sum: f64 = v6addr::IidClass::ALL.iter().map(|c| s.iid.share(*c)).sum();
@@ -45,7 +50,7 @@ fn fig1_shares_sum_to_one() {
 
 #[test]
 fn table2_rows_complete_and_consistent() {
-    let rows = table2::compute(study());
+    let rows = table2::compute(&derived());
     assert_eq!(rows.len(), 5);
     for r in &rows {
         if let (Some(tls), addrs) = (r.our_tls, r.our_addrs) {
@@ -59,7 +64,7 @@ fn table2_rows_complete_and_consistent() {
 
 #[test]
 fn table3_groups_consistent() {
-    let t = table3::compute(study());
+    let t = table3::compute(&derived());
     // Every dual group has at least one member on some side.
     for g in &t.titles {
         assert!(g.our_hosts + g.tum_hosts > 0);
@@ -74,18 +79,18 @@ fn table3_groups_consistent() {
 
 #[test]
 fn fig2_fig5_weights() {
-    let f2 = fig2::compute(study());
+    let f2 = fig2::compute(&derived());
     assert!(f2.ours.outdated <= f2.ours.assessable);
-    let f5 = fig5::compute(study());
+    let f5 = fig5::compute(&derived());
     assert!(f5.ours_by_net.assessable >= f5.ours_by_key.assessable);
     assert!(f5.tum_by_net.assessable >= f5.tum_by_key.assessable);
 }
 
 #[test]
 fn fig3_fig6_totals() {
-    let f3 = fig3::compute(study());
+    let f3 = fig3::compute(&derived());
     assert!(f3.our_mqtt.controlled <= f3.our_mqtt.total);
-    let f6 = fig6::compute(study());
+    let f6 = fig6::compute(&derived());
     // Plain + TLS partition the address-based population.
     assert_eq!(
         f6.our_mqtt.plain.total + f6.our_mqtt.tls.total,
@@ -96,7 +101,7 @@ fn fig3_fig6_totals() {
 
 #[test]
 fn table7_sums_to_collector_totals() {
-    let rows = table7::compute(study());
+    let rows = table7::compute(&derived());
     assert_eq!(rows.len(), 11);
     // Rows are sorted descending by address count.
     assert!(rows.windows(2).all(|w| w[0].1 >= w[1].1));
@@ -108,7 +113,7 @@ fn table7_sums_to_collector_totals() {
 
 #[test]
 fn table5_counts_monotone() {
-    let t = table5::compute(study());
+    let t = table5::compute(&derived());
     for (p, ours, tum) in &t.rows {
         for c in [ours, tum] {
             assert!(c.nets32 <= c.nets48, "{p}");
@@ -122,7 +127,7 @@ fn table5_counts_monotone() {
 
 #[test]
 fn table6_rows_sorted() {
-    let t = table6::compute(study());
+    let t = table6::compute(&derived());
     for rows in [&t.our_titles, &t.tum_titles, &t.our_os, &t.tum_os] {
         assert!(rows.windows(2).all(|w| w[0].ips >= w[1].ips));
         for r in rows.iter() {
@@ -135,7 +140,7 @@ fn table6_rows_sorted() {
 
 #[test]
 fn eui64_stats_ordering() {
-    let a = fig4::compute(study());
+    let a = fig4::compute(&derived());
     assert!(a.stats.eui64_addresses <= a.stats.addresses);
     assert!(a.stats.universal_addresses <= a.stats.eui64_addresses);
     assert!(a.stats.distinct_listed_macs <= a.stats.distinct_universal_macs);
@@ -148,7 +153,8 @@ fn eui64_stats_ordering() {
 
 #[test]
 fn renders_embed_computed_numbers() {
-    let s = study();
+    let d = derived();
+    let s = &d;
     // Table 7's top row value appears in the rendered text.
     let rows = table7::compute(s);
     let rendered = table7::render(s);
@@ -163,4 +169,31 @@ fn renders_embed_computed_numbers() {
     for needle in ["§3", "§4.3", "§4.4", "§5", "§6"] {
         assert!(t.contains(needle), "takeaways missing {needle}");
     }
+}
+
+#[test]
+fn render_all_builds_shared_artifacts_once() {
+    let d = derived();
+    let report = render_all(&d);
+    assert!(!report.is_empty());
+    let first = d.stats();
+    // The full report touches every derived artifact; each is built
+    // exactly once per study despite its many consumers.
+    assert_eq!(first.title_cluster_builds, 1, "dual title clustering");
+    assert_eq!(first.ssh_parse_builds, 2, "SSH host parse per store");
+    assert_eq!(
+        first.network_grouping_builds, 2,
+        "network grouping per store"
+    );
+    assert_eq!(
+        first.addr_title_builds, 2,
+        "combined title grouping per store"
+    );
+    assert_eq!(first.coap_builds, 2, "CoAP extraction per store");
+    assert_eq!(first.broker_builds, 4, "MQTT+AMQP brokers per store");
+    assert_eq!(first.fingerprint_builds, 2, "fingerprint index per store");
+    // A second full render reuses every cell — and reproduces the text.
+    let again = render_all(&d);
+    assert_eq!(report, again);
+    assert_eq!(d.stats(), first);
 }

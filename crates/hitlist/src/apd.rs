@@ -5,9 +5,9 @@
 //! pipeline, we probe a handful of pseudo-random addresses per candidate
 //! prefix and flag the prefix when (nearly) all of them respond.
 
+use netsim::mix2;
 use netsim::time::SimTime;
 use netsim::world::World;
-use netsim::mix2;
 use v6addr::Prefix;
 use wire::http::Request;
 

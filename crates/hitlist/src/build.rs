@@ -31,7 +31,8 @@ impl HitlistConfig {
         HitlistConfig {
             tga_budget: servers * 8,
             aliased_per_region: servers * 20,
-            archive_per_as: (world.config.households as usize / world.config.eyeball_ases.max(1) as usize)
+            archive_per_as: (world.config.households as usize
+                / world.config.eyeball_ases.max(1) as usize)
                 .clamp(10, 400),
             seed: world.config.seed ^ 0x417,
         }
@@ -146,7 +147,12 @@ mod tests {
     #[test]
     fn full_is_superset_shaped() {
         let (_, h) = build();
-        assert!(h.full.len() > h.public.len() * 3, "full {} public {}", h.full.len(), h.public.len());
+        assert!(
+            h.full.len() > h.public.len() * 3,
+            "full {} public {}",
+            h.full.len(),
+            h.public.len()
+        );
         assert!(!h.public.is_empty());
     }
 
@@ -155,7 +161,7 @@ mod tests {
         let (w, h) = build();
         assert!(!h.aliased_prefixes.is_empty());
         let region = w.aliased_regions()[0].prefix;
-        assert!(h.aliased_prefixes.iter().any(|p| *p == region));
+        assert!(h.aliased_prefixes.contains(&region));
         for addr in h.public.iter() {
             assert!(!region.contains(addr), "{addr} is aliased but public");
         }

@@ -166,7 +166,9 @@ impl TgaSource {
                     // Sequential neighbours in the seed's own /64.
                     0 => {
                         let base = Iid::of(*seed_addr).0;
-                        out.insert(net64.host(u128::from(base.wrapping_add(rng.random_range(1..16)))));
+                        out.insert(
+                            net64.host(u128::from(base.wrapping_add(rng.random_range(1..16)))),
+                        );
                     }
                     // Model-sampled IID in the seed's /64.
                     1 => {
@@ -327,7 +329,9 @@ mod tests {
         TracerouteSource.collect(&w, SimTime(0), &mut out);
         assert!(!out.is_empty());
         for a in out.iter() {
-            let d = w.device_at(a, SimTime(0)).expect("router address unresolvable");
+            let d = w
+                .device_at(a, SimTime(0))
+                .expect("router address unresolvable");
             assert_eq!(d.kind, DeviceKind::CoreRouter);
         }
     }
@@ -369,9 +373,21 @@ mod tests {
 
     #[test]
     fn tga_empty_inputs() {
-        assert!(TgaSource { seeds: vec![], budget: 100, seed: 1 }.generate().is_empty());
+        assert!(TgaSource {
+            seeds: vec![],
+            budget: 100,
+            seed: 1
+        }
+        .generate()
+        .is_empty());
         let seeds = vec!["2001:db8::1".parse().unwrap()];
-        assert!(TgaSource { seeds, budget: 0, seed: 1 }.generate().is_empty());
+        assert!(TgaSource {
+            seeds,
+            budget: 0,
+            seed: 1
+        }
+        .generate()
+        .is_empty());
     }
 
     #[test]

@@ -367,14 +367,18 @@ impl BuildCtx<'_> {
                 let level = if self.rng.random_bool(patched_prob) {
                     *latest
                 } else {
-                    latest.saturating_sub(self.rng.random_range(1..=3)).max(0)
+                    latest.saturating_sub(self.rng.random_range(1..=3))
                 };
                 (software.to_string(), Some(format!("{prefix}{level}")))
             }
-            None if distro == "FreeBSD" => {
-                ("OpenSSH_9.6".to_string(), Some("FreeBSD-20240806".to_string()))
-            }
-            None => (format!("dropbear_2022.{}", 80 + self.rng.random_range(0..5)), None),
+            None if distro == "FreeBSD" => (
+                "OpenSSH_9.6".to_string(),
+                Some("FreeBSD-20240806".to_string()),
+            ),
+            None => (
+                format!("dropbear_2022.{}", 80 + self.rng.random_range(0..5)),
+                None,
+            ),
         };
         SshService {
             software,
@@ -451,7 +455,10 @@ pub fn build_services(kind: DeviceKind, ctx: &mut BuildCtx<'_>) -> ServiceSet {
             }
             if coin(ctx, 0.0015) {
                 set.http = Some(HttpService {
-                    title: Some(pick(ctx, &["Login - Join", "Home", "Common UI", "WebInterface"]).to_string()),
+                    title: Some(
+                        pick(ctx, &["Login - Join", "Home", "Common UI", "WebInterface"])
+                            .to_string(),
+                    ),
                     status: 200,
                     server_header: None,
                     plain: true,
@@ -797,9 +804,9 @@ mod tests {
                 now_unix: 1_721_433_600,
             };
             let s = build_services(DeviceKind::FritzBox, &mut ctx);
-            if s.http.is_some() {
+            if let Some(http) = &s.http {
                 exposed += 1;
-                let title = s.http.as_ref().unwrap().title.clone().unwrap();
+                let title = http.title.clone().unwrap();
                 assert!(title.starts_with("FRITZ!Box"), "{title}");
             }
         }
@@ -810,7 +817,11 @@ mod tests {
     #[test]
     fn phones_are_silent() {
         let pools = KeyPools::new(1);
-        for kind in [DeviceKind::AndroidPhone, DeviceKind::IPhone, DeviceKind::LaptopPc] {
+        for kind in [
+            DeviceKind::AndroidPhone,
+            DeviceKind::IPhone,
+            DeviceKind::LaptopPc,
+        ] {
             for seed in 0..50 {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut ctx = ctx_with(&mut rng, &pools);
@@ -847,7 +858,12 @@ mod tests {
         let mut managed_auth = 0;
         for seed in 0..400 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut ctx = BuildCtx { rng: &mut rng, pools: &pools, salt: seed, now_unix: 0 };
+            let mut ctx = BuildCtx {
+                rng: &mut rng,
+                pools: &pools,
+                salt: seed,
+                now_unix: 0,
+            };
             if build_services(DeviceKind::HomeMqttBroker, &mut ctx)
                 .mqtt
                 .unwrap()
@@ -856,7 +872,12 @@ mod tests {
                 home_auth += 1;
             }
             let mut rng = StdRng::seed_from_u64(seed + 10_000);
-            let mut ctx = BuildCtx { rng: &mut rng, pools: &pools, salt: seed, now_unix: 0 };
+            let mut ctx = BuildCtx {
+                rng: &mut rng,
+                pools: &pools,
+                salt: seed,
+                now_unix: 0,
+            };
             if build_services(DeviceKind::ManagedMqttBroker, &mut ctx)
                 .mqtt
                 .unwrap()

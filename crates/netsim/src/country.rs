@@ -134,8 +134,7 @@ mod tests {
     #[test]
     fn table_is_complete_and_unique() {
         assert_eq!(COUNTRY_TABLE.len(), 20);
-        let codes: std::collections::HashSet<_> =
-            COUNTRY_TABLE.iter().map(|(c, ..)| *c).collect();
+        let codes: std::collections::HashSet<_> = COUNTRY_TABLE.iter().map(|(c, ..)| *c).collect();
         assert_eq!(codes.len(), COUNTRY_TABLE.len());
     }
 
@@ -143,7 +142,10 @@ mod tests {
     fn collector_locations_match_paper() {
         assert_eq!(COLLECTOR_LOCATIONS.len(), 11);
         for c in COLLECTOR_LOCATIONS {
-            assert!(info(c).is_some(), "collector location {c} missing from table");
+            assert!(
+                info(c).is_some(),
+                "collector location {c} missing from table"
+            );
         }
     }
 

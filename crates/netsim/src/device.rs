@@ -194,7 +194,10 @@ mod tests {
                 }
             }
         }
-        assert!(high as f64 / total as f64 > 0.95, "only {high}/{total} high");
+        assert!(
+            high as f64 / total as f64 > 0.95,
+            "only {high}/{total} high"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ mod tests {
             allocations: vec!["2400:1000::/32".parse().unwrap()],
         });
         let geo = GeoDb::new(&t);
-        assert_eq!(geo.lookup("2400:1000::1".parse().unwrap()), Some(country::JP));
+        assert_eq!(
+            geo.lookup("2400:1000::1".parse().unwrap()),
+            Some(country::JP)
+        );
         assert_eq!(geo.lookup("2a00::1".parse().unwrap()), None);
     }
 }

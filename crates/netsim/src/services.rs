@@ -531,6 +531,8 @@ mod tests {
         assert!(s.respond(22, b"SSH-2.0-x\r\n").is_none()); // no SSH service
         assert!(s.respond(80, b"\xff\xfegarbage").is_none()); // unparseable
         assert!(s.respond(443, b"GET / HTTP/1.1\r\n\r\n").is_none()); // not TLS
-        assert!(ServiceSet::silent().respond(80, b"GET / HTTP/1.1\r\n\r\n").is_none());
+        assert!(ServiceSet::silent()
+            .respond(80, b"GET / HTTP/1.1\r\n\r\n")
+            .is_none());
     }
 }

@@ -111,15 +111,22 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let d = self.day();
         let rem = self.0 % 86_400;
-        write!(f, "d{:02}+{:02}:{:02}:{:02}", d, rem / 3600, (rem % 3600) / 60, rem % 60)
+        write!(
+            f,
+            "d{:02}+{:02}:{:02}:{:02}",
+            d,
+            rem / 3600,
+            (rem % 3600) / 60,
+            rem % 60
+        )
     }
 }
 
 impl fmt::Display for Duration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 86_400 == 0 && self.0 > 0 {
+        if self.0.is_multiple_of(86_400) && self.0 > 0 {
             write!(f, "{}d", self.0 / 86_400)
-        } else if self.0 % 3600 == 0 && self.0 > 0 {
+        } else if self.0.is_multiple_of(3600) && self.0 > 0 {
             write!(f, "{}h", self.0 / 3600)
         } else {
             write!(f, "{}s", self.0)
@@ -144,7 +151,10 @@ mod tests {
     #[test]
     fn unix_conversion() {
         assert_eq!(SimTime::EPOCH.to_unix(), STUDY_EPOCH_UNIX);
-        assert_eq!((SimTime::EPOCH + Duration::secs(5)).to_unix(), STUDY_EPOCH_UNIX + 5);
+        assert_eq!(
+            (SimTime::EPOCH + Duration::secs(5)).to_unix(),
+            STUDY_EPOCH_UNIX + 5
+        );
     }
 
     #[test]

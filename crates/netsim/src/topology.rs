@@ -100,7 +100,9 @@ impl Topology {
 
     /// Country of the AS owning `addr`.
     pub fn country_of(&self, addr: Ipv6Addr) -> Option<Country> {
-        self.origin(addr).and_then(|asn| self.info(asn)).map(|i| i.country)
+        self.origin(addr)
+            .and_then(|asn| self.info(asn))
+            .map(|i| i.country)
     }
 
     /// All registered ASes.
@@ -159,8 +161,14 @@ mod tests {
     #[test]
     fn origin_lookup() {
         let t = sample();
-        assert_eq!(t.origin("2001:4d00:1:2::3".parse().unwrap()), Some(Asn(64500)));
-        assert_eq!(t.origin("2a02:101:ffff::1".parse().unwrap()), Some(Asn(64501)));
+        assert_eq!(
+            t.origin("2001:4d00:1:2::3".parse().unwrap()),
+            Some(Asn(64500))
+        );
+        assert_eq!(
+            t.origin("2a02:101:ffff::1".parse().unwrap()),
+            Some(Asn(64501))
+        );
         assert_eq!(t.origin("2a03::1".parse().unwrap()), None);
     }
 

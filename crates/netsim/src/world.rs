@@ -19,11 +19,11 @@
 use crate::archetype::{build_services, BuildCtx, DeviceKind, KeyPools};
 use crate::country::{self, Continent, Country};
 use crate::device::{Addressing, Attachment, Device, DeviceId, NtpClientCfg};
+use crate::mix2;
 use crate::peeringdb::AsType;
 use crate::services::{HttpService, ServiceSet, TlsEndpoint};
 use crate::time::{Duration, SimTime};
 use crate::topology::{AsInfo, Asn, Topology};
-use crate::mix2;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -406,7 +406,8 @@ impl Generator {
         for i in 0..self.config.nsp_ases {
             let c = weighted_pick(&mut self.rng, &nsp_weights);
             let alloc = Self::alloc_prefix(0x2001_4000, i);
-            let asn = self.register_as(format!("Transit {} {}", c.code(), i), AsType::Nsp, c, alloc);
+            let asn =
+                self.register_as(format!("Transit {} {}", c.code(), i), AsType::Nsp, c, alloc);
             self.nsp_as_list.push((asn, c));
         }
     }
@@ -572,7 +573,11 @@ impl Generator {
         members
     }
 
-    fn sample_member_kind(&mut self, fritz_household: bool, continent: Option<Continent>) -> DeviceKind {
+    fn sample_member_kind(
+        &mut self,
+        fritz_household: bool,
+        continent: Option<Continent>,
+    ) -> DeviceKind {
         use DeviceKind::*;
         let r: f64 = self.rng.random();
         // Fritz households may add AVM accessories.
@@ -688,8 +693,7 @@ impl Generator {
     fn build_servers(&mut self) {
         for _ in 0..self.config.servers {
             let kind = self.sample_server_kind();
-            let (asn, c) = self.hosting_as_list
-                [weighted_as(&mut self.rng, &self.hosting_as_list)];
+            let (asn, c) = self.hosting_as_list[weighted_as(&mut self.rng, &self.hosting_as_list)];
             self.spawn_static(kind, asn, c);
         }
     }
@@ -765,12 +769,7 @@ impl Generator {
 
     fn build_cdn(&mut self) {
         let alloc = Self::alloc_prefix(0x2606_4700, 0);
-        self.register_as(
-            "EdgeCloud CDN".into(),
-            AsType::Content,
-            country::US,
-            alloc,
-        );
+        self.register_as("EdgeCloud CDN".into(), AsType::Content, country::US, alloc);
         // The whole /36 answers HTTP on every address; TLS demands SNI.
         let prefix = Prefix::new(alloc.network(), 36);
         let services = ServiceSet {
@@ -884,7 +883,10 @@ mod tests {
         let addr0 = w.address_of(dev.id, SimTime(0));
         let later = SimTime(Duration::days(1).as_secs() + 10);
         assert_ne!(w.address_of(dev.id, later), addr0, "prefix did not rotate");
-        assert!(w.device_at(addr0, later).is_none(), "stale address resolved");
+        assert!(
+            w.device_at(addr0, later).is_none(),
+            "stale address resolved"
+        );
     }
 
     #[test]
@@ -957,10 +959,7 @@ mod tests {
         assert!(fritz >= 4, "only {fritz} FritzBoxes");
         // Consumer devices overwhelmingly run pool clients; servers
         // mostly do not (provider/distro time sources).
-        let eyeball_ntp = w
-            .ntp_clients()
-            .filter(|(d, _)| d.kind.is_eyeball())
-            .count();
+        let eyeball_ntp = w.ntp_clients().filter(|(d, _)| d.kind.is_eyeball()).count();
         let server_ntp = w.ntp_clients().count() - eyeball_ntp;
         assert!(eyeball_ntp as f64 / eyeball as f64 > 0.85);
         assert!((server_ntp as f64) < 0.25 * servers as f64);
@@ -976,7 +975,10 @@ mod tests {
             .iter()
             .map(|&m| Prefix::of(w.address_of(m, t), 48))
             .collect();
-        assert!(nets.windows(2).all(|w| w[0] == w[1]), "members scattered: {nets:?}");
+        assert!(
+            nets.windows(2).all(|w| w[0] == w[1]),
+            "members scattered: {nets:?}"
+        );
     }
 
     #[test]

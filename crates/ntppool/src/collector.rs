@@ -131,6 +131,13 @@ impl AddressCollector {
         v.into_iter()
     }
 
+    /// Drops the feed sink (disconnecting e.g. a channel's sender) while
+    /// keeping the collected sets. Call when collection ends so a
+    /// streaming consumer's receive loop can terminate.
+    pub fn detach_sink(&mut self) {
+        self.sink = None;
+    }
+
     /// Consumes the collector, returning the global set.
     pub fn into_global(self) -> AddrSet {
         self.global

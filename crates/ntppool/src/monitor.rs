@@ -18,8 +18,7 @@ use std::collections::HashMap;
 pub fn client_rates(world: &World) -> HashMap<Country, f64> {
     let mut rates: HashMap<Country, f64> = HashMap::new();
     for (dev, cfg) in world.ntp_clients() {
-        *rates.entry(dev.country).or_insert(0.0) +=
-            1.0 / cfg.poll_interval.as_secs().max(1) as f64;
+        *rates.entry(dev.country).or_insert(0.0) += 1.0 / cfg.poll_interval.as_secs().max(1) as f64;
     }
     rates
 }
@@ -146,10 +145,7 @@ mod tests {
             }
         }
         // The busiest zone's collector actually reaches the target.
-        let best = outcomes
-            .iter()
-            .map(|o| o.expected_rps)
-            .fold(0.0, f64::max);
+        let best = outcomes.iter().map(|o| o.expected_rps).fold(0.0, f64::max);
         assert!(best > target * 0.9, "best {best} vs target {target}");
         let _ = ids;
     }

@@ -99,7 +99,10 @@ impl Pool {
 
     /// Total netspeed of a zone.
     pub fn zone_netspeed(&self, c: Country) -> u64 {
-        self.zone_of(c).iter().map(|id| self.server(*id).netspeed).sum()
+        self.zone_of(c)
+            .iter()
+            .map(|id| self.server(*id).netspeed)
+            .sum()
     }
 
     /// A collecting server's share of its zone's queries.

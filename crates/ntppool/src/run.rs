@@ -108,8 +108,10 @@ pub fn sample_addresses(
     let span = end.as_secs().saturating_sub(start.as_secs()).max(1);
     for (dev, _) in world.ntp_clients() {
         for k in 0..samples {
-            let jitter = netsim::mix2(u64::from(dev.id.0), u64::from(k)) % (span / u64::from(samples).max(1)).max(1);
-            let t = SimTime(start.as_secs() + u64::from(k) * span / u64::from(samples).max(1) + jitter);
+            let jitter = netsim::mix2(u64::from(dev.id.0), u64::from(k))
+                % (span / u64::from(samples).max(1)).max(1);
+            let t =
+                SimTime(start.as_secs() + u64::from(k) * span / u64::from(samples).max(1) + jitter);
             set.insert(world.address_of(dev.id, t));
         }
     }
@@ -147,7 +149,12 @@ mod tests {
     fn collection_observes_addresses() {
         let world = World::generate(WorldConfig::tiny(9));
         let pool = study_pool();
-        let run = CollectionRun::new(&world, &pool, SimTime(0), SimTime(Duration::days(2).as_secs()));
+        let run = CollectionRun::new(
+            &world,
+            &pool,
+            SimTime(0),
+            SimTime(Duration::days(2).as_secs()),
+        );
         let mut collector = AddressCollector::new();
         let stats = run.run(|s, a, t| collector.record(s, a, t));
         assert!(stats.polls > 0);
@@ -164,8 +171,12 @@ mod tests {
         let world = World::generate(WorldConfig::tiny(9));
         let pool = study_pool();
         let collect = || {
-            let run =
-                CollectionRun::new(&world, &pool, SimTime(0), SimTime(Duration::hours(30).as_secs()));
+            let run = CollectionRun::new(
+                &world,
+                &pool,
+                SimTime(0),
+                SimTime(Duration::hours(30).as_secs()),
+            );
             let mut c = AddressCollector::new();
             run.run(|s, a, t| c.record(s, a, t));
             c.into_global()

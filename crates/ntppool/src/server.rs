@@ -76,7 +76,12 @@ impl PoolServer {
 
     /// Handles a request under load: above `max_rps` the server sheds
     /// load with a `RATE` KoD, as real pool servers do.
-    pub fn handle_at_rate(&self, request: &[u8], now: SimTime, current_rps: u64) -> Option<Vec<u8>> {
+    pub fn handle_at_rate(
+        &self,
+        request: &[u8],
+        now: SimTime,
+        current_rps: u64,
+    ) -> Option<Vec<u8>> {
         if self.max_rps > 0 && current_rps > self.max_rps {
             let pkt = Packet::parse(request).ok()?;
             if pkt.mode != wire::ntp::Mode::Client {

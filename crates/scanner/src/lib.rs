@@ -5,7 +5,9 @@
 //! built on the [`wire`] formats, a token-bucket rate limiter capped at
 //! the study's 100 000 packets/second, per-protocol probe delays and a
 //! 3-day re-scan cooldown (Appendix A.2.1), a real-time scheduler fed by
-//! the NTP collector's first-sight stream, and a batch mode for hitlist
+//! the NTP collector's first-sight stream — either buffered
+//! ([`RealTimeScanner::run`]) or live on its own thread
+//! ([`streaming::StreamingScanner`]) — and a batch mode for hitlist
 //! scans.
 //!
 //! Everything operates in simulation time against a [`netsim::World`];
@@ -15,12 +17,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod probers;
 pub mod ratelimit;
 pub mod result;
 pub mod scheduler;
 pub mod store;
+pub mod streaming;
 
+pub use engine::{Engine, ScanPolicy};
 pub use result::{CertMeta, Protocol, ScanRecord, ServiceResult};
-pub use scheduler::{BatchScan, RealTimeScanner, ScanPolicy};
+pub use scheduler::{BatchScan, RealTimeScanner};
 pub use store::ScanStore;
+pub use streaming::StreamingScanner;

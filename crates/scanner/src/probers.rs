@@ -167,7 +167,12 @@ fn parse_tls(resp: &[u8]) -> Option<(TlsOutcome, &[u8])> {
 }
 
 /// Probes one address for one protocol against the world at time `t`.
-pub fn probe(world: &World, addr: Ipv6Addr, protocol: Protocol, t: SimTime) -> Option<ServiceResult> {
+pub fn probe(
+    world: &World,
+    addr: Ipv6Addr,
+    protocol: Protocol,
+    t: SimTime,
+) -> Option<ServiceResult> {
     let bytes = build_probe(protocol);
     let resp = world.respond(addr, protocol.port(), &bytes, t)?;
     parse_response(protocol, &resp)
@@ -310,10 +315,7 @@ mod tests {
         let dev = w
             .devices()
             .iter()
-            .find(|d| {
-                d.kind == DeviceKind::FritzBox
-                    && d.services.http.is_some()
-            })
+            .find(|d| d.kind == DeviceKind::FritzBox && d.services.http.is_some())
             .expect("no exposed FritzBox");
         let t0 = SimTime(0);
         let addr = w.address_of(dev.id, t0);

@@ -102,7 +102,10 @@ mod tests {
             last = tb.admit(last);
         }
         // 5000 probes at 100 pps need ≥ ~49 seconds.
-        assert!(last.as_secs() >= (n / 100).saturating_sub(2), "finished at {last}");
+        assert!(
+            last.as_secs() >= (n / 100).saturating_sub(2),
+            "finished at {last}"
+        );
     }
 
     #[test]

@@ -1,100 +1,17 @@
-//! Scan scheduling: the real-time NTP-fed pipeline and the batch hitlist
-//! scan.
+//! Scan scheduling front-ends over the shared [`Engine`]: the real-time
+//! NTP-fed scanner and the batch hitlist scan.
 //!
-//! Policy knobs follow Appendix A.2.1: a global 100 kpps budget, 10 s to
-//! 10 min of spacing between the per-protocol probes of one target, and a
-//! 3-day per-address cooldown. The real-time scanner probes addresses
-//! minutes after the NTP server saw them — essential under dynamic
-//! prefixes, where a day-old address already points at nobody.
+//! The policy and probing core live in [`crate::engine`]; the streaming
+//! (channel-fed) variant of the real-time scanner lives in
+//! [`crate::streaming`].
 
-use crate::probers;
-use crate::ratelimit::TokenBucket;
-use crate::result::{Protocol, ScanRecord};
+use crate::engine::{Engine, ScanPolicy};
 use crate::store::ScanStore;
-use netsim::time::{Duration, SimTime};
+use netsim::time::SimTime;
 use netsim::world::World;
 use ntppool::Observation;
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::net::Ipv6Addr;
-
-/// Scheduling policy.
-#[derive(Debug, Clone)]
-pub struct ScanPolicy {
-    /// Protocols to probe, in probe order.
-    pub protocols: Vec<Protocol>,
-    /// Delay before the first probe of a target.
-    pub base_delay: Duration,
-    /// Additional spacing between consecutive protocol probes
-    /// (base 10 s + 7 × 85 s ≈ 10 min for the full set).
-    pub protocol_spacing: Duration,
-    /// Do-not-rescan window per address.
-    pub cooldown: Duration,
-    /// Outgoing probe budget.
-    pub rate_pps: u64,
-}
-
-impl Default for ScanPolicy {
-    fn default() -> Self {
-        ScanPolicy {
-            protocols: Protocol::ALL.to_vec(),
-            base_delay: Duration::secs(10),
-            protocol_spacing: Duration::secs(85),
-            cooldown: Duration::days(3),
-            rate_pps: crate::ratelimit::STUDY_PPS,
-        }
-    }
-}
-
-impl ScanPolicy {
-    /// The probe time offset of the `i`-th protocol.
-    pub fn delay_of(&self, i: usize) -> Duration {
-        Duration::secs(self.base_delay.as_secs() + i as u64 * self.protocol_spacing.as_secs())
-    }
-}
-
-/// Shared probing core: cooldown + rate limit + probe + record.
-struct Engine {
-    policy: ScanPolicy,
-    bucket: TokenBucket,
-    last_scan: HashMap<u128, SimTime>,
-    store: ScanStore,
-}
-
-impl Engine {
-    fn new(policy: ScanPolicy) -> Engine {
-        let bucket = TokenBucket::new(policy.rate_pps, policy.rate_pps);
-        Engine {
-            policy,
-            bucket,
-            last_scan: HashMap::new(),
-            store: ScanStore::new(),
-        }
-    }
-
-    fn scan_target(&mut self, world: &World, addr: Ipv6Addr, at: SimTime) {
-        let key = u128::from(addr);
-        if let Some(&prev) = self.last_scan.get(&key) {
-            if at.since(prev) < self.policy.cooldown {
-                return;
-            }
-        }
-        self.last_scan.insert(key, at);
-        self.store.note_target();
-        for (i, proto) in self.policy.protocols.clone().into_iter().enumerate() {
-            let want = at + self.policy.delay_of(i);
-            let t = self.bucket.admit(want);
-            self.store.note_attempt(proto);
-            if let Some(result) = probers::probe(world, addr, proto, t) {
-                self.store.push(ScanRecord {
-                    addr,
-                    time: t,
-                    protocol: proto,
-                    result,
-                });
-            }
-        }
-    }
-}
 
 /// The real-time scanner: consumes the collector's first-sight feed.
 pub struct RealTimeScanner {
@@ -124,7 +41,7 @@ impl RealTimeScanner {
 
     /// Finishes and returns the result store.
     pub fn finish(self) -> ScanStore {
-        self.engine.store
+        self.engine.into_store()
     }
 }
 
@@ -142,29 +59,32 @@ impl BatchScan {
         }
     }
 
-    /// Scans every address, starting at `start`, spreading load via the
-    /// rate limiter. Returns the result store.
+    /// Scans every address, nominally starting at `start`. The engine's
+    /// token bucket alone paces the batch: every target is *submitted* at
+    /// `start` and the bucket pushes actual probe times out as the budget
+    /// fills, so batch duration emerges from `rate_pps` rather than any
+    /// per-target spacing constant.
     pub fn run(
         mut self,
         world: &World,
         addrs: impl IntoIterator<Item = Ipv6Addr>,
         start: SimTime,
     ) -> ScanStore {
-        // The limiter inside scan_target enforces pacing; advance the
-        // nominal start so per-target protocol spacing stays meaningful.
-        let mut at = start;
-        let per_target = Duration::secs(0);
         for addr in addrs {
-            self.engine.scan_target(world, addr, at);
-            at = at + per_target;
+            self.engine.scan_target(world, addr, start);
         }
-        self.engine.store
+        self.engine.into_store()
     }
 
     /// Parallel batch scan: shards the target list over `threads` worker
-    /// threads (crossbeam scoped), each with a proportional share of the
-    /// packet budget, and merges shard results **in shard order**, so the
-    /// output is deterministic and independent of scheduling.
+    /// threads, each with a proportional share of the packet budget, and
+    /// merges shard results **in shard order**, so the output is
+    /// deterministic and independent of scheduling.
+    ///
+    /// Targets are deduplicated (first occurrence wins) before sharding:
+    /// the per-shard cooldown maps cannot see cross-shard duplicates, so
+    /// a repeated address split across shards would otherwise be
+    /// double-scanned.
     ///
     /// The real study runs zgrab2 the same way: many workers splitting
     /// one global rate budget.
@@ -175,26 +95,27 @@ impl BatchScan {
         start: SimTime,
         threads: usize,
     ) -> ScanStore {
-        let threads = threads.max(1).min(addrs.len().max(1));
-        let shard_policy = ScanPolicy {
-            rate_pps: (policy.rate_pps / threads as u64).max(1),
-            ..policy
-        };
-        let chunk = addrs.len().div_ceil(threads);
+        let mut seen = HashSet::with_capacity(addrs.len());
+        let unique: Vec<Ipv6Addr> = addrs.iter().copied().filter(|a| seen.insert(*a)).collect();
+        let threads = threads.max(1).min(unique.len().max(1));
+        let budgets = shard_budgets(policy.rate_pps, threads);
+        let chunk = unique.len().div_ceil(threads);
         let mut shards: Vec<ScanStore> = Vec::with_capacity(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for part in addrs.chunks(chunk.max(1)) {
-                let p = shard_policy.clone();
-                handles.push(scope.spawn(move |_| {
-                    BatchScan::new(p).run(world, part.iter().copied(), start)
-                }));
+            for (part, pps) in unique.chunks(chunk.max(1)).zip(budgets) {
+                let p = ScanPolicy {
+                    rate_pps: pps,
+                    ..policy.clone()
+                };
+                handles.push(
+                    scope.spawn(move || BatchScan::new(p).run(world, part.iter().copied(), start)),
+                );
             }
             for h in handles {
                 shards.push(h.join().expect("scan shard panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         let mut out = ScanStore::new();
         for s in shards {
             out.merge(s);
@@ -203,9 +124,24 @@ impl BatchScan {
     }
 }
 
+/// Splits a packet budget over `shards` workers: every worker gets the
+/// integer share, and the remainder is spread one pps at a time over the
+/// leading shards instead of being dropped. Each share is floored at
+/// 1 pps so no shard stalls forever.
+pub fn shard_budgets(rate_pps: u64, shards: usize) -> Vec<u64> {
+    let shards = shards.max(1);
+    let base = rate_pps / shards as u64;
+    let remainder = (rate_pps % shards as u64) as usize;
+    (0..shards)
+        .map(|i| (base + u64::from(i < remainder)).max(1))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::result::Protocol;
+    use netsim::time::Duration;
     use netsim::world::{World, WorldConfig};
     use ntppool::ServerId;
 
@@ -307,6 +243,40 @@ mod tests {
         let one: Vec<Ipv6Addr> = vec![w.address_of(w.devices()[0].id, SimTime(0))];
         let s = BatchScan::run_parallel(ScanPolicy::default(), &w, &one, SimTime(0), 16);
         assert_eq!(s.targets(), 1);
+    }
+
+    #[test]
+    fn parallel_scan_dedups_cross_shard_duplicates() {
+        let w = world();
+        let t = SimTime(500);
+        let base: Vec<Ipv6Addr> = w
+            .devices()
+            .iter()
+            .take(40)
+            .map(|d| w.address_of(d.id, t))
+            .collect();
+        // Append a full second copy: with 4 shards, each duplicate lands
+        // in a different shard than its original.
+        let mut doubled = base.clone();
+        doubled.extend(base.iter().copied());
+        let par = BatchScan::run_parallel(ScanPolicy::default(), &w, &doubled, t, 4);
+        let seq = BatchScan::new(ScanPolicy::default()).run(&w, base.iter().copied(), t);
+        assert_eq!(par.targets(), base.len() as u64);
+        for p in Protocol::ALL {
+            assert_eq!(par.attempts(p), seq.attempts(p), "{p}");
+            assert_eq!(par.addrs(p), seq.addrs(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn shard_budgets_preserve_the_total() {
+        assert_eq!(shard_budgets(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(shard_budgets(10, 4).iter().sum::<u64>(), 10);
+        assert_eq!(shard_budgets(7, 7), vec![1; 7]);
+        assert_eq!(shard_budgets(100_000, 3).iter().sum::<u64>(), 100_000);
+        // Sub-thread budgets floor at 1 pps rather than stalling shards.
+        assert_eq!(shard_budgets(2, 4), vec![1, 1, 1, 1]);
+        assert_eq!(shard_budgets(0, 2), vec![1, 1]);
     }
 
     #[test]

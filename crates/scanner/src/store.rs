@@ -51,11 +51,7 @@ impl ScanStore {
     /// Distinct responsive addresses whose TLS handshake succeeded.
     pub fn addrs_with_tls(&self, p: Protocol) -> HashSet<Ipv6Addr> {
         self.by_protocol(p)
-            .filter(|r| {
-                r.result
-                    .tls()
-                    .is_some_and(|t| t.cert().is_some())
-            })
+            .filter(|r| r.result.tls().is_some_and(|t| t.cert().is_some()))
             .map(|r| r.addr)
             .collect()
     }
@@ -178,8 +174,23 @@ mod tests {
         for _ in 0..1000 {
             s.note_target();
         }
-        s.push(rec("2001:db8::1", Protocol::Http, ServiceResult::Http { status: 200, title: None }));
-        s.push(rec("2001:db8::1", Protocol::Ssh, ServiceResult::Ssh { software: "x".into(), comment: None, fingerprint: [0; 32] }));
+        s.push(rec(
+            "2001:db8::1",
+            Protocol::Http,
+            ServiceResult::Http {
+                status: 200,
+                title: None,
+            },
+        ));
+        s.push(rec(
+            "2001:db8::1",
+            Protocol::Ssh,
+            ServiceResult::Ssh {
+                software: "x".into(),
+                comment: None,
+                fingerprint: [0; 32],
+            },
+        ));
         // One distinct responsive address out of 1000 targets.
         assert!((s.hit_rate() - 0.001).abs() < 1e-9);
     }
@@ -189,7 +200,14 @@ mod tests {
         let mut a = ScanStore::new();
         a.note_target();
         a.note_attempt(Protocol::Http);
-        a.push(rec("2001:db8::1", Protocol::Http, ServiceResult::Http { status: 200, title: None }));
+        a.push(rec(
+            "2001:db8::1",
+            Protocol::Http,
+            ServiceResult::Http {
+                status: 200,
+                title: None,
+            },
+        ));
         let mut b = ScanStore::new();
         b.note_target();
         b.note_attempt(Protocol::Http);

@@ -1,0 +1,131 @@
+//! The streaming scan stage: a scanner thread fed through a channel.
+//!
+//! The paper's defining mechanism is that NTP-collected addresses are
+//! probed **minutes after first sight** (§4.1) — under dynamic prefixes a
+//! day-old address already points at nobody. This module runs the
+//! real-time scanner on its own thread, consuming a bounded channel of
+//! [`Observation`]s while the collection run produces them, instead of
+//! buffering the whole feed and scanning after the fact.
+//!
+//! Determinism contract: observations are processed strictly in channel
+//! (= emission) order by a single consumer, so the resulting
+//! [`ScanStore`] is **bit-identical** to a buffered
+//! [`RealTimeScanner::run`](crate::RealTimeScanner::run) over the same
+//! feed — thread scheduling only changes *when* work happens, never its
+//! order. The equivalence is enforced by tests here and at the study
+//! level.
+
+use crate::engine::ScanPolicy;
+use crate::scheduler::RealTimeScanner;
+use crate::store::ScanStore;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use netsim::world::World;
+use ntppool::Observation;
+use std::thread;
+
+/// Default bound for the producer→scanner channel: deep enough that the
+/// collector rarely blocks, small enough to keep memory flat when the
+/// scanner falls behind.
+pub const FEED_CHANNEL_BOUND: usize = 1024;
+
+/// A bounded observation channel pair for wiring a producer (e.g. an
+/// `AddressCollector` first-sight sink) to a [`StreamingScanner`].
+pub fn feed_channel(capacity: usize) -> (Sender<Observation>, Receiver<Observation>) {
+    bounded(capacity)
+}
+
+/// A real-time scanner running on its own scoped thread, consuming a
+/// channel of first-sight observations as they are produced.
+///
+/// Spawn inside [`std::thread::scope`], drop every `Sender` once
+/// production ends (disconnecting the channel), then [`join`] to collect
+/// the scan results and the replayed feed.
+///
+/// [`join`]: StreamingScanner::join
+pub struct StreamingScanner<'scope> {
+    handle: thread::ScopedJoinHandle<'scope, (ScanStore, Vec<Observation>)>,
+}
+
+impl<'scope> StreamingScanner<'scope> {
+    /// Starts the scanner thread inside `scope`. The thread drains `rx`
+    /// in order until every sender is dropped.
+    pub fn spawn<'env>(
+        scope: &'scope thread::Scope<'scope, 'env>,
+        policy: ScanPolicy,
+        world: &'env World,
+        rx: Receiver<Observation>,
+    ) -> StreamingScanner<'scope> {
+        let handle = scope.spawn(move || {
+            let mut scanner = RealTimeScanner::new(policy);
+            let mut feed = Vec::new();
+            for obs in rx.iter() {
+                scanner.feed(world, obs);
+                feed.push(obs);
+            }
+            (scanner.finish(), feed)
+        });
+        StreamingScanner { handle }
+    }
+
+    /// Waits for the channel to drain and returns the scan results plus
+    /// the feed in consumption order.
+    pub fn join(self) -> (ScanStore, Vec<Observation>) {
+        self.handle.join().expect("streaming scanner panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimTime;
+    use netsim::world::{World, WorldConfig};
+    use ntppool::ServerId;
+
+    fn feed_for(w: &World) -> Vec<Observation> {
+        let t = SimTime(1_000);
+        w.devices()
+            .iter()
+            .map(|d| Observation {
+                addr: w.address_of(d.id, t),
+                seen: t,
+                server: ServerId(0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_buffered_run() {
+        let w = World::generate(WorldConfig::tiny(21));
+        let feed = feed_for(&w);
+        let buffered = RealTimeScanner::new(ScanPolicy::default()).run(&w, &feed);
+        let (streamed, replay) = std::thread::scope(|scope| {
+            let (tx, rx) = feed_channel(8);
+            let scanner = StreamingScanner::spawn(scope, ScanPolicy::default(), &w, rx);
+            for obs in &feed {
+                tx.send(*obs).expect("scanner alive");
+            }
+            drop(tx);
+            scanner.join()
+        });
+        assert_eq!(replay, feed);
+        assert_eq!(streamed.records(), buffered.records());
+        assert_eq!(streamed.targets(), buffered.targets());
+        for p in crate::result::Protocol::ALL {
+            assert_eq!(streamed.attempts(p), buffered.attempts(p));
+        }
+    }
+
+    #[test]
+    fn empty_channel_yields_empty_store() {
+        let w = World::generate(WorldConfig::tiny(21));
+        let (store, feed) = std::thread::scope(|scope| {
+            let (tx, rx) = feed_channel(1);
+            let scanner = StreamingScanner::spawn(scope, ScanPolicy::default(), &w, rx);
+            drop(tx);
+            scanner.join()
+        });
+        assert!(feed.is_empty());
+        assert_eq!(store.targets(), 0);
+        assert!(store.records().is_empty());
+    }
+}

@@ -59,11 +59,13 @@ impl Actor {
     /// Registers the actor's NTP servers in the pool.
     pub fn register(&mut self, pool: &mut Pool) {
         for i in 0..self.profile.pool_servers {
-            let country = self.profile.server_countries
-                [i as usize % self.profile.server_countries.len()];
+            let country =
+                self.profile.server_countries[i as usize % self.profile.server_countries.len()];
             let id = pool.add(PoolServer {
                 netspeed: 3_000,
-                operator: Operator::Actor { actor_id: self.id.0 },
+                operator: Operator::Actor {
+                    actor_id: self.id.0,
+                },
                 ..PoolServer::background(country)
             });
             self.servers.push(id);
@@ -88,7 +90,10 @@ impl Actor {
             let bits = u128::from(dst);
             // Mix the whole address: vantage IIDs are identical across
             // /64s, so the low half alone would correlate every target.
-            let salt = mix2(u64::from(self.id.0) << 32, (bits >> 64) as u64 ^ bits as u64);
+            let salt = mix2(
+                u64::from(self.id.0) << 32,
+                (bits >> 64) as u64 ^ bits as u64,
+            );
             let span = dmax.as_secs().saturating_sub(dmin.as_secs()).max(1);
             let start = seen + dmin + Duration::secs(mix2(salt, 1) % span);
             let n_ports = self.profile.ports.len().max(1) as u64;
@@ -222,7 +227,10 @@ mod tests {
         for p in log.sorted() {
             assert!(p.time >= SimTime(0));
             assert!(p.time <= SimTime(15 + 3600 + 600));
-            assert_eq!(gt.source_org(p.src), Some("Georgia Institute of Technology"));
+            assert_eq!(
+                gt.source_org(p.src),
+                Some("Georgia Institute of Technology")
+            );
         }
     }
 

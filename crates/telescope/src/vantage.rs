@@ -34,9 +34,7 @@ impl Vantage {
     /// The (deterministic) vantage address for the `i`-th server: its own
     /// /64 with a low IID, so neighbouring monitored addresses exist.
     pub fn addr_for(&self, server: ServerId) -> Ipv6Addr {
-        self.prefix
-            .subnet(64, u128::from(server.0) + 1)
-            .host(1)
+        self.prefix.subnet(64, u128::from(server.0) + 1).host(1)
     }
 
     /// A neighbouring (never-used) address next to a vantage address —

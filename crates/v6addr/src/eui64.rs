@@ -173,9 +173,7 @@ mod tests {
 
         let mk = |mac: &str| {
             let mac: Mac = mac.parse().unwrap();
-            Ipv6Addr::from(
-                (0x2001_0db8u128) << 96 | u128::from(Eui64::from_mac(mac).0),
-            )
+            Ipv6Addr::from((0x2001_0db8u128) << 96 | u128::from(Eui64::from_mac(mac).0))
         };
 
         assert_eq!(

@@ -252,9 +252,7 @@ mod tests {
     #[test]
     fn eui64_detected() {
         let mac: Mac = "3c:a6:2f:12:34:56".parse().unwrap();
-        let addr = Ipv6Addr::from(
-            (0x2001_0db8u128) << 96 | u128::from(Eui64::from_mac(mac).0),
-        );
+        let addr = Ipv6Addr::from((0x2001_0db8u128) << 96 | u128::from(Eui64::from_mac(mac).0));
         assert_eq!(classify_iid(addr), IidClass::Eui64);
     }
 
@@ -269,10 +267,7 @@ mod tests {
     #[test]
     fn patterned_is_low_entropy() {
         // 0x0000000100000002: mostly zero nybbles.
-        assert_eq!(
-            classify_iid(a("2001:db8::1:0:2")),
-            IidClass::LowEntropy
-        );
+        assert_eq!(classify_iid(a("2001:db8::1:0:2")), IidClass::LowEntropy);
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub const BUILTIN_VENDORS: &[(&str, &[u32])] = &[
     ),
     ("Amazon Technologies Inc.", &[0x0C47C9, 0x44650D, 0xF0D2F1]),
     ("AVM GmbH", &[0x98DED0, 0x5C4979]),
-    ("Samsung Electronics Co.,Ltd", &[0x8C7712, 0xA02195, 0xE8E5D6]),
+    (
+        "Samsung Electronics Co.,Ltd",
+        &[0x8C7712, 0xA02195, 0xE8E5D6],
+    ),
     ("Sonos, Inc.", &[0x000E58, 0x347E5C]),
     ("vivo Mobile Communication Co., Ltd.", &[0x50A009, 0x9CE063]),
     ("Shenzhen Ogemray Technology Co.,Ltd", &[0x90A8A2]),
@@ -167,7 +170,11 @@ mod tests {
     #[test]
     fn no_duplicate_oui_assignments_in_builtin() {
         let total: usize = BUILTIN_VENDORS.iter().map(|(_, o)| o.len()).sum();
-        assert_eq!(OuiDb::builtin().len(), total, "duplicate OUI in BUILTIN_VENDORS");
+        assert_eq!(
+            OuiDb::builtin().len(),
+            total,
+            "duplicate OUI in BUILTIN_VENDORS"
+        );
     }
 
     #[test]

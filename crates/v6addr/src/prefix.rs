@@ -56,6 +56,7 @@ impl Prefix {
 
     /// The prefix length.
     #[inline]
+    #[allow(clippy::len_without_is_empty)] // a prefix length, not a container length
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -128,7 +129,11 @@ impl Prefix {
             sub_len,
             self.len
         );
-        let shifted = if sub_len == 128 { i } else { i << (128 - sub_len as u32) };
+        let shifted = if sub_len == 128 {
+            i
+        } else {
+            i << (128 - sub_len as u32)
+        };
         Prefix {
             bits: self.bits | shifted,
             len: sub_len,
@@ -284,10 +289,7 @@ mod tests {
             p("2001:db8::/64").last(),
             "2001:db8::ffff:ffff:ffff:ffff".parse::<Ipv6Addr>().unwrap()
         );
-        assert_eq!(
-            p("::/0").last(),
-            Ipv6Addr::from(u128::MAX)
-        );
+        assert_eq!(p("::/0").last(), Ipv6Addr::from(u128::MAX));
     }
 
     #[test]
@@ -303,14 +305,8 @@ mod tests {
             "2001:db8::".parse::<Prefix>(),
             Err(ParsePrefixError::MissingSlash)
         );
-        assert_eq!(
-            "zz/48".parse::<Prefix>(),
-            Err(ParsePrefixError::BadAddress)
-        );
-        assert_eq!(
-            "::/129".parse::<Prefix>(),
-            Err(ParsePrefixError::BadLength)
-        );
+        assert_eq!("zz/48".parse::<Prefix>(), Err(ParsePrefixError::BadAddress));
+        assert_eq!("::/129".parse::<Prefix>(), Err(ParsePrefixError::BadLength));
     }
 
     #[test]

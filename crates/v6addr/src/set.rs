@@ -315,7 +315,10 @@ mod tests {
     fn sorted_is_ascending_and_complete() {
         let s = set(&["2001:db8::3", "2001:db8::1", "2001:db8::2"]);
         let v = s.sorted();
-        assert_eq!(v, vec![a("2001:db8::1"), a("2001:db8::2"), a("2001:db8::3")]);
+        assert_eq!(
+            v,
+            vec![a("2001:db8::1"), a("2001:db8::2"), a("2001:db8::3")]
+        );
     }
 
     #[test]

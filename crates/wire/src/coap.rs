@@ -323,7 +323,9 @@ pub fn parse_link_format(payload: &str) -> Vec<Link> {
         if entry.is_empty() {
             continue;
         }
-        let Some(close) = entry.find('>') else { continue };
+        let Some(close) = entry.find('>') else {
+            continue;
+        };
         if !entry.starts_with('<') {
             continue;
         }
@@ -431,7 +433,7 @@ mod tests {
                     value: b"b".to_vec(),
                 },
                 Opt {
-                    number: 2048, // delta 1988 → 14-extended
+                    number: 2048,        // delta 1988 → 14-extended
                     value: vec![0; 300], // length 300 → 14-extended
                 },
             ],
@@ -449,7 +451,10 @@ mod tests {
 
         let mut bytes = Message::get_well_known_core(1, &[]).emit();
         bytes[0] = (bytes[0] & 0xf0) | 9; // TKL 9
-        assert_eq!(Message::parse(&bytes), Err(WireError::Malformed("token length")));
+        assert_eq!(
+            Message::parse(&bytes),
+            Err(WireError::Malformed("token length"))
+        );
     }
 
     #[test]

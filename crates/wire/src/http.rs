@@ -208,7 +208,13 @@ impl Response {
 
 impl fmt::Display for Response {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "HTTP {} {} ({} bytes)", self.status, self.reason, self.body.len())
+        write!(
+            f,
+            "HTTP {} {} ({} bytes)",
+            self.status,
+            self.reason,
+            self.body.len()
+        )
     }
 }
 
@@ -264,10 +270,13 @@ mod tests {
         assert_eq!(parsed.target, "/index.html");
         assert_eq!(parsed.host, "example.org");
         assert_eq!(parsed.user_agent, "research-scan/1.0");
-        assert_eq!(parsed.headers, vec![
-            ("Accept".to_string(), "*/*".to_string()),
-            ("Connection".to_string(), "close".to_string()),
-        ]);
+        assert_eq!(
+            parsed.headers,
+            vec![
+                ("Accept".to_string(), "*/*".to_string()),
+                ("Connection".to_string(), "close".to_string()),
+            ]
+        );
     }
 
     #[test]

@@ -228,7 +228,8 @@ impl Packet {
     /// A Kiss-o'-Death packet (stratum 0) with the given kiss code, e.g.
     /// `b"RATE"` for rate limiting.
     pub fn kiss_of_death(request: &Packet, code: [u8; 4]) -> Packet {
-        let mut p = Packet::server_response(request, 0, code, NtpTimestamp::ZERO, NtpTimestamp::ZERO);
+        let mut p =
+            Packet::server_response(request, 0, code, NtpTimestamp::ZERO, NtpTimestamp::ZERO);
         p.leap = LeapIndicator::Unknown;
         p
     }
@@ -355,7 +356,8 @@ mod tests {
         assert!(kod.is_kiss_of_death());
         assert_eq!(kod.kiss_code(), Some("RATE"));
         assert_eq!(kod.stratum, 0);
-        let normal = Packet::server_response(&req, 2, [0; 4], NtpTimestamp::ZERO, NtpTimestamp::ZERO);
+        let normal =
+            Packet::server_response(&req, 2, [0; 4], NtpTimestamp::ZERO, NtpTimestamp::ZERO);
         assert_eq!(normal.kiss_code(), None);
     }
 
@@ -387,7 +389,10 @@ mod tests {
         let t = NtpTimestamp::from_unix_f64(1_721_500_123.625);
         let back = t.to_unix_f64();
         assert!((back - 1_721_500_123.625).abs() < 1e-6, "{back}");
-        assert_eq!(NtpTimestamp::from_unix_secs(0).seconds() as u64, UNIX_TO_NTP_OFFSET);
+        assert_eq!(
+            NtpTimestamp::from_unix_secs(0).seconds() as u64,
+            UNIX_TO_NTP_OFFSET
+        );
     }
 
     #[test]

@@ -117,7 +117,7 @@ pub fn unframe_packet(buf: &[u8]) -> WireResult<(&[u8], usize)> {
         return Err(WireError::Truncated);
     }
     let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
-    if len < 2 || len > 35_000 {
+    if !(2..=35_000).contains(&len) {
         return Err(WireError::Malformed("packet length"));
     }
     if buf.len() < 4 + len {
@@ -150,7 +150,10 @@ impl KexInit {
     pub fn modern(cookie: [u8; 16]) -> KexInit {
         KexInit {
             cookie,
-            kex_algorithms: vec!["curve25519-sha256".into(), "diffie-hellman-group14-sha256".into()],
+            kex_algorithms: vec![
+                "curve25519-sha256".into(),
+                "diffie-hellman-group14-sha256".into(),
+            ],
             host_key_algorithms: vec!["ssh-ed25519".into(), "rsa-sha2-256".into()],
             ciphers: vec!["chacha20-poly1305@openssh.com".into(), "aes128-ctr".into()],
         }
@@ -342,8 +345,8 @@ mod tests {
             let payload: Vec<u8> = (0..payload_len).map(|i| i as u8).collect();
             let framed = frame_packet(&payload);
             // RFC 4253: total length a multiple of 8, padding >= 4.
-            assert_eq!(framed.len() % 8, 4 % 8, "len {}", framed.len());
-            assert!((framed.len() - 4) % 8 == 0);
+            assert_eq!(framed.len() % 8, 4, "len {}", framed.len());
+            assert!((framed.len() - 4).is_multiple_of(8));
             let (got, used) = unframe_packet(&framed).unwrap();
             assert_eq!(got, &payload[..]);
             assert_eq!(used, framed.len());
@@ -359,10 +362,16 @@ mod tests {
         assert_eq!(unframe_packet(&buf), Err(WireError::Truncated));
         // Absurd length.
         let bad = [0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0];
-        assert_eq!(unframe_packet(&bad), Err(WireError::Malformed("packet length")));
+        assert_eq!(
+            unframe_packet(&bad),
+            Err(WireError::Malformed("packet length"))
+        );
         // padding >= len
         let bad = [0, 0, 0, 4, 10, 0, 0, 0];
-        assert_eq!(unframe_packet(&bad), Err(WireError::Malformed("padding length")));
+        assert_eq!(
+            unframe_packet(&bad),
+            Err(WireError::Malformed("padding length"))
+        );
     }
 
     #[test]
@@ -370,7 +379,9 @@ mod tests {
         let kex = KexInit::modern([7u8; 16]);
         let parsed = KexInit::parse(&kex.emit()).unwrap();
         assert_eq!(parsed, kex);
-        assert!(parsed.host_key_algorithms.contains(&"ssh-ed25519".to_string()));
+        assert!(parsed
+            .host_key_algorithms
+            .contains(&"ssh-ed25519".to_string()));
     }
 
     #[test]

@@ -432,10 +432,18 @@ mod tests {
 
     #[test]
     fn version_codes() {
-        for v in [Version::Tls10, Version::Tls11, Version::Tls12, Version::Tls13] {
+        for v in [
+            Version::Tls10,
+            Version::Tls11,
+            Version::Tls12,
+            Version::Tls13,
+        ] {
             assert_eq!(Version::from_u16(v.to_u16()).unwrap(), v);
         }
-        assert_eq!(Version::from_u16(0x0300), Err(WireError::UnsupportedVersion));
+        assert_eq!(
+            Version::from_u16(0x0300),
+            Err(WireError::UnsupportedVersion)
+        );
         assert_eq!(Version::Tls13.name(), "TLS 1.3");
     }
 

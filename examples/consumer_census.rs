@@ -18,8 +18,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(7);
     let study = Study::run(StudyConfig::small(seed));
+    let derived = study.derived();
 
-    let t3 = table3::compute(&study);
+    let t3 = table3::compute(&derived);
     println!("=== Consumer deployments unveiled via NTP sourcing ===\n");
     println!("HTML title groups found via NTP but (nearly) absent from the hitlist:");
     for g in &t3.titles {
@@ -42,12 +43,15 @@ fn main() {
         println!("  {group:12} {n:>6} via NTP   vs {tum:>6} via hitlist");
     }
 
-    let headline = table3::new_device_count(&study);
+    let headline = table3::new_device_count(&derived);
     println!("\nheadline: {headline} devices of underrepresented types found via NTP sourcing");
 
     println!("\nTop EUI-64 vendors among collected addresses (Appendix B):");
-    let eui = fig4::compute(&study);
+    let eui = fig4::compute(&derived);
     for v in eui.vendors.iter().take(10) {
-        println!("  {:55} {:>6} MACs {:>7} IPs", v.manufacturer, v.macs, v.ips);
+        println!(
+            "  {:55} {:>6} MACs {:>7} IPs",
+            v.manufacturer, v.macs, v.ips
+        );
     }
 }

@@ -37,7 +37,10 @@ fn main() {
     println!("captured {} scan packets at the vantage prefix", log.len());
 
     let report = match_captures(&vantage, &pool, &log, &actors);
-    assert_eq!(report.unmatched_packets, 0, "every packet must trace to a query");
+    assert_eq!(
+        report.unmatched_packets, 0,
+        "every packet must trace to a query"
+    );
     println!(
         "matched {} packets to NTP queries; scatter on monitored addresses: {}\n",
         report.matched_packets, report.scatter_packets

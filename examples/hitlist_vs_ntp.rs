@@ -18,12 +18,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     let study = Study::run(StudyConfig::small(seed));
+    let derived = study.derived();
 
-    println!("{}", table1::render(&study));
-    println!("{}", fig1::render(&study));
+    println!("{}", table1::render(&derived));
+    println!("{}", fig1::render(&derived));
 
     // The structural story in three sentences.
-    let f = fig1::compute(&study);
+    let f = fig1::compute(&derived);
     println!("reading:");
     println!(
         "- hitlist addresses are {:.0}% structured (manually numbered servers/routers); NTP-sourced only {:.1}%",

@@ -9,10 +9,7 @@ use timetoscan::{experiments, Study, StudyConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let seed: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
     let preset = args.next().unwrap_or_else(|| "tiny".to_string());
     let config = match preset.as_str() {
         "small" => StudyConfig::small(seed),
@@ -34,5 +31,7 @@ fn main() {
         study.ntp_scan.targets(),
         study.hitlist_scan.targets(),
     );
-    println!("{}", experiments::render_all(&study));
+    // The derived layer memoizes shared artifacts (title clusters, SSH
+    // parses, network groupings) across the experiments below.
+    println!("{}", experiments::render_all(&study.derived()));
 }

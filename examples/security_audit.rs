@@ -6,7 +6,6 @@
 //! ```
 
 use analysis::outdated::{assess, PatchStatus};
-use analysis::ssh_os::unique_ssh_hosts;
 use timetoscan::experiments::{fig2, fig3, keyreuse, security};
 use timetoscan::{Study, StudyConfig};
 
@@ -16,17 +15,19 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(11);
     let study = Study::run(StudyConfig::small(seed));
+    let derived = study.derived();
 
-    println!("{}", fig2::render(&study));
-    println!("{}", fig3::render(&study));
-    println!("{}", keyreuse::render(&study));
-    println!("{}", security::render(&study));
+    println!("{}", fig2::render(&derived));
+    println!("{}", fig3::render(&derived));
+    println!("{}", keyreuse::render(&derived));
+    println!("{}", security::render(&derived));
 
     // Bonus: the patch-lag distribution for NTP-found Debian-derived
-    // hosts — how far behind are they?
+    // hosts — how far behind are they? Reuses the SSH parse the renders
+    // above already cached.
     let mut lags = [0u64; 4];
-    for h in unique_ssh_hosts(&study.ntp_scan) {
-        match assess(&h) {
+    for h in derived.ssh_hosts(timetoscan::Source::Ntp) {
+        match assess(h) {
             PatchStatus::UpToDate => lags[0] += 1,
             PatchStatus::Outdated { lag } => lags[(lag as usize).min(3)] += 1,
             PatchStatus::NotAssessable => {}

@@ -7,7 +7,10 @@ use timetoscan::{experiments, Study, StudyConfig};
 fn same_seed_same_report() {
     let a = Study::run(StudyConfig::tiny(5));
     let b = Study::run(StudyConfig::tiny(5));
-    assert_eq!(experiments::render_all(&a), experiments::render_all(&b));
+    assert_eq!(
+        experiments::render_all(&a.derived()),
+        experiments::render_all(&b.derived())
+    );
 }
 
 #[test]
@@ -17,8 +20,8 @@ fn different_seed_different_world_same_shape() {
     // Different collected sets…
     assert_ne!(a.collector.global().len(), b.collector.global().len());
     // …but the same qualitative structure.
-    let fa = experiments::fig1::compute(&a);
-    let fb = experiments::fig1::compute(&b);
+    let fa = experiments::fig1::compute(&a.derived());
+    let fb = experiments::fig1::compute(&b.derived());
     for f in [&fa, &fb] {
         assert!(f.ours.eyeball_as_share > 0.8);
         assert!(f.full.iid.structured_share() > 0.3);

@@ -17,9 +17,17 @@ fn study() -> &'static Study {
 fn takeaway_ntp_sources_more_eyeball_structure() {
     // §3.2: NTP-sourced addresses are less "structured" and sit in
     // eyeball ASes; hitlists are the opposite.
-    let f = fig1::compute(study());
-    assert!(f.ours.iid.structured_share() < 0.05, "{}", f.ours.iid.structured_share());
-    assert!(f.full.iid.structured_share() > 0.4, "{}", f.full.iid.structured_share());
+    let f = fig1::compute(&study().derived());
+    assert!(
+        f.ours.iid.structured_share() < 0.05,
+        "{}",
+        f.ours.iid.structured_share()
+    );
+    assert!(
+        f.full.iid.structured_share() > 0.4,
+        "{}",
+        f.full.iid.structured_share()
+    );
     assert!(f.ours.eyeball_as_share > 0.9);
     assert!(f.full.eyeball_as_share < 0.5);
     // EUI-64 and privacy IIDs dominate the NTP side.
@@ -30,7 +38,7 @@ fn takeaway_ntp_sources_more_eyeball_structure() {
 
 #[test]
 fn takeaway_table1_densities_and_overlaps() {
-    let t = table1::compute(study());
+    let t = table1::compute(&study().derived());
     // Higher per-/48 density on the NTP side (client networks).
     assert!(t.ours.median_per_48 > t.full.median_per_48);
     assert!(t.ours.median_per_as > t.public.median_per_as);
@@ -47,8 +55,13 @@ fn takeaway_table1_densities_and_overlaps() {
 fn takeaway_hitlist_wins_most_protocols_but_not_coap() {
     // §4.2 / Table 2: the hitlist finds more endpoints for everything
     // except CoAP, where NTP sourcing finds a multiple.
-    let rows = table2::compute(study());
-    let by_label = |l: &str| rows.iter().find(|r| r.label.starts_with(l)).unwrap().clone();
+    let rows = table2::compute(&study().derived());
+    let by_label = |l: &str| {
+        rows.iter()
+            .find(|r| r.label.starts_with(l))
+            .unwrap()
+            .clone()
+    };
     let http = by_label("HTTP");
     assert!(http.tum_addrs > http.our_addrs);
     let ssh = by_label("SSH");
@@ -67,7 +80,7 @@ fn takeaway_cloudfront_effect() {
     // §4.2: the hitlist's HTTP responders are dominated by CDN addresses
     // whose TLS handshake fails without a hostname → very low TLS share;
     // the NTP side's TLS share is much higher.
-    let rows = table2::compute(study());
+    let rows = table2::compute(&study().derived());
     let http = rows.iter().find(|r| r.label.starts_with("HTTP")).unwrap();
     let our_share = http.our_tls.unwrap() as f64 / http.our_addrs.max(1) as f64;
     let tum_share = http.tum_tls.unwrap() as f64 / http.tum_addrs.max(1) as f64;
@@ -79,7 +92,7 @@ fn takeaway_cloudfront_effect() {
 fn takeaway_fritz_dominates_ntp_titles() {
     // §4.3.1: consumer AVM devices dominate NTP-found HTTPS hosts and are
     // marginal on the hitlist; D-LINK infrastructure is hitlist-only.
-    let t = table3::compute(study());
+    let t = table3::compute(&study().derived());
     let fritz_our = table3::our_title_count(&t.titles, "FRITZ!Box 7590");
     let total_our: u64 = t.titles.iter().map(|g| g.our_hosts).sum();
     assert!(
@@ -99,10 +112,9 @@ fn takeaway_fritz_dominates_ntp_titles() {
 #[test]
 fn takeaway_raspbian_via_ntp_freebsd_via_hitlist() {
     // §4.3.2.
-    let t = table3::compute(study());
-    let get = |d: &[(String, u64)], k: &str| {
-        d.iter().find(|(l, _)| l == k).map(|(_, n)| *n).unwrap_or(0)
-    };
+    let t = table3::compute(&study().derived());
+    let get =
+        |d: &[(String, u64)], k: &str| d.iter().find(|(l, _)| l == k).map(|(_, n)| *n).unwrap_or(0);
     let our_total: u64 = t.our_os.iter().map(|(_, n)| n).sum();
     let tum_total: u64 = t.tum_os.iter().map(|(_, n)| n).sum();
     let our_raspbian = get(&t.our_os, "Raspbian") as f64 / our_total.max(1) as f64;
@@ -117,10 +129,9 @@ fn takeaway_raspbian_via_ntp_freebsd_via_hitlist() {
 fn takeaway_castdevice_is_invisible_to_hitlists() {
     // §4.3.3: the castDeviceSearch population cannot be found via the
     // hitlist.
-    let t = table3::compute(study());
-    let get = |d: &[(String, u64)], k: &str| {
-        d.iter().find(|(l, _)| l == k).map(|(_, n)| *n).unwrap_or(0)
-    };
+    let t = table3::compute(&study().derived());
+    let get =
+        |d: &[(String, u64)], k: &str| d.iter().find(|(l, _)| l == k).map(|(_, n)| *n).unwrap_or(0);
     assert!(get(&t.our_coap, "castdevice") > 50);
     assert_eq!(get(&t.tum_coap, "castdevice"), 0);
     // qlink appears on both sides (static service nodes reach hitlists).
@@ -131,7 +142,7 @@ fn takeaway_castdevice_is_invisible_to_hitlists() {
 #[test]
 fn takeaway_ntp_hosts_more_outdated() {
     // §4.4.1 / Figure 2.
-    let f = fig2::compute(study());
+    let f = fig2::compute(&study().derived());
     assert!(f.ours.assessable > 50);
     assert!(f.tum.assessable > 50);
     assert!(
@@ -146,7 +157,7 @@ fn takeaway_ntp_hosts_more_outdated() {
 fn takeaway_mqtt_access_control_gap() {
     // §4.4.2 / Figure 3: hitlist MQTT brokers enforce access control far
     // more often; AMQP is high on both sides.
-    let f = fig3::compute(study());
+    let f = fig3::compute(&study().derived());
     assert!(f.our_mqtt.total > 50);
     assert!(
         f.tum_mqtt.controlled_share() > f.our_mqtt.controlled_share() + 0.2,
@@ -162,7 +173,7 @@ fn takeaway_mqtt_access_control_gap() {
 fn takeaway_secure_share_drops() {
     // The headline: 43.5 % → 28.4 % in the paper; the ordering (and a
     // clear gap) must reproduce.
-    let s = security::compute(study());
+    let s = security::compute(&study().derived());
     assert!(s.ours.total_hosts() > 100);
     assert!(s.tum.total_hosts() > 100);
     assert!(
@@ -181,7 +192,7 @@ fn appendix_c_network_counting_amplifies_outdatedness() {
     // direction is empirical, so we assert only the invariants: the
     // NTP-vs-hitlist gap persists, and network weights can only grow the
     // assessable mass.
-    let f = fig5::compute(study());
+    let f = fig5::compute(&study().derived());
     assert!(f.ours_by_net.outdated_share() > f.tum_by_net.outdated_share());
     assert!(f.ours_by_net.assessable >= f.ours_by_key.assessable);
     assert!(f.tum_by_net.assessable >= f.tum_by_key.assessable);
@@ -191,12 +202,15 @@ fn appendix_c_network_counting_amplifies_outdatedness() {
 fn appendix_c_tls_mqtt_brokers_more_often_open() {
     // Figure 6: TLS-fronted MQTT brokers skip access control more often
     // than plain ones (both sources pooled for statistical mass).
-    let f = fig6::compute(study());
+    let f = fig6::compute(&study().derived());
     let tls_total = f.our_mqtt.tls.total + f.tum_mqtt.tls.total;
     let tls_ac = f.our_mqtt.tls.controlled + f.tum_mqtt.tls.controlled;
     let plain_total = f.our_mqtt.plain.total + f.tum_mqtt.plain.total;
     let plain_ac = f.our_mqtt.plain.controlled + f.tum_mqtt.plain.controlled;
-    assert!(tls_total > 5, "too few TLS brokers ({tls_total}) to compare");
+    assert!(
+        tls_total > 5,
+        "too few TLS brokers ({tls_total}) to compare"
+    );
     let tls_share = tls_ac as f64 / tls_total as f64;
     let plain_share = plain_ac as f64 / plain_total.max(1) as f64;
     assert!(
@@ -229,7 +243,7 @@ fn takeaway_two_actors_detected() {
 #[test]
 fn takeaway_avm_tops_vendor_ranking() {
     // Appendix B: AVM's two registry entities lead the MAC ranking.
-    let a = fig4::compute(study());
+    let a = fig4::compute(&study().derived());
     assert!(!a.vendors.is_empty());
     assert!(
         a.vendors[0].manufacturer.contains("AVM"),
@@ -245,7 +259,7 @@ fn takeaway_avm_tops_vendor_ranking() {
 #[test]
 fn takeaway_key_reuse_heavier_on_ntp_side() {
     // §6: the most-used key spans far more addresses on the NTP side.
-    let k = timetoscan::experiments::keyreuse::compute(study());
+    let k = timetoscan::experiments::keyreuse::compute(&study().derived());
     let ours = k.ours.most_used().map(|x| x.addrs).unwrap_or(0);
     let tum = k.tum.most_used().map(|x| x.addrs).unwrap_or(0);
     assert!(ours > tum, "most-used key: ours {ours} vs tum {tum}");
@@ -262,7 +276,7 @@ fn hit_rate_is_low_and_lower_than_hitlist() {
 
 #[test]
 fn reports_render_without_panicking() {
-    let all = timetoscan::experiments::render_all(study());
+    let all = timetoscan::experiments::render_all(&study().derived());
     for needle in [
         "Table 1",
         "Figure 1",

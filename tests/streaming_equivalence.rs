@@ -1,0 +1,80 @@
+//! Pipeline-mode equivalence: the streaming (channel-fed, concurrent)
+//! study pipeline must be **bit-identical** to the buffered one — thread
+//! scheduling may move work in wall-clock time but never in sim time or
+//! feed order. Checked across two seeds over the feed, the scan stores,
+//! and rendered experiment output.
+
+use scanner::result::Protocol;
+use timetoscan::{experiments, PipelineMode, Study, StudyConfig};
+
+fn pair(seed: u64) -> (Study, Study) {
+    let buffered = Study::run(StudyConfig::tiny(seed).with_pipeline(PipelineMode::Buffered));
+    let streaming = Study::run(StudyConfig::tiny(seed).with_pipeline(PipelineMode::Streaming));
+    (buffered, streaming)
+}
+
+#[test]
+fn modes_agree_bit_for_bit_across_seeds() {
+    for seed in [41, 1337] {
+        let (buffered, streaming) = pair(seed);
+
+        // Same first-sight feed, in the same order.
+        assert_eq!(buffered.feed, streaming.feed, "seed {seed}: feed differs");
+        assert!(!streaming.feed.is_empty(), "seed {seed}: empty feed");
+
+        // Same collection outcome.
+        assert_eq!(
+            buffered.collector.global().len(),
+            streaming.collector.global().len(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            buffered.run_stats.polls, streaming.run_stats.polls,
+            "seed {seed}"
+        );
+
+        // Bit-identical NTP scan stores: every record (incl. order),
+        // every per-protocol attempt counter, the target count.
+        assert_eq!(
+            buffered.ntp_scan.records(),
+            streaming.ntp_scan.records(),
+            "seed {seed}: scan records differ"
+        );
+        assert_eq!(
+            buffered.ntp_scan.targets(),
+            streaming.ntp_scan.targets(),
+            "seed {seed}"
+        );
+        for p in Protocol::ALL {
+            assert_eq!(
+                buffered.ntp_scan.attempts(p),
+                streaming.ntp_scan.attempts(p),
+                "seed {seed}: {p} attempts differ"
+            );
+        }
+
+        // The hitlist side is independent of the pipeline mode.
+        assert_eq!(
+            buffered.hitlist_scan.records(),
+            streaming.hitlist_scan.records(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn rendered_tables_agree() {
+    let (buffered, streaming) = pair(7);
+    let db = buffered.derived();
+    let ds = streaming.derived();
+    assert_eq!(
+        experiments::table1::render(&db),
+        experiments::table1::render(&ds),
+        "Table 1 differs between pipeline modes"
+    );
+    assert_eq!(
+        experiments::table2::render(&db),
+        experiments::table2::render(&ds),
+        "Table 2 differs between pipeline modes"
+    );
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the harness subset the bench suite uses: a `Criterion`
+//! builder, `bench_function` with `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs
+//! `sample_size` timed samples and prints mean wall-clock time per
+//! iteration — no statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in never plots.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total_nanos: 0,
+            iters: 0,
+        };
+        // Warm-up sample, then the timed samples.
+        f(&mut b);
+        b.total_nanos = 0;
+        b.iters = 0;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean = if b.iters == 0 {
+            0
+        } else {
+            b.total_nanos / b.iters
+        };
+        println!("{name:<40} time: {} ns/iter ({} iters)", mean, b.iters);
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u128,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Prevents the optimizer from discarding a value (std implementation).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions sharing one config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Declares the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derives from the vendored `serde_derive`, so `#[derive(...)]`
+//! annotations across the workspace compile unchanged. No serialization
+//! format ships in the offline image, so no impls are generated; the
+//! annotations keep marking which types are wire-stable for when a real
+//! serde is dropped in.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching serde's `Serialize` name.
+pub trait Serialize {}
+
+/// Marker trait matching serde's `Deserialize` name.
+pub trait Deserialize<'de>: Sized {}

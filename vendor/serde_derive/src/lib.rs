@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing serializes yet (no serde_json in the tree) —
+//! so the derives legitimately expand to nothing. When real serde
+//! becomes available, dropping it into `vendor/`'s place re-enables the
+//! generated impls without touching any annotated type.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotation; generates no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotation; generates no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

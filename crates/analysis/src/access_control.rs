@@ -206,6 +206,8 @@ mod tests {
         ScanRecord {
             addr: std::net::Ipv6Addr::from(addr),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Mqtt,
             result: ServiceResult::Mqtt { return_code: code },
         }
@@ -215,6 +217,8 @@ mod tests {
         ScanRecord {
             addr: std::net::Ipv6Addr::from(addr),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Amqp,
             result: ServiceResult::Amqp {
                 mechanisms: mechs.into(),
@@ -255,6 +259,8 @@ mod tests {
         store.push(ScanRecord {
             addr: std::net::Ipv6Addr::from(7u128),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Mqtts,
             result: ServiceResult::Mqtts {
                 tls: scanner::result::TlsOutcome::Failed(wire::tls::Alert::HandshakeFailure),

@@ -111,6 +111,8 @@ mod tests {
         ScanRecord {
             addr: std::net::Ipv6Addr::from(addr),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Coap,
             result: ServiceResult::Coap {
                 resources: resources.iter().map(|s| s.to_string()).collect(),

@@ -119,6 +119,8 @@ mod tests {
         ScanRecord {
             addr,
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Ssh,
             result: ServiceResult::Ssh {
                 software: "OpenSSH_9.2p1".into(),
@@ -163,6 +165,8 @@ mod tests {
             ScanRecord {
                 addr,
                 time: SimTime(0),
+                attempts: 1,
+                rtt: netsim::time::Duration::ZERO,
                 protocol: Protocol::Https,
                 result: ServiceResult::Https {
                     tls: scanner::result::TlsOutcome::Established(scanner::result::CertMeta {

@@ -153,6 +153,8 @@ mod tests {
         ScanRecord {
             addr: std::net::Ipv6Addr::from(addr),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Ssh,
             result: ServiceResult::Ssh {
                 software: "OpenSSH_9.2p1".into(),
@@ -166,6 +168,8 @@ mod tests {
         ScanRecord {
             addr: std::net::Ipv6Addr::from(addr),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Mqtts,
             result: ServiceResult::Mqtts {
                 tls: TlsOutcome::Established(scanner::result::CertMeta {
@@ -211,6 +215,8 @@ mod tests {
         store.push(ScanRecord {
             addr: std::net::Ipv6Addr::from(1u128),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Mqtt,
             result: ServiceResult::Mqtt {
                 return_code: ConnectReturnCode::Accepted,
@@ -227,6 +233,8 @@ mod tests {
         store.push(ScanRecord {
             addr: std::net::Ipv6Addr::from(1u128),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Ssh,
             result: ServiceResult::Ssh {
                 software: "dropbear_2022.83".into(),

@@ -107,6 +107,8 @@ mod tests {
         ScanRecord {
             addr: std::net::Ipv6Addr::from(addr),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Ssh,
             result: ServiceResult::Ssh {
                 software: software.into(),

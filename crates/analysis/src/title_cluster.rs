@@ -204,6 +204,8 @@ mod tests {
         ScanRecord {
             addr: std::net::Ipv6Addr::from(addr),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Https,
             result: ServiceResult::Https {
                 tls: TlsOutcome::Established(CertMeta {
@@ -266,6 +268,8 @@ mod tests {
         let plain = |addr: u128, title: &str| ScanRecord {
             addr: std::net::Ipv6Addr::from(addr),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Http,
             result: ServiceResult::Http {
                 status: 200,

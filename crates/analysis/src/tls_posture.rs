@@ -74,6 +74,8 @@ mod tests {
         ScanRecord {
             addr: std::net::Ipv6Addr::from(u128::from(fp)),
             time: SimTime(0),
+            attempts: 1,
+            rtt: netsim::time::Duration::ZERO,
             protocol: Protocol::Https,
             result: ServiceResult::Https {
                 tls: TlsOutcome::Established(CertMeta {

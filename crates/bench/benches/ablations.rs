@@ -9,12 +9,16 @@
 //! 4. **Staleness** — responsiveness of NTP-sourced addresses when
 //!    scanned with increasing delay (motivates §6's "static lists of
 //!    end-user addresses go stale immediately").
+//! 5. **Faults × retries** — sweep transport loss rate against the retry
+//!    budget: how much of the success-rate gap do retries claw back?
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use netsim::time::Duration;
+use netsim::transport::{FaultConfig, Faulty};
 use ntppool::monitor;
 use scanner::probers;
 use scanner::result::Protocol;
+use scanner::{RetryPolicy, ScanPolicy};
 use std::collections::HashSet;
 use std::hint::black_box;
 
@@ -163,6 +167,54 @@ fn ablation_tga_on_ntp(study: &timetoscan::Study) {
     );
 }
 
+/// Transport-fault ablation: loss rate × retry budget. Success is the
+/// number of scan records over a fixed NTP-sourced sample; "recovered"
+/// is the share of the (ideal − no-retry) gap the retry budget wins
+/// back. Loss decisions re-hash per attempt, so each retry is an
+/// independent draw — recovery should approach 100% geometrically.
+fn ablation_faults_vs_retries(study: &timetoscan::Study) {
+    println!("== Ablation: transport loss rate x retry budget ==");
+    let sample: Vec<(std::net::Ipv6Addr, netsim::SimTime)> = study
+        .feed
+        .iter()
+        .take(1_500)
+        .map(|o| (o.addr, o.seen))
+        .collect();
+    let run = |loss: f64, attempts: u32| -> u64 {
+        let policy = ScanPolicy {
+            retry: RetryPolicy::with_attempts(attempts),
+            ..ScanPolicy::default()
+        };
+        let transport = Box::new(Faulty::new(FaultConfig::loss_only(0xab1a7e, loss)));
+        let mut engine = scanner::Engine::with_transport(policy, transport);
+        for (addr, seen) in &sample {
+            engine.scan_target(&study.world, *addr, *seen);
+        }
+        engine.into_store().records().len() as u64
+    };
+    let ideal = run(0.0, 1);
+    println!(
+        "ideal transport: {ideal} records over {} sourced addresses",
+        sample.len()
+    );
+    for loss in [0.01, 0.05, 0.10] {
+        let baseline = run(loss, 1);
+        let gap = ideal.saturating_sub(baseline);
+        print!("loss {:4.1}%: 1 attempt {baseline:6}", loss * 100.0);
+        for attempts in [2u32, 3, 4] {
+            let got = run(loss, attempts);
+            let recovered = if gap == 0 {
+                100.0
+            } else {
+                100.0 * got.saturating_sub(baseline) as f64 / gap as f64
+            };
+            print!("   {attempts} attempts {got:6} ({recovered:5.1}% of gap)");
+        }
+        println!();
+    }
+    println!("(retries re-draw the loss hash per attempt; a 3-attempt budget recovers nearly the whole gap at 1% loss)\n");
+}
+
 fn bench(c: &mut Criterion) {
     let study = bench::bench_study();
     ablation_dedup(&study);
@@ -170,6 +222,7 @@ fn bench(c: &mut Criterion) {
     ablation_netspeed(&study);
     ablation_staleness(&study);
     ablation_tga_on_ntp(&study);
+    ablation_faults_vs_retries(&study);
     c.bench_function("ablations/staleness_probe", |b| {
         let obs = study.feed[0];
         b.iter(|| {

@@ -1,6 +1,7 @@
 //! Study configuration.
 
 use netsim::time::Duration;
+use netsim::transport::FaultProfile;
 use netsim::world::WorldConfig;
 
 /// How the collection stage hands addresses to the real-time scanner.
@@ -44,6 +45,10 @@ pub struct StudyConfig {
     pub telescope: bool,
     /// How collection feeds the real-time scanner.
     pub pipeline: PipelineMode,
+    /// Network fault model every byte exchange crosses. The default
+    /// [`FaultProfile::Ideal`] is bit-identical to direct calls; the
+    /// presets degrade the path for robustness experiments.
+    pub fault: FaultProfile,
 }
 
 impl StudyConfig {
@@ -57,6 +62,7 @@ impl StudyConfig {
             rl_samples,
             telescope: true,
             pipeline: PipelineMode::default(),
+            fault: FaultProfile::default(),
         }
     }
 
@@ -97,6 +103,12 @@ impl StudyConfig {
         self.pipeline = pipeline;
         self
     }
+
+    /// The same config with a different fault profile.
+    pub fn with_fault(mut self, fault: FaultProfile) -> StudyConfig {
+        self.fault = fault;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +139,17 @@ mod tests {
         assert_eq!(buffered.pipeline, PipelineMode::Buffered);
         // Everything but the pipeline mode is untouched.
         assert_eq!(buffered.collection, StudyConfig::tiny(1).collection);
+    }
+
+    #[test]
+    fn ideal_is_the_default_fault_profile() {
+        assert_eq!(StudyConfig::tiny(1).fault, FaultProfile::Ideal);
+        assert_eq!(StudyConfig::paper_milli(1).fault, FaultProfile::Ideal);
+        let lossy = StudyConfig::tiny(1).with_fault(FaultProfile::Lossy1Pct);
+        assert_eq!(lossy.fault, FaultProfile::Lossy1Pct);
+        // Everything but the fault profile is untouched.
+        assert_eq!(lossy.collection, StudyConfig::tiny(1).collection);
+        assert_eq!(lossy.pipeline, StudyConfig::tiny(1).pipeline);
     }
 
     #[test]

@@ -36,4 +36,5 @@ pub mod study;
 
 pub use config::{PipelineMode, StudyConfig};
 pub use derived::{Derived, Source};
+pub use netsim::transport::FaultProfile;
 pub use study::Study;

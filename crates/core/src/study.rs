@@ -9,6 +9,7 @@ use crate::config::{PipelineMode, StudyConfig};
 use hitlist::{Hitlist, HitlistConfig};
 use netsim::country::{Country, COLLECTOR_LOCATIONS};
 use netsim::time::{Duration, SimTime};
+use netsim::transport::Transport;
 use netsim::world::World;
 use ntppool::collector::{ChannelSink, VecSink};
 use ntppool::monitor::{tune_collecting_servers, TuneOutcome};
@@ -25,6 +26,10 @@ use v6addr::{AddrSet, OuiDb};
 /// Gap between the R&L emulation window and the study window (the real
 /// gap was ≈ 2 years).
 const RL_GAP: Duration = Duration::days(550);
+
+/// Domain separator deriving the transport fault seed from the world
+/// seed, so fault draws never correlate with world generation.
+const FAULT_SEED_DOMAIN: u64 = 0x7472_616e_7370_6f72; // "transpor"
 
 /// Everything one study run produces. All downstream experiments read
 /// from this structure.
@@ -65,6 +70,9 @@ impl Study {
     /// Runs the full pipeline. Deterministic in the config.
     pub fn run(config: StudyConfig) -> Study {
         let world = World::generate(config.world.clone());
+        let transport = config
+            .fault
+            .build(netsim::mix2(config.world.seed, FAULT_SEED_DOMAIN));
 
         // --- R&L emulation: an earlier, longer collection (Table 1). ---
         let rl_end = SimTime::EPOCH + rl_window(&config);
@@ -100,8 +108,14 @@ impl Study {
         }
 
         // --- Four weeks of collection, feeding the scanner. ---
-        let (collector, feed, run_stats, ntp_scan) =
-            run_collection_and_scan(&world, &pool, start, end, config.pipeline);
+        let (collector, feed, run_stats, ntp_scan) = run_collection_and_scan(
+            &world,
+            &pool,
+            start,
+            end,
+            config.pipeline,
+            transport.as_ref(),
+        );
 
         // --- Hitlist build + batch scan in the last week. ---
         let hitlist_t = start + config.hitlist_scan_offset;
@@ -110,13 +124,18 @@ impl Study {
         // per-instance random, and the token bucket turns submission
         // order into probe times — sorting keeps the store bit-identical
         // across runs (and across pipeline modes).
-        let hitlist_scan =
-            BatchScan::new(ScanPolicy::default()).run(&world, hitlist.full.sorted(), hitlist_t);
+        let hitlist_scan = BatchScan::with_transport(ScanPolicy::default(), transport.clone_box())
+            .run(&world, hitlist.full.sorted(), hitlist_t);
 
         // --- Telescope (§5). ---
         let telescope = config.telescope.then(|| {
             let mut vantage = Vantage::new("3fff:909::/48".parse().unwrap());
-            vantage.query_all(&pool, start + config.telescope_offset, Duration::secs(7));
+            vantage.query_all_via(
+                &pool,
+                transport.as_ref(),
+                start + config.telescope_offset,
+                Duration::secs(7),
+            );
             let mut log = CaptureLog::new();
             for actor in &actors {
                 actor.scan_sourced(&vantage, &mut log);
@@ -170,8 +189,9 @@ fn run_collection_and_scan(
     start: SimTime,
     end: SimTime,
     mode: PipelineMode,
+    transport: &dyn Transport,
 ) -> (AddressCollector, Vec<Observation>, RunStats, ScanStore) {
-    let run = CollectionRun::new(world, pool, start, end);
+    let run = CollectionRun::with_transport(world, pool, start, end, transport.clone_box());
     let record = |collector: &mut AddressCollector, server, addr, t| {
         if matches!(pool.server(server).operator, Operator::Study { .. }) {
             collector.record(server, addr, t);
@@ -186,12 +206,20 @@ fn run_collection_and_scan(
             let mut collector = AddressCollector::with_sink(Box::new(sink));
             let run_stats = run.run(|server, addr, t| record(&mut collector, server, addr, t));
             let feed: Vec<Observation> = std::mem::take(&mut *feed_buf.lock());
-            let ntp_scan = RealTimeScanner::new(ScanPolicy::default()).run(world, &feed);
+            let ntp_scan =
+                RealTimeScanner::with_transport(ScanPolicy::default(), transport.clone_box())
+                    .run(world, &feed);
             (collector, feed, run_stats, ntp_scan)
         }
         PipelineMode::Streaming => std::thread::scope(|scope| {
             let (tx, rx) = feed_channel(FEED_CHANNEL_BOUND);
-            let scanner = StreamingScanner::spawn(scope, ScanPolicy::default(), world, rx);
+            let scanner = StreamingScanner::spawn_with_transport(
+                scope,
+                ScanPolicy::default(),
+                world,
+                rx,
+                transport.clone_box(),
+            );
             let mut collector = AddressCollector::with_sink(Box::new(ChannelSink(tx)));
             let run_stats = run.run(|server, addr, t| record(&mut collector, server, addr, t));
             // Collection over: drop the sender so the scanner's receive

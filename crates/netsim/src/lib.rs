@@ -30,6 +30,10 @@
 //!   parses scanner bytes and produces response bytes.
 //! * [`engine`] — a binary-heap discrete-event queue used to drive NTP
 //!   polling chronologically.
+//! * [`transport`] — the byte-exchange layer between any client and the
+//!   world: an [`transport::Ideal`] pass-through and a
+//!   [`transport::Faulty`] implementation with stateless-hash loss,
+//!   latency, and truncation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +48,7 @@ pub mod services;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod transport;
 pub mod world;
 
 pub use archetype::DeviceKind;
@@ -51,6 +56,7 @@ pub use country::Country;
 pub use device::{Device, DeviceId};
 pub use time::{Duration, SimTime};
 pub use topology::{AsInfo, Asn, Topology};
+pub use transport::{Delivery, FaultConfig, FaultProfile, Faulty, Ideal, Link, Transport};
 pub use world::{World, WorldConfig};
 
 /// Deterministic 64-bit mix used everywhere the simulation needs a

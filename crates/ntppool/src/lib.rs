@@ -28,5 +28,5 @@ pub mod server;
 
 pub use collector::{AddressCollector, Observation};
 pub use pool::{Pool, ServerId};
-pub use run::{CollectionRun, RunStats};
+pub use run::{next_poll, poll_once, CollectionRun, PollOutcome, PollReply, RunStats};
 pub use server::{Operator, PoolServer};

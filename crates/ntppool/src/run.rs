@@ -7,24 +7,134 @@
 //! event queue interleaves the whole population chronologically, which is
 //! what allows a scanner to consume the feed "in real time" while
 //! prefixes rotate underneath it.
+//!
+//! Every poll crosses a [`Transport`]: under the default
+//! [`Ideal`] transport the exchange is bit-identical to calling the
+//! server directly; a faulty transport loses or delays polls, and the
+//! run distinguishes what the *server* saw (ground truth for collection)
+//! from what the *client* got back. Clients honor `RATE` Kiss-o'-Death
+//! responses by backing off their next poll.
 
 use crate::pool::{Pool, ServerId};
+use crate::server::PoolServer;
 use netsim::engine::EventQueue;
 use netsim::time::{Duration, SimTime};
+use netsim::transport::{Delivery, Ideal, Link, Transport};
 use netsim::world::World;
 use netsim::DeviceId;
+use std::collections::HashMap;
 use std::net::Ipv6Addr;
 use wire::ntp::{NtpTimestamp, Packet};
+
+/// The NTP service port.
+pub const NTP_PORT: u16 = 123;
+
+/// KoD backoff factor: a client that receives `RATE` multiplies its poll
+/// interval by this for the next poll (RFC 5905 §7.4 mandates *increasing*
+/// the interval; 4× mirrors ntpd jumping two poll-exponent steps).
+pub const KOD_BACKOFF_FACTOR: u64 = 4;
+
+/// Synthetic address of a pool server, for the transport's fault hash
+/// (servers are not world devices; they live in a dedicated /48).
+pub fn server_addr(id: ServerId) -> Ipv6Addr {
+    Ipv6Addr::new(0x2001, 0xdb8, 0x7e0, 0, 0, 0, 0, id.0 as u16 + 1)
+}
+
+/// What came back to the polling client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollReply {
+    /// A valid time response.
+    Time,
+    /// A `RATE` Kiss-o'-Death: the server shed load; back off.
+    RateKod,
+    /// Nothing: the poll or its answer was lost, or the request was
+    /// invalid.
+    None,
+}
+
+/// Outcome of one poll exchange, separating the server-side ground truth
+/// from the client-side view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollOutcome {
+    /// The server parsed a valid client request — what a collecting
+    /// server records, KoD or not, reply lost or not.
+    pub server_saw: bool,
+    /// The client-side view of the exchange.
+    pub reply: PollReply,
+}
+
+/// One client poll against one pool server through a transport.
+///
+/// `current_rps` is the server's request rate as of this request (used
+/// by [`PoolServer::handle_at_rate`] to decide whether to shed load).
+pub fn poll_once(
+    server: &PoolServer,
+    transport: &dyn Transport,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    t: SimTime,
+    current_rps: u64,
+) -> PollOutcome {
+    let request = Packet::client_request(NtpTimestamp::from_unix_secs(t.to_unix())).emit();
+    let mut server_saw = false;
+    let link = Link {
+        src,
+        dst,
+        port: NTP_PORT,
+        attempt: 0,
+    };
+    let delivery = transport.exchange(link, &request, &mut |bytes| {
+        let r = server.handle_at_rate(bytes, t, current_rps);
+        server_saw = r.is_some();
+        r
+    });
+    let reply = match delivery {
+        Delivery::Answered { bytes, .. } => match Packet::parse(&bytes) {
+            Ok(resp) => {
+                // Client-side sanity check of the exchange, as a real
+                // SNTP client performs it (KoDs echo the origin too).
+                debug_assert_eq!(
+                    resp.origin_ts,
+                    NtpTimestamp::from_unix_secs(t.to_unix()),
+                    "server failed to echo origin timestamp"
+                );
+                if resp.kiss_code() == Some("RATE") {
+                    PollReply::RateKod
+                } else {
+                    PollReply::Time
+                }
+            }
+            // A truncated/garbled reply is a non-answer to the client.
+            Err(_) => PollReply::None,
+        },
+        Delivery::Unanswered | Delivery::Lost => PollReply::None,
+    };
+    PollOutcome { server_saw, reply }
+}
+
+/// When the client polls next: `poll_interval` after a normal exchange,
+/// [`KOD_BACKOFF_FACTOR`]× that after a `RATE` KoD.
+pub fn next_poll(t: SimTime, poll_interval: Duration, reply: PollReply) -> SimTime {
+    match reply {
+        PollReply::RateKod => t + Duration::secs(poll_interval.as_secs() * KOD_BACKOFF_FACTOR),
+        PollReply::Time | PollReply::None => t + poll_interval,
+    }
+}
 
 /// Statistics from one collection run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Client polls simulated.
     pub polls: u64,
-    /// Polls answered by a pool server.
+    /// Polls answered by a pool server with time.
     pub responses: u64,
     /// Polls that reached a collecting server.
     pub observed: u64,
+    /// Polls answered with a `RATE` Kiss-o'-Death.
+    pub kod: u64,
+    /// Polls with no usable reply at the client (transport loss, or a
+    /// garbled answer).
+    pub lost: u64,
 }
 
 /// A collection run over a time window.
@@ -33,16 +143,29 @@ pub struct CollectionRun<'w> {
     pool: &'w Pool,
     start: SimTime,
     end: SimTime,
+    transport: Box<dyn Transport>,
 }
 
 impl<'w> CollectionRun<'w> {
-    /// A run over `[start, end)`.
+    /// A run over `[start, end)` on the ideal (fault-free) transport.
     pub fn new(world: &'w World, pool: &'w Pool, start: SimTime, end: SimTime) -> Self {
+        CollectionRun::with_transport(world, pool, start, end, Box::new(Ideal))
+    }
+
+    /// A run whose polls cross an explicit transport.
+    pub fn with_transport(
+        world: &'w World,
+        pool: &'w Pool,
+        start: SimTime,
+        end: SimTime,
+        transport: Box<dyn Transport>,
+    ) -> Self {
         CollectionRun {
             world,
             pool,
             start,
             end,
+            transport,
         }
     }
 
@@ -52,6 +175,9 @@ impl<'w> CollectionRun<'w> {
     pub fn run<F: FnMut(ServerId, Ipv6Addr, SimTime)>(&self, mut observe: F) -> RunStats {
         let mut stats = RunStats::default();
         let mut queue: EventQueue<(DeviceId, u64)> = EventQueue::new();
+        // Per-server request rate over the current simulated second,
+        // feeding the servers' KoD load shedding.
+        let mut rps: HashMap<ServerId, (u64, u64)> = HashMap::new();
         for (dev, cfg) in self.world.ntp_clients() {
             queue.schedule(self.start + cfg.phase, (dev.id, 0));
         }
@@ -64,27 +190,40 @@ impl<'w> CollectionRun<'w> {
             stats.polls += 1;
 
             let addr = self.world.address_of(id, t);
+            let mut reply = PollReply::None;
             if let Some(server_id) = self.pool.select(dev.country, u64::from(id.0), seq) {
-                let request =
-                    Packet::client_request(NtpTimestamp::from_unix_secs(t.to_unix())).emit();
                 let server = self.pool.server(server_id);
-                if let Some(resp) = server.handle(&request, t) {
-                    // Client-side sanity check of the exchange, as a real
-                    // SNTP client performs it.
-                    let resp = Packet::parse(&resp).expect("pool server emitted garbage");
-                    debug_assert_eq!(
-                        resp.origin_ts,
-                        NtpTimestamp::from_unix_secs(t.to_unix()),
-                        "server failed to echo origin timestamp"
-                    );
-                    stats.responses += 1;
-                    if server.operator.collects() {
-                        stats.observed += 1;
-                        observe(server_id, addr, t);
-                    }
+                let window = rps.entry(server_id).or_insert((u64::MAX, 0));
+                if window.0 != t.as_secs() {
+                    *window = (t.as_secs(), 0);
                 }
+                window.1 += 1;
+                let current_rps = window.1;
+                let outcome = poll_once(
+                    server,
+                    self.transport.as_ref(),
+                    addr,
+                    server_addr(server_id),
+                    t,
+                    current_rps,
+                );
+                reply = outcome.reply;
+                match outcome.reply {
+                    PollReply::Time => stats.responses += 1,
+                    PollReply::RateKod => stats.kod += 1,
+                    PollReply::None => stats.lost += 1,
+                }
+                // Collection is ground truth on the server: a request
+                // that arrived is recorded even if the reply is a KoD or
+                // never makes it back.
+                if outcome.server_saw && server.operator.collects() {
+                    stats.observed += 1;
+                    observe(server_id, addr, t);
+                }
+            } else {
+                stats.lost += 1;
             }
-            queue.schedule(t + cfg.poll_interval, (id, seq + 1));
+            queue.schedule(next_poll(t, cfg.poll_interval, reply), (id, seq + 1));
         }
         stats
     }
@@ -238,5 +377,170 @@ mod tests {
     fn study_window_is_28_days() {
         let (s, e) = study_window(SimTime(100));
         assert_eq!(e.as_secs() - s.as_secs(), 28 * 86_400);
+    }
+
+    #[test]
+    fn ideal_transport_run_matches_direct_run() {
+        let world = World::generate(WorldConfig::tiny(9));
+        let pool = study_pool();
+        let window = SimTime(Duration::days(2).as_secs());
+        let collect = |run: CollectionRun| {
+            let mut c = AddressCollector::new();
+            let stats = run.run(|s, a, t| c.record(s, a, t));
+            (stats, c.into_global())
+        };
+        let (direct_stats, direct) = collect(CollectionRun::new(&world, &pool, SimTime(0), window));
+        let (ideal_stats, ideal) = collect(CollectionRun::with_transport(
+            &world,
+            &pool,
+            SimTime(0),
+            window,
+            Box::new(netsim::Ideal),
+        ));
+        assert_eq!(direct_stats, ideal_stats);
+        assert_eq!(direct.len(), ideal.len());
+        assert_eq!(direct.overlap(&ideal), direct.len());
+        assert_eq!(ideal_stats.kod, 0);
+        assert_eq!(ideal_stats.lost, 0);
+    }
+
+    #[test]
+    fn lossy_transport_drops_polls_deterministically() {
+        use netsim::transport::{FaultConfig, Faulty};
+        let world = World::generate(WorldConfig::tiny(9));
+        let pool = study_pool();
+        let window = SimTime(Duration::days(2).as_secs());
+        let collect = || {
+            let run = CollectionRun::with_transport(
+                &world,
+                &pool,
+                SimTime(0),
+                window,
+                Box::new(Faulty::new(FaultConfig::loss_only(3, 0.2))),
+            );
+            let mut c = AddressCollector::new();
+            let stats = run.run(|s, a, t| c.record(s, a, t));
+            (stats, c.into_global())
+        };
+        let (stats, addrs) = collect();
+        assert!(stats.lost > 0);
+        assert!(stats.responses < stats.polls);
+        // Observations require the poll to *arrive*: strictly fewer than
+        // an ideal run would record.
+        let ideal_run = CollectionRun::new(&world, &pool, SimTime(0), window);
+        let ideal_stats = ideal_run.run(|_, _, _| {});
+        assert!(stats.observed < ideal_stats.observed);
+        // And the loss pattern is a stateless hash: bit-deterministic.
+        let (stats2, addrs2) = collect();
+        assert_eq!(stats, stats2);
+        assert_eq!(addrs.len(), addrs2.len());
+        assert_eq!(addrs.overlap(&addrs2), addrs.len());
+    }
+
+    #[test]
+    fn kod_client_is_collected_exactly_once_at_first_sight() {
+        use crate::collector::VecSink;
+        // A collecting study server that sheds load above 1 rps.
+        let server = PoolServer {
+            netspeed: 50_000,
+            operator: Operator::Study { location_index: 0 },
+            max_rps: 1,
+            ..PoolServer::background(country::DE)
+        };
+        let sid = ServerId(7);
+        let client: Ipv6Addr = "2001:db8:1::42".parse().unwrap();
+        let sink = VecSink::default();
+        let buf = sink.0.clone();
+        let mut collector = AddressCollector::with_sink(Box::new(sink));
+        let mut record_if_saw = |outcome: PollOutcome, t: SimTime| {
+            if outcome.server_saw && server.operator.collects() {
+                collector.record(sid, client, t);
+            }
+        };
+        // Poll under load: the client is KoD'd, but the request arrived —
+        // the collecting server records the address.
+        let t0 = SimTime(100);
+        let kod = poll_once(&server, &netsim::Ideal, client, server_addr(sid), t0, 5);
+        assert_eq!(kod.reply, PollReply::RateKod);
+        assert!(kod.server_saw);
+        record_if_saw(kod, t0);
+        // The client backs off, then re-polls under normal load.
+        let t1 = next_poll(t0, Duration::mins(10), kod.reply);
+        let ok = poll_once(&server, &netsim::Ideal, client, server_addr(sid), t1, 1);
+        assert_eq!(ok.reply, PollReply::Time);
+        record_if_saw(ok, t1);
+        // First sight fired exactly once, at the KoD'd poll.
+        let seen = buf.lock().clone();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].addr, client);
+        assert_eq!(seen[0].seen, t0);
+        assert_eq!(collector.global().len(), 1);
+    }
+
+    #[test]
+    fn kod_backoff_holds_off_requery_for_the_full_window() {
+        let interval = Duration::mins(10);
+        let t0 = SimTime(1_000);
+        // Normal exchange: next poll one interval later.
+        assert_eq!(next_poll(t0, interval, PollReply::Time), t0 + interval);
+        assert_eq!(next_poll(t0, interval, PollReply::None), t0 + interval);
+        // KoD: the client must not re-query before the widened window.
+        let after_kod = next_poll(t0, interval, PollReply::RateKod);
+        let window_end = t0 + Duration::secs(interval.as_secs() * KOD_BACKOFF_FACTOR);
+        assert_eq!(after_kod, window_end);
+        assert!(after_kod.since(t0) >= Duration::secs(interval.as_secs() * 2));
+        // A backoff-honoring client under sustained load: consecutive
+        // KoD'd polls stay at least one widened window apart.
+        let server = PoolServer {
+            max_rps: 1,
+            ..PoolServer::background(country::DE)
+        };
+        let client: Ipv6Addr = "2001:db8:1::43".parse().unwrap();
+        let mut t = t0;
+        let mut times = Vec::new();
+        for _ in 0..3 {
+            let out = poll_once(
+                &server,
+                &netsim::Ideal,
+                client,
+                server_addr(ServerId(0)),
+                t,
+                9,
+            );
+            assert_eq!(out.reply, PollReply::RateKod);
+            times.push(t);
+            t = next_poll(t, interval, out.reply);
+        }
+        for pair in times.windows(2) {
+            assert!(
+                pair[1].since(pair[0]) >= Duration::secs(interval.as_secs() * KOD_BACKOFF_FACTOR)
+            );
+        }
+    }
+
+    #[test]
+    fn poll_once_separates_server_view_from_client_view() {
+        use netsim::transport::{FaultConfig, Faulty};
+        let server = PoolServer::background(country::DE);
+        let dst = server_addr(ServerId(2));
+        // Heavy loss: scan attempts until we see both one-sided cases.
+        let transport = Faulty::new(FaultConfig::loss_only(11, 0.5));
+        let mut saw_arrived_but_reply_lost = false;
+        let mut saw_forward_lost = false;
+        for i in 0..400u16 {
+            let client = Ipv6Addr::new(0x2001, 0xdb8, 9, 0, 0, 0, 0, i);
+            let out = poll_once(&server, &transport, client, dst, SimTime(50), 1);
+            match (out.server_saw, out.reply) {
+                (true, PollReply::None) => saw_arrived_but_reply_lost = true,
+                (false, PollReply::None) => saw_forward_lost = true,
+                (false, _) => panic!("reply without the request arriving"),
+                _ => {}
+            }
+        }
+        assert!(
+            saw_arrived_but_reply_lost,
+            "no reverse-path loss in 400 polls"
+        );
+        assert!(saw_forward_lost, "no forward-path loss in 400 polls");
     }
 }

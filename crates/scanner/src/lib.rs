@@ -25,8 +25,8 @@ pub mod scheduler;
 pub mod store;
 pub mod streaming;
 
-pub use engine::{Engine, ScanPolicy};
-pub use result::{CertMeta, Protocol, ScanRecord, ServiceResult};
+pub use engine::{Engine, RetryPolicy, ScanPolicy};
+pub use result::{CertMeta, FailureCause, ProbeOutcome, Protocol, ScanRecord, ServiceResult};
 pub use scheduler::{BatchScan, RealTimeScanner};
 pub use store::ScanStore;
 pub use streaming::StreamingScanner;

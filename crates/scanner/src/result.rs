@@ -1,6 +1,6 @@
 //! Scan protocols and typed scan results.
 
-use netsim::time::SimTime;
+use netsim::time::{Duration, SimTime};
 use std::fmt;
 use std::net::Ipv6Addr;
 use wire::mqtt::ConnectReturnCode;
@@ -71,6 +71,11 @@ impl Protocol {
     /// Is this a TLS-wrapped variant?
     pub fn is_tls(&self) -> bool {
         matches!(self, Protocol::Https | Protocol::Mqtts | Protocol::Amqps)
+    }
+
+    /// Does this protocol run over UDP (vs a TCP stream)?
+    pub fn is_udp(&self) -> bool {
+        matches!(self, Protocol::Coap)
     }
 }
 
@@ -209,6 +214,55 @@ impl ServiceResult {
     }
 }
 
+/// Why a probe train (all attempts at one `(target, protocol)` pair)
+/// produced no [`ScanRecord`]. The seed code conflated all three as
+/// "`parse_response` returned `None` or the world stayed silent"; the
+/// transport layer separates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FailureCause {
+    /// The probe arrived but nothing listens there: closed port, stale
+    /// address, unrouted space.
+    NoListener,
+    /// Every attempt timed out (network loss or a response slower than
+    /// the per-protocol timeout).
+    Timeout,
+    /// Bytes came back but were not a valid instance of the protocol
+    /// (garbage, or a truncated response).
+    Malformed,
+}
+
+impl FailureCause {
+    /// All causes, in display order.
+    pub const ALL: [FailureCause; 3] = [
+        FailureCause::NoListener,
+        FailureCause::Timeout,
+        FailureCause::Malformed,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureCause::NoListener => "no-listener",
+            FailureCause::Timeout => "timeout",
+            FailureCause::Malformed => "malformed",
+        }
+    }
+}
+
+/// Outcome of one probe train against one `(target, protocol)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// A valid response was parsed.
+    Ok {
+        /// The typed result.
+        result: ServiceResult,
+        /// Round-trip time of the successful attempt.
+        rtt: Duration,
+    },
+    /// The train failed.
+    Failed(FailureCause),
+}
+
 /// One successful scan record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanRecord {
@@ -220,6 +274,10 @@ pub struct ScanRecord {
     pub protocol: Protocol,
     /// Typed result.
     pub result: ServiceResult,
+    /// Attempts the probe train needed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Round-trip time of the successful attempt.
+    pub rtt: Duration,
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 use crate::engine::{Engine, ScanPolicy};
 use crate::store::ScanStore;
 use netsim::time::SimTime;
+use netsim::transport::Transport;
 use netsim::world::World;
 use ntppool::Observation;
 use std::collections::HashSet;
@@ -19,10 +20,17 @@ pub struct RealTimeScanner {
 }
 
 impl RealTimeScanner {
-    /// Scanner with a policy.
+    /// Scanner with a policy over the ideal transport.
     pub fn new(policy: ScanPolicy) -> RealTimeScanner {
         RealTimeScanner {
             engine: Engine::new(policy),
+        }
+    }
+
+    /// Scanner probing through an explicit transport.
+    pub fn with_transport(policy: ScanPolicy, transport: Box<dyn Transport>) -> RealTimeScanner {
+        RealTimeScanner {
+            engine: Engine::with_transport(policy, transport),
         }
     }
 
@@ -52,10 +60,17 @@ pub struct BatchScan {
 }
 
 impl BatchScan {
-    /// Batch scanner with a policy.
+    /// Batch scanner with a policy over the ideal transport.
     pub fn new(policy: ScanPolicy) -> BatchScan {
         BatchScan {
             engine: Engine::new(policy),
+        }
+    }
+
+    /// Batch scanner probing through an explicit transport.
+    pub fn with_transport(policy: ScanPolicy, transport: Box<dyn Transport>) -> BatchScan {
+        BatchScan {
+            engine: Engine::with_transport(policy, transport),
         }
     }
 
@@ -95,6 +110,21 @@ impl BatchScan {
         start: SimTime,
         threads: usize,
     ) -> ScanStore {
+        BatchScan::run_parallel_with(policy, world, addrs, start, threads, &netsim::Ideal)
+    }
+
+    /// [`run_parallel`](BatchScan::run_parallel) over an explicit
+    /// transport. Each shard gets its own `clone_box` of the transport;
+    /// fault decisions are a stateless hash of the link, so sharding
+    /// cannot change which probes are lost.
+    pub fn run_parallel_with(
+        policy: ScanPolicy,
+        world: &World,
+        addrs: &[Ipv6Addr],
+        start: SimTime,
+        threads: usize,
+        transport: &dyn Transport,
+    ) -> ScanStore {
         let mut seen = HashSet::with_capacity(addrs.len());
         let unique: Vec<Ipv6Addr> = addrs.iter().copied().filter(|a| seen.insert(*a)).collect();
         let threads = threads.max(1).min(unique.len().max(1));
@@ -108,9 +138,14 @@ impl BatchScan {
                     rate_pps: pps,
                     ..policy.clone()
                 };
-                handles.push(
-                    scope.spawn(move || BatchScan::new(p).run(world, part.iter().copied(), start)),
-                );
+                let shard_transport = transport.clone_box();
+                handles.push(scope.spawn(move || {
+                    BatchScan::with_transport(p, shard_transport).run(
+                        world,
+                        part.iter().copied(),
+                        start,
+                    )
+                }));
             }
             for h in handles {
                 shards.push(h.join().expect("scan shard panicked"));
@@ -266,6 +301,34 @@ mod tests {
             assert_eq!(par.attempts(p), seq.attempts(p), "{p}");
             assert_eq!(par.addrs(p), seq.addrs(p), "{p}");
         }
+    }
+
+    #[test]
+    fn parallel_faulty_scan_matches_sequential_faulty_scan() {
+        use netsim::transport::{FaultConfig, Faulty};
+        let w = world();
+        let t = SimTime(500);
+        let addrs: Vec<Ipv6Addr> = w
+            .devices()
+            .iter()
+            .take(150)
+            .map(|d| w.address_of(d.id, t))
+            .collect();
+        let transport = || Box::new(Faulty::new(FaultConfig::lossy_1pct(99)));
+        let seq = BatchScan::with_transport(ScanPolicy::default(), transport()).run(
+            &w,
+            addrs.iter().copied(),
+            t,
+        );
+        let par =
+            BatchScan::run_parallel_with(ScanPolicy::default(), &w, &addrs, t, 4, &*transport());
+        // Stateless-hash faults make loss independent of sharding, so the
+        // responsive sets agree exactly.
+        assert_eq!(par.targets(), seq.targets());
+        for p in Protocol::ALL {
+            assert_eq!(par.addrs(p), seq.addrs(p), "{p}");
+        }
+        assert_eq!(par.failures_total(), seq.failures_total());
     }
 
     #[test]

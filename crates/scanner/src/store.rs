@@ -1,6 +1,6 @@
 //! The scan-result store and hit-rate accounting.
 
-use crate::result::{Protocol, ScanRecord};
+use crate::result::{FailureCause, Protocol, ScanRecord};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv6Addr;
 
@@ -9,6 +9,7 @@ use std::net::Ipv6Addr;
 pub struct ScanStore {
     records: Vec<ScanRecord>,
     attempts: HashMap<Protocol, u64>,
+    failures: HashMap<(Protocol, FailureCause), u64>,
     targets: u64,
 }
 
@@ -26,6 +27,11 @@ impl ScanStore {
     /// Notes a probe attempt.
     pub fn note_attempt(&mut self, protocol: Protocol) {
         *self.attempts.entry(protocol).or_insert(0) += 1;
+    }
+
+    /// Notes that a whole probe train failed, and why.
+    pub fn note_failure(&mut self, protocol: Protocol, cause: FailureCause) {
+        *self.failures.entry((protocol, cause)).or_insert(0) += 1;
     }
 
     /// Adds a successful record.
@@ -83,6 +89,25 @@ impl ScanStore {
         self.attempts.get(&p).copied().unwrap_or(0)
     }
 
+    /// Failed probe trains with the given cause, across protocols.
+    pub fn failures(&self, cause: FailureCause) -> u64 {
+        self.failures
+            .iter()
+            .filter(|((_, c), _)| *c == cause)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Failed probe trains for one `(protocol, cause)` pair.
+    pub fn failures_for(&self, protocol: Protocol, cause: FailureCause) -> u64 {
+        self.failures.get(&(protocol, cause)).copied().unwrap_or(0)
+    }
+
+    /// All failed probe trains.
+    pub fn failures_total(&self) -> u64 {
+        self.failures.values().sum()
+    }
+
     /// Target addresses fed into the pipeline.
     pub fn targets(&self) -> u64 {
         self.targets
@@ -104,6 +129,9 @@ impl ScanStore {
         for (p, n) in other.attempts {
             *self.attempts.entry(p).or_insert(0) += n;
         }
+        for (k, n) in other.failures {
+            *self.failures.entry(k).or_insert(0) += n;
+        }
         self.targets += other.targets;
     }
 }
@@ -112,7 +140,7 @@ impl ScanStore {
 mod tests {
     use super::*;
     use crate::result::{CertMeta, ServiceResult, TlsOutcome};
-    use netsim::time::SimTime;
+    use netsim::time::{Duration, SimTime};
     use wire::tls::Version;
 
     fn rec(addr: &str, p: Protocol, result: ServiceResult) -> ScanRecord {
@@ -121,6 +149,8 @@ mod tests {
             time: SimTime(0),
             protocol: p,
             result,
+            attempts: 1,
+            rtt: Duration::ZERO,
         }
     }
 
@@ -200,6 +230,7 @@ mod tests {
         let mut a = ScanStore::new();
         a.note_target();
         a.note_attempt(Protocol::Http);
+        a.note_failure(Protocol::Ssh, FailureCause::Timeout);
         a.push(rec(
             "2001:db8::1",
             Protocol::Http,
@@ -211,9 +242,45 @@ mod tests {
         let mut b = ScanStore::new();
         b.note_target();
         b.note_attempt(Protocol::Http);
+        b.note_failure(Protocol::Ssh, FailureCause::Timeout);
+        b.note_failure(Protocol::Coap, FailureCause::Malformed);
         a.merge(b);
         assert_eq!(a.targets(), 2);
         assert_eq!(a.attempts(Protocol::Http), 2);
         assert_eq!(a.records().len(), 1);
+        assert_eq!(a.failures(FailureCause::Timeout), 2);
+        assert_eq!(a.failures(FailureCause::Malformed), 1);
+        assert_eq!(a.failures_for(Protocol::Ssh, FailureCause::Timeout), 2);
+        assert_eq!(a.failures_total(), 3);
+    }
+
+    #[test]
+    fn failure_counters_sum_to_unresolved_trains() {
+        // The store invariant the engine maintains: every probe train
+        // ends as exactly one record or one counted failure, so
+        // records + failures == targets × protocols.
+        let mut s = ScanStore::new();
+        s.note_target();
+        s.note_target();
+        let protocols = [Protocol::Http, Protocol::Ssh, Protocol::Coap];
+        // Target 1: HTTP answers, SSH times out, CoAP has no listener.
+        s.push(rec(
+            "2001:db8::1",
+            Protocol::Http,
+            ServiceResult::Http {
+                status: 200,
+                title: None,
+            },
+        ));
+        s.note_failure(Protocol::Ssh, FailureCause::Timeout);
+        s.note_failure(Protocol::Coap, FailureCause::NoListener);
+        // Target 2: HTTP truncated, SSH and CoAP silent.
+        s.note_failure(Protocol::Http, FailureCause::Malformed);
+        s.note_failure(Protocol::Ssh, FailureCause::NoListener);
+        s.note_failure(Protocol::Coap, FailureCause::NoListener);
+        let trains = s.targets() * protocols.len() as u64;
+        assert_eq!(s.records().len() as u64 + s.failures_total(), trains);
+        let by_cause: u64 = FailureCause::ALL.iter().map(|c| s.failures(*c)).sum();
+        assert_eq!(by_cause, s.failures_total());
     }
 }

@@ -19,6 +19,7 @@ use crate::engine::ScanPolicy;
 use crate::scheduler::RealTimeScanner;
 use crate::store::ScanStore;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use netsim::transport::{Ideal, Transport};
 use netsim::world::World;
 use ntppool::Observation;
 use std::thread;
@@ -55,8 +56,20 @@ impl<'scope> StreamingScanner<'scope> {
         world: &'env World,
         rx: Receiver<Observation>,
     ) -> StreamingScanner<'scope> {
+        StreamingScanner::spawn_with_transport(scope, policy, world, rx, Box::new(Ideal))
+    }
+
+    /// [`spawn`](StreamingScanner::spawn) probing through an explicit
+    /// transport.
+    pub fn spawn_with_transport<'env>(
+        scope: &'scope thread::Scope<'scope, 'env>,
+        policy: ScanPolicy,
+        world: &'env World,
+        rx: Receiver<Observation>,
+        transport: Box<dyn Transport>,
+    ) -> StreamingScanner<'scope> {
         let handle = scope.spawn(move || {
-            let mut scanner = RealTimeScanner::new(policy);
+            let mut scanner = RealTimeScanner::with_transport(policy, transport);
             let mut feed = Vec::new();
             for obs in rx.iter() {
                 scanner.feed(world, obs);

@@ -80,6 +80,11 @@ impl Actor {
     /// hashes of `(actor, address, port)`.
     pub fn scan_sourced(&self, vantage: &Vantage, capture: &mut CaptureLog) {
         for &server in &self.servers {
+            // A query that never reached the server leaves nothing in its
+            // log: the actor cannot scan an address it never sourced.
+            if !vantage.was_sourced(server) {
+                continue;
+            }
             let Some(dst) = vantage.addr_of(server) else {
                 continue;
             };

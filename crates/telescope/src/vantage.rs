@@ -1,8 +1,9 @@
 //! Vantage addresses: one distinct source address per queried server.
 
 use netsim::time::{Duration, SimTime};
+use netsim::transport::{Ideal, Transport};
 use ntppool::{Pool, ServerId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::Ipv6Addr;
 use v6addr::Prefix;
 use wire::ntp::{NtpTimestamp, Packet};
@@ -18,6 +19,10 @@ pub struct Vantage {
     by_server: HashMap<ServerId, Ipv6Addr>,
     /// When each server was queried.
     query_times: HashMap<ServerId, SimTime>,
+    /// Servers whose query actually *arrived* (ground truth): only these
+    /// can have learned the vantage address. Under the ideal transport
+    /// this is every queried server.
+    sourced: HashSet<ServerId>,
 }
 
 impl Vantage {
@@ -28,6 +33,7 @@ impl Vantage {
             by_addr: HashMap::new(),
             by_server: HashMap::new(),
             query_times: HashMap::new(),
+            sourced: HashSet::new(),
         }
     }
 
@@ -49,13 +55,43 @@ impl Vantage {
     /// starting at `start`. Each query is a full wire-level exchange; the
     /// ledger records the source address used.
     pub fn query_all(&mut self, pool: &Pool, start: SimTime, gap: Duration) -> u64 {
+        self.query_all_via(pool, &Ideal, start, gap)
+    }
+
+    /// [`query_all`](Vantage::query_all) through an explicit transport.
+    /// The ledger records every source address regardless of delivery —
+    /// the telescope knows what it sent — but only servers whose query
+    /// arrived are marked [`was_sourced`](Vantage::was_sourced): a lost
+    /// query leaves nothing in the server's log for an actor to scan.
+    pub fn query_all_via(
+        &mut self,
+        pool: &Pool,
+        transport: &dyn Transport,
+        start: SimTime,
+        gap: Duration,
+    ) -> u64 {
         let mut answered = 0;
         let mut t = start;
         for (id, server) in pool.servers() {
             let src = self.addr_for(id);
             let req = Packet::client_request(NtpTimestamp::from_unix_secs(t.to_unix())).emit();
-            if server.handle(&req, t).is_some() {
+            let mut saw = false;
+            let link = netsim::transport::Link {
+                src,
+                dst: ntppool::run::server_addr(id),
+                port: ntppool::run::NTP_PORT,
+                attempt: 0,
+            };
+            let delivery = transport.exchange(link, &req, &mut |bytes| {
+                let r = server.handle(bytes, t);
+                saw = r.is_some();
+                r
+            });
+            if matches!(delivery, netsim::transport::Delivery::Answered { .. }) {
                 answered += 1;
+            }
+            if saw {
+                self.sourced.insert(id);
             }
             self.by_addr.insert(src, id);
             self.by_server.insert(id, src);
@@ -63,6 +99,12 @@ impl Vantage {
             t += gap;
         }
         answered
+    }
+
+    /// Did `server` actually receive this telescope's query? Only sourced
+    /// servers can leak the vantage address to a scanning actor.
+    pub fn was_sourced(&self, server: ServerId) -> bool {
+        self.sourced.contains(&server)
     }
 
     /// Which server was queried from `addr`, if any.
@@ -127,6 +169,39 @@ mod tests {
             let addr = v.addr_of(id).unwrap();
             assert_eq!(v.server_of(addr), Some(id));
             assert_eq!(v.query_time(id), Some(SimTime(100 + u64::from(i) * 5)));
+        }
+    }
+
+    #[test]
+    fn ideal_queries_source_every_server() {
+        let p = pool(10);
+        let mut v = Vantage::new("2001:db8:aa::/48".parse().unwrap());
+        v.query_all(&p, SimTime(100), Duration::secs(5));
+        for i in 0..10 {
+            assert!(v.was_sourced(ServerId(i)));
+        }
+    }
+
+    #[test]
+    fn lost_queries_leave_servers_unsourced() {
+        use netsim::transport::{FaultConfig, Faulty};
+        let p = pool(200);
+        let transport = Faulty::new(FaultConfig::loss_only(13, 0.3));
+        let mut v = Vantage::new("2001:db8:aa::/48".parse().unwrap());
+        let answered = v.query_all_via(&p, &transport, SimTime(0), Duration::secs(1));
+        let sourced = (0..200).filter(|i| v.was_sourced(ServerId(*i))).count();
+        // The ledger still knows every address it used...
+        assert_eq!(v.queried(), 200);
+        // ...but a 30% lossy path leaves a visible gap, and strictly more
+        // servers saw the query than answered it (reverse loss).
+        assert!(sourced < 200, "no query lost at 30% loss");
+        assert!(sourced > 100);
+        assert!(answered as usize <= sourced);
+        // Stateless faults: a rerun sources the identical server set.
+        let mut v2 = Vantage::new("2001:db8:aa::/48".parse().unwrap());
+        v2.query_all_via(&p, &transport, SimTime(0), Duration::secs(1));
+        for i in 0..200 {
+            assert_eq!(v.was_sourced(ServerId(i)), v2.was_sourced(ServerId(i)));
         }
     }
 

@@ -1,0 +1,101 @@
+//! Fault-model acceptance tests for the transport layer:
+//!
+//! 1. `FaultProfile::Ideal` is the default and produces exactly what the
+//!    pre-transport pipeline produced (single attempts, zero RTT, no
+//!    timeouts).
+//! 2. Faulty runs are bit-deterministic across repeated executions.
+//! 3. Under `lossy_1pct`, the default 3-attempt retry budget recovers at
+//!    least half of the success-rate gap the loss opened vs Ideal.
+
+use netsim::transport::{FaultConfig, Faulty};
+use scanner::result::Protocol;
+use scanner::{Engine, FailureCause, RetryPolicy, ScanPolicy};
+use timetoscan::{FaultProfile, Study, StudyConfig};
+
+#[test]
+fn default_config_is_the_ideal_transport() {
+    let cfg = StudyConfig::tiny(23);
+    assert_eq!(cfg.fault, FaultProfile::Ideal);
+    let explicit = Study::run(cfg.clone().with_fault(FaultProfile::Ideal));
+    let default = Study::run(cfg);
+    assert_eq!(default.feed, explicit.feed);
+    assert_eq!(default.ntp_scan.records(), explicit.ntp_scan.records());
+    assert_eq!(
+        default.hitlist_scan.records(),
+        explicit.hitlist_scan.records()
+    );
+    // The ideal transport never loses, delays, or truncates: every
+    // record succeeds on its first attempt with zero RTT, and no train
+    // ever times out or sees garbled bytes.
+    assert!(default
+        .ntp_scan
+        .records()
+        .iter()
+        .all(|r| r.attempts == 1 && r.rtt == netsim::Duration::ZERO));
+    assert_eq!(default.ntp_scan.failures(FailureCause::Timeout), 0);
+    assert_eq!(default.ntp_scan.failures(FailureCause::Malformed), 0);
+    assert_eq!(default.run_stats.kod, 0);
+    assert_eq!(default.run_stats.lost, 0);
+}
+
+#[test]
+fn faulty_study_runs_are_bit_deterministic() {
+    let run = || Study::run(StudyConfig::tiny(31).with_fault(FaultProfile::Congested));
+    let a = run();
+    let b = run();
+    assert_eq!(a.feed, b.feed);
+    assert_eq!(a.run_stats, b.run_stats);
+    assert_eq!(a.ntp_scan.records(), b.ntp_scan.records());
+    assert_eq!(a.hitlist_scan.records(), b.hitlist_scan.records());
+    for cause in FailureCause::ALL {
+        assert_eq!(a.ntp_scan.failures(cause), b.ntp_scan.failures(cause));
+        assert_eq!(
+            a.hitlist_scan.failures(cause),
+            b.hitlist_scan.failures(cause)
+        );
+    }
+    // The congested path visibly degrades the run.
+    assert!(a.run_stats.lost > 0);
+    assert!(a.ntp_scan.failures(FailureCause::Timeout) > 0);
+}
+
+#[test]
+fn retries_recover_at_least_half_the_lossy_gap() {
+    // Drive the engine over a fixed NTP-sourced sample under 1% loss and
+    // compare success counts: ideal vs no-retry vs the default budget.
+    let study = Study::run(StudyConfig::tiny(47));
+    let sample: Vec<_> = study
+        .feed
+        .iter()
+        .take(800)
+        .map(|o| (o.addr, o.seen))
+        .collect();
+    let run = |loss: f64, attempts: u32| -> u64 {
+        let policy = ScanPolicy {
+            retry: RetryPolicy::with_attempts(attempts),
+            ..ScanPolicy::default()
+        };
+        let transport = Box::new(Faulty::new(FaultConfig::loss_only(0xfa117, loss)));
+        let mut engine = Engine::with_transport(policy, transport);
+        for (addr, seen) in &sample {
+            engine.scan_target(&study.world, *addr, *seen);
+        }
+        engine.into_store().records().len() as u64
+    };
+    let ideal = run(0.0, 1);
+    let lossy_no_retry = run(0.01, 1);
+    let lossy_retries = run(0.01, RetryPolicy::default().attempts);
+    assert!(ideal > 0);
+    assert!(
+        lossy_no_retry < ideal,
+        "1% loss did not lose anything over {} trains",
+        sample.len() * Protocol::ALL.len()
+    );
+    let gap = ideal - lossy_no_retry;
+    let recovered = lossy_retries.saturating_sub(lossy_no_retry);
+    assert!(
+        2 * recovered >= gap,
+        "retries recovered {recovered} of a {gap}-record gap (ideal {ideal}, \
+         no-retry {lossy_no_retry}, retries {lossy_retries})"
+    );
+}

@@ -5,7 +5,7 @@
 //! and rendered experiment output.
 
 use scanner::result::Protocol;
-use timetoscan::{experiments, PipelineMode, Study, StudyConfig};
+use timetoscan::{experiments, FaultProfile, PipelineMode, Study, StudyConfig};
 
 fn pair(seed: u64) -> (Study, Study) {
     let buffered = Study::run(StudyConfig::tiny(seed).with_pipeline(PipelineMode::Buffered));
@@ -64,17 +64,55 @@ fn modes_agree_bit_for_bit_across_seeds() {
 
 #[test]
 fn rendered_tables_agree() {
-    let (buffered, streaming) = pair(7);
-    let db = buffered.derived();
-    let ds = streaming.derived();
-    assert_eq!(
-        experiments::table1::render(&db),
-        experiments::table1::render(&ds),
-        "Table 1 differs between pipeline modes"
-    );
-    assert_eq!(
-        experiments::table2::render(&db),
-        experiments::table2::render(&ds),
-        "Table 2 differs between pipeline modes"
-    );
+    for seed in [7, 41] {
+        let (buffered, streaming) = pair(seed);
+        let db = buffered.derived();
+        let ds = streaming.derived();
+        assert_eq!(
+            experiments::table1::render(&db),
+            experiments::table1::render(&ds),
+            "seed {seed}: Table 1 differs between pipeline modes"
+        );
+        assert_eq!(
+            experiments::table2::render(&db),
+            experiments::table2::render(&ds),
+            "seed {seed}: Table 2 differs between pipeline modes"
+        );
+    }
+}
+
+#[test]
+fn modes_agree_under_a_faulty_transport_too() {
+    // Fault decisions are a stateless hash of (seed, link, attempt) —
+    // never of wall-clock scheduling — so the streaming/buffered
+    // equivalence must survive a lossy transport unchanged.
+    for seed in [41, 1337] {
+        let cfg = |mode| {
+            StudyConfig::tiny(seed)
+                .with_pipeline(mode)
+                .with_fault(FaultProfile::Lossy1Pct)
+        };
+        let buffered = Study::run(cfg(PipelineMode::Buffered));
+        let streaming = Study::run(cfg(PipelineMode::Streaming));
+        assert_eq!(buffered.feed, streaming.feed, "seed {seed}: feed differs");
+        assert_eq!(
+            buffered.ntp_scan.records(),
+            streaming.ntp_scan.records(),
+            "seed {seed}: scan records differ under faults"
+        );
+        assert_eq!(
+            buffered.hitlist_scan.records(),
+            streaming.hitlist_scan.records(),
+            "seed {seed}"
+        );
+        assert_eq!(buffered.run_stats, streaming.run_stats, "seed {seed}");
+        for cause in scanner::FailureCause::ALL {
+            assert_eq!(
+                buffered.ntp_scan.failures(cause),
+                streaming.ntp_scan.failures(cause),
+                "seed {seed}: {} failures differ",
+                cause.name()
+            );
+        }
+    }
 }

@@ -5,6 +5,11 @@
 //! `criterion_group!`/`criterion_main!` macros. Each benchmark runs
 //! `sample_size` timed samples and prints mean wall-clock time per
 //! iteration — no statistics, plots, or baselines.
+//!
+//! Like real criterion, passing `--test` on the bench binary's command
+//! line (`cargo bench -- --test`) switches to smoke mode: every
+//! benchmark body runs exactly once, untimed — CI uses this to check
+//! benches still execute without paying for timing samples.
 
 #![forbid(unsafe_code)]
 
@@ -14,11 +19,15 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().skip(1).any(|a| a == "--test"),
+        }
     }
 }
 
@@ -34,6 +43,11 @@ impl Criterion {
         self
     }
 
+    /// Is the harness in `--test` smoke mode (run once, no timing)?
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
     /// Runs one named benchmark.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
@@ -43,6 +57,11 @@ impl Criterion {
             total_nanos: 0,
             iters: 0,
         };
+        if self.test_mode {
+            f(&mut b);
+            println!("{name:<40} ... ok (test mode, {} iters)", b.iters);
+            return self;
+        }
         // Warm-up sample, then the timed samples.
         f(&mut b);
         b.total_nanos = 0;

@@ -85,6 +85,9 @@ struct Counters {
     broker: AtomicU32,
     fingerprint: AtomicU32,
     network_grouping: AtomicU32,
+    /// Total accessor calls across all memoized artifacts; accesses
+    /// minus builds = cache hits.
+    accesses: AtomicU32,
 }
 
 impl Counters {
@@ -146,6 +149,7 @@ impl<'a> Derived<'a> {
 
     /// Dual HTTPS title clusters over both sources (Tables 3 and 8).
     pub fn title_clusters(&self) -> &[DualTitleGroup] {
+        Counters::bump(&self.counters.accesses);
         self.titles.get_or_init(|| {
             Counters::bump(&self.counters.title_cluster);
             https_title_groups_dual(&self.study.ntp_scan, &self.study.hitlist_scan)
@@ -156,6 +160,7 @@ impl<'a> Derived<'a> {
     /// Appendix C (Table 6) per-network view, where plain-HTTP hosts
     /// (no certificate to dedup on) count too.
     pub fn addr_title_groups(&self, src: Source) -> &[(String, Vec<Ipv6Addr>)] {
+        Counters::bump(&self.counters.accesses);
         self.addr_titles[src.idx()].get_or_init(|| {
             Counters::bump(&self.counters.addr_title);
             let store = self.store(src);
@@ -170,6 +175,7 @@ impl<'a> Derived<'a> {
 
     /// Unique SSH hosts (deduped by host key) for one source.
     pub fn ssh_hosts(&self, src: Source) -> &[SshHost] {
+        Counters::bump(&self.counters.accesses);
         self.ssh_hosts[src.idx()].get_or_init(|| {
             Counters::bump(&self.counters.ssh_parse);
             unique_ssh_hosts(self.store(src))
@@ -178,6 +184,7 @@ impl<'a> Derived<'a> {
 
     /// CoAP devices (parsed resource lists) for one source.
     pub fn coap_devices(&self, src: Source) -> &[CoapDevice] {
+        Counters::bump(&self.counters.accesses);
         self.coap[src.idx()].get_or_init(|| {
             Counters::bump(&self.counters.coap);
             coap_devices(self.store(src))
@@ -186,6 +193,7 @@ impl<'a> Derived<'a> {
 
     /// MQTT brokers (plain + TLS listeners) for one source.
     pub fn mqtt_brokers(&self, src: Source) -> &[Broker] {
+        Counters::bump(&self.counters.accesses);
         self.mqtt[src.idx()].get_or_init(|| {
             Counters::bump(&self.counters.broker);
             mqtt_brokers(self.store(src))
@@ -194,6 +202,7 @@ impl<'a> Derived<'a> {
 
     /// AMQP brokers (plain + TLS listeners) for one source.
     pub fn amqp_brokers(&self, src: Source) -> &[Broker] {
+        Counters::bump(&self.counters.accesses);
         self.amqp[src.idx()].get_or_init(|| {
             Counters::bump(&self.counters.broker);
             amqp_brokers(self.store(src))
@@ -202,6 +211,7 @@ impl<'a> Derived<'a> {
 
     /// Certificate/host-key fingerprints per protocol for one source.
     pub fn fingerprints(&self, src: Source, p: Protocol) -> &HashSet<[u8; 32]> {
+        Counters::bump(&self.counters.accesses);
         let map = self.fingerprints[src.idx()].get_or_init(|| {
             Counters::bump(&self.counters.fingerprint);
             let store = self.store(src);
@@ -215,6 +225,7 @@ impl<'a> Derived<'a> {
 
     /// Per-protocol network/AS/country counts for one source (Table 5).
     pub fn network_counts(&self, src: Source) -> &[(Protocol, NetworkCounts)] {
+        Counters::bump(&self.counters.accesses);
         self.networks[src.idx()].get_or_init(|| {
             Counters::bump(&self.counters.network_grouping);
             let store = self.store(src);
@@ -227,6 +238,35 @@ impl<'a> Derived<'a> {
                 })
                 .collect()
         })
+    }
+
+    /// Total memoized-accessor calls served from an already-built cell.
+    pub fn memo_hits(&self) -> u64 {
+        let accesses = self.counters.accesses.load(Ordering::Relaxed) as u64;
+        accesses.saturating_sub(self.memo_misses())
+    }
+
+    /// Total artifact builds (accessor calls that found an empty cell).
+    pub fn memo_misses(&self) -> u64 {
+        let s = self.stats();
+        u64::from(
+            s.title_cluster_builds
+                + s.addr_title_builds
+                + s.ssh_parse_builds
+                + s.coap_builds
+                + s.broker_builds
+                + s.fingerprint_builds
+                + s.network_grouping_builds,
+        )
+    }
+
+    /// Exports the memoization counters into `registry` as **volatile**
+    /// metrics: they depend on which experiments were rendered since the
+    /// study ran, not on the run itself, so they never enter the
+    /// deterministic [`crate::Study::run_report`].
+    pub fn export_into(&self, registry: &mut telemetry::Registry) {
+        registry.vol_add(crate::metrics::DERIVED_MEMO_HITS, self.memo_hits());
+        registry.vol_add(crate::metrics::DERIVED_MEMO_MISSES, self.memo_misses());
     }
 
     /// Snapshot of the build counters.
@@ -285,6 +325,26 @@ mod tests {
         assert_eq!(s.broker_builds, 4);
         assert_eq!(s.fingerprint_builds, 2);
         assert_eq!(s.network_grouping_builds, 2);
+    }
+
+    #[test]
+    fn memo_hits_and_misses_export_as_volatile() {
+        let study = Study::run(StudyConfig::tiny(3));
+        let d = study.derived();
+        assert_eq!(d.memo_hits(), 0);
+        assert_eq!(d.memo_misses(), 0);
+        d.title_clusters();
+        d.title_clusters();
+        d.title_clusters();
+        assert_eq!(d.memo_misses(), 1);
+        assert_eq!(d.memo_hits(), 2);
+        let mut reg = telemetry::Registry::new();
+        d.export_into(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("derived_memo_hits"), 2);
+        assert_eq!(snap.counter_total("derived_memo_misses"), 1);
+        // Volatile: excluded from deterministic reports.
+        assert!(snap.deterministic().is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod keyreuse;
+pub mod metrics;
 pub mod security;
 pub mod table1;
 pub mod table2;
@@ -49,6 +50,7 @@ pub fn render_all(study: &crate::Derived) -> String {
         table8::render(study),
         table9::render(study),
         takeaways::render(study),
+        metrics::render(study),
     ];
     parts.join("\n")
 }

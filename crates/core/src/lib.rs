@@ -31,6 +31,7 @@
 pub mod config;
 pub mod derived;
 pub mod experiments;
+pub mod metrics;
 pub mod report;
 pub mod study;
 

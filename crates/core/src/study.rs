@@ -6,18 +6,22 @@
 //! Both yield bit-identical results; see [`crate::config::PipelineMode`].
 
 use crate::config::{PipelineMode, StudyConfig};
+use crate::metrics;
 use hitlist::{Hitlist, HitlistConfig};
 use netsim::country::{Country, COLLECTOR_LOCATIONS};
 use netsim::time::{Duration, SimTime};
 use netsim::transport::Transport;
 use netsim::world::World;
-use ntppool::collector::{ChannelSink, VecSink};
+use netsim::Instrumented;
+use ntppool::collector::VecSink;
 use ntppool::monitor::{tune_collecting_servers, TuneOutcome};
 use ntppool::{
     AddressCollector, CollectionRun, Observation, Operator, Pool, PoolServer, RunStats, ServerId,
 };
-use scanner::streaming::{feed_channel, FEED_CHANNEL_BOUND};
+use scanner::streaming::{feed_channel, MonitoredSender, FEED_CHANNEL_BOUND};
 use scanner::{BatchScan, RealTimeScanner, ScanPolicy, ScanStore, StreamingScanner};
+use std::sync::Arc;
+use telemetry::{PipelineMonitor, Registry, RunReport, Snapshot, SpanTimer};
 use telescope::{
     covert_actor, gt_actor, match_captures, Actor, CaptureLog, TelescopeReport, Vantage,
 };
@@ -64,6 +68,11 @@ pub struct Study {
     pub tuning: Vec<TuneOutcome>,
     /// OUI registry used by the vendor analyses.
     pub oui_db: OuiDb,
+    /// Telemetry from the whole run: every stage's metrics, stamped with
+    /// a `stage` label. Deterministic entries are bit-identical across
+    /// pipeline modes; volatile ones (channel depth, stall times) exist
+    /// only in streaming mode and are excluded from [`Study::run_report`].
+    pub telemetry: Snapshot,
 }
 
 impl Study {
@@ -73,11 +82,18 @@ impl Study {
         let transport = config
             .fault
             .build(netsim::mix2(config.world.seed, FAULT_SEED_DOMAIN));
+        // Study-level metrics: stage spans (simulated time), the feed
+        // count, set sizes. Stage-internal metrics are recorded into
+        // per-stage registries and merged below with a `stage` label.
+        let mut study_reg = Registry::new();
 
         // --- R&L emulation: an earlier, longer collection (Table 1). ---
+        let rl_span = SpanTimer::start(metrics::SPAN_RL, SimTime::EPOCH.as_secs());
         let rl_end = SimTime::EPOCH + rl_window(&config);
         let rl_set =
             ntppool::run::sample_addresses(&world, SimTime::EPOCH, rl_end, config.rl_samples);
+        rl_span.finish(&mut study_reg, rl_end.as_secs());
+        study_reg.add(metrics::RL_SAMPLE_ADDRESSES, rl_set.len() as u64);
 
         let start = study_start(&config);
         let end = start + config.collection;
@@ -108,7 +124,8 @@ impl Study {
         }
 
         // --- Four weeks of collection, feeding the scanner. ---
-        let (collector, feed, run_stats, ntp_scan) = run_collection_and_scan(
+        let span = SpanTimer::start(metrics::SPAN_COLLECTION, start.as_secs());
+        let (collector, feed, run_stats, ntp_scan, mut telemetry) = run_collection_and_scan(
             &world,
             &pool,
             start,
@@ -116,32 +133,59 @@ impl Study {
             config.pipeline,
             transport.as_ref(),
         );
+        span.finish(&mut study_reg, end.as_secs());
+        // The feed count is deterministic (first-sight order is), so it
+        // is recorded here — identically in both pipeline modes — rather
+        // than by the streaming channel's (volatile) instrumentation.
+        study_reg.add(metrics::PIPELINE_FEED_OBSERVATIONS, feed.len() as u64);
 
         // --- Hitlist build + batch scan in the last week. ---
+        let span = SpanTimer::start(
+            metrics::SPAN_HITLIST,
+            (start + config.hitlist_scan_offset).as_secs(),
+        );
         let hitlist_t = start + config.hitlist_scan_offset;
         let hitlist = Hitlist::build(&world, hitlist_t, &HitlistConfig::for_world(&world));
         // Scan in sorted address order: `AddrSet` iteration order is
         // per-instance random, and the token bucket turns submission
         // order into probe times — sorting keeps the store bit-identical
         // across runs (and across pipeline modes).
-        let hitlist_scan = BatchScan::with_transport(ScanPolicy::default(), transport.clone_box())
+        let (hl_transport, hl_stats) = Instrumented::new(transport.clone_box());
+        let hitlist_scan = BatchScan::with_transport(ScanPolicy::default(), Box::new(hl_transport))
             .run(&world, hitlist.full.sorted(), hitlist_t);
+        span.finish(&mut study_reg, end.as_secs());
+        study_reg.add(metrics::HITLIST_ADDRESSES, hitlist.full.len() as u64);
+        let mut hl_reg = Registry::new();
+        hl_reg.merge(hitlist_scan.telemetry());
+        hl_stats.export_into(&mut hl_reg);
+        telemetry.merge(&hl_reg.snapshot_with(&[("stage", "hitlist_scan")]));
 
         // --- Telescope (§5). ---
         let telescope = config.telescope.then(|| {
+            let mut tel_reg = Registry::new();
+            let (tel_transport, tel_stats) = Instrumented::new(transport.clone_box());
+            let sweep_start = start + config.telescope_offset;
+            let gap = Duration::secs(7);
+            let span = SpanTimer::start(metrics::SPAN_TELESCOPE, sweep_start.as_secs());
             let mut vantage = Vantage::new("3fff:909::/48".parse().unwrap());
-            vantage.query_all_via(
-                &pool,
-                transport.as_ref(),
-                start + config.telescope_offset,
-                Duration::secs(7),
-            );
+            vantage.query_all_instrumented(&pool, &tel_transport, sweep_start, gap, &mut tel_reg);
+            let sweep_end = sweep_start + Duration::secs(gap.as_secs() * vantage.queried() as u64);
+            span.finish(&mut tel_reg, sweep_end.as_secs());
             let mut log = CaptureLog::new();
             for actor in &actors {
                 actor.scan_sourced(&vantage, &mut log);
             }
-            match_captures(&vantage, &pool, &log, &actors)
+            let report = match_captures(&vantage, &pool, &log, &actors);
+            tel_reg.add(telescope::metrics::TELESCOPE_CAPTURES, log.len() as u64);
+            tel_reg.add(
+                telescope::metrics::TELESCOPE_ATTRIBUTED,
+                report.matched_packets,
+            );
+            tel_stats.export_into(&mut tel_reg);
+            telemetry.merge(&tel_reg.snapshot_with(&[("stage", "telescope")]));
+            report
         });
+        telemetry.merge(&study_reg.snapshot());
 
         Study {
             config,
@@ -159,6 +203,7 @@ impl Study {
             run_stats,
             tuning,
             oui_db: OuiDb::builtin(),
+            telemetry,
         }
     }
 
@@ -166,6 +211,26 @@ impl Study {
     pub fn window(&self) -> (SimTime, SimTime) {
         let s = study_start(&self.config);
         (s, s + self.config.collection)
+    }
+
+    /// The canonical deterministic run report: the study's metadata plus
+    /// every *deterministic* metric, serializing to canonical JSON.
+    ///
+    /// Byte-identical for equal configs regardless of pipeline mode —
+    /// which is why the metadata deliberately excludes the mode itself.
+    pub fn run_report(&self) -> RunReport {
+        let seed = self.config.world.seed.to_string();
+        let days = (self.config.collection.as_secs() / 86_400).to_string();
+        let households = self.config.world.households.to_string();
+        RunReport::new(
+            &[
+                ("collection_days", &days),
+                ("fault_profile", self.config.fault.name()),
+                ("households", &households),
+                ("seed", &seed),
+            ],
+            &self.telemetry,
+        )
     }
 }
 
@@ -182,7 +247,10 @@ impl Study {
 ///
 /// Both paths return the same `(collector, feed, run_stats, ntp_scan)`
 /// bit for bit: the feed is emitted in the same deterministic order and
-/// consumed in order by a single scanner either way.
+/// consumed in order by a single scanner either way. The returned
+/// [`Snapshot`] carries the collection- and scan-stage metrics (stamped
+/// `stage=collection` / `stage=ntp_scan`); its deterministic entries are
+/// also mode-independent — streaming adds only volatile channel metrics.
 fn run_collection_and_scan(
     world: &World,
     pool: &Pool,
@@ -190,8 +258,16 @@ fn run_collection_and_scan(
     end: SimTime,
     mode: PipelineMode,
     transport: &dyn Transport,
-) -> (AddressCollector, Vec<Observation>, RunStats, ScanStore) {
-    let run = CollectionRun::with_transport(world, pool, start, end, transport.clone_box());
+) -> (
+    AddressCollector,
+    Vec<Observation>,
+    RunStats,
+    ScanStore,
+    Snapshot,
+) {
+    let mut coll_reg = Registry::new();
+    let (coll_transport, coll_stats) = Instrumented::new(transport.clone_box());
+    let run = CollectionRun::with_transport(world, pool, start, end, Box::new(coll_transport));
     let record = |collector: &mut AddressCollector, server, addr, t| {
         if matches!(pool.server(server).operator, Operator::Study { .. }) {
             collector.record(server, addr, t);
@@ -199,36 +275,56 @@ fn run_collection_and_scan(
         // Actor servers source addresses too, but only their scans of
         // the telescope's vantage addresses are analysed (§5).
     };
-    match mode {
+    let (collector, feed, run_stats, ntp_scan, scan_stats, scan_monitor) = match mode {
         PipelineMode::Buffered => {
             let sink = VecSink::default();
             let feed_buf = sink.0.clone();
             let mut collector = AddressCollector::with_sink(Box::new(sink));
-            let run_stats = run.run(|server, addr, t| record(&mut collector, server, addr, t));
+            let run_stats = run.run_instrumented(&mut coll_reg, |server, addr, t| {
+                record(&mut collector, server, addr, t)
+            });
             let feed: Vec<Observation> = std::mem::take(&mut *feed_buf.lock());
+            let (scan_transport, stats) = Instrumented::new(transport.clone_box());
             let ntp_scan =
-                RealTimeScanner::with_transport(ScanPolicy::default(), transport.clone_box())
+                RealTimeScanner::with_transport(ScanPolicy::default(), Box::new(scan_transport))
                     .run(world, &feed);
-            (collector, feed, run_stats, ntp_scan)
+            (collector, feed, run_stats, ntp_scan, stats, None)
         }
         PipelineMode::Streaming => std::thread::scope(|scope| {
             let (tx, rx) = feed_channel(FEED_CHANNEL_BOUND);
-            let scanner = StreamingScanner::spawn_with_transport(
+            let monitor = Arc::new(PipelineMonitor::new());
+            let (scan_transport, stats) = Instrumented::new(transport.clone_box());
+            let scanner = StreamingScanner::spawn_instrumented(
                 scope,
                 ScanPolicy::default(),
                 world,
                 rx,
-                transport.clone_box(),
+                Box::new(scan_transport),
+                Arc::clone(&monitor),
             );
-            let mut collector = AddressCollector::with_sink(Box::new(ChannelSink(tx)));
-            let run_stats = run.run(|server, addr, t| record(&mut collector, server, addr, t));
+            let sink = MonitoredSender::new(tx, Arc::clone(&monitor));
+            let mut collector = AddressCollector::with_sink(Box::new(sink));
+            let run_stats = run.run_instrumented(&mut coll_reg, |server, addr, t| {
+                record(&mut collector, server, addr, t)
+            });
             // Collection over: drop the sender so the scanner's receive
             // loop terminates once the channel drains.
             collector.detach_sink();
             let (ntp_scan, feed) = scanner.join();
-            (collector, feed, run_stats, ntp_scan)
+            (collector, feed, run_stats, ntp_scan, stats, Some(monitor))
         }),
+    };
+    collector.export_into(&mut coll_reg);
+    coll_stats.export_into(&mut coll_reg);
+    let mut scan_reg = Registry::new();
+    scan_reg.merge(ntp_scan.telemetry());
+    scan_stats.export_into(&mut scan_reg);
+    if let Some(monitor) = scan_monitor {
+        monitor.export_into(&mut scan_reg); // volatile channel metrics
     }
+    let mut snap = coll_reg.snapshot_with(&[("stage", "collection")]);
+    snap.merge(&scan_reg.snapshot_with(&[("stage", "ntp_scan")]));
+    (collector, feed, run_stats, ntp_scan, snap)
 }
 
 /// Length of the R&L emulation window: scaled down alongside shortened
@@ -266,6 +362,43 @@ mod tests {
         let telescope = study.telescope.as_ref().expect("telescope enabled");
         assert_eq!(telescope.unmatched_packets, 0);
         assert_eq!(telescope.actors.len(), 2);
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_legacy_accounting() {
+        let study = Study::run(StudyConfig::tiny(7));
+        let det = study.telemetry.deterministic();
+        // Collection: the registry is the same accounting path RunStats
+        // is derived from, so the two agree exactly.
+        assert_eq!(det.counter_total("ntp_polls"), study.run_stats.polls);
+        assert_eq!(
+            det.counter_total("ntp_responses"),
+            study.run_stats.responses
+        );
+        assert_eq!(det.counter_total("ntp_observed"), study.run_stats.observed);
+        assert_eq!(det.counter_total("ntp_kod"), study.run_stats.kod);
+        assert_eq!(det.counter_total("ntp_lost"), study.run_stats.lost);
+        assert_eq!(
+            det.counter_total("ntp_distinct_addresses"),
+            study.collector.global().len() as u64
+        );
+        // Scan stages: both stores' registries were merged in.
+        assert_eq!(
+            det.counter_total("scan_targets"),
+            study.ntp_scan.targets() + study.hitlist_scan.targets()
+        );
+        assert_eq!(
+            det.counter_total("pipeline_feed_observations"),
+            study.feed.len() as u64
+        );
+        assert!(det.counter_total("telescope_queries") > 0);
+        // The run report round-trips through canonical JSON.
+        let report = study.run_report();
+        let json = report.to_json();
+        assert_eq!(
+            telemetry::RunReport::from_json(&json).expect("parses"),
+            report
+        );
     }
 
     #[test]

@@ -34,6 +34,10 @@
 //!   world: an [`transport::Ideal`] pass-through and a
 //!   [`transport::Faulty`] implementation with stateless-hash loss,
 //!   latency, and truncation.
+//! * [`instrument`] — the [`instrument::Instrumented`] transport wrapper
+//!   accounting every exchange (sends, losses, truncations, injected
+//!   RTTs) into a shared [`instrument::TransportStats`] sink that
+//!   exports into a `telemetry::Registry`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +47,7 @@ pub mod country;
 pub mod device;
 pub mod engine;
 pub mod geodb;
+pub mod instrument;
 pub mod peeringdb;
 pub mod services;
 pub mod stats;
@@ -54,6 +59,7 @@ pub mod world;
 pub use archetype::DeviceKind;
 pub use country::Country;
 pub use device::{Device, DeviceId};
+pub use instrument::{Instrumented, TransportStats};
 pub use time::{Duration, SimTime};
 pub use topology::{AsInfo, Asn, Topology};
 pub use transport::{Delivery, FaultConfig, FaultProfile, Faulty, Ideal, Link, Transport};

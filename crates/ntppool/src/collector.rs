@@ -138,6 +138,23 @@ impl AddressCollector {
         self.sink = None;
     }
 
+    /// Exports the collector's totals into `registry`: the global
+    /// distinct-address count plus per-server request and distinct
+    /// counters (dynamic `server` labels — the cold path). Collection
+    /// event order is deterministic, so these are deterministic metrics.
+    pub fn export_into(&self, registry: &mut telemetry::Registry) {
+        registry.add(
+            crate::metrics::NTP_DISTINCT_ADDRESSES,
+            self.global.len() as u64,
+        );
+        for (server, n) in &self.requests {
+            registry.add_dyn(crate::metrics::server_requests(server.0), *n);
+        }
+        for (server, set) in &self.per_server {
+            registry.add_dyn(crate::metrics::server_distinct(server.0), set.len() as u64);
+        }
+    }
+
     /// Consumes the collector, returning the global set.
     pub fn into_global(self) -> AddrSet {
         self.global

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod collector;
+pub mod metrics;
 pub mod monitor;
 pub mod pool;
 pub mod run;

@@ -15,6 +15,7 @@
 //! from what the *client* got back. Clients honor `RATE` Kiss-o'-Death
 //! responses by backing off their next poll.
 
+use crate::metrics;
 use crate::pool::{Pool, ServerId};
 use crate::server::PoolServer;
 use netsim::engine::EventQueue;
@@ -24,6 +25,7 @@ use netsim::world::World;
 use netsim::DeviceId;
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
+use telemetry::Registry;
 use wire::ntp::{NtpTimestamp, Packet};
 
 /// The NTP service port.
@@ -137,6 +139,21 @@ pub struct RunStats {
     pub lost: u64,
 }
 
+impl RunStats {
+    /// Derives the legacy stats view from the `ntp_*` counters of a
+    /// registry. This is the only way a run produces stats — the
+    /// registry is the accounting path, so the two cannot diverge.
+    pub fn from_registry(registry: &Registry) -> RunStats {
+        RunStats {
+            polls: registry.counter(metrics::NTP_POLLS),
+            responses: registry.counter(metrics::NTP_RESPONSES),
+            observed: registry.counter(metrics::NTP_OBSERVED),
+            kod: registry.counter(metrics::NTP_KOD),
+            lost: registry.counter(metrics::NTP_LOST),
+        }
+    }
+}
+
 /// A collection run over a time window.
 pub struct CollectionRun<'w> {
     world: &'w World,
@@ -172,8 +189,29 @@ impl<'w> CollectionRun<'w> {
     /// Drives the simulation. `observe(server, addr, t)` fires for every
     /// request that reaches a *collecting* server; the caller routes study
     /// vs actor observations.
-    pub fn run<F: FnMut(ServerId, Ipv6Addr, SimTime)>(&self, mut observe: F) -> RunStats {
-        let mut stats = RunStats::default();
+    pub fn run<F: FnMut(ServerId, Ipv6Addr, SimTime)>(&self, observe: F) -> RunStats {
+        self.run_instrumented(&mut Registry::new(), observe)
+    }
+
+    /// [`run`](CollectionRun::run), accounting every poll outcome into
+    /// `registry` under the `ntp_*` keys (counters plus the KoD-backoff
+    /// histogram). The returned [`RunStats`] is *derived from* those
+    /// counters, so report totals and legacy stats reconcile exactly.
+    pub fn run_instrumented<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
+        &self,
+        registry: &mut Registry,
+        mut observe: F,
+    ) -> RunStats {
+        // Poll outcomes land in a run-local registry so the derived
+        // stats cannot pick up counts from other stages sharing
+        // `registry`; it is merged into the caller's at the end. The
+        // per-poll counters accumulate in plain locals and flush into
+        // the registry once per run — the poll loop is the hottest path
+        // in the study, and a batched flush keeps telemetry off it
+        // (same pattern as the transport's atomic sinks).
+        let mut local = Registry::new();
+        let (mut polls, mut responses, mut kod, mut lost, mut observed) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
         let mut queue: EventQueue<(DeviceId, u64)> = EventQueue::new();
         // Per-server request rate over the current simulated second,
         // feeding the servers' KoD load shedding.
@@ -187,7 +225,7 @@ impl<'w> CollectionRun<'w> {
             }
             let dev = self.world.device(id);
             let cfg = dev.ntp.expect("scheduled device has NTP config");
-            stats.polls += 1;
+            polls += 1;
 
             let addr = self.world.address_of(id, t);
             let mut reply = PollReply::None;
@@ -209,22 +247,38 @@ impl<'w> CollectionRun<'w> {
                 );
                 reply = outcome.reply;
                 match outcome.reply {
-                    PollReply::Time => stats.responses += 1,
-                    PollReply::RateKod => stats.kod += 1,
-                    PollReply::None => stats.lost += 1,
+                    PollReply::Time => responses += 1,
+                    PollReply::RateKod => kod += 1,
+                    PollReply::None => lost += 1,
                 }
                 // Collection is ground truth on the server: a request
                 // that arrived is recorded even if the reply is a KoD or
                 // never makes it back.
                 if outcome.server_saw && server.operator.collects() {
-                    stats.observed += 1;
+                    observed += 1;
                     observe(server_id, addr, t);
                 }
             } else {
-                stats.lost += 1;
+                lost += 1;
             }
-            queue.schedule(next_poll(t, cfg.poll_interval, reply), (id, seq + 1));
+            let next = next_poll(t, cfg.poll_interval, reply);
+            if reply == PollReply::RateKod {
+                // The extra sim-time wait KoD imposed beyond the normal
+                // interval.
+                local.observe(
+                    metrics::NTP_KOD_BACKOFF_SECONDS,
+                    next.since(t).as_secs() - cfg.poll_interval.as_secs(),
+                );
+            }
+            queue.schedule(next, (id, seq + 1));
         }
+        local.add(metrics::NTP_POLLS, polls);
+        local.add(metrics::NTP_RESPONSES, responses);
+        local.add(metrics::NTP_KOD, kod);
+        local.add(metrics::NTP_LOST, lost);
+        local.add(metrics::NTP_OBSERVED, observed);
+        let stats = RunStats::from_registry(&local);
+        registry.merge(&local);
         stats
     }
 }

@@ -231,7 +231,11 @@ impl Engine {
                 // Lost either way, or answered slower than the timeout:
                 // wait out the timeout, back off, try again.
                 Delivery::Answered { .. } | Delivery::Lost => {
-                    submit = t + timeout + self.policy.retry.backoff_after(attempt);
+                    let back = self.policy.retry.backoff_after(attempt);
+                    if attempt + 1 < attempts {
+                        self.store.note_backoff(proto, back.as_secs());
+                    }
+                    submit = t + timeout + back;
                 }
             }
         }

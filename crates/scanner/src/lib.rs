@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod metrics;
 pub mod probers;
 pub mod ratelimit;
 pub mod result;

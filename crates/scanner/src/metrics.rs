@@ -1,0 +1,179 @@
+//! Static metric keys for the scan path.
+//!
+//! Every label set the scanner's hot path needs — `protocol` alone, and
+//! `(cause, protocol)` — is laid out here as a `'static` table, so
+//! constructing a [`Key`] is a table index, never an allocation. Label
+//! slices are sorted by label name (`"cause" < "protocol"`), which the
+//! telemetry crate's owned-key conversion asserts in debug builds.
+
+use crate::result::{FailureCause, Protocol};
+use telemetry::Key;
+
+type L1 = [(&'static str, &'static str); 1];
+type L2 = [(&'static str, &'static str); 2];
+
+const fn l1(p: &'static str) -> L1 {
+    [("protocol", p)]
+}
+
+const fn l2(c: &'static str, p: &'static str) -> L2 {
+    [("cause", c), ("protocol", p)]
+}
+
+/// `{protocol=…}` label sets, indexed in [`Protocol::ALL`] order.
+static PROTO: [L1; 8] = [
+    l1("HTTP"),
+    l1("HTTPS"),
+    l1("SSH"),
+    l1("MQTT"),
+    l1("MQTTS"),
+    l1("AMQP"),
+    l1("AMQPS"),
+    l1("CoAP"),
+];
+
+/// `{cause=…,protocol=…}` label sets, cause-major in
+/// [`FailureCause::ALL`] × [`Protocol::ALL`] order.
+static CAUSE_PROTO: [L2; 24] = [
+    l2("no-listener", "HTTP"),
+    l2("no-listener", "HTTPS"),
+    l2("no-listener", "SSH"),
+    l2("no-listener", "MQTT"),
+    l2("no-listener", "MQTTS"),
+    l2("no-listener", "AMQP"),
+    l2("no-listener", "AMQPS"),
+    l2("no-listener", "CoAP"),
+    l2("timeout", "HTTP"),
+    l2("timeout", "HTTPS"),
+    l2("timeout", "SSH"),
+    l2("timeout", "MQTT"),
+    l2("timeout", "MQTTS"),
+    l2("timeout", "AMQP"),
+    l2("timeout", "AMQPS"),
+    l2("timeout", "CoAP"),
+    l2("malformed", "HTTP"),
+    l2("malformed", "HTTPS"),
+    l2("malformed", "SSH"),
+    l2("malformed", "MQTT"),
+    l2("malformed", "MQTTS"),
+    l2("malformed", "AMQP"),
+    l2("malformed", "AMQPS"),
+    l2("malformed", "CoAP"),
+];
+
+/// The eight per-protocol keys for `name`, hashes folded at const time.
+const fn proto_keys(name: &'static str) -> [Key; 8] {
+    [
+        Key::new(name, &PROTO[0]),
+        Key::new(name, &PROTO[1]),
+        Key::new(name, &PROTO[2]),
+        Key::new(name, &PROTO[3]),
+        Key::new(name, &PROTO[4]),
+        Key::new(name, &PROTO[5]),
+        Key::new(name, &PROTO[6]),
+        Key::new(name, &PROTO[7]),
+    ]
+}
+
+/// The 24 `(cause, protocol)` keys for `name`, cause-major.
+const fn cause_proto_keys(name: &'static str) -> [Key; 24] {
+    let mut out = [Key::new(name, &CAUSE_PROTO[0]); 24];
+    let mut i = 1;
+    while i < 24 {
+        out[i] = Key::new(name, &CAUSE_PROTO[i]);
+        i += 1;
+    }
+    out
+}
+
+static ATTEMPT_KEYS: [Key; 8] = proto_keys("scan_attempts");
+static RECORD_KEYS: [Key; 8] = proto_keys("scan_records");
+static BACKOFF_KEYS: [Key; 8] = proto_keys("scan_backoff_seconds");
+static RTT_KEYS: [Key; 8] = proto_keys("scan_rtt_seconds");
+static FAILURE_KEYS: [Key; 24] = cause_proto_keys("scan_failures");
+
+fn pidx(p: Protocol) -> usize {
+    match p {
+        Protocol::Http => 0,
+        Protocol::Https => 1,
+        Protocol::Ssh => 2,
+        Protocol::Mqtt => 3,
+        Protocol::Mqtts => 4,
+        Protocol::Amqp => 5,
+        Protocol::Amqps => 6,
+        Protocol::Coap => 7,
+    }
+}
+
+fn cidx(c: FailureCause) -> usize {
+    match c {
+        FailureCause::NoListener => 0,
+        FailureCause::Timeout => 1,
+        FailureCause::Malformed => 2,
+    }
+}
+
+/// Deterministic: target addresses that entered the pipeline.
+pub const SCAN_TARGETS: Key = Key::bare("scan_targets");
+
+/// Deterministic counter: probe attempts for one protocol.
+pub fn attempts(p: Protocol) -> Key {
+    ATTEMPT_KEYS[pidx(p)]
+}
+
+/// Deterministic counter: successful scan records for one protocol.
+pub fn records(p: Protocol) -> Key {
+    RECORD_KEYS[pidx(p)]
+}
+
+/// Deterministic counter: failed probe trains for one `(cause,
+/// protocol)` pair.
+pub fn failures(p: Protocol, c: FailureCause) -> Key {
+    FAILURE_KEYS[cidx(c) * 8 + pidx(p)]
+}
+
+/// Deterministic histogram: exponential-backoff waits applied between
+/// retries, in simulation seconds, per protocol.
+pub fn backoff_seconds(p: Protocol) -> Key {
+    BACKOFF_KEYS[pidx(p)]
+}
+
+/// Deterministic histogram: round-trip times of successful probes, in
+/// simulation seconds, per protocol.
+pub fn rtt_seconds(p: Protocol) -> Key {
+    RTT_KEYS[pidx(p)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_agree_with_enum_names() {
+        for p in Protocol::ALL {
+            assert_eq!(attempts(p).labels, &[("protocol", p.name())]);
+            assert_eq!(records(p).name, "scan_records");
+            for c in FailureCause::ALL {
+                assert_eq!(
+                    failures(p, c).labels,
+                    &[("cause", c.name()), ("protocol", p.name())]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct_per_label_set() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Protocol::ALL {
+            assert!(seen.insert(attempts(p)));
+            assert!(seen.insert(records(p)));
+            assert!(seen.insert(backoff_seconds(p)));
+            assert!(seen.insert(rtt_seconds(p)));
+            for c in FailureCause::ALL {
+                assert!(seen.insert(failures(p, c)));
+            }
+        }
+        assert!(seen.insert(SCAN_TARGETS));
+    }
+}

@@ -1,16 +1,22 @@
 //! The scan-result store and hit-rate accounting.
+//!
+//! Counting goes through an embedded [`telemetry::Registry`] — the same
+//! accounting path the end-of-run report reads — instead of the
+//! parallel `HashMap` bookkeeping the store once kept. The accessor API
+//! is unchanged; the counters are now *derived from* the registry, so
+//! legacy totals and report totals cannot disagree.
 
+use crate::metrics;
 use crate::result::{FailureCause, Protocol, ScanRecord};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::net::Ipv6Addr;
+use telemetry::Registry;
 
 /// Collected scan results for one address source (NTP feed or hitlist).
 #[derive(Debug, Clone, Default)]
 pub struct ScanStore {
     records: Vec<ScanRecord>,
-    attempts: HashMap<Protocol, u64>,
-    failures: HashMap<(Protocol, FailureCause), u64>,
-    targets: u64,
+    registry: Registry,
 }
 
 impl ScanStore {
@@ -21,21 +27,32 @@ impl ScanStore {
 
     /// Notes that one target address entered the pipeline.
     pub fn note_target(&mut self) {
-        self.targets += 1;
+        self.registry.inc(metrics::SCAN_TARGETS);
     }
 
     /// Notes a probe attempt.
     pub fn note_attempt(&mut self, protocol: Protocol) {
-        *self.attempts.entry(protocol).or_insert(0) += 1;
+        self.registry.inc(metrics::attempts(protocol));
     }
 
     /// Notes that a whole probe train failed, and why.
     pub fn note_failure(&mut self, protocol: Protocol, cause: FailureCause) {
-        *self.failures.entry((protocol, cause)).or_insert(0) += 1;
+        self.registry.inc(metrics::failures(protocol, cause));
     }
 
-    /// Adds a successful record.
+    /// Notes an exponential-backoff wait of `secs` simulation seconds
+    /// applied before retrying a probe.
+    pub fn note_backoff(&mut self, protocol: Protocol, secs: u64) {
+        self.registry
+            .observe(metrics::backoff_seconds(protocol), secs);
+    }
+
+    /// Adds a successful record (and its per-protocol counter + RTT
+    /// sample).
     pub fn push(&mut self, record: ScanRecord) {
+        self.registry.inc(metrics::records(record.protocol));
+        self.registry
+            .observe(metrics::rtt_seconds(record.protocol), record.rtt.as_secs());
         self.records.push(record);
     }
 
@@ -86,53 +103,59 @@ impl ScanStore {
 
     /// Probe attempts per protocol.
     pub fn attempts(&self, p: Protocol) -> u64 {
-        self.attempts.get(&p).copied().unwrap_or(0)
+        self.registry.counter(metrics::attempts(p))
     }
 
     /// Failed probe trains with the given cause, across protocols.
     pub fn failures(&self, cause: FailureCause) -> u64 {
-        self.failures
+        Protocol::ALL
             .iter()
-            .filter(|((_, c), _)| *c == cause)
-            .map(|(_, n)| n)
+            .map(|p| self.failures_for(*p, cause))
             .sum()
     }
 
     /// Failed probe trains for one `(protocol, cause)` pair.
     pub fn failures_for(&self, protocol: Protocol, cause: FailureCause) -> u64 {
-        self.failures.get(&(protocol, cause)).copied().unwrap_or(0)
+        self.registry.counter(metrics::failures(protocol, cause))
     }
 
     /// All failed probe trains.
     pub fn failures_total(&self) -> u64 {
-        self.failures.values().sum()
+        Protocol::ALL
+            .iter()
+            .flat_map(|p| FailureCause::ALL.iter().map(move |c| (*p, *c)))
+            .map(|(p, c)| self.failures_for(p, c))
+            .sum()
     }
 
     /// Target addresses fed into the pipeline.
     pub fn targets(&self) -> u64 {
-        self.targets
+        self.registry.counter(metrics::SCAN_TARGETS)
     }
 
     /// Overall hit rate: distinct responsive addresses on any protocol
     /// over targets (the paper reports 0.42 ‰ for NTP-sourced scans).
     pub fn hit_rate(&self) -> f64 {
-        if self.targets == 0 {
+        let targets = self.targets();
+        if targets == 0 {
             return 0.0;
         }
         let responsive: HashSet<Ipv6Addr> = self.records.iter().map(|r| r.addr).collect();
-        responsive.len() as f64 / self.targets as f64
+        responsive.len() as f64 / targets as f64
     }
 
-    /// Merges another store (used to combine shard results).
+    /// The store's metrics registry (the one accounting path — every
+    /// accessor above reads it).
+    pub fn telemetry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Merges another store (used to combine shard results). Record
+    /// vectors concatenate in call order; the metric registries merge
+    /// commutatively, so counter totals are shard-order independent.
     pub fn merge(&mut self, other: ScanStore) {
         self.records.extend(other.records);
-        for (p, n) in other.attempts {
-            *self.attempts.entry(p).or_insert(0) += n;
-        }
-        for (k, n) in other.failures {
-            *self.failures.entry(k).or_insert(0) += n;
-        }
-        self.targets += other.targets;
+        self.registry.merge(&other.registry);
     }
 }
 
@@ -252,6 +275,27 @@ mod tests {
         assert_eq!(a.failures(FailureCause::Malformed), 1);
         assert_eq!(a.failures_for(Protocol::Ssh, FailureCause::Timeout), 2);
         assert_eq!(a.failures_total(), 3);
+    }
+
+    #[test]
+    fn accessors_and_registry_are_one_accounting_path() {
+        // The store's legacy accessors read the embedded registry, so
+        // they reconcile with a report snapshot by construction.
+        let mut s = ScanStore::new();
+        s.note_target();
+        s.note_attempt(Protocol::Http);
+        s.note_attempt(Protocol::Http);
+        s.note_failure(Protocol::Ssh, FailureCause::Timeout);
+        s.note_backoff(Protocol::Ssh, 2);
+        s.push(rec("2001:db8::1", Protocol::Https, https_ok(1)));
+        let snap = s.telemetry().snapshot();
+        assert_eq!(snap.counter_total("scan_targets"), s.targets());
+        assert_eq!(snap.counter_total("scan_attempts"), 2);
+        assert_eq!(snap.counter_total("scan_failures"), s.failures_total());
+        assert_eq!(snap.counter_total("scan_records"), s.records().len() as u64);
+        let backoff =
+            telemetry::OwnedKey::with_labels("scan_backoff_seconds", &[("protocol", "SSH")]);
+        assert_eq!(snap.hist(&backoff).unwrap().sum(), 2);
     }
 
     #[test]

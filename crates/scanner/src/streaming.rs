@@ -18,11 +18,14 @@
 use crate::engine::ScanPolicy;
 use crate::scheduler::RealTimeScanner;
 use crate::store::ScanStore;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use netsim::transport::{Ideal, Transport};
 use netsim::world::World;
 use ntppool::Observation;
+use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
+use telemetry::PipelineMonitor;
 
 /// Default bound for the producer→scanner channel: deep enough that the
 /// collector rarely blocks, small enough to keep memory flat when the
@@ -33,6 +36,52 @@ pub const FEED_CHANNEL_BOUND: usize = 1024;
 /// `AddressCollector` first-sight sink) to a [`StreamingScanner`].
 pub fn feed_channel(capacity: usize) -> (Sender<Observation>, Receiver<Observation>) {
     bounded(capacity)
+}
+
+/// A feed sender that reports channel depth and producer stalls to a
+/// shared [`PipelineMonitor`]. Delivery semantics are identical to the
+/// plain [`Sender`] — a full channel still blocks until space frees up
+/// — the monitor only *observes* (as volatile metrics; blocking time is
+/// wall-clock and scheduling-dependent).
+#[derive(Debug, Clone)]
+pub struct MonitoredSender {
+    tx: Sender<Observation>,
+    monitor: Arc<PipelineMonitor>,
+}
+
+impl MonitoredSender {
+    /// Wraps `tx`, reporting into `monitor`.
+    pub fn new(tx: Sender<Observation>, monitor: Arc<PipelineMonitor>) -> MonitoredSender {
+        MonitoredSender { tx, monitor }
+    }
+
+    /// Sends an observation, blocking while the channel is full; notes
+    /// the observation, the post-send depth, and any stall.
+    pub fn send(&self, obs: Observation) -> Result<(), crossbeam::channel::SendError<Observation>> {
+        match self.tx.try_send(obs) {
+            Ok(()) => {}
+            Err(TrySendError::Full(obs)) => {
+                let stall = Instant::now();
+                self.tx.send(obs)?;
+                self.monitor
+                    .note_producer_stall(stall.elapsed().as_nanos() as u64);
+            }
+            Err(TrySendError::Disconnected(obs)) => {
+                return Err(crossbeam::channel::SendError(obs));
+            }
+        }
+        self.monitor.note_fed();
+        self.monitor.note_depth(self.tx.len() as u64);
+        Ok(())
+    }
+}
+
+impl ntppool::collector::FeedSink for MonitoredSender {
+    fn on_first_sight(&mut self, obs: Observation) {
+        // As with `ChannelSink`: a disconnected consumer just means
+        // collection outlives scanning.
+        let _ = self.send(obs);
+    }
 }
 
 /// A real-time scanner running on its own scoped thread, consuming a
@@ -72,6 +121,46 @@ impl<'scope> StreamingScanner<'scope> {
             let mut scanner = RealTimeScanner::with_transport(policy, transport);
             let mut feed = Vec::new();
             for obs in rx.iter() {
+                scanner.feed(world, obs);
+                feed.push(obs);
+            }
+            (scanner.finish(), feed)
+        });
+        StreamingScanner { handle }
+    }
+
+    /// [`spawn_with_transport`](StreamingScanner::spawn_with_transport)
+    /// reporting consumer stalls to a shared [`PipelineMonitor`]. The
+    /// consumption order — and therefore the resulting [`ScanStore`] —
+    /// is identical to the unmonitored spawn; only volatile stall
+    /// metrics are added.
+    pub fn spawn_instrumented<'env>(
+        scope: &'scope thread::Scope<'scope, 'env>,
+        policy: ScanPolicy,
+        world: &'env World,
+        rx: Receiver<Observation>,
+        transport: Box<dyn Transport>,
+        monitor: Arc<PipelineMonitor>,
+    ) -> StreamingScanner<'scope> {
+        let handle = scope.spawn(move || {
+            let mut scanner = RealTimeScanner::with_transport(policy, transport);
+            let mut feed = Vec::new();
+            loop {
+                let obs = match rx.try_recv() {
+                    Ok(obs) => obs,
+                    Err(TryRecvError::Empty) => {
+                        // The producer is behind: block, timing the stall.
+                        let stall = Instant::now();
+                        match rx.recv() {
+                            Ok(obs) => {
+                                monitor.note_consumer_stall(stall.elapsed().as_nanos() as u64);
+                                obs
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    Err(TryRecvError::Disconnected) => break,
+                };
                 scanner.feed(world, obs);
                 feed.push(obs);
             }
@@ -126,6 +215,39 @@ mod tests {
         for p in crate::result::Protocol::ALL {
             assert_eq!(streamed.attempts(p), buffered.attempts(p));
         }
+    }
+
+    #[test]
+    fn instrumented_spawn_matches_plain_and_reports_volatile_only() {
+        let w = World::generate(WorldConfig::tiny(21));
+        let feed = feed_for(&w);
+        let buffered = RealTimeScanner::new(ScanPolicy::default()).run(&w, &feed);
+        let monitor = Arc::new(PipelineMonitor::new());
+        let (streamed, replay) = std::thread::scope(|scope| {
+            let (tx, rx) = feed_channel(4);
+            let scanner = StreamingScanner::spawn_instrumented(
+                scope,
+                ScanPolicy::default(),
+                &w,
+                rx,
+                Box::new(Ideal),
+                Arc::clone(&monitor),
+            );
+            let tx = MonitoredSender::new(tx, Arc::clone(&monitor));
+            for obs in &feed {
+                tx.send(*obs).expect("scanner alive");
+            }
+            drop(tx);
+            scanner.join()
+        });
+        assert_eq!(replay, feed);
+        assert_eq!(streamed.records(), buffered.records());
+        assert_eq!(monitor.fed(), feed.len() as u64);
+        // Everything the monitor exports is volatile: the deterministic
+        // report is untouched by instrumentation.
+        let mut reg = telemetry::Registry::new();
+        monitor.export_into(&mut reg);
+        assert!(reg.snapshot().deterministic().is_empty());
     }
 
     #[test]

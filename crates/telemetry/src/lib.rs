@@ -1,0 +1,55 @@
+//! # telemetry — deterministic metrics for the study pipeline
+//!
+//! The paper's headline results *are* operational metrics: per-protocol
+//! response rates, NTP client arrival rates, retry and KoD counts, scan
+//! timeliness. This crate is the one accounting path every pipeline
+//! stage reports through, replacing the ad-hoc per-stage counters that
+//! grew alongside the reproduction.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** A [`Snapshot`] taken from the same simulated run
+//!    is *byte-identical* regardless of pipeline mode (buffered vs
+//!    streaming) or sharding (sequential vs parallel). Three rules make
+//!    that hold:
+//!    * deterministic metrics never read the wall clock — every duration
+//!      is simulation time ([`SpanTimer`] takes explicit instants);
+//!    * every aggregation is **commutative** (counters add, gauges take
+//!      the max, histograms add bucket-wise), so per-shard
+//!      [`Registry`] sinks merge to the same totals in any order;
+//!    * anything scheduling-dependent (channel depth, stall times) is
+//!      recorded as a **volatile** metric and excluded from the
+//!      deterministic snapshot and the [`RunReport`].
+//! 2. **Lock-cheap.** The hot path ([`Registry::inc`]) is a `HashMap`
+//!    bump keyed by a fully-`'static` [`Key`] — no locks, no label
+//!    allocation. Each thread/shard owns its registry; merging happens
+//!    once, at the end. The [`shared`] module provides the few
+//!    cross-thread sinks (atomic counters/histograms) the transport
+//!    wrappers and the streaming channel monitor need.
+//! 3. **Static label sets.** Hot-path keys carry
+//!    `&'static [("label", "value")]` slices (stage × protocol ×
+//!    fault-cause). Owned labels exist only on [`Snapshot`] entries,
+//!    where cold-path insertion (e.g. per-actor telescope counts) and
+//!    stage relabelling happen.
+//!
+//! A [`RunReport`] bundles run metadata with the deterministic snapshot
+//! and serializes to a canonical JSON form (sorted keys, integers only)
+//! that round-trips through [`Snapshot::from_json`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod key;
+pub mod registry;
+pub mod report;
+pub mod shared;
+pub mod snapshot;
+
+pub use hist::Histogram;
+pub use key::{Key, OwnedKey};
+pub use registry::{Bank, Registry, SpanTimer};
+pub use report::RunReport;
+pub use shared::{AtomicHistogram, PipelineMonitor};
+pub use snapshot::{Snapshot, Value};

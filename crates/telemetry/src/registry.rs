@@ -1,0 +1,359 @@
+//! The hot-path metrics registry.
+//!
+//! A [`Registry`] is a pair of [`Bank`]s — one for deterministic
+//! metrics, one for volatile (scheduling-dependent) ones. Each bank is
+//! plain `HashMap` state keyed by fully-`'static` [`Key`]s whose content
+//! hash was folded at const time ([`crate::key::KeyHasher`]), so a bump
+//! is one `u64` move, a table probe, and an integer add: no locks, no
+//! allocation, no string hashing. Every thread or shard owns its
+//! registry and merging happens once, at the end, commutatively.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+use crate::key::{Key, KeyHashMap, OwnedKey};
+use crate::snapshot::{Snapshot, Value};
+
+/// One class of metric storage: counters, gauges, histograms keyed by
+/// static [`Key`]s, plus a cold-path map for dynamically-labelled
+/// counters (e.g. per-actor telescope hits).
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    counters: KeyHashMap<u64>,
+    gauges: KeyHashMap<u64>,
+    hists: KeyHashMap<Histogram>,
+    dyn_counters: BTreeMap<OwnedKey, u64>,
+}
+
+impl Bank {
+    /// Adds `n` to the counter under `key`.
+    #[inline]
+    pub fn add(&mut self, key: Key, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Raises the gauge under `key` to at least `v` (high-watermark
+    /// semantics — the only gauge fold that merges commutatively).
+    #[inline]
+    pub fn gauge_max(&mut self, key: Key, v: u64) {
+        let g = self.gauges.entry(key).or_insert(0);
+        *g = (*g).max(v);
+    }
+
+    /// Records a histogram sample under `key`.
+    #[inline]
+    pub fn observe(&mut self, key: Key, v: u64) {
+        self.hists.entry(key).or_default().observe(v);
+    }
+
+    /// Merges a whole histogram under `key` (used when draining shared
+    /// atomic sinks).
+    pub fn merge_hist(&mut self, key: Key, h: &Histogram) {
+        self.hists.entry(key).or_default().merge(h);
+    }
+
+    /// Adds `n` to a dynamically-labelled counter (cold path: allocates).
+    pub fn add_dyn(&mut self, key: OwnedKey, n: u64) {
+        *self.dyn_counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Current counter value under `key` (0 when absent).
+    pub fn counter(&self, key: Key) -> u64 {
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value under `key` (0 when absent).
+    pub fn gauge(&self, key: Key) -> u64 {
+        self.gauges.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Histogram under `key`, if any sample was recorded.
+    pub fn hist(&self, key: Key) -> Option<&Histogram> {
+        self.hists.get(&key)
+    }
+
+    /// Folds every metric of `other` into `self` (commutative).
+    pub fn merge(&mut self, other: &Bank) {
+        for (k, v) in &other.counters {
+            self.add(*k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_max(*k, *v);
+        }
+        for (k, h) in &other.hists {
+            self.merge_hist(*k, h);
+        }
+        for (k, v) in &other.dyn_counters {
+            self.add_dyn(k.clone(), *v);
+        }
+    }
+
+    /// Is every map empty?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.dyn_counters.is_empty()
+    }
+
+    fn export_into(&self, out: &mut Snapshot, extra: &[(&str, &str)], volatile: bool) {
+        for (k, v) in &self.counters {
+            out.record(k.to_owned_with(extra), Value::Counter(*v), volatile);
+        }
+        for (k, v) in &self.gauges {
+            out.record(k.to_owned_with(extra), Value::Gauge(*v), volatile);
+        }
+        for (k, h) in &self.hists {
+            out.record(
+                k.to_owned_with(extra),
+                Value::Hist(Box::new(h.clone())),
+                volatile,
+            );
+        }
+        for (k, v) in &self.dyn_counters {
+            let mut key = k.clone();
+            for (name, value) in extra {
+                key.labels.insert((*name).to_string(), (*value).to_string());
+            }
+            out.record(key, Value::Counter(*v), volatile);
+        }
+    }
+}
+
+/// A per-thread/per-shard metrics registry: a deterministic bank and a
+/// volatile bank. See the crate docs for the determinism rules.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    det: Bank,
+    vol: Bank,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Increments the deterministic counter under `key`.
+    #[inline]
+    pub fn inc(&mut self, key: Key) {
+        self.det.add(key, 1);
+    }
+
+    /// Adds `n` to the deterministic counter under `key`.
+    #[inline]
+    pub fn add(&mut self, key: Key, n: u64) {
+        self.det.add(key, n);
+    }
+
+    /// Raises the deterministic gauge under `key` to at least `v`.
+    #[inline]
+    pub fn gauge_max(&mut self, key: Key, v: u64) {
+        self.det.gauge_max(key, v);
+    }
+
+    /// Records a deterministic histogram sample under `key`. Durations
+    /// must come from simulation time, never the wall clock.
+    #[inline]
+    pub fn observe(&mut self, key: Key, v: u64) {
+        self.det.observe(key, v);
+    }
+
+    /// Merges a whole histogram into the deterministic bank.
+    pub fn merge_hist(&mut self, key: Key, h: &Histogram) {
+        self.det.merge_hist(key, h);
+    }
+
+    /// Adds `n` to a dynamically-labelled deterministic counter.
+    pub fn add_dyn(&mut self, key: OwnedKey, n: u64) {
+        self.det.add_dyn(key, n);
+    }
+
+    /// Adds `n` to the volatile counter under `key`.
+    #[inline]
+    pub fn vol_add(&mut self, key: Key, n: u64) {
+        self.vol.add(key, n);
+    }
+
+    /// Raises the volatile gauge under `key` to at least `v`.
+    #[inline]
+    pub fn vol_gauge_max(&mut self, key: Key, v: u64) {
+        self.vol.gauge_max(key, v);
+    }
+
+    /// Records a volatile histogram sample under `key`. Wall-clock
+    /// durations are allowed here and only here.
+    #[inline]
+    pub fn vol_observe(&mut self, key: Key, v: u64) {
+        self.vol.observe(key, v);
+    }
+
+    /// Merges a whole histogram into the volatile bank.
+    pub fn vol_merge_hist(&mut self, key: Key, h: &Histogram) {
+        self.vol.merge_hist(key, h);
+    }
+
+    /// Deterministic counter value under `key` (0 when absent).
+    pub fn counter(&self, key: Key) -> u64 {
+        self.det.counter(key)
+    }
+
+    /// Deterministic gauge value under `key` (0 when absent).
+    pub fn gauge(&self, key: Key) -> u64 {
+        self.det.gauge(key)
+    }
+
+    /// Deterministic histogram under `key`, if recorded.
+    pub fn hist(&self, key: Key) -> Option<&Histogram> {
+        self.det.hist(key)
+    }
+
+    /// Read access to the deterministic bank.
+    pub fn deterministic_bank(&self) -> &Bank {
+        &self.det
+    }
+
+    /// Read access to the volatile bank.
+    pub fn volatile_bank(&self) -> &Bank {
+        &self.vol
+    }
+
+    /// Folds every metric of `other` into `self`. Commutative — shard
+    /// registries merge to the same totals in any order.
+    pub fn merge(&mut self, other: &Registry) {
+        self.det.merge(&other.det);
+        self.vol.merge(&other.vol);
+    }
+
+    /// Exports both banks into an owned [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        self.snapshot_with(&[])
+    }
+
+    /// Exports both banks with `extra` labels stamped onto every key —
+    /// how stage-agnostic registries get their `stage` label at merge
+    /// time without paying for it on the hot path.
+    pub fn snapshot_with(&self, extra: &[(&str, &str)]) -> Snapshot {
+        let mut out = Snapshot::new();
+        self.det.export_into(&mut out, extra, false);
+        self.vol.export_into(&mut out, extra, true);
+        out
+    }
+}
+
+/// Times a span of *simulation* time against a histogram key. The
+/// caller supplies both instants explicitly — the timer never reads a
+/// clock, which is what keeps span metrics deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    key: Key,
+    start: u64,
+}
+
+impl SpanTimer {
+    /// Starts a span at instant `now` (any monotone u64 time unit; the
+    /// study pipeline passes simulation seconds).
+    pub const fn start(key: Key, now: u64) -> SpanTimer {
+        SpanTimer { key, start: now }
+    }
+
+    /// Ends the span at instant `now`, recording the elapsed time as a
+    /// deterministic histogram sample.
+    pub fn finish(self, registry: &mut Registry, now: u64) {
+        registry.observe(self.key, now.saturating_sub(self.start));
+    }
+
+    /// Ends the span at instant `now`, recording into the volatile bank
+    /// (for wall-clock spans such as thread stalls).
+    pub fn finish_volatile(self, registry: &mut Registry, now: u64) {
+        registry.vol_observe(self.key, now.saturating_sub(self.start));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Key = Key::new("reqs", &[("protocol", "NTP")]);
+    const B: Key = Key::new("reqs", &[("protocol", "SSH")]);
+    const G: Key = Key::bare("depth");
+    const H: Key = Key::bare("rtt");
+
+    #[test]
+    fn registry_merge_matches_single_registry() {
+        // Split the same event stream across two registries; merging in
+        // either order equals recording everything in one.
+        let mut one = Registry::new();
+        let mut left = Registry::new();
+        let mut right = Registry::new();
+        for (i, r) in [&mut left, &mut right].into_iter().enumerate() {
+            for j in 0..5u64 {
+                r.inc(A);
+                r.add(B, j);
+                r.gauge_max(G, i as u64 * 10 + j);
+                r.observe(H, j * 100);
+            }
+        }
+        for i in 0..2u64 {
+            for j in 0..5u64 {
+                one.inc(A);
+                one.add(B, j);
+                one.gauge_max(G, i * 10 + j);
+                one.observe(H, j * 100);
+            }
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        assert_eq!(lr.snapshot(), rl.snapshot());
+        assert_eq!(lr.snapshot(), one.snapshot());
+        assert_eq!(lr.counter(A), 10);
+        assert_eq!(lr.counter(B), 20);
+        assert_eq!(lr.gauge(G), 14);
+        assert_eq!(lr.hist(H).unwrap().count(), 10);
+    }
+
+    #[test]
+    fn snapshot_with_stamps_stage_label() {
+        let mut r = Registry::new();
+        r.inc(A);
+        let snap = r.snapshot_with(&[("stage", "hitlist_scan")]);
+        let key = OwnedKey::with_labels("reqs", &[("protocol", "NTP"), ("stage", "hitlist_scan")]);
+        assert_eq!(snap.counter(&key), 1);
+    }
+
+    #[test]
+    fn volatile_metrics_separate_from_deterministic() {
+        let mut r = Registry::new();
+        r.inc(A);
+        r.vol_add(G, 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.deterministic().len(), 1);
+    }
+
+    #[test]
+    fn span_timer_uses_explicit_instants() {
+        let mut r = Registry::new();
+        let t = SpanTimer::start(H, 100);
+        t.finish(&mut r, 175);
+        assert_eq!(r.hist(H).unwrap().sum(), 75);
+        // Clock going backwards (merged shard timelines) saturates to 0.
+        let t = SpanTimer::start(H, 50);
+        t.finish(&mut r, 20);
+        assert_eq!(r.hist(H).unwrap().count(), 2);
+        assert_eq!(r.hist(H).unwrap().min(), 0);
+    }
+
+    #[test]
+    fn dynamic_counters_merge_commutatively() {
+        let actor = OwnedKey::with_labels("telescope_actor_hits", &[("actor", "campaign-7")]);
+        let mut a = Registry::new();
+        a.add_dyn(actor.clone(), 2);
+        let mut b = Registry::new();
+        b.add_dyn(actor.clone(), 5);
+        a.merge(&b);
+        assert_eq!(a.snapshot().counter(&actor), 7);
+    }
+}

@@ -1,0 +1,247 @@
+//! Owned, ordered, commutatively-mergeable snapshots of metric state.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+use crate::json;
+use crate::key::OwnedKey;
+
+/// A single metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Monotone counter; merges by addition.
+    Counter(u64),
+    /// High-watermark gauge; merges by maximum.
+    Gauge(u64),
+    /// Log2 histogram; merges bucket-wise. Boxed so the common
+    /// counter/gauge entries stay a couple of words each.
+    Hist(Box<Histogram>),
+}
+
+impl Value {
+    /// Folds another value into this one. All three folds are
+    /// commutative and associative, which is what makes shard-order
+    /// independence hold. Panics on mismatched kinds — that is a
+    /// programming error (one key used as two metric types).
+    pub fn fold(&mut self, other: &Value) {
+        match (self, other) {
+            (Value::Counter(a), Value::Counter(b)) => *a += b,
+            (Value::Gauge(a), Value::Gauge(b)) => *a = (*a).max(*b),
+            (Value::Hist(a), Value::Hist(b)) => a.merge(b),
+            (a, b) => panic!("metric kind mismatch: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// One snapshot entry: the value plus its determinism class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The metric value.
+    pub value: Value,
+    /// Volatile metrics depend on scheduling (channel depth, stall
+    /// times) and are excluded from deterministic reports.
+    pub volatile: bool,
+}
+
+/// An ordered map from [`OwnedKey`] to [`Entry`]. Snapshots are the
+/// cold, owned form of metric state: registries export into them, shard
+/// snapshots merge commutatively, and reports serialize them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    entries: BTreeMap<OwnedKey, Entry>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Records a value under a key, folding into any existing entry.
+    /// The volatile flag of the first writer wins (and must agree —
+    /// asserted in debug builds).
+    pub fn record(&mut self, key: OwnedKey, value: Value, volatile: bool) {
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                debug_assert_eq!(e.volatile, volatile, "determinism class flip for {key}");
+                e.value.fold(&value);
+            }
+            None => {
+                self.entries.insert(key, Entry { value, volatile });
+            }
+        }
+    }
+
+    /// Folds every entry of `other` into `self`. Commutative:
+    /// `a.merge(b)` and `b.merge(a)` produce equal snapshots.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, e) in &other.entries {
+            self.record(k.clone(), e.value.clone(), e.volatile);
+        }
+    }
+
+    /// The deterministic subset: volatile entries dropped. This is what
+    /// a [`crate::RunReport`] serializes.
+    pub fn deterministic(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(_, e)| !e.volatile)
+                .map(|(k, e)| (k.clone(), e.clone()))
+                .collect(),
+        }
+    }
+
+    /// A copy with `extra` labels stamped onto every key (used to tag a
+    /// stage-agnostic registry snapshot with its pipeline stage).
+    pub fn relabeled(&self, extra: &[(&str, &str)]) -> Snapshot {
+        let mut out = Snapshot::new();
+        for (k, e) in &self.entries {
+            let mut key = k.clone();
+            for (name, value) in extra {
+                key.labels.insert((*name).to_string(), (*value).to_string());
+            }
+            out.record(key, e.value.clone(), e.volatile);
+        }
+        out
+    }
+
+    /// Counter value under `key` (0 when absent or not a counter).
+    pub fn counter(&self, key: &OwnedKey) -> u64 {
+        match self.entries.get(key) {
+            Some(Entry {
+                value: Value::Counter(v),
+                ..
+            }) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Sum of all counters with the given metric name, across label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .filter_map(|(_, e)| match &e.value {
+                Value::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Gauge value under `key` (0 when absent or not a gauge).
+    pub fn gauge(&self, key: &OwnedKey) -> u64 {
+        match self.entries.get(key) {
+            Some(Entry {
+                value: Value::Gauge(v),
+                ..
+            }) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram under `key`, if present.
+    pub fn hist(&self, key: &OwnedKey) -> Option<&Histogram> {
+        match self.entries.get(key) {
+            Some(Entry {
+                value: Value::Hist(h),
+                ..
+            }) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Iterates entries in canonical key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&OwnedKey, &Entry)> {
+        self.entries.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Has no entries?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Canonical JSON form (sorted keys, integers only). Byte-identical
+    /// for equal snapshots by construction.
+    pub fn to_json(&self) -> String {
+        json::snapshot_to_json(self)
+    }
+
+    /// Parses the canonical JSON form back. Returns `None` on any
+    /// malformed input.
+    pub fn from_json(s: &str) -> Option<Snapshot> {
+        json::snapshot_from_json(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(name: &str, labels: &[(&str, &str)]) -> OwnedKey {
+        OwnedKey::with_labels(name, labels)
+    }
+
+    #[test]
+    fn record_folds_per_kind() {
+        let mut s = Snapshot::new();
+        s.record(k("c", &[]), Value::Counter(2), false);
+        s.record(k("c", &[]), Value::Counter(3), false);
+        s.record(k("g", &[]), Value::Gauge(7), false);
+        s.record(k("g", &[]), Value::Gauge(4), false);
+        let mut h = Histogram::new();
+        h.observe(9);
+        s.record(k("h", &[]), Value::Hist(Box::new(h.clone())), false);
+        s.record(k("h", &[]), Value::Hist(Box::new(h)), false);
+        assert_eq!(s.counter(&k("c", &[])), 5);
+        assert_eq!(s.gauge(&k("g", &[])), 7);
+        assert_eq!(s.hist(&k("h", &[])).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Snapshot::new();
+        a.record(k("x", &[("p", "1")]), Value::Counter(10), false);
+        a.record(k("d", &[]), Value::Gauge(3), true);
+        let mut b = Snapshot::new();
+        b.record(k("x", &[("p", "1")]), Value::Counter(5), false);
+        b.record(k("x", &[("p", "2")]), Value::Counter(1), false);
+        b.record(k("d", &[]), Value::Gauge(8), true);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter_total("x"), 16);
+        assert_eq!(ab.gauge(&k("d", &[])), 8);
+    }
+
+    #[test]
+    fn deterministic_drops_volatile_entries() {
+        let mut s = Snapshot::new();
+        s.record(k("keep", &[]), Value::Counter(1), false);
+        s.record(k("drop", &[]), Value::Counter(1), true);
+        let det = s.deterministic();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det.counter(&k("keep", &[])), 1);
+    }
+
+    #[test]
+    fn relabel_stamps_every_key() {
+        let mut s = Snapshot::new();
+        s.record(k("x", &[("p", "1")]), Value::Counter(2), false);
+        s.record(k("y", &[]), Value::Counter(3), false);
+        let tagged = s.relabeled(&[("stage", "ntp_scan")]);
+        assert_eq!(
+            tagged.counter(&k("x", &[("p", "1"), ("stage", "ntp_scan")])),
+            2
+        );
+        assert_eq!(tagged.counter(&k("y", &[("stage", "ntp_scan")])), 3);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod actors;
 pub mod capture;
 pub mod matching;
+pub mod metrics;
 pub mod vantage;
 
 pub use actors::{covert_actor, gt_actor, Actor, ActorId, ActorProfile};

@@ -1,0 +1,15 @@
+//! Static metric keys for the telescope experiment.
+
+use telemetry::Key;
+
+/// Deterministic: pool servers queried from a unique vantage address.
+pub const TELESCOPE_QUERIES: Key = Key::bare("telescope_queries");
+/// Deterministic: queries whose reply made it back to the telescope.
+pub const TELESCOPE_ANSWERED: Key = Key::bare("telescope_answered");
+/// Deterministic: servers that actually *received* the query (ground
+/// truth) — only these can leak a vantage address to a scanning actor.
+pub const TELESCOPE_SOURCED: Key = Key::bare("telescope_sourced");
+/// Deterministic: packets captured at the vantage prefix.
+pub const TELESCOPE_CAPTURES: Key = Key::bare("telescope_captures");
+/// Deterministic: captured packets attributed to a known scripted actor.
+pub const TELESCOPE_ATTRIBUTED: Key = Key::bare("telescope_attributed");

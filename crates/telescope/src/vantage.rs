@@ -101,6 +101,33 @@ impl Vantage {
         answered
     }
 
+    /// [`query_all_via`](Vantage::query_all_via), accounting the sweep
+    /// into `registry`: queries issued, replies that came back, and
+    /// servers actually sourced. All three are deterministic — the query
+    /// schedule and the fault transport are.
+    pub fn query_all_instrumented(
+        &mut self,
+        pool: &Pool,
+        transport: &dyn Transport,
+        start: SimTime,
+        gap: Duration,
+        registry: &mut telemetry::Registry,
+    ) -> u64 {
+        let before = self.sourced.len() as u64;
+        let queried_before = self.by_server.len() as u64;
+        let answered = self.query_all_via(pool, transport, start, gap);
+        registry.add(
+            crate::metrics::TELESCOPE_QUERIES,
+            self.by_server.len() as u64 - queried_before,
+        );
+        registry.add(crate::metrics::TELESCOPE_ANSWERED, answered);
+        registry.add(
+            crate::metrics::TELESCOPE_SOURCED,
+            self.sourced.len() as u64 - before,
+        );
+        answered
+    }
+
     /// Did `server` actually receive this telescope's query? Only sourced
     /// servers can leak the vantage address to a scanning actor.
     pub fn was_sourced(&self, server: ServerId) -> bool {
@@ -203,6 +230,22 @@ mod tests {
         for i in 0..200 {
             assert_eq!(v.was_sourced(ServerId(i)), v2.was_sourced(ServerId(i)));
         }
+    }
+
+    #[test]
+    fn instrumented_query_accounts_the_sweep() {
+        use netsim::transport::{FaultConfig, Faulty};
+        let p = pool(100);
+        let transport = Faulty::new(FaultConfig::loss_only(13, 0.3));
+        let mut v = Vantage::new("2001:db8:aa::/48".parse().unwrap());
+        let mut reg = telemetry::Registry::new();
+        let answered =
+            v.query_all_instrumented(&p, &transport, SimTime(0), Duration::secs(1), &mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("telescope_queries"), v.queried() as u64);
+        assert_eq!(snap.counter_total("telescope_answered"), answered);
+        let sourced = (0..100).filter(|i| v.was_sourced(ServerId(*i))).count();
+        assert_eq!(snap.counter_total("telescope_sourced"), sourced as u64);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Acceptance tests for the telemetry subsystem: the deterministic
+//! [`RunReport`] is **byte-identical** across pipeline modes and shard
+//! layouts under an injected-fault transport, and its counters reconcile
+//! exactly with the legacy accounting they replaced.
+//!
+//! [`RunReport`]: telemetry::RunReport
+
+use netsim::time::SimTime;
+use netsim::transport::FaultProfile;
+use netsim::world::{World, WorldConfig};
+use scanner::result::{FailureCause, Protocol};
+use scanner::{BatchScan, ScanPolicy};
+use std::net::Ipv6Addr;
+use timetoscan::{PipelineMode, Study, StudyConfig};
+
+fn lossy(seed: u64, mode: PipelineMode) -> Study {
+    Study::run(
+        StudyConfig::tiny(seed)
+            .with_fault(FaultProfile::Lossy1Pct)
+            .with_pipeline(mode),
+    )
+}
+
+#[test]
+fn run_report_is_byte_identical_across_pipeline_modes() {
+    let buffered = lossy(41, PipelineMode::Buffered);
+    let streaming = lossy(41, PipelineMode::Streaming);
+    let a = buffered.run_report().to_json();
+    let b = streaming.run_report().to_json();
+    assert_eq!(a, b);
+    assert!(a.contains("\"fault_profile\":\"lossy_1pct\""));
+    // The streaming run *does* record its channel metrics — they are
+    // volatile, which is exactly why they stay out of the report.
+    assert!(streaming
+        .telemetry
+        .iter()
+        .any(|(k, e)| e.volatile && k.name == "pipeline_channel_fed"));
+    assert!(!buffered
+        .telemetry
+        .iter()
+        .any(|(_, e)| e.volatile && matches!(&e.value, telemetry::Value::Counter(_))));
+}
+
+#[test]
+fn run_report_roundtrips_and_renders() {
+    let study = lossy(43, PipelineMode::Streaming);
+    let report = study.run_report();
+    let json = report.to_json();
+    let parsed = telemetry::RunReport::from_json(&json).expect("canonical JSON parses");
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.to_json(), json);
+    assert!(report.render_text().contains("ntp_polls"));
+}
+
+#[test]
+fn report_counters_reconcile_with_legacy_values() {
+    let study = lossy(42, PipelineMode::Streaming);
+    let det = study.telemetry.deterministic();
+    // Collection: RunStats is *derived from* these counters, so they
+    // agree by construction — this asserts the wiring kept it that way.
+    assert_eq!(det.counter_total("ntp_polls"), study.run_stats.polls);
+    assert_eq!(
+        det.counter_total("ntp_responses"),
+        study.run_stats.responses
+    );
+    assert_eq!(det.counter_total("ntp_kod"), study.run_stats.kod);
+    assert_eq!(det.counter_total("ntp_lost"), study.run_stats.lost);
+    assert_eq!(det.counter_total("ntp_observed"), study.run_stats.observed);
+    // Scan failure map: the per-cause/per-protocol counters sum to the
+    // stores' legacy failure totals (which themselves now read the same
+    // registry — one accounting path).
+    assert_eq!(
+        det.counter_total("scan_failures"),
+        study.ntp_scan.failures_total() + study.hitlist_scan.failures_total()
+    );
+    for cause in [
+        FailureCause::NoListener,
+        FailureCause::Timeout,
+        FailureCause::Malformed,
+    ] {
+        let legacy = study.ntp_scan.failures(cause) + study.hitlist_scan.failures(cause);
+        let metric: u64 = Protocol::ALL
+            .iter()
+            .map(|p| det.counter(&scanner::metrics::failures(*p, cause).to_owned_with(&[])))
+            .sum();
+        // Per-cause keys are stage-labelled in the study snapshot;
+        // counter_total with the raw key misses the stage label, so sum
+        // over the relabeled forms instead.
+        let staged: u64 = ["collection", "ntp_scan", "hitlist_scan", "telescope"]
+            .iter()
+            .map(|s| {
+                Protocol::ALL
+                    .iter()
+                    .map(|p| {
+                        det.counter(
+                            &scanner::metrics::failures(*p, cause).to_owned_with(&[("stage", s)]),
+                        )
+                    })
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(metric + staged, legacy, "{cause:?}");
+    }
+    // The lossy transport visibly dropped NTP traffic, and the transport
+    // counters balance: every exchange is answered, unanswered, or lost.
+    assert!(study.run_stats.lost > 0);
+    let exchanges = det.counter_total("transport_exchanges");
+    assert!(exchanges > 0);
+    assert_eq!(
+        exchanges,
+        det.counter_total("transport_answered")
+            + det.counter_total("transport_unanswered")
+            + det.counter_total("transport_lost")
+    );
+}
+
+#[test]
+fn parallel_shard_metrics_match_sequential() {
+    let w = World::generate(WorldConfig::tiny(33));
+    let t = SimTime(500);
+    let addrs: Vec<Ipv6Addr> = w
+        .devices()
+        .iter()
+        .take(200)
+        .map(|d| w.address_of(d.id, t))
+        .collect();
+    let transport = FaultProfile::Lossy1Pct.build(99);
+    let seq = BatchScan::with_transport(ScanPolicy::default(), transport.clone_box()).run(
+        &w,
+        addrs.iter().copied(),
+        t,
+    );
+    let par =
+        BatchScan::run_parallel_with(ScanPolicy::default(), &w, &addrs, t, 4, transport.as_ref());
+    // Shard merges are commutative counter/histogram folds, so the
+    // merged telemetry equals the sequential run's — not just totals,
+    // every key.
+    assert_eq!(
+        seq.telemetry().snapshot(),
+        par.telemetry().snapshot(),
+        "parallel shard metric totals must equal sequential"
+    );
+    // And thread count is irrelevant.
+    let par8 =
+        BatchScan::run_parallel_with(ScanPolicy::default(), &w, &addrs, t, 8, transport.as_ref());
+    assert_eq!(par.telemetry().snapshot(), par8.telemetry().snapshot());
+}
+
+#[test]
+fn sequential_and_parallel_study_scans_agree_under_faults() {
+    // The full-study variant: run the hitlist scan both ways on top of a
+    // lossy study and compare the deterministic snapshots.
+    let study = lossy(44, PipelineMode::Buffered);
+    let transport =
+        FaultProfile::Lossy1Pct.build(netsim::mix2(study.config.world.seed, 0x7472_616e_7370_6f72));
+    let addrs: Vec<Ipv6Addr> = study.hitlist.full.sorted();
+    let t = study.window().0 + study.config.hitlist_scan_offset;
+    let par = BatchScan::run_parallel_with(
+        ScanPolicy::default(),
+        &study.world,
+        &addrs,
+        t,
+        3,
+        transport.as_ref(),
+    );
+    assert_eq!(
+        par.telemetry().snapshot(),
+        study.hitlist_scan.telemetry().snapshot()
+    );
+}

@@ -42,6 +42,24 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is full (bounded channels only).
+        Full(T),
+        /// The receiver was dropped.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender was dropped.
+        Disconnected,
+    }
+
     impl<T> fmt::Debug for Sender<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("Sender { .. }")
@@ -107,6 +125,38 @@ pub mod channel {
             self.shared.not_empty.notify_one();
             Ok(())
         }
+
+        /// Attempts to send without blocking: fails with
+        /// [`TrySendError::Full`] when a bounded channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.cap {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued in the channel.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len()
+        }
+
+        /// Is the channel currently empty?
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -146,6 +196,35 @@ pub mod channel {
                     .wait(queue)
                     .unwrap_or_else(|p| p.into_inner());
             }
+        }
+
+        /// Attempts to receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Messages currently queued in the channel.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len()
+        }
+
+        /// Is the channel currently empty?
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// A blocking iterator over received messages; ends when the
@@ -235,5 +314,27 @@ mod tests {
         let (tx, rx) = channel::bounded::<u8>(1);
         drop(rx);
         assert_eq!(tx.send(7), Err(channel::SendError(7)));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(tx.len(), 1);
+        assert!(!rx.is_empty());
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn try_recv_reports_empty_and_disconnected() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
     }
 }

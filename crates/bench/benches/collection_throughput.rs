@@ -1,0 +1,225 @@
+//! Collection-engine throughput: events/sec of the sequential engine vs
+//! the bucket-synchronous parallel engine, against a reconstruction of
+//! the pre-optimization poll loop.
+//!
+//! Besides the criterion samples, this bench *always* (including
+//! `--test` smoke mode) runs each engine once over the same workload,
+//! asserts their feeds and stats are **bit-identical** (the determinism
+//! contract the parallel engine ships under), and writes the measured
+//! throughput + speedups to
+//! `target/bench-reports/BENCH_collection.json` as a CI artifact. The
+//! recorded `cpus` field qualifies the parallel numbers: thread speedup
+//! needs cores, the constant-factor win over the legacy loop does not.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::country;
+use netsim::engine::EventQueue;
+use netsim::time::{Duration, SimTime};
+use netsim::world::{World, WorldConfig};
+use netsim::{DeviceId, Ideal};
+use ntppool::{next_poll, poll_once, Operator, PollReply, Pool, PoolServer, ServerId};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::net::Ipv6Addr;
+use std::time::Instant;
+
+/// The study-shaped pool: background servers plus the 11 collectors.
+fn study_pool() -> Pool {
+    let mut pool = Pool::with_background();
+    for (i, c) in country::COLLECTOR_LOCATIONS.iter().enumerate() {
+        pool.add(PoolServer {
+            netspeed: 50_000,
+            operator: Operator::Study {
+                location_index: i as u8,
+            },
+            ..PoolServer::background(*c)
+        });
+    }
+    pool
+}
+
+#[derive(Debug, PartialEq, Eq, Default)]
+struct Outcome {
+    polls: u64,
+    responses: u64,
+    observed: u64,
+    feed: Vec<(ServerId, Ipv6Addr, SimTime)>,
+}
+
+/// A faithful reconstruction of the pre-optimization sequential loop:
+/// one heap pop per event, a fresh 48-byte request emitted per poll, a
+/// `HashMap` RPS window, and full per-poll address resolution. This is
+/// the baseline the recorded speedups are measured against.
+fn run_legacy(world: &World, pool: &Pool, start: SimTime, end: SimTime) -> Outcome {
+    let mut out = Outcome::default();
+    let mut queue: EventQueue<(DeviceId, u64)> = EventQueue::new();
+    let mut rps: HashMap<ServerId, (u64, u64)> = HashMap::new();
+    for (dev, cfg) in world.ntp_clients() {
+        queue.schedule(start + cfg.phase, (dev.id, 0));
+    }
+    while let Some((t, (id, seq))) = queue.pop() {
+        if t >= end {
+            continue;
+        }
+        let dev = world.device(id);
+        let cfg = dev.ntp.expect("scheduled device has NTP config");
+        out.polls += 1;
+        let addr = world.address_of(id, t);
+        let mut reply = PollReply::None;
+        if let Some(server_id) = pool.select(dev.country, u64::from(id.0), seq) {
+            let server = pool.server(server_id);
+            let window = rps.entry(server_id).or_insert((u64::MAX, 0));
+            if window.0 != t.as_secs() {
+                *window = (t.as_secs(), 0);
+            }
+            window.1 += 1;
+            let outcome = poll_once(
+                server,
+                &Ideal,
+                addr,
+                ntppool::run::server_addr(server_id),
+                t,
+                window.1,
+            );
+            reply = outcome.reply;
+            if reply == PollReply::Time {
+                out.responses += 1;
+            }
+            if outcome.server_saw && server.operator.collects() {
+                out.observed += 1;
+                out.feed.push((server_id, addr, t));
+            }
+        }
+        queue.schedule(next_poll(t, cfg.poll_interval, reply), (id, seq + 1));
+    }
+    out
+}
+
+/// The current engine at a given thread count.
+fn run_engine(world: &World, pool: &Pool, start: SimTime, end: SimTime, threads: usize) -> Outcome {
+    let run = ntppool::CollectionRun::new(world, pool, start, end).with_threads(threads);
+    let mut out = Outcome::default();
+    let stats = run.run(|server, addr, t| out.feed.push((server, addr, t)));
+    out.polls = stats.polls;
+    out.responses = stats.responses;
+    out.observed = stats.observed;
+    out
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed().as_nanos())
+}
+
+fn events_per_sec(events: u64, nanos: u128) -> u64 {
+    ((events as f64) * 1e9 / nanos.max(1) as f64) as u64
+}
+
+/// The throughput measurement + equivalence guard + artifact writer.
+/// Runs in smoke mode too (on a smaller workload) — CI uploads the
+/// artifact either way.
+fn collection_throughput(c: &mut Criterion) {
+    let smoke = c.is_test_mode();
+    let (world, days) = if smoke {
+        (World::generate(WorldConfig::tiny(bench::BENCH_SEED)), 2u64)
+    } else {
+        (World::generate(WorldConfig::small(bench::BENCH_SEED)), 14)
+    };
+    let pool = study_pool();
+    let (start, end) = (SimTime(0), SimTime(Duration::days(days).as_secs()));
+
+    // Untimed warmup so the first timed pass doesn't absorb cold-cache
+    // and allocator start-up costs.
+    black_box(run_engine(&world, &pool, start, end, 1));
+
+    let (legacy, legacy_ns) = time(|| run_legacy(&world, &pool, start, end));
+    let (sequential, sequential_ns) = time(|| run_engine(&world, &pool, start, end, 1));
+    // The determinism contract, checked on the bench workload too: the
+    // rewritten engines reproduce the legacy loop bit for bit.
+    assert_eq!(sequential, legacy, "sequential engine diverged from legacy");
+    let mut parallel_ns = Vec::new();
+    for threads in [2usize, 4] {
+        let (parallel, ns) = time(|| run_engine(&world, &pool, start, end, threads));
+        assert_eq!(parallel, legacy, "{threads}-thread engine diverged");
+        parallel_ns.push((threads, ns));
+    }
+
+    let events = legacy.polls;
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = |ns: u128| legacy_ns as f64 / ns.max(1) as f64;
+    println!(
+        "collection/throughput: {events} events, {cpus} cpus — legacy {} ev/s, sequential {} ev/s ({:.2}x)",
+        events_per_sec(events, legacy_ns),
+        events_per_sec(events, sequential_ns),
+        speedup(sequential_ns),
+    );
+    for &(threads, ns) in &parallel_ns {
+        println!(
+            "collection/throughput: {threads} threads {} ev/s ({:.2}x vs legacy)",
+            events_per_sec(events, ns),
+            speedup(ns),
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"collection_throughput\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"world\": \"{}\",\n",
+            "  \"days\": {},\n",
+            "  \"cpus\": {},\n",
+            "  \"events\": {},\n",
+            "  \"legacy_ns\": {},\n",
+            "  \"sequential_ns\": {},\n",
+            "  \"parallel_2t_ns\": {},\n",
+            "  \"parallel_4t_ns\": {},\n",
+            "  \"events_per_sec\": {{\"legacy\": {}, \"sequential\": {}, \"threads_2\": {}, \"threads_4\": {}}},\n",
+            "  \"speedup_vs_legacy\": {{\"sequential\": {:.3}, \"threads_2\": {:.3}, \"threads_4\": {:.3}}}\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        if smoke { "tiny" } else { "small" },
+        days,
+        cpus,
+        events,
+        legacy_ns,
+        sequential_ns,
+        parallel_ns[0].1,
+        parallel_ns[1].1,
+        events_per_sec(events, legacy_ns),
+        events_per_sec(events, sequential_ns),
+        events_per_sec(events, parallel_ns[0].1),
+        events_per_sec(events, parallel_ns[1].1),
+        speedup(sequential_ns),
+        speedup(parallel_ns[0].1),
+        speedup(parallel_ns[1].1),
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-reports");
+    std::fs::create_dir_all(&dir).expect("create target/bench-reports");
+    let path = dir.join("BENCH_collection.json");
+    std::fs::write(&path, &json).expect("write collection bench artifact");
+    println!(
+        "collection/artifact: {} bytes -> {}",
+        json.len(),
+        path.display()
+    );
+
+    // Criterion samples over a one-day slice, so `cargo bench` timings
+    // track regressions in both engines.
+    let slice_end = SimTime(Duration::days(1).as_secs());
+    c.bench_function("collection/sequential", |b| {
+        b.iter(|| black_box(run_engine(&world, &pool, start, slice_end, 1).polls))
+    });
+    c.bench_function("collection/parallel_4t", |b| {
+        b.iter(|| black_box(run_engine(&world, &pool, start, slice_end, 4).polls))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = collection_throughput
+}
+criterion_main!(benches);

@@ -45,6 +45,12 @@ pub struct StudyConfig {
     pub telescope: bool,
     /// How collection feeds the real-time scanner.
     pub pipeline: PipelineMode,
+    /// Worker threads for the collection run's bucket-synchronous
+    /// engine. `1` (the default) keeps the sequential engine; any value
+    /// produces **bit-identical** results (feed order, stats, and the
+    /// deterministic run report) — the knob only changes wall-clock
+    /// time, enforced by `tests/collection_parallel.rs`.
+    pub collection_threads: usize,
     /// Network fault model every byte exchange crosses. The default
     /// [`FaultProfile::Ideal`] is bit-identical to direct calls; the
     /// presets degrade the path for robustness experiments.
@@ -62,6 +68,7 @@ impl StudyConfig {
             rl_samples,
             telescope: true,
             pipeline: PipelineMode::default(),
+            collection_threads: 1,
             fault: FaultProfile::default(),
         }
     }
@@ -109,6 +116,13 @@ impl StudyConfig {
         self.fault = fault;
         self
     }
+
+    /// The same config with the collection run fanned out over
+    /// `threads` worker threads (clamped to ≥ 1).
+    pub fn with_collection_threads(mut self, threads: usize) -> StudyConfig {
+        self.collection_threads = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +164,24 @@ mod tests {
         // Everything but the fault profile is untouched.
         assert_eq!(lossy.collection, StudyConfig::tiny(1).collection);
         assert_eq!(lossy.pipeline, StudyConfig::tiny(1).pipeline);
+    }
+
+    #[test]
+    fn collection_threads_default_and_builder() {
+        assert_eq!(StudyConfig::tiny(1).collection_threads, 1);
+        assert_eq!(StudyConfig::paper_milli(1).collection_threads, 1);
+        let par = StudyConfig::tiny(1).with_collection_threads(4);
+        assert_eq!(par.collection_threads, 4);
+        // Zero clamps to the sequential engine.
+        assert_eq!(
+            StudyConfig::tiny(1)
+                .with_collection_threads(0)
+                .collection_threads,
+            1
+        );
+        // Everything but the thread knob is untouched.
+        assert_eq!(par.collection, StudyConfig::tiny(1).collection);
+        assert_eq!(par.fault, StudyConfig::tiny(1).fault);
     }
 
     #[test]

@@ -131,6 +131,7 @@ impl Study {
             start,
             end,
             config.pipeline,
+            config.collection_threads,
             transport.as_ref(),
         );
         span.finish(&mut study_reg, end.as_secs());
@@ -251,12 +252,19 @@ impl Study {
 /// [`Snapshot`] carries the collection- and scan-stage metrics (stamped
 /// `stage=collection` / `stage=ntp_scan`); its deterministic entries are
 /// also mode-independent — streaming adds only volatile channel metrics.
+///
+/// `threads` fans the collection run's per-bucket poll execution out
+/// over worker threads (see `CollectionRun::with_threads`); the feed the
+/// scanner consumes is emitted in the same order for any thread count,
+/// so the knob composes with either pipeline mode without touching a
+/// single deterministic bit.
 fn run_collection_and_scan(
     world: &World,
     pool: &Pool,
     start: SimTime,
     end: SimTime,
     mode: PipelineMode,
+    threads: usize,
     transport: &dyn Transport,
 ) -> (
     AddressCollector,
@@ -267,7 +275,8 @@ fn run_collection_and_scan(
 ) {
     let mut coll_reg = Registry::new();
     let (coll_transport, coll_stats) = Instrumented::new(transport.clone_box());
-    let run = CollectionRun::with_transport(world, pool, start, end, Box::new(coll_transport));
+    let run = CollectionRun::with_transport(world, pool, start, end, Box::new(coll_transport))
+        .with_threads(threads);
     let record = |collector: &mut AddressCollector, server, addr, t| {
         if matches!(pool.server(server).operator, Operator::Study { .. }) {
             collector.record(server, addr, t);

@@ -67,6 +67,31 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|Reverse((t, _, Slot(e)))| (t, e))
     }
 
+    /// Schedules a batch of `(at, event)` pairs in iteration order —
+    /// equivalent to calling [`schedule`](EventQueue::schedule) per pair
+    /// (same sequence numbers, same FIFO ties), but lets the bucketed
+    /// collection engine push one bucket's reschedules in a single call.
+    pub fn schedule_batch(&mut self, events: impl IntoIterator<Item = (SimTime, E)>) {
+        for (at, event) in events {
+            self.schedule(at, event);
+        }
+    }
+
+    /// Pops every event strictly before `horizon` into `out` (appended in
+    /// exact pop order: time, then insertion sequence) and returns how
+    /// many were drained. This is the batch primitive of the
+    /// bucket-synchronous collection engine: the caller picks a horizon
+    /// no event inside the bucket can schedule into, drains the bucket,
+    /// fans the expensive work out, and re-schedules the follow-ups via
+    /// [`schedule_batch`](EventQueue::schedule_batch).
+    pub fn pop_bucket(&mut self, horizon: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let before = out.len();
+        while self.peek_time().is_some_and(|t| t < horizon) {
+            out.push(self.pop().expect("peeked event present"));
+        }
+        out.len() - before
+    }
+
     /// Timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse((t, _, _))| *t)
@@ -109,6 +134,47 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop(), Some((SimTime(5), i)));
         }
+    }
+
+    #[test]
+    fn pop_bucket_drains_in_pop_order_and_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(12), "late");
+        q.schedule(SimTime(3), "a");
+        q.schedule(SimTime(3), "b");
+        q.schedule(SimTime(7), "c");
+        q.schedule(SimTime(10), "boundary");
+        let mut bucket = Vec::new();
+        // Horizon is exclusive: the event *at* the horizon stays queued.
+        let n = q.pop_bucket(SimTime(10), &mut bucket);
+        assert_eq!(n, 3);
+        assert_eq!(
+            bucket,
+            vec![(SimTime(3), "a"), (SimTime(3), "b"), (SimTime(7), "c")]
+        );
+        assert_eq!(q.len(), 2);
+        // Draining appends; counts are per call.
+        let n = q.pop_bucket(SimTime(100), &mut bucket);
+        assert_eq!(n, 2);
+        assert_eq!(bucket.len(), 5);
+        assert!(q.is_empty());
+        assert_eq!(q.pop_bucket(SimTime(1_000), &mut bucket), 0);
+    }
+
+    #[test]
+    fn schedule_batch_matches_sequential_schedules() {
+        let mut batched = EventQueue::new();
+        let mut seq = EventQueue::new();
+        let events = [(SimTime(9), 1u32), (SimTime(2), 2), (SimTime(9), 3)];
+        batched.schedule_batch(events);
+        for (t, e) in events {
+            seq.schedule(t, e);
+        }
+        // FIFO ties and ordering are identical between the two paths.
+        while let Some(a) = seq.pop() {
+            assert_eq!(batched.pop(), Some(a));
+        }
+        assert!(batched.is_empty());
     }
 
     #[test]

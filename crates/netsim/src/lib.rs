@@ -63,7 +63,7 @@ pub use instrument::{Instrumented, TransportStats};
 pub use time::{Duration, SimTime};
 pub use topology::{AsInfo, Asn, Topology};
 pub use transport::{Delivery, FaultConfig, FaultProfile, Faulty, Ideal, Link, Transport};
-pub use world::{World, WorldConfig};
+pub use world::{AddrResolver, World, WorldConfig};
 
 /// Deterministic 64-bit mix used everywhere the simulation needs a
 /// pseudo-random but reproducible value derived from identifiers

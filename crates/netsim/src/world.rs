@@ -270,6 +270,71 @@ impl World {
     pub fn ntp_clients(&self) -> impl Iterator<Item = (&Device, NtpClientCfg)> + '_ {
         self.devices.iter().filter_map(|d| d.ntp.map(|c| (d, c)))
     }
+
+    /// A fresh [`AddrResolver`] over this world.
+    pub fn addr_resolver(&self) -> AddrResolver<'_> {
+        AddrResolver {
+            world: self,
+            epoch: None,
+            pool_views: HashMap::new(),
+        }
+    }
+}
+
+/// A read-through cache for [`World::address_of`] on the collection hot
+/// path.
+///
+/// Resolving a household address walks the per-AS delegation-pool map
+/// and redoes the rotation-slot arithmetic on every call, even though
+/// both only change once per rotation *epoch*. The resolver caches the
+/// per-(AS, epoch) pool view — allocation prefix, rotation shift, slot
+/// space — so a bucket of same-epoch polls touches the map once per AS.
+/// Addresses are **bit-identical** to [`World::address_of`] for every
+/// device and time (enforced by tests); each worker of the parallel
+/// collection engine owns its own resolver, so the cache needs no
+/// locking.
+pub struct AddrResolver<'w> {
+    world: &'w World,
+    /// Rotation epoch the cached views were computed for.
+    epoch: Option<u64>,
+    /// Per-AS `(allocation, rotation shift, slot space)` at `epoch`.
+    pool_views: HashMap<Asn, (Prefix, u64, u64)>,
+}
+
+impl AddrResolver<'_> {
+    /// The device's global address at `t`; same value as
+    /// [`World::address_of`], amortizing the per-(AS, epoch) pool work.
+    pub fn address_of(&mut self, id: DeviceId, t: SimTime) -> Ipv6Addr {
+        let world = self.world;
+        let dev = world.device(id);
+        let net64 = match dev.attachment {
+            Attachment::Static { net64 } => net64,
+            Attachment::Household { household, member } => {
+                let epoch = world.epoch(t);
+                if self.epoch != Some(epoch) {
+                    self.pool_views.clear();
+                    self.epoch = Some(epoch);
+                }
+                let hh = &world.households[household as usize];
+                let (alloc, shift, space) = *self.pool_views.entry(hh.asn).or_insert_with(|| {
+                    let pool = &world.pools[&hh.asn];
+                    (
+                        pool.alloc,
+                        epoch * u64::from(pool.step) % u64::from(pool.space),
+                        u64::from(pool.space),
+                    )
+                });
+                // Same arithmetic as `EyeballPool::slot_at`, with the
+                // epoch-dependent term folded into the cached shift:
+                // (idx + epoch*step) mod m == ((idx mod m) + shift) mod m.
+                let slot = (u64::from(hh.index_in_as) % space + shift) % space;
+                alloc
+                    .subnet(48, u128::from(POOL_BASE) + u128::from(slot))
+                    .subnet(64, u128::from(member))
+            }
+        };
+        net64.host(u128::from(dev.iid_at(t).0))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -979,6 +1044,35 @@ mod tests {
             nets.windows(2).all(|w| w[0] == w[1]),
             "members scattered: {nets:?}"
         );
+    }
+
+    #[test]
+    fn addr_resolver_matches_address_of_across_epochs() {
+        let w = tiny();
+        let mut resolver = w.addr_resolver();
+        // Sweep times within an epoch, across epoch boundaries, and far
+        // out — including going *backwards*, which must invalidate the
+        // cached epoch view just like going forwards.
+        let day = Duration::days(1).as_secs();
+        let times = [
+            SimTime(0),
+            SimTime(day / 2),
+            SimTime(day - 1),
+            SimTime(day),
+            SimTime(3 * day + 17),
+            SimTime(day + 1),
+            SimTime(40 * day),
+        ];
+        for t in times {
+            for dev in w.devices() {
+                assert_eq!(
+                    resolver.address_of(dev.id, t),
+                    w.address_of(dev.id, t),
+                    "device {:?} at {t}",
+                    dev.id
+                );
+            }
+        }
     }
 
     #[test]

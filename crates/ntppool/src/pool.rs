@@ -57,6 +57,18 @@ impl Pool {
         id
     }
 
+    /// Number of servers in the pool. Ids are dense (`0..len()`), which
+    /// is what lets the collection run index its per-server RPS windows
+    /// with a plain `Vec`.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
     /// Immutable server access.
     pub fn server(&self, id: ServerId) -> &PoolServer {
         &self.servers[id.0 as usize]

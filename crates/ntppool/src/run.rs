@@ -14,6 +14,41 @@
 //! run distinguishes what the *server* saw (ground truth for collection)
 //! from what the *client* got back. Clients honor `RATE` Kiss-o'-Death
 //! responses by backing off their next poll.
+//!
+//! # The bucket-synchronous parallel engine
+//!
+//! With [`CollectionRun::with_threads`] ≥ 2 the run switches from the
+//! single-threaded pop loop to a bucket-synchronous engine that drains
+//! the queue one *bucket* at a time and splits each bucket into four
+//! phases:
+//!
+//! 1. **pre-plan** (parallel): per-event pure work — device lookup,
+//!    address resolution through a per-worker
+//!    [`AddrResolver`](netsim::AddrResolver), zone-weighted server
+//!    selection. All of it depends only on `(device, seq, t)`, never on
+//!    other events.
+//! 2. **plan** (sequential, event order): per-server RPS ordinals — the
+//!    *only* order-dependent input. A server's KoD decision depends on
+//!    how many requests it already saw this simulated second, so the
+//!    ordinals must be assigned in exact pop order.
+//! 3. **execute** (parallel): the full wire exchange —
+//!    [`Packet`] emit (memoized per second) / parse, transport fault
+//!    hashing, [`PoolServer::handle_at_rate`]. Pure given the planned
+//!    `(server, ordinal, t)`, because transport fates are stateless
+//!    hashes of the link.
+//! 4. **apply** (sequential, event order): outcome counters, the
+//!    first-sight `observe` callback, the KoD-backoff histogram, and
+//!    next-poll scheduling.
+//!
+//! The bucket horizon is the minimum poll interval over scheduled
+//! clients: every follow-up scheduled from inside a bucket lands at
+//! least one interval later (KoD *widens* the gap), so no bucket can
+//! schedule into itself and phases 2/4 see the complete bucket. Feed
+//! order, [`RunStats`], and the deterministic telemetry bank are
+//! therefore **bit-identical** to the sequential engine for any thread
+//! count — the same guarantee shape as the batch scanner's sharded
+//! merge. Per-worker registries carry only volatile metrics and merge
+//! in worker order.
 
 use crate::metrics;
 use crate::pool::{Pool, ServerId};
@@ -23,7 +58,6 @@ use netsim::time::{Duration, SimTime};
 use netsim::transport::{Delivery, Ideal, Link, Transport};
 use netsim::world::World;
 use netsim::DeviceId;
-use std::collections::HashMap;
 use std::net::Ipv6Addr;
 use telemetry::Registry;
 use wire::ntp::{NtpTimestamp, Packet};
@@ -78,6 +112,22 @@ pub fn poll_once(
     current_rps: u64,
 ) -> PollOutcome {
     let request = Packet::client_request(NtpTimestamp::from_unix_secs(t.to_unix())).emit();
+    poll_once_with_request(server, transport, src, dst, t, current_rps, &request)
+}
+
+/// [`poll_once`] with pre-encoded request bytes. The request depends
+/// only on the transmit timestamp, so callers polling many clients in
+/// the same simulated second (see [`RequestMemo`]) emit it once and
+/// reuse the bytes — the exchange is bit-identical to [`poll_once`].
+pub fn poll_once_with_request(
+    server: &PoolServer,
+    transport: &dyn Transport,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    t: SimTime,
+    current_rps: u64,
+    request: &[u8],
+) -> PollOutcome {
     let mut server_saw = false;
     let link = Link {
         src,
@@ -85,7 +135,7 @@ pub fn poll_once(
         port: NTP_PORT,
         attempt: 0,
     };
-    let delivery = transport.exchange(link, &request, &mut |bytes| {
+    let delivery = transport.exchange(link, request, &mut |bytes| {
         let r = server.handle_at_rate(bytes, t, current_rps);
         server_saw = r.is_some();
         r
@@ -154,6 +204,133 @@ impl RunStats {
     }
 }
 
+/// Memoizes the emitted mode-3 client request for the current timestamp
+/// second: polls sharing a second reuse one encoded packet instead of
+/// re-emitting 48 bytes per event. The request depends only on the
+/// transmit timestamp, so the cached bytes are identical to a fresh
+/// `Packet::client_request(t).emit()`.
+#[derive(Debug, Default)]
+pub struct RequestMemo {
+    second: Option<u64>,
+    bytes: Vec<u8>,
+}
+
+impl RequestMemo {
+    /// An empty memo.
+    pub fn new() -> RequestMemo {
+        RequestMemo::default()
+    }
+
+    /// The encoded request for transmit time `t`, re-emitting only when
+    /// the second changes.
+    pub fn request(&mut self, t: SimTime) -> &[u8] {
+        let second = t.to_unix();
+        if self.second != Some(second) {
+            self.bytes = Packet::client_request(NtpTimestamp::from_unix_secs(second)).emit();
+            self.second = Some(second);
+        }
+        &self.bytes
+    }
+}
+
+/// Per-server request counts over the current simulated second, feeding
+/// the servers' KoD load shedding. Indexed by `ServerId.0` (pool ids
+/// are dense), with `None` until a server first sees traffic — no
+/// sentinel second needed.
+struct RpsWindows {
+    windows: Vec<Option<(u64, u64)>>,
+}
+
+impl RpsWindows {
+    fn for_pool(pool: &Pool) -> RpsWindows {
+        RpsWindows {
+            windows: vec![None; pool.len()],
+        }
+    }
+
+    /// The server's 1-based request ordinal within second `sec`,
+    /// advancing the window (and resetting it when the second moves).
+    fn ordinal(&mut self, server: ServerId, sec: u64) -> u64 {
+        let slot = &mut self.windows[server.0 as usize];
+        match slot {
+            Some((s, n)) if *s == sec => {
+                *n += 1;
+                *n
+            }
+            _ => {
+                *slot = Some((sec, 1));
+                1
+            }
+        }
+    }
+}
+
+/// Run-level outcome counters, accumulated in plain locals and flushed
+/// into the registry once per run — the poll loop is the hottest path in
+/// the study, and a batched flush keeps telemetry off it (same pattern
+/// as the transport's atomic sinks).
+#[derive(Default)]
+struct Totals {
+    polls: u64,
+    responses: u64,
+    kod: u64,
+    lost: u64,
+    observed: u64,
+}
+
+impl Totals {
+    fn count_reply(&mut self, reply: PollReply) {
+        match reply {
+            PollReply::Time => self.responses += 1,
+            PollReply::RateKod => self.kod += 1,
+            PollReply::None => self.lost += 1,
+        }
+    }
+
+    fn flush(self, local: &mut Registry) -> RunStats {
+        local.add(metrics::NTP_POLLS, self.polls);
+        local.add(metrics::NTP_RESPONSES, self.responses);
+        local.add(metrics::NTP_KOD, self.kod);
+        local.add(metrics::NTP_LOST, self.lost);
+        local.add(metrics::NTP_OBSERVED, self.observed);
+        RunStats::from_registry(local)
+    }
+}
+
+/// One bucket event flowing through the plan → execute → apply phases
+/// of the parallel engine.
+struct Planned {
+    t: SimTime,
+    id: DeviceId,
+    seq: u64,
+    /// Filled by the parallel pre-plan phase.
+    interval: Duration,
+    addr: Ipv6Addr,
+    server: Option<ServerId>,
+    /// Filled by the sequential plan phase (RPS ordinal in event order).
+    rps: u64,
+    /// Filled by the parallel execute phase.
+    outcome: PollOutcome,
+}
+
+impl Planned {
+    fn new(t: SimTime, id: DeviceId, seq: u64) -> Planned {
+        Planned {
+            t,
+            id,
+            seq,
+            interval: Duration::ZERO,
+            addr: Ipv6Addr::UNSPECIFIED,
+            server: None,
+            rps: 0,
+            outcome: PollOutcome {
+                server_saw: false,
+                reply: PollReply::None,
+            },
+        }
+    }
+}
+
 /// A collection run over a time window.
 pub struct CollectionRun<'w> {
     world: &'w World,
@@ -161,6 +338,7 @@ pub struct CollectionRun<'w> {
     start: SimTime,
     end: SimTime,
     transport: Box<dyn Transport>,
+    threads: usize,
 }
 
 impl<'w> CollectionRun<'w> {
@@ -183,7 +361,29 @@ impl<'w> CollectionRun<'w> {
             start,
             end,
             transport,
+            threads: 1,
         }
+    }
+
+    /// The same run with per-bucket poll execution fanned out over
+    /// `threads` worker threads (clamped to ≥ 1; 1 keeps the sequential
+    /// engine). Feed order, stats, and deterministic telemetry are
+    /// **bit-identical** for any thread count — see the module docs for
+    /// the phase split that guarantees it.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The event queue seeded with every client's first poll.
+    fn seeded_queue(&self) -> EventQueue<(DeviceId, u64)> {
+        let mut queue = EventQueue::new();
+        queue.schedule_batch(
+            self.world
+                .ntp_clients()
+                .map(|(dev, cfg)| (self.start + cfg.phase, (dev.id, 0))),
+        );
+        queue
     }
 
     /// Drives the simulation. `observe(server, addr, t)` fires for every
@@ -204,62 +404,61 @@ impl<'w> CollectionRun<'w> {
     ) -> RunStats {
         // Poll outcomes land in a run-local registry so the derived
         // stats cannot pick up counts from other stages sharing
-        // `registry`; it is merged into the caller's at the end. The
-        // per-poll counters accumulate in plain locals and flush into
-        // the registry once per run — the poll loop is the hottest path
-        // in the study, and a batched flush keeps telemetry off it
-        // (same pattern as the transport's atomic sinks).
+        // `registry`; it is merged into the caller's at the end.
         let mut local = Registry::new();
-        let (mut polls, mut responses, mut kod, mut lost, mut observed) =
-            (0u64, 0u64, 0u64, 0u64, 0u64);
-        let mut queue: EventQueue<(DeviceId, u64)> = EventQueue::new();
-        // Per-server request rate over the current simulated second,
-        // feeding the servers' KoD load shedding.
-        let mut rps: HashMap<ServerId, (u64, u64)> = HashMap::new();
-        for (dev, cfg) in self.world.ntp_clients() {
-            queue.schedule(self.start + cfg.phase, (dev.id, 0));
-        }
+        let stats = if self.threads <= 1 {
+            self.run_sequential(&mut local, &mut observe)
+        } else {
+            self.run_bucketed(&mut local, &mut observe)
+        };
+        registry.merge(&local);
+        stats
+    }
+
+    /// The single-threaded engine: one pop per event, everything inline.
+    fn run_sequential<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
+        &self,
+        local: &mut Registry,
+        observe: &mut F,
+    ) -> RunStats {
+        let mut totals = Totals::default();
+        let mut queue = self.seeded_queue();
+        let mut rps = RpsWindows::for_pool(self.pool);
+        let mut memo = RequestMemo::new();
+        let mut resolver = self.world.addr_resolver();
         while let Some((t, (id, seq))) = queue.pop() {
             if t >= self.end {
                 continue; // drain without rescheduling
             }
             let dev = self.world.device(id);
             let cfg = dev.ntp.expect("scheduled device has NTP config");
-            polls += 1;
+            totals.polls += 1;
 
-            let addr = self.world.address_of(id, t);
+            let addr = resolver.address_of(id, t);
             let mut reply = PollReply::None;
             if let Some(server_id) = self.pool.select(dev.country, u64::from(id.0), seq) {
                 let server = self.pool.server(server_id);
-                let window = rps.entry(server_id).or_insert((u64::MAX, 0));
-                if window.0 != t.as_secs() {
-                    *window = (t.as_secs(), 0);
-                }
-                window.1 += 1;
-                let current_rps = window.1;
-                let outcome = poll_once(
+                let current_rps = rps.ordinal(server_id, t.as_secs());
+                let outcome = poll_once_with_request(
                     server,
                     self.transport.as_ref(),
                     addr,
                     server_addr(server_id),
                     t,
                     current_rps,
+                    memo.request(t),
                 );
                 reply = outcome.reply;
-                match outcome.reply {
-                    PollReply::Time => responses += 1,
-                    PollReply::RateKod => kod += 1,
-                    PollReply::None => lost += 1,
-                }
+                totals.count_reply(reply);
                 // Collection is ground truth on the server: a request
                 // that arrived is recorded even if the reply is a KoD or
                 // never makes it back.
                 if outcome.server_saw && server.operator.collects() {
-                    observed += 1;
+                    totals.observed += 1;
                     observe(server_id, addr, t);
                 }
             } else {
-                lost += 1;
+                totals.lost += 1;
             }
             let next = next_poll(t, cfg.poll_interval, reply);
             if reply == PollReply::RateKod {
@@ -272,14 +471,148 @@ impl<'w> CollectionRun<'w> {
             }
             queue.schedule(next, (id, seq + 1));
         }
-        local.add(metrics::NTP_POLLS, polls);
-        local.add(metrics::NTP_RESPONSES, responses);
-        local.add(metrics::NTP_KOD, kod);
-        local.add(metrics::NTP_LOST, lost);
-        local.add(metrics::NTP_OBSERVED, observed);
-        let stats = RunStats::from_registry(&local);
-        registry.merge(&local);
-        stats
+        totals.flush(local)
+    }
+
+    /// The bucket-synchronous parallel engine (module docs). Produces
+    /// bit-identical feed order, stats, and deterministic telemetry to
+    /// [`run_sequential`](CollectionRun::run_sequential).
+    fn run_bucketed<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
+        &self,
+        local: &mut Registry,
+        observe: &mut F,
+    ) -> RunStats {
+        let mut totals = Totals::default();
+        let mut queue = self.seeded_queue();
+        // Safe bucket horizon: the minimum poll interval over scheduled
+        // clients. Every follow-up scheduled from inside a bucket lands
+        // at least one interval after its event (KoD widens the gap
+        // KOD_BACKOFF_FACTOR×), so a bucket spanning at most the minimum
+        // interval can never schedule into itself.
+        let horizon = self
+            .world
+            .ntp_clients()
+            .map(|(_, cfg)| cfg.poll_interval.as_secs())
+            .min()
+            .unwrap_or(1)
+            .max(1);
+        let mut rps = RpsWindows::for_pool(self.pool);
+        let mut bucket: Vec<(SimTime, (DeviceId, u64))> = Vec::new();
+        let mut planned: Vec<Planned> = Vec::new();
+        let mut reschedule: Vec<(SimTime, (DeviceId, u64))> = Vec::new();
+        while let Some(t0) = queue.peek_time() {
+            if t0 >= self.end {
+                break; // every remaining event is past the window
+            }
+            let bucket_end = SimTime(t0.as_secs().saturating_add(horizon)).min(self.end);
+            bucket.clear();
+            queue.pop_bucket(bucket_end, &mut bucket);
+            local.vol_add(metrics::NTP_COLLECTION_BUCKETS, 1);
+            local.vol_observe(metrics::NTP_BUCKET_EVENTS, bucket.len() as u64);
+            planned.clear();
+            planned.extend(
+                bucket
+                    .iter()
+                    .map(|&(t, (id, seq))| Planned::new(t, id, seq)),
+            );
+            let workers = self.threads.min(planned.len()).max(1);
+            let chunk = planned.len().div_ceil(workers);
+
+            // Phase 1 — pre-plan (parallel): pure per-event work.
+            std::thread::scope(|scope| {
+                for part in planned.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        let mut resolver = self.world.addr_resolver();
+                        for p in part {
+                            let dev = self.world.device(p.id);
+                            let cfg = dev.ntp.expect("scheduled device has NTP config");
+                            p.interval = cfg.poll_interval;
+                            p.addr = resolver.address_of(p.id, p.t);
+                            p.server = self.pool.select(dev.country, u64::from(p.id.0), p.seq);
+                        }
+                    });
+                }
+            });
+
+            // Phase 2 — plan (sequential, event order): RPS ordinals,
+            // the one order-dependent input to KoD shedding.
+            for p in planned.iter_mut() {
+                if let Some(server_id) = p.server {
+                    p.rps = rps.ordinal(server_id, p.t.as_secs());
+                }
+            }
+
+            // Phase 3 — execute (parallel): the full wire exchange.
+            // Each worker owns a registry for its volatile metrics;
+            // they merge below in worker (chunk) order, so even a
+            // non-commutative metric would merge deterministically.
+            let worker_regs = std::thread::scope(|scope| {
+                let handles: Vec<_> = planned
+                    .chunks_mut(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            let mut reg = Registry::new();
+                            let mut memo = RequestMemo::new();
+                            let mut executed = 0u64;
+                            for p in part {
+                                if let Some(server_id) = p.server {
+                                    p.outcome = poll_once_with_request(
+                                        self.pool.server(server_id),
+                                        self.transport.as_ref(),
+                                        p.addr,
+                                        server_addr(server_id),
+                                        p.t,
+                                        p.rps,
+                                        memo.request(p.t),
+                                    );
+                                    executed += 1;
+                                }
+                            }
+                            reg.vol_observe(metrics::NTP_WORKER_POLLS, executed);
+                            reg
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("collection worker panicked"))
+                    .collect::<Vec<Registry>>()
+            });
+            for reg in &worker_regs {
+                local.merge(reg);
+            }
+
+            // Phase 4 — apply (sequential, event order): counters, the
+            // first-sight feed, KoD histogram, next-poll scheduling.
+            reschedule.clear();
+            for p in planned.iter() {
+                totals.polls += 1;
+                let reply = match p.server {
+                    Some(server_id) => {
+                        totals.count_reply(p.outcome.reply);
+                        if p.outcome.server_saw && self.pool.server(server_id).operator.collects() {
+                            totals.observed += 1;
+                            observe(server_id, p.addr, p.t);
+                        }
+                        p.outcome.reply
+                    }
+                    None => {
+                        totals.lost += 1;
+                        PollReply::None
+                    }
+                };
+                let next = next_poll(p.t, p.interval, reply);
+                if reply == PollReply::RateKod {
+                    local.observe(
+                        metrics::NTP_KOD_BACKOFF_SECONDS,
+                        next.since(p.t).as_secs() - p.interval.as_secs(),
+                    );
+                }
+                reschedule.push((next, (p.id, p.seq + 1)));
+            }
+            queue.schedule_batch(reschedule.drain(..));
+        }
+        totals.flush(local)
     }
 }
 
@@ -570,6 +903,129 @@ mod tests {
                 pair[1].since(pair[0]) >= Duration::secs(interval.as_secs() * KOD_BACKOFF_FACTOR)
             );
         }
+    }
+
+    #[test]
+    fn request_memo_matches_fresh_emit() {
+        let mut memo = RequestMemo::new();
+        for t in [
+            SimTime(0),
+            SimTime(0),
+            SimTime(1),
+            SimTime(86_400),
+            SimTime(1),
+        ] {
+            let fresh = Packet::client_request(NtpTimestamp::from_unix_secs(t.to_unix())).emit();
+            assert_eq!(memo.request(t), &fresh[..], "at {t}");
+        }
+    }
+
+    #[test]
+    fn rps_windows_count_per_server_per_second() {
+        let mut pool = Pool::new();
+        for _ in 0..3 {
+            pool.add(PoolServer::background(country::DE));
+        }
+        let mut rps = RpsWindows::for_pool(&pool);
+        let (a, b) = (ServerId(0), ServerId(2));
+        assert_eq!(rps.ordinal(a, 10), 1);
+        assert_eq!(rps.ordinal(a, 10), 2);
+        assert_eq!(rps.ordinal(b, 10), 1);
+        // The window resets when the second moves — including *backwards*
+        // (a fresh second is a fresh window either way).
+        assert_eq!(rps.ordinal(a, 11), 1);
+        assert_eq!(rps.ordinal(a, 10), 1);
+    }
+
+    /// A pool whose collecting servers shed load aggressively, so the
+    /// parallel engine's KoD path is exercised end to end.
+    fn kod_pool() -> Pool {
+        let mut pool = Pool::new();
+        for (i, c) in country::COLLECTOR_LOCATIONS.iter().enumerate() {
+            pool.add(PoolServer {
+                netspeed: 50_000,
+                operator: Operator::Study {
+                    location_index: i as u8,
+                },
+                max_rps: 1,
+                ..PoolServer::background(*c)
+            });
+        }
+        pool
+    }
+
+    fn run_with_threads(
+        world: &World,
+        pool: &Pool,
+        threads: usize,
+        transport: Box<dyn Transport>,
+    ) -> (RunStats, Vec<(ServerId, Ipv6Addr, SimTime)>, Registry) {
+        let run = CollectionRun::with_transport(
+            world,
+            pool,
+            SimTime(0),
+            SimTime(Duration::days(2).as_secs()),
+            transport,
+        )
+        .with_threads(threads);
+        let mut feed = Vec::new();
+        let mut reg = Registry::new();
+        let stats = run.run_instrumented(&mut reg, |s, a, t| feed.push((s, a, t)));
+        (stats, feed, reg)
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_sequential() {
+        use netsim::transport::{FaultConfig, Faulty};
+        let world = World::generate(WorldConfig::tiny(9));
+        for pool in [study_pool(), kod_pool()] {
+            let (seq_stats, seq_feed, seq_reg) = run_with_threads(
+                &world,
+                &pool,
+                1,
+                Box::new(Faulty::new(FaultConfig::congested(5))),
+            );
+            for threads in [2usize, 4] {
+                let (stats, feed, reg) = run_with_threads(
+                    &world,
+                    &pool,
+                    threads,
+                    Box::new(Faulty::new(FaultConfig::congested(5))),
+                );
+                assert_eq!(stats, seq_stats, "{threads} threads");
+                assert_eq!(feed, seq_feed, "{threads} threads");
+                // Deterministic telemetry (counters + KoD histogram) is
+                // identical; only volatile bucket/worker metrics differ.
+                assert_eq!(
+                    reg.snapshot().deterministic(),
+                    seq_reg.snapshot().deterministic(),
+                    "{threads} threads"
+                );
+                assert!(reg.volatile_bank().counter(metrics::NTP_COLLECTION_BUCKETS) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_backs_off_kod_identically() {
+        let world = World::generate(WorldConfig::tiny(9));
+        let pool = kod_pool();
+        let (seq_stats, _, seq_reg) = run_with_threads(&world, &pool, 1, Box::new(Ideal));
+        assert!(seq_stats.kod > 0, "KoD pool never shed load");
+        let (par_stats, _, par_reg) = run_with_threads(&world, &pool, 4, Box::new(Ideal));
+        assert_eq!(par_stats, seq_stats);
+        let seq_hist = seq_reg.hist(metrics::NTP_KOD_BACKOFF_SECONDS).unwrap();
+        let par_hist = par_reg.hist(metrics::NTP_KOD_BACKOFF_SECONDS).unwrap();
+        assert_eq!(par_hist, seq_hist);
+        assert_eq!(seq_hist.count(), seq_stats.kod);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        let world = World::generate(WorldConfig::tiny(9));
+        let pool = study_pool();
+        let run = CollectionRun::new(&world, &pool, SimTime(0), SimTime(1)).with_threads(0);
+        assert_eq!(run.threads, 1);
     }
 
     #[test]

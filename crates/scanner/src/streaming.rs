@@ -14,6 +14,15 @@
 //! feed — thread scheduling only changes *when* work happens, never its
 //! order. The equivalence is enforced by tests here and at the study
 //! level.
+//!
+//! The producer side upholds the same contract even when collection
+//! itself is parallel: `CollectionRun`'s bucket-synchronous engine
+//! (any `StudyConfig::collection_threads`) applies observations in its
+//! sequential *apply* phase, so first sights enter this channel in the
+//! exact event order the sequential engine would produce. A streaming
+//! scanner therefore never needs to know — or care — how many worker
+//! threads fed it (`tests/collection_parallel.rs` crosses both pipeline
+//! modes with thread counts to pin this).
 
 use crate::engine::ScanPolicy;
 use crate::scheduler::RealTimeScanner;

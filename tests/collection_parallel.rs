@@ -1,0 +1,173 @@
+//! Parallel-collection equivalence: the bucket-synchronous engine
+//! (`CollectionRun::with_threads` ≥ 2) must be **bit-identical** to the
+//! sequential engine — same first-sight feed in the same order, same
+//! `RunStats`, same KoD-backoff histogram, same deterministic run
+//! report — across fault profiles, both pipeline modes, and thread
+//! counts. Worker threads may move poll execution in wall-clock time,
+//! never in sim time, feed order, or a single deterministic bit.
+
+use netsim::country;
+use netsim::time::{Duration, SimTime};
+use netsim::transport::FaultProfile;
+use netsim::world::{World, WorldConfig};
+use ntppool::{CollectionRun, Observation, Operator, Pool, PoolServer, RunStats};
+use telemetry::Registry;
+use timetoscan::{PipelineMode, Study, StudyConfig};
+
+const SEED: u64 = 23;
+const THREADS: [usize; 3] = [1, 2, 4];
+const FAULTS: [FaultProfile; 3] = [
+    FaultProfile::Ideal,
+    FaultProfile::Lossy1Pct,
+    FaultProfile::Congested,
+];
+
+/// The study-shaped pool: background servers plus 11 collectors.
+fn study_pool(max_rps: u64) -> Pool {
+    let mut pool = Pool::with_background();
+    for (i, c) in country::COLLECTOR_LOCATIONS.iter().enumerate() {
+        pool.add(PoolServer {
+            netspeed: 50_000,
+            operator: Operator::Study {
+                location_index: i as u8,
+            },
+            max_rps,
+            ..PoolServer::background(*c)
+        });
+    }
+    pool
+}
+
+fn collect(
+    world: &World,
+    pool: &Pool,
+    fault: FaultProfile,
+    threads: usize,
+) -> (RunStats, Vec<Observation>, Registry) {
+    let run = CollectionRun::with_transport(
+        world,
+        pool,
+        SimTime(0),
+        SimTime(Duration::days(3).as_secs()),
+        fault.build(SEED),
+    )
+    .with_threads(threads);
+    let mut feed = Vec::new();
+    let mut reg = Registry::new();
+    let stats = run.run_instrumented(&mut reg, |server, addr, seen| {
+        feed.push(Observation { addr, seen, server })
+    });
+    (stats, feed, reg)
+}
+
+#[test]
+fn collection_run_matches_sequential_across_faults_and_threads() {
+    let world = World::generate(WorldConfig::tiny(SEED));
+    let pool = study_pool(0);
+    for fault in FAULTS {
+        let (base_stats, base_feed, base_reg) = collect(&world, &pool, fault, 1);
+        assert!(base_stats.polls > 0);
+        assert!(!base_feed.is_empty());
+        for threads in THREADS {
+            let (stats, feed, reg) = collect(&world, &pool, fault, threads);
+            let ctx = format!("{} @ {threads} threads", fault.name());
+            assert_eq!(stats, base_stats, "{ctx}: RunStats differ");
+            assert_eq!(feed, base_feed, "{ctx}: feed differs");
+            // The whole deterministic bank — poll counters and the
+            // KoD-backoff histogram — is identical; thread-dependent
+            // bucket/worker metrics are confined to the volatile bank.
+            assert_eq!(
+                reg.snapshot().deterministic(),
+                base_reg.snapshot().deterministic(),
+                "{ctx}: deterministic telemetry differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn kod_backoff_histogram_is_identical_under_load_shedding() {
+    let world = World::generate(WorldConfig::tiny(SEED));
+    // Collectors shedding above 1 rps: same-second collisions KoD, and
+    // the backed-off clients re-poll on a shifted schedule — the
+    // strongest ordering test the engine has, since one mis-ordered
+    // ordinal would cascade into different feeds.
+    let pool = study_pool(1);
+    for fault in [FaultProfile::Ideal, FaultProfile::Congested] {
+        let (base_stats, base_feed, base_reg) = collect(&world, &pool, fault, 1);
+        assert!(
+            base_stats.kod > 0,
+            "{}: load shedding never fired",
+            fault.name()
+        );
+        let base_hist = base_reg
+            .hist(ntppool::metrics::NTP_KOD_BACKOFF_SECONDS)
+            .expect("KoD histogram recorded");
+        assert_eq!(base_hist.count(), base_stats.kod);
+        for threads in [2usize, 4] {
+            let (stats, feed, reg) = collect(&world, &pool, fault, threads);
+            let ctx = format!("{} @ {threads} threads", fault.name());
+            assert_eq!(stats, base_stats, "{ctx}");
+            assert_eq!(feed, base_feed, "{ctx}");
+            assert_eq!(
+                reg.hist(ntppool::metrics::NTP_KOD_BACKOFF_SECONDS),
+                Some(base_hist),
+                "{ctx}: KoD-backoff histogram differs"
+            );
+        }
+    }
+}
+
+/// Runs a study per (mode, threads) cell and asserts everything
+/// deterministic matches the sequential buffered baseline.
+fn assert_study_equivalence(fault: FaultProfile) {
+    let cfg = |mode: PipelineMode, threads: usize| {
+        StudyConfig::tiny(SEED)
+            .with_fault(fault)
+            .with_pipeline(mode)
+            .with_collection_threads(threads)
+    };
+    let base = Study::run(cfg(PipelineMode::Buffered, 1));
+    let base_report = base.run_report().to_json();
+    for mode in [PipelineMode::Buffered, PipelineMode::Streaming] {
+        for threads in THREADS {
+            if mode == PipelineMode::Buffered && threads == 1 {
+                continue; // the baseline itself
+            }
+            let study = Study::run(cfg(mode, threads));
+            let ctx = format!("{} {mode:?} @ {threads} threads", fault.name());
+            assert_eq!(study.feed, base.feed, "{ctx}: feed differs");
+            assert_eq!(study.run_stats, base.run_stats, "{ctx}: stats differ");
+            assert_eq!(
+                study.ntp_scan.records(),
+                base.ntp_scan.records(),
+                "{ctx}: scan records differ"
+            );
+            assert_eq!(
+                study.collector.global().len(),
+                base.collector.global().len(),
+                "{ctx}: collected set differs"
+            );
+            assert_eq!(
+                study.run_report().to_json(),
+                base_report,
+                "{ctx}: run report differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn study_run_report_is_thread_and_mode_invariant_ideal() {
+    assert_study_equivalence(FaultProfile::Ideal);
+}
+
+#[test]
+fn study_run_report_is_thread_and_mode_invariant_lossy() {
+    assert_study_equivalence(FaultProfile::Lossy1Pct);
+}
+
+#[test]
+fn study_run_report_is_thread_and_mode_invariant_congested() {
+    assert_study_equivalence(FaultProfile::Congested);
+}

@@ -8,6 +8,7 @@
 
 use netsim::country::Country;
 use std::collections::{HashMap, HashSet};
+use std::net::Ipv6Addr;
 use v6addr::eui64::{classify_embedding, extract_mac, MacEmbedding};
 use v6addr::{AddrSet, Mac, OuiDb};
 
@@ -42,8 +43,12 @@ pub struct VendorRow {
 /// Label for OUIs absent from the registry.
 pub const UNLISTED: &str = "(Unlisted)";
 
-/// Computes aggregate stats and the vendor ranking.
-pub fn vendor_ranking(set: &AddrSet, db: &OuiDb) -> (Eui64Stats, Vec<VendorRow>) {
+/// Computes aggregate stats and the vendor ranking over any stream of
+/// addresses (set iterators, archive iterators, raw feeds).
+pub fn vendor_ranking<I>(addrs: I, db: &OuiDb) -> (Eui64Stats, Vec<VendorRow>)
+where
+    I: IntoIterator<Item = Ipv6Addr>,
+{
     let mut stats = Eui64Stats::default();
     let mut macs_per_vendor: HashMap<String, HashSet<Mac>> = HashMap::new();
     let mut ips_per_vendor: HashMap<String, u64> = HashMap::new();
@@ -51,7 +56,7 @@ pub fn vendor_ranking(set: &AddrSet, db: &OuiDb) -> (Eui64Stats, Vec<VendorRow>)
     let mut distinct_universal: HashSet<Mac> = HashSet::new();
     let mut distinct_listed: HashSet<Mac> = HashSet::new();
 
-    for addr in set.iter() {
+    for addr in addrs {
         stats.addresses += 1;
         let Some(mac) = extract_mac(addr) else {
             continue;
@@ -142,7 +147,7 @@ mod tests {
         // A non-EUI-64 address.
         set.insert("2001:db8::1".parse().unwrap());
 
-        let (stats, rows) = vendor_ranking(&set, &db);
+        let (stats, rows) = vendor_ranking(set.iter(), &db);
         assert_eq!(stats.addresses, 7);
         assert_eq!(stats.eui64_addresses, 6);
         assert_eq!(stats.distinct_eui64, 5);
@@ -185,7 +190,7 @@ mod tests {
     #[test]
     fn empty_set() {
         let db = OuiDb::builtin();
-        let (stats, rows) = vendor_ranking(&AddrSet::new(), &db);
+        let (stats, rows) = vendor_ranking(AddrSet::new().iter(), &db);
         assert_eq!(stats, Eui64Stats::default());
         assert!(rows.is_empty());
     }

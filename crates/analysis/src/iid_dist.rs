@@ -2,7 +2,8 @@
 
 use netsim::peeringdb::AsType;
 use netsim::topology::Topology;
-use v6addr::{AddrSet, IidDistribution};
+use std::net::Ipv6Addr;
+use v6addr::IidDistribution;
 
 /// The Figure 1 data for one dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,12 +16,18 @@ pub struct AddressStructure {
     pub total: u64,
 }
 
-/// Computes Figure 1's data over an address set.
-pub fn address_structure(set: &AddrSet, topology: &Topology) -> AddressStructure {
+/// Computes Figure 1's data over any stream of addresses (an
+/// [`v6addr::AddrSet`] iterator, a [`store::CompactSet`] iterator, a raw
+/// feed, …). Single pass; only the addresses seen matter, not their
+/// container.
+pub fn address_structure<I>(addrs: I, topology: &Topology) -> AddressStructure
+where
+    I: IntoIterator<Item = Ipv6Addr>,
+{
     let mut iid = IidDistribution::new();
     let mut eyeball = 0u64;
     let mut total = 0u64;
-    for addr in set.iter() {
+    for addr in addrs {
         iid.add(addr);
         total += 1;
         if topology.as_type_of(addr) == AsType::CableDslIsp {
@@ -43,8 +50,7 @@ mod tests {
     use super::*;
     use netsim::country;
     use netsim::topology::{AsInfo, Asn};
-    use std::net::Ipv6Addr;
-    use v6addr::IidClass;
+    use v6addr::{AddrSet, IidClass};
 
     #[test]
     fn structure_over_mixed_set() {
@@ -72,7 +78,7 @@ mod tests {
         .iter()
         .map(|s| s.parse::<Ipv6Addr>().unwrap())
         .collect();
-        let s = address_structure(&set, &topo);
+        let s = address_structure(set.iter(), &topo);
         assert_eq!(s.total, 4);
         assert!((s.eyeball_as_share - 0.25).abs() < 1e-12);
         assert_eq!(s.iid.count(IidClass::LowByte), 2);
@@ -83,7 +89,7 @@ mod tests {
     #[test]
     fn empty_set() {
         let topo = Topology::new();
-        let s = address_structure(&AddrSet::new(), &topo);
+        let s = address_structure(AddrSet::new().iter(), &topo);
         assert_eq!(s.total, 0);
         assert_eq!(s.eyeball_as_share, 0.0);
     }

@@ -1,0 +1,197 @@
+//! Store subsystem benchmark: insert throughput, resident bytes per
+//! address, and overlap speed of the delta-block [`store`] types against
+//! the `HashSet<u128>` baseline they replaced.
+//!
+//! Besides the criterion samples, this bench *always* (including
+//! `--test` smoke mode) builds both representations over the same
+//! synthetic feed, asserts the ISSUE's memory target — the
+//! [`CompactSet`] stays within **a quarter** of the hash set's resident
+//! bytes — and writes the measurements to
+//! `target/bench-reports/BENCH_store.json` as a CI artifact.
+//!
+//! The feed mimics the paper's collected population, which Figure 1
+//! shows is dominated by *structured* IIDs: ≈30% privacy addresses
+//! (random 64-bit IIDs), ≈20% EUI-64 with MACs drawn from a handful of
+//! vendor OUIs (the Table 4 ranking is AVM-heavy), ≈50% small-integer
+//! IIDs (CPE/infrastructure), spread over a bounded set of /64s so
+//! sorted deltas cluster the way real per-network populations do.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::net::Ipv6Addr;
+use std::time::Instant;
+use store::{Archive, CompactSet};
+
+/// Deterministic synthetic feed of `n` addresses over `nets * nets`
+/// distinct /64s (may contain duplicates, like a real first-sight feed
+/// replayed across prefix rotations).
+fn synthetic_feed(n: usize, nets: u128, seed: u64) -> Vec<u128> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let r = netsim::mix2(seed, i);
+        let net =
+            ((0x2a00 + (u128::from(r) % nets)) << 112) | (((u128::from(r >> 8)) % nets) << 64);
+        // A few dominant vendor OUIs, as in the paper's Table 4 ranking.
+        const OUIS: [u64; 8] = [
+            0x3c_a62f, 0xcc_ce1e, 0x98_9bcb, 0x00_1f3f, 0xb8_27eb, 0x28_9e97, 0x74_42a1, 0x5c_4979,
+        ];
+        let iid = match r % 10 {
+            // Privacy extension: uniform 64-bit IID.
+            0..=2 => u128::from(netsim::mix2(seed ^ 0x7072_6976, i)),
+            // EUI-64: vendor OUI + random NIC with ff:fe stuffing and
+            // the u-bit flipped.
+            3 | 4 => {
+                let nic = netsim::mix2(seed ^ 0x6d61_6331, i) & 0xff_ffff;
+                let upper = OUIS[(r >> 4) as usize % OUIS.len()] ^ 0x02_0000;
+                u128::from((upper << 40) | (0xfffe << 24) | nic)
+            }
+            // Structured CPE/infrastructure: small-integer IIDs.
+            _ => u128::from((r >> 16) & 0x0fff),
+        };
+        out.push(net | iid);
+    }
+    out
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed().as_nanos())
+}
+
+/// Resident bytes of the `HashSet<u128>` baseline: 16 bytes per slot
+/// plus one control byte, over the allocated capacity.
+fn hashset_bytes(set: &HashSet<u128>) -> usize {
+    set.capacity() * (std::mem::size_of::<u128>() + 1)
+}
+
+fn store_bench(c: &mut Criterion) {
+    let smoke = c.is_test_mode();
+    let (n, nets) = if smoke {
+        (100_000, 16)
+    } else {
+        (1_000_000, 64)
+    };
+    let feed = synthetic_feed(n, nets, 0x0053_544f_5245_u64); // "STORE"
+
+    // --- Insert throughput: HashSet vs Archive (memtable + freezes). ---
+    let (hash, hash_ns) = time(|| {
+        let mut s: HashSet<u128> = HashSet::new();
+        for &a in &feed {
+            s.insert(a);
+        }
+        s
+    });
+    let (archive, archive_ns) = time(|| {
+        let mut ar = Archive::new();
+        for &a in &feed {
+            ar.insert(Ipv6Addr::from(a));
+        }
+        ar
+    });
+    assert_eq!(archive.len(), hash.len(), "archive dedup diverged");
+
+    // --- Resident bytes: the tentpole's stated memory target. ---
+    let compact = archive.to_compact();
+    assert_eq!(compact.len(), hash.len());
+    let hs_bytes = hashset_bytes(&hash);
+    let cs_bytes = compact.heap_bytes();
+    assert!(
+        cs_bytes * 4 <= hs_bytes,
+        "CompactSet {cs_bytes} B exceeds 1/4 of the HashSet baseline {hs_bytes} B"
+    );
+
+    // --- Overlap speed: sorted streaming vs hash-probing. ---
+    let split = feed.len() * 3 / 5;
+    let a_compact: CompactSet = feed[..split].iter().map(|&a| Ipv6Addr::from(a)).collect();
+    let b_compact: CompactSet = feed[feed.len() - split..]
+        .iter()
+        .map(|&a| Ipv6Addr::from(a))
+        .collect();
+    let a_hash: HashSet<u128> = feed[..split].iter().copied().collect();
+    let b_hash: HashSet<u128> = feed[feed.len() - split..].iter().copied().collect();
+    let (compact_overlap, compact_overlap_ns) = time(|| a_compact.overlap_count(&b_compact));
+    let (hash_overlap, hash_overlap_ns) = time(|| a_hash.intersection(&b_hash).count());
+    assert_eq!(compact_overlap, hash_overlap, "overlap counts diverged");
+
+    let distinct = hash.len();
+    let per_addr = |bytes: usize| bytes as f64 / distinct.max(1) as f64;
+    let per_sec = |count: usize, ns: u128| (count as f64 * 1e9 / ns.max(1) as f64) as u64;
+    println!(
+        "store/memory: {distinct} distinct — hashset {hs_bytes} B ({:.1} B/addr), compact {cs_bytes} B ({:.1} B/addr), {:.1}x smaller",
+        per_addr(hs_bytes),
+        per_addr(cs_bytes),
+        hs_bytes as f64 / cs_bytes.max(1) as f64,
+    );
+    println!(
+        "store/insert: hashset {} addr/s, archive {} addr/s",
+        per_sec(feed.len(), hash_ns),
+        per_sec(feed.len(), archive_ns),
+    );
+    println!(
+        "store/overlap: {compact_overlap} shared — compact {compact_overlap_ns} ns, hashset {hash_overlap_ns} ns",
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"store\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"feed_addresses\": {},\n",
+            "  \"distinct_addresses\": {},\n",
+            "  \"hashset_bytes\": {},\n",
+            "  \"compact_bytes\": {},\n",
+            "  \"bytes_per_addr\": {{\"hashset\": {:.2}, \"compact\": {:.2}}},\n",
+            "  \"compression_ratio\": {:.3},\n",
+            "  \"insert_ns\": {{\"hashset\": {}, \"archive\": {}}},\n",
+            "  \"inserts_per_sec\": {{\"hashset\": {}, \"archive\": {}}},\n",
+            "  \"overlap_shared\": {},\n",
+            "  \"overlap_ns\": {{\"compact\": {}, \"hashset\": {}}}\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        feed.len(),
+        distinct,
+        hs_bytes,
+        cs_bytes,
+        per_addr(hs_bytes),
+        per_addr(cs_bytes),
+        hs_bytes as f64 / cs_bytes.max(1) as f64,
+        hash_ns,
+        archive_ns,
+        per_sec(feed.len(), hash_ns),
+        per_sec(feed.len(), archive_ns),
+        compact_overlap,
+        compact_overlap_ns,
+        hash_overlap_ns,
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-reports");
+    std::fs::create_dir_all(&dir).expect("create target/bench-reports");
+    let path = dir.join("BENCH_store.json");
+    std::fs::write(&path, &json).expect("write store bench artifact");
+    println!("store/artifact: {} bytes -> {}", json.len(), path.display());
+
+    // Criterion samples on a slice, guarding against regressions in the
+    // hot paths (dedup insert, streaming overlap).
+    let slice = &feed[..feed.len() / 10];
+    c.bench_function("store/archive_insert", |b| {
+        b.iter(|| {
+            let mut ar = Archive::new();
+            for &a in slice {
+                ar.insert(Ipv6Addr::from(a));
+            }
+            black_box(ar.len())
+        })
+    });
+    c.bench_function("store/compact_overlap", |b| {
+        b.iter(|| black_box(a_compact.overlap_count(&b_compact)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::criterion();
+    targets = store_bench
+}
+criterion_main!(benches);

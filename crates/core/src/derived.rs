@@ -28,6 +28,7 @@ use std::net::Ipv6Addr;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
+use store::CompactSet;
 
 /// Which address source a per-store artifact is derived from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,6 +47,40 @@ impl Source {
         match self {
             Source::Ntp => 0,
             Source::Hitlist => 1,
+        }
+    }
+}
+
+/// Which of the study's address sets to materialize as a
+/// [`CompactSet`] (sorted delta-block form, the representation every
+/// overlap/structure analysis consumes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetKind {
+    /// Addresses our 11 collecting servers sourced ("Our Data").
+    Ours,
+    /// The Rye & Levin emulation set.
+    Rl,
+    /// The full TUM-style hitlist.
+    HitlistFull,
+    /// The public (responsive-source) hitlist subset.
+    HitlistPublic,
+}
+
+impl SetKind {
+    /// All four kinds, in Table 1 row order.
+    pub const ALL: [SetKind; 4] = [
+        SetKind::Ours,
+        SetKind::Rl,
+        SetKind::HitlistFull,
+        SetKind::HitlistPublic,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            SetKind::Ours => 0,
+            SetKind::Rl => 1,
+            SetKind::HitlistFull => 2,
+            SetKind::HitlistPublic => 3,
         }
     }
 }
@@ -74,6 +109,8 @@ pub struct DerivedStats {
     pub fingerprint_builds: u32,
     /// Per-store network groupings (per-protocol /32../64, AS, country).
     pub network_grouping_builds: u32,
+    /// Per-[`SetKind`] compact-set materializations. At most 4.
+    pub compact_set_builds: u32,
 }
 
 #[derive(Default)]
@@ -85,6 +122,7 @@ struct Counters {
     broker: AtomicU32,
     fingerprint: AtomicU32,
     network_grouping: AtomicU32,
+    compact_set: AtomicU32,
     /// Total accessor calls across all memoized artifacts; accesses
     /// minus builds = cache hits.
     accesses: AtomicU32,
@@ -111,6 +149,7 @@ pub struct Derived<'a> {
     amqp: PerSource<Vec<Broker>>,
     fingerprints: PerSource<HashMap<Protocol, HashSet<[u8; 32]>>>,
     networks: PerSource<Vec<(Protocol, NetworkCounts)>>,
+    compact_sets: [OnceLock<CompactSet>; 4],
     counters: Counters,
 }
 
@@ -135,6 +174,12 @@ impl<'a> Derived<'a> {
             amqp: cells(),
             fingerprints: cells(),
             networks: cells(),
+            compact_sets: [
+                OnceLock::new(),
+                OnceLock::new(),
+                OnceLock::new(),
+                OnceLock::new(),
+            ],
             counters: Counters::default(),
         }
     }
@@ -240,6 +285,22 @@ impl<'a> Derived<'a> {
         })
     }
 
+    /// One of the study's address sets in sorted delta-block form,
+    /// materialized once and shared by every overlap/structure
+    /// analysis (Table 1, Figures 1 and 4).
+    pub fn compact_set(&self, kind: SetKind) -> &CompactSet {
+        Counters::bump(&self.counters.accesses);
+        self.compact_sets[kind.idx()].get_or_init(|| {
+            Counters::bump(&self.counters.compact_set);
+            match kind {
+                SetKind::Ours => self.study.collector.global().to_compact(),
+                SetKind::Rl => self.study.rl_set.iter().collect(),
+                SetKind::HitlistFull => self.study.hitlist.full.iter().collect(),
+                SetKind::HitlistPublic => self.study.hitlist.public.iter().collect(),
+            }
+        })
+    }
+
     /// Total memoized-accessor calls served from an already-built cell.
     pub fn memo_hits(&self) -> u64 {
         let accesses = self.counters.accesses.load(Ordering::Relaxed) as u64;
@@ -256,7 +317,8 @@ impl<'a> Derived<'a> {
                 + s.coap_builds
                 + s.broker_builds
                 + s.fingerprint_builds
-                + s.network_grouping_builds,
+                + s.network_grouping_builds
+                + s.compact_set_builds,
         )
     }
 
@@ -280,6 +342,7 @@ impl<'a> Derived<'a> {
             broker_builds: c.broker.load(Ordering::Relaxed),
             fingerprint_builds: c.fingerprint.load(Ordering::Relaxed),
             network_grouping_builds: c.network_grouping.load(Ordering::Relaxed),
+            compact_set_builds: c.compact_set.load(Ordering::Relaxed),
         }
     }
 }
@@ -317,6 +380,10 @@ mod tests {
                 d.fingerprints(src, p);
             }
         }
+        for kind in SetKind::ALL {
+            let n = d.compact_set(kind).len();
+            assert_eq!(d.compact_set(kind).len(), n);
+        }
         let s = d.stats();
         assert_eq!(s.title_cluster_builds, 1);
         assert_eq!(s.addr_title_builds, 2);
@@ -325,6 +392,7 @@ mod tests {
         assert_eq!(s.broker_builds, 4);
         assert_eq!(s.fingerprint_builds, 2);
         assert_eq!(s.network_grouping_builds, 2);
+        assert_eq!(s.compact_set_builds, 4);
     }
 
     #[test]
@@ -361,5 +429,13 @@ mod tests {
         );
         // Deref exposes the raw study.
         assert_eq!(d.ntp_scan.targets(), study.ntp_scan.targets());
+        // Compact sets hold exactly the source sets' addresses.
+        assert_eq!(
+            d.compact_set(SetKind::Ours).len(),
+            study.collector.global().len()
+        );
+        for addr in study.rl_set.iter().take(64) {
+            assert!(d.compact_set(SetKind::Rl).contains(addr));
+        }
     }
 }

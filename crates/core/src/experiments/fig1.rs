@@ -2,7 +2,7 @@
 //! Cable/DSL/ISP AS label.
 
 use crate::report::{fmt_pct, TextTable};
-use crate::Derived;
+use crate::{Derived, SetKind};
 use analysis::iid_dist::{address_structure, AddressStructure};
 use v6addr::IidClass;
 
@@ -22,11 +22,12 @@ pub struct Fig1 {
 /// Computes Figure 1.
 pub fn compute(study: &Derived) -> Fig1 {
     let topo = &study.world.topology;
+    let over = |kind| address_structure(study.compact_set(kind).iter(), topo);
     Fig1 {
-        ours: address_structure(study.collector.global(), topo),
-        rl: address_structure(&study.rl_set, topo),
-        public: address_structure(&study.hitlist.public, topo),
-        full: address_structure(&study.hitlist.full, topo),
+        ours: over(SetKind::Ours),
+        rl: over(SetKind::Rl),
+        public: over(SetKind::HitlistPublic),
+        full: over(SetKind::HitlistFull),
     }
 }
 

@@ -2,7 +2,7 @@
 //! distribution of MAC-embedding classes per collecting-server location.
 
 use crate::report::{fmt_int, fmt_pct, TextTable};
-use crate::Derived;
+use crate::{Derived, SetKind};
 use analysis::eui64_vendors::{embedding_by_location, vendor_ranking, Eui64Stats, VendorRow};
 use netsim::country::Country;
 use std::collections::HashMap;
@@ -23,7 +23,7 @@ pub struct Eui64Analysis {
 
 /// Computes Table 4 / Figure 4.
 pub fn compute(study: &Derived) -> Eui64Analysis {
-    let (stats, vendors) = vendor_ranking(study.collector.global(), &study.oui_db);
+    let (stats, vendors) = vendor_ranking(study.compact_set(SetKind::Ours).iter(), &study.oui_db);
     let empty = AddrSet::new();
     let sets: Vec<(Country, &AddrSet)> = study
         .study_servers

@@ -2,9 +2,8 @@
 //! our NTP-sourced set, and density medians.
 
 use crate::report::{fmt_int, TextTable};
-use crate::Derived;
+use crate::{Derived, SetKind};
 use analysis::overlap::{dataset_stats, overlap_stats, DatasetStats, OverlapStats};
-use v6addr::AddrSet;
 
 /// The computed table.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,16 +26,19 @@ pub struct Table1 {
 
 /// Computes Table 1.
 pub fn compute(study: &Derived) -> Table1 {
-    let ours: &AddrSet = study.collector.global();
+    let ours = study.compact_set(SetKind::Ours);
+    let rl = study.compact_set(SetKind::Rl);
+    let public = study.compact_set(SetKind::HitlistPublic);
+    let full = study.compact_set(SetKind::HitlistFull);
     let topo = &study.world.topology;
     Table1 {
         ours: dataset_stats("Our Data", ours, topo),
-        rl: dataset_stats("Rye and Levin (emulated)", &study.rl_set, topo),
-        public: dataset_stats("TUM public", &study.hitlist.public, topo),
-        full: dataset_stats("TUM full", &study.hitlist.full, topo),
-        overlap_rl: overlap_stats(ours, &study.rl_set, topo),
-        overlap_public: overlap_stats(ours, &study.hitlist.public, topo),
-        overlap_full: overlap_stats(ours, &study.hitlist.full, topo),
+        rl: dataset_stats("Rye and Levin (emulated)", rl, topo),
+        public: dataset_stats("TUM public", public, topo),
+        full: dataset_stats("TUM full", full, topo),
+        overlap_rl: overlap_stats(ours, rl, topo),
+        overlap_public: overlap_stats(ours, public, topo),
+        overlap_full: overlap_stats(ours, full, topo),
     }
 }
 

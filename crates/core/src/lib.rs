@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod derived;
 pub mod experiments;
@@ -35,7 +36,9 @@ pub mod metrics;
 pub mod report;
 pub mod study;
 
+pub use checkpoint::CheckpointData;
 pub use config::{PipelineMode, StudyConfig};
-pub use derived::{Derived, Source};
+pub use derived::{Derived, SetKind, Source};
 pub use netsim::transport::FaultProfile;
+pub use store::StoreError;
 pub use study::Study;

@@ -4,7 +4,15 @@
 //! *buffered* (collect the whole feed, then scan) or *streaming* (a
 //! scanner thread drains a bounded channel while collection produces).
 //! Both yield bit-identical results; see [`crate::config::PipelineMode`].
+//!
+//! Long-horizon runs can stop mid-collection and continue later:
+//! [`Study::checkpoint`] persists the engine cursor, the collector's
+//! dedup archive, the feed prefix, and the transport totals to disk (see
+//! [`crate::checkpoint`]); [`Study::resume`] restores them and finishes
+//! the window, producing a [`Study::run_report`] **byte-identical** to
+//! an uninterrupted run's (enforced by `tests/checkpoint_resume.rs`).
 
+use crate::checkpoint::{self, CheckpointData};
 use crate::config::{PipelineMode, StudyConfig};
 use crate::metrics;
 use hitlist::{Hitlist, HitlistConfig};
@@ -12,15 +20,18 @@ use netsim::country::{Country, COLLECTOR_LOCATIONS};
 use netsim::time::{Duration, SimTime};
 use netsim::transport::Transport;
 use netsim::world::World;
-use netsim::Instrumented;
-use ntppool::collector::VecSink;
+use netsim::{Instrumented, TransportTotals};
+use ntppool::collector::{FeedSink, VecSink};
 use ntppool::monitor::{tune_collecting_servers, TuneOutcome};
 use ntppool::{
-    AddressCollector, CollectionRun, Observation, Operator, Pool, PoolServer, RunStats, ServerId,
+    AddressCollector, CollectionCheckpoint, CollectionRun, CollectorParts, Observation, Operator,
+    Pool, PoolServer, RunStats, ServerId,
 };
 use scanner::streaming::{feed_channel, MonitoredSender, FEED_CHANNEL_BOUND};
 use scanner::{BatchScan, RealTimeScanner, ScanPolicy, ScanStore, StreamingScanner};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use store::StoreError;
 use telemetry::{PipelineMonitor, Registry, RunReport, Snapshot, SpanTimer};
 use telescope::{
     covert_actor, gt_actor, match_captures, Actor, CaptureLog, TelescopeReport, Vantage,
@@ -75,53 +86,174 @@ pub struct Study {
     pub telemetry: Snapshot,
 }
 
+/// Everything deterministic the study sets up *before* collection:
+/// recomputed identically on a fresh run and on a resume, so only the
+/// collection-stage state needs persisting.
+struct Prelude {
+    world: World,
+    transport: Box<dyn Transport>,
+    study_reg: Registry,
+    rl_set: AddrSet,
+    pool: Pool,
+    study_servers: Vec<(ServerId, Country)>,
+    tuning: Vec<TuneOutcome>,
+    actors: Vec<Actor>,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// Checkpointed collection-stage state handed to
+/// [`run_collection_and_scan`] on resume.
+struct ResumeState {
+    collection: CollectionCheckpoint,
+    collector: CollectorParts,
+    feed_prefix: Vec<Observation>,
+    transport: TransportTotals,
+}
+
+/// Generates the world, the pool (tuned, with actors), the R&L set, and
+/// the study window — every input the collection stage needs.
+fn prelude(config: &StudyConfig) -> Prelude {
+    let world = World::generate(config.world.clone());
+    let transport = config
+        .fault
+        .build(netsim::mix2(config.world.seed, FAULT_SEED_DOMAIN));
+    // Study-level metrics: stage spans (simulated time), the feed
+    // count, set sizes. Stage-internal metrics are recorded into
+    // per-stage registries and merged with a `stage` label.
+    let mut study_reg = Registry::new();
+
+    // --- R&L emulation: an earlier, longer collection (Table 1). ---
+    let rl_span = SpanTimer::start(metrics::SPAN_RL, SimTime::EPOCH.as_secs());
+    let rl_end = SimTime::EPOCH + rl_window(config);
+    let rl_set = ntppool::run::sample_addresses(&world, SimTime::EPOCH, rl_end, config.rl_samples);
+    rl_span.finish(&mut study_reg, rl_end.as_secs());
+    study_reg.add(metrics::RL_SAMPLE_ADDRESSES, rl_set.len() as u64);
+
+    let start = study_start(config);
+    let end = start + config.collection;
+
+    // --- Pool setup: background + our 11 servers, then tuning. ---
+    let mut pool = Pool::with_background();
+    let mut study_servers = Vec::new();
+    for (i, c) in COLLECTOR_LOCATIONS.iter().enumerate() {
+        let id = pool.add(PoolServer {
+            operator: Operator::Study {
+                location_index: i as u8,
+            },
+            ..PoolServer::background(*c)
+        });
+        study_servers.push((id, *c));
+    }
+    let tuning = tune_collecting_servers(&mut pool, &world, config.target_rps);
+
+    // --- Third-party actors join the pool after our tuning. ---
+    let mut actors = Vec::new();
+    if config.telescope {
+        let mut gt = gt_actor();
+        gt.register(&mut pool);
+        let mut covert = covert_actor();
+        covert.register(&mut pool);
+        actors.push(gt);
+        actors.push(covert);
+    }
+
+    Prelude {
+        world,
+        transport,
+        study_reg,
+        rl_set,
+        pool,
+        study_servers,
+        tuning,
+        actors,
+        start,
+        end,
+    }
+}
+
 impl Study {
     /// Runs the full pipeline. Deterministic in the config.
     pub fn run(config: StudyConfig) -> Study {
-        let world = World::generate(config.world.clone());
-        let transport = config
-            .fault
-            .build(netsim::mix2(config.world.seed, FAULT_SEED_DOMAIN));
-        // Study-level metrics: stage spans (simulated time), the feed
-        // count, set sizes. Stage-internal metrics are recorded into
-        // per-stage registries and merged below with a `stage` label.
-        let mut study_reg = Registry::new();
+        Study::run_with(config, None)
+    }
 
-        // --- R&L emulation: an earlier, longer collection (Table 1). ---
-        let rl_span = SpanTimer::start(metrics::SPAN_RL, SimTime::EPOCH.as_secs());
-        let rl_end = SimTime::EPOCH + rl_window(&config);
-        let rl_set =
-            ntppool::run::sample_addresses(&world, SimTime::EPOCH, rl_end, config.rl_samples);
-        rl_span.finish(&mut study_reg, rl_end.as_secs());
-        study_reg.add(metrics::RL_SAMPLE_ADDRESSES, rl_set.len() as u64);
+    /// Runs collection until `at` past the study start, then persists a
+    /// checkpoint to `dir/study.ckpt` and returns its path. The rest of
+    /// the pipeline does *not* run — [`Study::resume`] finishes it.
+    pub fn checkpoint(
+        config: StudyConfig,
+        at: Duration,
+        dir: &Path,
+    ) -> Result<PathBuf, StoreError> {
+        let p = prelude(&config);
+        let (coll_transport, coll_stats) = Instrumented::new(p.transport.clone_box());
+        let run = CollectionRun::with_transport(
+            &p.world,
+            &p.pool,
+            p.start,
+            p.end,
+            Box::new(coll_transport),
+        )
+        .with_threads(config.collection_threads);
+        let sink = VecSink::default();
+        let feed_buf = sink.0.clone();
+        let expected = p.world.ntp_clients().count();
+        let mut collector = AddressCollector::sized_for(Some(Box::new(sink)), expected);
+        let pool = &p.pool;
+        let collection = run.run_until(p.start + at, |server, addr, t| {
+            if matches!(pool.server(server).operator, Operator::Study { .. }) {
+                collector.record(server, addr, t);
+            }
+        });
+        let feed_prefix: Vec<Observation> = std::mem::take(&mut *feed_buf.lock());
+        let data = CheckpointData {
+            config,
+            collection,
+            collector: collector.into_parts(),
+            feed_prefix,
+            transport: coll_stats.totals(),
+        };
+        checkpoint::write(&data, dir)
+    }
 
-        let start = study_start(&config);
-        let end = start + config.collection;
+    /// Restores a checkpoint written by [`Study::checkpoint`] and runs
+    /// the study to completion. The resulting [`Study::run_report`] is
+    /// byte-identical to an uninterrupted [`Study::run`] of the same
+    /// config.
+    pub fn resume(dir: &Path) -> Result<Study, StoreError> {
+        let CheckpointData {
+            config,
+            collection,
+            collector,
+            feed_prefix,
+            transport,
+        } = checkpoint::read(dir)?;
+        Ok(Study::run_with(
+            config,
+            Some(ResumeState {
+                collection,
+                collector,
+                feed_prefix,
+                transport,
+            }),
+        ))
+    }
 
-        // --- Pool setup: background + our 11 servers, then tuning. ---
-        let mut pool = Pool::with_background();
-        let mut study_servers = Vec::new();
-        for (i, c) in COLLECTOR_LOCATIONS.iter().enumerate() {
-            let id = pool.add(PoolServer {
-                operator: Operator::Study {
-                    location_index: i as u8,
-                },
-                ..PoolServer::background(*c)
-            });
-            study_servers.push((id, *c));
-        }
-        let tuning = tune_collecting_servers(&mut pool, &world, config.target_rps);
-
-        // --- Third-party actors join the pool after our tuning. ---
-        let mut actors = Vec::new();
-        if config.telescope {
-            let mut gt = gt_actor();
-            gt.register(&mut pool);
-            let mut covert = covert_actor();
-            covert.register(&mut pool);
-            actors.push(gt);
-            actors.push(covert);
-        }
+    /// Shared body of [`Study::run`] and [`Study::resume`].
+    fn run_with(config: StudyConfig, resume: Option<ResumeState>) -> Study {
+        let Prelude {
+            world,
+            transport,
+            mut study_reg,
+            rl_set,
+            pool,
+            study_servers,
+            tuning,
+            actors,
+            start,
+            end,
+        } = prelude(&config);
 
         // --- Four weeks of collection, feeding the scanner. ---
         let span = SpanTimer::start(metrics::SPAN_COLLECTION, start.as_secs());
@@ -133,6 +265,7 @@ impl Study {
             config.pipeline,
             config.collection_threads,
             transport.as_ref(),
+            resume,
         );
         span.finish(&mut study_reg, end.as_secs());
         // The feed count is deterministic (first-sight order is), so it
@@ -147,9 +280,8 @@ impl Study {
         );
         let hitlist_t = start + config.hitlist_scan_offset;
         let hitlist = Hitlist::build(&world, hitlist_t, &HitlistConfig::for_world(&world));
-        // Scan in sorted address order: `AddrSet` iteration order is
-        // per-instance random, and the token bucket turns submission
-        // order into probe times — sorting keeps the store bit-identical
+        // Scan in sorted address order: the token bucket turns submission
+        // order into probe times, so sorting keeps the store bit-identical
         // across runs (and across pipeline modes).
         let (hl_transport, hl_stats) = Instrumented::new(transport.clone_box());
         let hitlist_scan = BatchScan::with_transport(ScanPolicy::default(), Box::new(hl_transport))
@@ -258,6 +390,14 @@ impl Study {
 /// scanner consumes is emitted in the same order for any thread count,
 /// so the knob composes with either pipeline mode without touching a
 /// single deterministic bit.
+///
+/// With a [`ResumeState`], the collector restarts from its checkpointed
+/// dedup state, the engine replays its pending events from the saved
+/// cursor, and the feed prefix is stitched in front of (buffered) or
+/// replayed through (streaming) the scanner — after which the saved
+/// transport totals are exported next to the live remainder, making
+/// every deterministic metric equal to an uninterrupted run's.
+#[allow(clippy::too_many_arguments)]
 fn run_collection_and_scan(
     world: &World,
     pool: &Pool,
@@ -266,6 +406,7 @@ fn run_collection_and_scan(
     mode: PipelineMode,
     threads: usize,
     transport: &dyn Transport,
+    resume: Option<ResumeState>,
 ) -> (
     AddressCollector,
     Vec<Observation>,
@@ -284,15 +425,39 @@ fn run_collection_and_scan(
         // Actor servers source addresses too, but only their scans of
         // the telescope's vantage addresses are analysed (§5).
     };
+    // Pre-size the per-server dedup sets from the device population
+    // instead of rehashing up from empty (each collecting server sees
+    // one location's slice of the world).
+    let expected = world.ntp_clients().count();
+    let (ckpt, parts, feed_prefix, saved_transport) = match resume {
+        Some(r) => (
+            Some(r.collection),
+            Some(r.collector),
+            r.feed_prefix,
+            Some(r.transport),
+        ),
+        None => (None, None, Vec::new(), None),
+    };
     let (collector, feed, run_stats, ntp_scan, scan_stats, scan_monitor) = match mode {
         PipelineMode::Buffered => {
             let sink = VecSink::default();
             let feed_buf = sink.0.clone();
-            let mut collector = AddressCollector::with_sink(Box::new(sink));
-            let run_stats = run.run_instrumented(&mut coll_reg, |server, addr, t| {
-                record(&mut collector, server, addr, t)
-            });
-            let feed: Vec<Observation> = std::mem::take(&mut *feed_buf.lock());
+            let mut collector = match parts {
+                Some(p) => AddressCollector::from_parts(p, Some(Box::new(sink)), expected),
+                None => AddressCollector::sized_for(Some(Box::new(sink)), expected),
+            };
+            let run_stats = match ckpt {
+                Some(c) => run.resume_instrumented(c, &mut coll_reg, |server, addr, t| {
+                    record(&mut collector, server, addr, t)
+                }),
+                None => run.run_instrumented(&mut coll_reg, |server, addr, t| {
+                    record(&mut collector, server, addr, t)
+                }),
+            };
+            // The checkpointed prefix goes in front of the tail: the
+            // scanner sees the same full feed as an uninterrupted run.
+            let mut feed = feed_prefix;
+            feed.extend(feed_buf.lock().drain(..));
             let (scan_transport, stats) = Instrumented::new(transport.clone_box());
             let ntp_scan =
                 RealTimeScanner::with_transport(ScanPolicy::default(), Box::new(scan_transport))
@@ -311,11 +476,25 @@ fn run_collection_and_scan(
                 Box::new(scan_transport),
                 Arc::clone(&monitor),
             );
-            let sink = MonitoredSender::new(tx, Arc::clone(&monitor));
-            let mut collector = AddressCollector::with_sink(Box::new(sink));
-            let run_stats = run.run_instrumented(&mut coll_reg, |server, addr, t| {
-                record(&mut collector, server, addr, t)
-            });
+            let mut sink = MonitoredSender::new(tx, Arc::clone(&monitor));
+            // Replay the checkpointed prefix through the channel before
+            // collection restarts: the scanner consumes the identical
+            // full feed an uninterrupted streaming run would.
+            for obs in feed_prefix {
+                sink.on_first_sight(obs);
+            }
+            let mut collector = match parts {
+                Some(p) => AddressCollector::from_parts(p, Some(Box::new(sink)), expected),
+                None => AddressCollector::sized_for(Some(Box::new(sink)), expected),
+            };
+            let run_stats = match ckpt {
+                Some(c) => run.resume_instrumented(c, &mut coll_reg, |server, addr, t| {
+                    record(&mut collector, server, addr, t)
+                }),
+                None => run.run_instrumented(&mut coll_reg, |server, addr, t| {
+                    record(&mut collector, server, addr, t)
+                }),
+            };
             // Collection over: drop the sender so the scanner's receive
             // loop terminates once the channel drains.
             collector.detach_sink();
@@ -325,6 +504,11 @@ fn run_collection_and_scan(
     };
     collector.export_into(&mut coll_reg);
     coll_stats.export_into(&mut coll_reg);
+    if let Some(totals) = saved_transport {
+        // Prefix totals + live remainder: counters add and histograms
+        // merge, so the sum equals one uninterrupted sink's export.
+        totals.export_into(&mut coll_reg);
+    }
     let mut scan_reg = Registry::new();
     scan_reg.merge(ntp_scan.telemetry());
     scan_stats.export_into(&mut scan_reg);
@@ -425,5 +609,24 @@ mod tests {
         let cfg = StudyConfig::tiny(1);
         let rl_end = SimTime::EPOCH + rl_window(&cfg);
         assert!(study_start(&cfg) > rl_end);
+    }
+
+    /// Checkpoint at mid-window, resume, and compare against the
+    /// uninterrupted run — the full matrix lives in
+    /// `tests/checkpoint_resume.rs`; this is the fast smoke version.
+    #[test]
+    fn checkpoint_resume_smoke() {
+        let cfg = StudyConfig::tiny(11);
+        let dir = std::env::temp_dir().join(format!("study-ckpt-smoke-{}", std::process::id()));
+        Study::checkpoint(cfg.clone(), Duration::days(3), &dir).unwrap();
+        let resumed = Study::resume(&dir).unwrap();
+        let baseline = Study::run(cfg);
+        assert_eq!(resumed.feed, baseline.feed);
+        assert_eq!(resumed.run_stats, baseline.run_stats);
+        assert_eq!(
+            resumed.run_report().to_json(),
+            baseline.run_report().to_json()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

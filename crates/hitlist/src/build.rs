@@ -5,8 +5,8 @@ use crate::apd;
 use crate::sources::{AliasedSource, DnsSource, RdnsSource, Source, TgaSource, TracerouteSource};
 use netsim::time::SimTime;
 use netsim::world::World;
-use std::collections::HashSet;
 use std::net::Ipv6Addr;
+use store::CompactSet;
 use v6addr::{AddrSet, Prefix};
 
 /// Hitlist build configuration.
@@ -76,15 +76,21 @@ impl Hitlist {
         full.extend_from(&tga.generate());
 
         // 3. Aliased-prefix detection over candidate /48s with suspicious
-        //    density, plus the routed space of content ASes.
-        let mut candidates: HashSet<Prefix> = full.networks(48);
+        //    density, plus the routed space of content ASes. The /48
+        //    bases fall out of one run-length pass over the compacted
+        //    list, already sorted and deduplicated.
+        let compact: CompactSet = full.iter().collect();
+        let mut cand: Vec<Prefix> = compact
+            .masked_counts(48)
+            .map(|(base, _)| Prefix::new(Ipv6Addr::from(base), 48))
+            .collect();
         for info in world.topology.ases() {
             for alloc in &info.allocations {
-                candidates.insert(alloc.subnet(48, 0));
+                cand.push(alloc.subnet(48, 0));
             }
         }
-        let mut cand: Vec<Prefix> = candidates.into_iter().collect();
         cand.sort();
+        cand.dedup();
         let aliased48 = apd::detect(world, &cand, t);
         // Collapse detected /48s back to their covering allocations where
         // the whole allocation is aliased (one representative suffices

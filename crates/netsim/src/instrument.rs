@@ -84,16 +84,58 @@ impl TransportStats {
     /// the `transport_*` keys. Call once the recording threads have
     /// quiesced.
     pub fn export_into(&self, registry: &mut Registry) {
-        registry.add(TRANSPORT_EXCHANGES, self.exchanges.load(Ordering::Relaxed));
-        registry.add(TRANSPORT_ANSWERED, self.answered.load(Ordering::Relaxed));
-        registry.add(
-            TRANSPORT_UNANSWERED,
-            self.unanswered.load(Ordering::Relaxed),
-        );
-        registry.add(TRANSPORT_LOST, self.lost.load(Ordering::Relaxed));
-        registry.add(TRANSPORT_TRUNCATED, self.truncated.load(Ordering::Relaxed));
-        registry.add(TRANSPORT_DELIVERED, self.delivered.load(Ordering::Relaxed));
-        registry.merge_hist(TRANSPORT_RTT_SECONDS, &self.rtt_seconds.snapshot());
+        self.totals().export_into(registry);
+    }
+
+    /// A plain-value snapshot of the totals, for checkpointing. A saved
+    /// snapshot exported alongside a live sink's totals accounts to the
+    /// same registry values as one uninterrupted sink would.
+    pub fn totals(&self) -> TransportTotals {
+        TransportTotals {
+            exchanges: self.exchanges.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            unanswered: self.unanswered.load(Ordering::Relaxed),
+            lost: self.lost.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            rtt_seconds: self.rtt_seconds.snapshot(),
+        }
+    }
+}
+
+/// Plain-value transport totals, detached from the atomic sink — what a
+/// study checkpoint persists for each instrumented stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportTotals {
+    /// Exchanges attempted.
+    pub exchanges: u64,
+    /// Exchanges that returned an answer.
+    pub answered: u64,
+    /// Exchanges that reached a silent destination.
+    pub unanswered: u64,
+    /// Exchanges lost in the network.
+    pub lost: u64,
+    /// Answered exchanges cut short in flight.
+    pub truncated: u64,
+    /// Responder invocations.
+    pub delivered: u64,
+    /// Round-trip-time histogram, sim seconds.
+    pub rtt_seconds: telemetry::Histogram,
+}
+
+impl TransportTotals {
+    /// Exports into `registry`'s deterministic bank under the
+    /// `transport_*` keys; counters add and the histogram merges, so
+    /// exporting a prefix snapshot plus the remainder equals exporting
+    /// one uninterrupted run.
+    pub fn export_into(&self, registry: &mut Registry) {
+        registry.add(TRANSPORT_EXCHANGES, self.exchanges);
+        registry.add(TRANSPORT_ANSWERED, self.answered);
+        registry.add(TRANSPORT_UNANSWERED, self.unanswered);
+        registry.add(TRANSPORT_LOST, self.lost);
+        registry.add(TRANSPORT_TRUNCATED, self.truncated);
+        registry.add(TRANSPORT_DELIVERED, self.delivered);
+        registry.merge_hist(TRANSPORT_RTT_SECONDS, &self.rtt_seconds);
     }
 }
 

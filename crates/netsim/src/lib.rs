@@ -59,7 +59,7 @@ pub mod world;
 pub use archetype::DeviceKind;
 pub use country::Country;
 pub use device::{Device, DeviceId};
-pub use instrument::{Instrumented, TransportStats};
+pub use instrument::{Instrumented, TransportStats, TransportTotals};
 pub use time::{Duration, SimTime};
 pub use topology::{AsInfo, Asn, Topology};
 pub use transport::{Delivery, FaultConfig, FaultProfile, Faulty, Ideal, Link, Transport};

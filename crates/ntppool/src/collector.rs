@@ -5,6 +5,11 @@
 //! **first-sight feed**: every address is handed to the real-time scanner
 //! exactly once, when first observed — re-observations only bump counters,
 //! mirroring how the study's zgrab2 pipeline deduplicates its input.
+//!
+//! The global set is a [`store::Archive`] — the memtable + compact-segment
+//! store built for the paper's 3 B-address scale — and the per-server
+//! `AddrSet`s are pre-sized from the expected device population instead of
+//! growing from empty through repeated rehashes.
 
 use crate::pool::ServerId;
 use netsim::time::SimTime;
@@ -12,6 +17,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
 use std::sync::Arc;
+use store::Archive;
 use v6addr::AddrSet;
 
 /// One first-sight observation.
@@ -52,12 +58,26 @@ impl FeedSink for ChannelSink {
     }
 }
 
+/// The collector's dedup state, detached from its sink — what a study
+/// checkpoint persists and a resume restores.
+pub struct CollectorParts {
+    /// The global distinct-address archive.
+    pub global: Archive,
+    /// Distinct addresses per server, sorted by server id.
+    pub per_server: Vec<(ServerId, AddrSet)>,
+    /// Raw request counts per server, sorted by server id.
+    pub requests: Vec<(ServerId, u64)>,
+}
+
 /// The address collector.
 pub struct AddressCollector {
-    global: AddrSet,
+    global: Archive,
     per_server: HashMap<ServerId, AddrSet>,
     requests: HashMap<ServerId, u64>,
     sink: Option<Box<dyn FeedSink>>,
+    /// Capacity hint for per-server sets, derived from the expected
+    /// device population.
+    per_server_hint: usize,
 }
 
 impl std::fmt::Debug for AddressCollector {
@@ -79,10 +99,11 @@ impl AddressCollector {
     /// Collector without a feed sink.
     pub fn new() -> AddressCollector {
         AddressCollector {
-            global: AddrSet::new(),
+            global: Archive::new(),
             per_server: HashMap::new(),
             requests: HashMap::new(),
             sink: None,
+            per_server_hint: 0,
         }
     }
 
@@ -94,10 +115,55 @@ impl AddressCollector {
         }
     }
 
+    /// Collector pre-sized for an expected device population: each
+    /// collecting server serves one location's slice of the world, so
+    /// per-server sets start at a quarter of the population instead of
+    /// rehashing their way up from empty.
+    pub fn sized_for(sink: Option<Box<dyn FeedSink>>, expected_devices: usize) -> AddressCollector {
+        AddressCollector {
+            sink,
+            per_server_hint: expected_devices / 4,
+            ..AddressCollector::new()
+        }
+    }
+
+    /// Rebuilds a collector from checkpointed [`CollectorParts`],
+    /// reattaching a (fresh) sink for the remainder of the run.
+    pub fn from_parts(
+        parts: CollectorParts,
+        sink: Option<Box<dyn FeedSink>>,
+        expected_devices: usize,
+    ) -> AddressCollector {
+        AddressCollector {
+            global: parts.global,
+            per_server: parts.per_server.into_iter().collect(),
+            requests: parts.requests.into_iter().collect(),
+            sink,
+            per_server_hint: expected_devices / 4,
+        }
+    }
+
+    /// Extracts the dedup state for checkpointing (drops the sink).
+    pub fn into_parts(self) -> CollectorParts {
+        let mut per_server: Vec<(ServerId, AddrSet)> = self.per_server.into_iter().collect();
+        per_server.sort_by_key(|(s, _)| *s);
+        let mut requests: Vec<(ServerId, u64)> = self.requests.into_iter().collect();
+        requests.sort_by_key(|(s, _)| *s);
+        CollectorParts {
+            global: self.global,
+            per_server,
+            requests,
+        }
+    }
+
     /// Records one observed request.
     pub fn record(&mut self, server: ServerId, addr: Ipv6Addr, at: SimTime) {
         *self.requests.entry(server).or_insert(0) += 1;
-        self.per_server.entry(server).or_default().insert(addr);
+        let hint = self.per_server_hint;
+        self.per_server
+            .entry(server)
+            .or_insert_with(|| AddrSet::with_capacity(hint))
+            .insert(addr);
         if self.global.insert(addr) {
             if let Some(sink) = &mut self.sink {
                 sink.on_first_sight(Observation {
@@ -109,8 +175,8 @@ impl AddressCollector {
         }
     }
 
-    /// The global distinct-address set.
-    pub fn global(&self) -> &AddrSet {
+    /// The global distinct-address archive.
+    pub fn global(&self) -> &Archive {
         &self.global
     }
 
@@ -155,8 +221,8 @@ impl AddressCollector {
         }
     }
 
-    /// Consumes the collector, returning the global set.
-    pub fn into_global(self) -> AddrSet {
+    /// Consumes the collector, returning the global archive.
+    pub fn into_global(self) -> Archive {
         self.global
     }
 }
@@ -219,5 +285,32 @@ mod tests {
         assert_eq!(c.requests(ServerId(9)), 0);
         assert!(c.per_server(ServerId(9)).is_none());
         assert_eq!(c.global().len(), 0);
+    }
+
+    /// Round-tripping through `into_parts`/`from_parts` preserves the
+    /// dedup state exactly: replaying the tail of a run against the
+    /// restored collector fires the same first sights.
+    #[test]
+    fn parts_roundtrip_preserves_dedup() {
+        let mut c = AddressCollector::sized_for(None, 100);
+        for i in 0..50u32 {
+            c.record(
+                ServerId(i % 3),
+                a(&format!("2001:db8::{:x}", i + 1)),
+                SimTime(u64::from(i)),
+            );
+        }
+        let parts = c.into_parts();
+        let sink = VecSink::default();
+        let buf = sink.0.clone();
+        let mut c = AddressCollector::from_parts(parts, Some(Box::new(sink)), 100);
+        // Re-sighting anything already collected stays silent.
+        c.record(ServerId(0), a("2001:db8::5"), SimTime(99));
+        assert!(buf.lock().is_empty());
+        // A genuinely new address fires.
+        c.record(ServerId(1), a("2001:db8::ffff"), SimTime(100));
+        assert_eq!(buf.lock().len(), 1);
+        assert_eq!(c.global().len(), 51);
+        assert_eq!(c.requests(ServerId(0)), 18);
     }
 }

@@ -27,7 +27,9 @@ pub mod pool;
 pub mod run;
 pub mod server;
 
-pub use collector::{AddressCollector, Observation};
+pub use collector::{AddressCollector, CollectorParts, Observation};
 pub use pool::{Pool, ServerId};
-pub use run::{next_poll, poll_once, CollectionRun, PollOutcome, PollReply, RunStats};
+pub use run::{
+    next_poll, poll_once, CollectionCheckpoint, CollectionRun, PollOutcome, PollReply, RunStats,
+};
 pub use server::{Operator, PoolServer};

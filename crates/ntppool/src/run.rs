@@ -248,6 +248,16 @@ impl RpsWindows {
         }
     }
 
+    /// The raw per-server windows, for checkpointing.
+    fn into_parts(self) -> Vec<Option<(u64, u64)>> {
+        self.windows
+    }
+
+    /// Rebuilds windows saved by [`RpsWindows::into_parts`].
+    fn from_parts(windows: Vec<Option<(u64, u64)>>) -> RpsWindows {
+        RpsWindows { windows }
+    }
+
     /// The server's 1-based request ordinal within second `sec`,
     /// advancing the window (and resetting it when the second moves).
     fn ordinal(&mut self, server: ServerId, sec: u64) -> u64 {
@@ -295,6 +305,50 @@ impl Totals {
         local.add(metrics::NTP_OBSERVED, self.observed);
         RunStats::from_registry(local)
     }
+
+    fn into_array(self) -> [u64; 5] {
+        [
+            self.polls,
+            self.responses,
+            self.kod,
+            self.lost,
+            self.observed,
+        ]
+    }
+
+    fn from_array(a: [u64; 5]) -> Totals {
+        Totals {
+            polls: a[0],
+            responses: a[1],
+            kod: a[2],
+            lost: a[3],
+            observed: a[4],
+        }
+    }
+}
+
+/// A mid-run snapshot of the collection engine, produced by
+/// [`CollectionRun::run_until`] and consumed by
+/// [`CollectionRun::resume_instrumented`].
+///
+/// `pending` holds the event queue drained **in pop order**: on resume
+/// it is re-scheduled as a batch, which assigns the pending events lower
+/// tie-break sequence numbers than any follow-up scheduled after the
+/// resume — exactly the relative order the uninterrupted run would have
+/// used, so the resumed feed is bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionCheckpoint {
+    /// The stop bound the prefix ran to (every processed event was
+    /// strictly before it).
+    pub cursor: SimTime,
+    /// Unprocessed events `(fire time, device, poll seq)` in pop order.
+    pub pending: Vec<(SimTime, DeviceId, u64)>,
+    /// Per-server RPS windows (`(second, count)` per pool slot).
+    pub rps: Vec<Option<(u64, u64)>>,
+    /// Outcome counters so far: polls, responses, kod, lost, observed.
+    pub totals: [u64; 5],
+    /// KoD-backoff observations so far.
+    pub kod_backoff: telemetry::Histogram,
 }
 
 /// One bucket event flowing through the plan → execute → apply phases
@@ -329,6 +383,16 @@ impl Planned {
             },
         }
     }
+}
+
+/// The resumable engine state a run drives forward: the event queue,
+/// per-server RPS windows, and the outcome totals. Everything else the
+/// engine touches (request memo, resolvers, worker scratch) is
+/// recomputable and lives on the stack of one `drive_*` call.
+struct EngineState {
+    queue: EventQueue<(DeviceId, u64)>,
+    rps: RpsWindows,
+    totals: Totals,
 }
 
 /// A collection run over a time window.
@@ -386,6 +450,93 @@ impl<'w> CollectionRun<'w> {
         queue
     }
 
+    /// Fresh engine state at the start of the window.
+    fn fresh_state(&self) -> EngineState {
+        EngineState {
+            queue: self.seeded_queue(),
+            rps: RpsWindows::for_pool(self.pool),
+            totals: Totals::default(),
+        }
+    }
+
+    /// Advances the engine until every event before `stop` (clamped to
+    /// the window end) has been processed, dispatching to the
+    /// sequential or bucket-synchronous engine.
+    fn drive<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
+        &self,
+        st: &mut EngineState,
+        stop: SimTime,
+        local: &mut Registry,
+        observe: &mut F,
+    ) {
+        let stop = stop.min(self.end);
+        if self.threads <= 1 {
+            self.drive_sequential(st, stop, local, observe);
+        } else {
+            self.drive_bucketed(st, stop, local, observe);
+        }
+    }
+
+    /// Runs the prefix of the window up to `stop` and returns the
+    /// engine state as a [`CollectionCheckpoint`]. The prefix's
+    /// deterministic side effects (the `observe` feed, outcome totals,
+    /// the KoD histogram) are captured in the checkpoint; nothing is
+    /// flushed to a registry — [`CollectionRun::resume_instrumented`]
+    /// accounts the whole run at the end so a resumed run's registry is
+    /// bit-identical to an uninterrupted one's.
+    pub fn run_until<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
+        &self,
+        stop: SimTime,
+        mut observe: F,
+    ) -> CollectionCheckpoint {
+        let stop = stop.min(self.end);
+        let mut local = Registry::new();
+        let mut st = self.fresh_state();
+        self.drive(&mut st, stop, &mut local, &mut observe);
+        let mut pending = Vec::with_capacity(st.queue.len());
+        while let Some((t, (id, seq))) = st.queue.pop() {
+            pending.push((t, id, seq));
+        }
+        CollectionCheckpoint {
+            cursor: stop,
+            pending,
+            rps: st.rps.into_parts(),
+            totals: st.totals.into_array(),
+            kod_backoff: local
+                .hist(metrics::NTP_KOD_BACKOFF_SECONDS)
+                .cloned()
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Continues a run from a [`CollectionCheckpoint`] to the window
+    /// end. Counters, the KoD histogram, and the returned [`RunStats`]
+    /// cover the **whole** window (prefix + remainder), merged into
+    /// `registry` exactly as one uninterrupted
+    /// [`run_instrumented`](CollectionRun::run_instrumented) would have.
+    pub fn resume_instrumented<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
+        &self,
+        ckpt: CollectionCheckpoint,
+        registry: &mut Registry,
+        mut observe: F,
+    ) -> RunStats {
+        let mut local = Registry::new();
+        if !ckpt.kod_backoff.is_empty() {
+            local.merge_hist(metrics::NTP_KOD_BACKOFF_SECONDS, &ckpt.kod_backoff);
+        }
+        let mut queue = EventQueue::new();
+        queue.schedule_batch(ckpt.pending.into_iter().map(|(t, id, seq)| (t, (id, seq))));
+        let mut st = EngineState {
+            queue,
+            rps: RpsWindows::from_parts(ckpt.rps),
+            totals: Totals::from_array(ckpt.totals),
+        };
+        self.drive(&mut st, self.end, &mut local, &mut observe);
+        let stats = std::mem::take(&mut st.totals).flush(&mut local);
+        registry.merge(&local);
+        stats
+    }
+
     /// Drives the simulation. `observe(server, addr, t)` fires for every
     /// request that reaches a *collecting* server; the caller routes study
     /// vs actor observations.
@@ -406,30 +557,29 @@ impl<'w> CollectionRun<'w> {
         // stats cannot pick up counts from other stages sharing
         // `registry`; it is merged into the caller's at the end.
         let mut local = Registry::new();
-        let stats = if self.threads <= 1 {
-            self.run_sequential(&mut local, &mut observe)
-        } else {
-            self.run_bucketed(&mut local, &mut observe)
-        };
+        let mut st = self.fresh_state();
+        self.drive(&mut st, self.end, &mut local, &mut observe);
+        let stats = std::mem::take(&mut st.totals).flush(&mut local);
         registry.merge(&local);
         stats
     }
 
     /// The single-threaded engine: one pop per event, everything inline.
-    fn run_sequential<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
+    fn drive_sequential<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
         &self,
+        st: &mut EngineState,
+        stop: SimTime,
         local: &mut Registry,
         observe: &mut F,
-    ) -> RunStats {
-        let mut totals = Totals::default();
-        let mut queue = self.seeded_queue();
-        let mut rps = RpsWindows::for_pool(self.pool);
+    ) {
+        let EngineState { queue, rps, totals } = st;
         let mut memo = RequestMemo::new();
         let mut resolver = self.world.addr_resolver();
-        while let Some((t, (id, seq))) = queue.pop() {
-            if t >= self.end {
-                continue; // drain without rescheduling
-            }
+        // The heap pops in time order, so the first event at or past
+        // `stop` means every remaining event is too — they stay queued
+        // (for a checkpoint) instead of being drained.
+        while queue.peek_time().is_some_and(|t0| t0 < stop) {
+            let (t, (id, seq)) = queue.pop().expect("peeked event pops");
             let dev = self.world.device(id);
             let cfg = dev.ntp.expect("scheduled device has NTP config");
             totals.polls += 1;
@@ -471,19 +621,19 @@ impl<'w> CollectionRun<'w> {
             }
             queue.schedule(next, (id, seq + 1));
         }
-        totals.flush(local)
     }
 
     /// The bucket-synchronous parallel engine (module docs). Produces
     /// bit-identical feed order, stats, and deterministic telemetry to
-    /// [`run_sequential`](CollectionRun::run_sequential).
-    fn run_bucketed<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
+    /// [`drive_sequential`](CollectionRun::drive_sequential).
+    fn drive_bucketed<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
         &self,
+        st: &mut EngineState,
+        stop: SimTime,
         local: &mut Registry,
         observe: &mut F,
-    ) -> RunStats {
-        let mut totals = Totals::default();
-        let mut queue = self.seeded_queue();
+    ) {
+        let EngineState { queue, rps, totals } = st;
         // Safe bucket horizon: the minimum poll interval over scheduled
         // clients. Every follow-up scheduled from inside a bucket lands
         // at least one interval after its event (KoD widens the gap
@@ -496,15 +646,17 @@ impl<'w> CollectionRun<'w> {
             .min()
             .unwrap_or(1)
             .max(1);
-        let mut rps = RpsWindows::for_pool(self.pool);
         let mut bucket: Vec<(SimTime, (DeviceId, u64))> = Vec::new();
         let mut planned: Vec<Planned> = Vec::new();
         let mut reschedule: Vec<(SimTime, (DeviceId, u64))> = Vec::new();
         while let Some(t0) = queue.peek_time() {
-            if t0 >= self.end {
-                break; // every remaining event is past the window
+            if t0 >= stop {
+                break; // every remaining event is past the bound
             }
-            let bucket_end = SimTime(t0.as_secs().saturating_add(horizon)).min(self.end);
+            // Clamping the bucket to `stop` is safe: bucket boundaries
+            // never affect the deterministic results, only how work is
+            // batched.
+            let bucket_end = SimTime(t0.as_secs().saturating_add(horizon)).min(stop);
             bucket.clear();
             queue.pop_bucket(bucket_end, &mut bucket);
             local.vol_add(metrics::NTP_COLLECTION_BUCKETS, 1);
@@ -612,7 +764,6 @@ impl<'w> CollectionRun<'w> {
             }
             queue.schedule_batch(reschedule.drain(..));
         }
-        totals.flush(local)
     }
 }
 
@@ -705,12 +856,12 @@ mod tests {
             );
             let mut c = AddressCollector::new();
             run.run(|s, a, t| c.record(s, a, t));
-            c.into_global()
+            c.into_global().to_compact()
         };
         let a = collect();
         let b = collect();
         assert_eq!(a.len(), b.len());
-        assert_eq!(a.overlap(&b), a.len());
+        assert_eq!(a.overlap_count(&b), a.len());
     }
 
     #[test]
@@ -752,11 +903,12 @@ mod tests {
         );
         let mut c = AddressCollector::new();
         run.run(|s, a, t| c.record(s, a, t));
-        let ours = c.into_global();
+        let ours = c.into_global().to_compact();
+        let rl: store::CompactSet = rl.iter().collect();
         // Same world ⇒ heavy /32 (AS-level) overlap…
         assert!(ours.network_overlap(&rl, 32) > 0);
         // …but dynamic prefixes+IIDs make address-level overlap tiny.
-        let addr_overlap_rate = ours.overlap(&rl) as f64 / ours.len().max(1) as f64;
+        let addr_overlap_rate = ours.overlap_count(&rl) as f64 / ours.len().max(1) as f64;
         assert!(addr_overlap_rate < 0.2, "rate {addr_overlap_rate}");
     }
 
@@ -774,7 +926,7 @@ mod tests {
         let collect = |run: CollectionRun| {
             let mut c = AddressCollector::new();
             let stats = run.run(|s, a, t| c.record(s, a, t));
-            (stats, c.into_global())
+            (stats, c.into_global().to_compact())
         };
         let (direct_stats, direct) = collect(CollectionRun::new(&world, &pool, SimTime(0), window));
         let (ideal_stats, ideal) = collect(CollectionRun::with_transport(
@@ -786,7 +938,7 @@ mod tests {
         ));
         assert_eq!(direct_stats, ideal_stats);
         assert_eq!(direct.len(), ideal.len());
-        assert_eq!(direct.overlap(&ideal), direct.len());
+        assert_eq!(direct.overlap_count(&ideal), direct.len());
         assert_eq!(ideal_stats.kod, 0);
         assert_eq!(ideal_stats.lost, 0);
     }
@@ -807,7 +959,7 @@ mod tests {
             );
             let mut c = AddressCollector::new();
             let stats = run.run(|s, a, t| c.record(s, a, t));
-            (stats, c.into_global())
+            (stats, c.into_global().to_compact())
         };
         let (stats, addrs) = collect();
         assert!(stats.lost > 0);
@@ -821,7 +973,7 @@ mod tests {
         let (stats2, addrs2) = collect();
         assert_eq!(stats, stats2);
         assert_eq!(addrs.len(), addrs2.len());
-        assert_eq!(addrs.overlap(&addrs2), addrs.len());
+        assert_eq!(addrs.overlap_count(&addrs2), addrs.len());
     }
 
     #[test]
@@ -1018,6 +1170,46 @@ mod tests {
         let par_hist = par_reg.hist(metrics::NTP_KOD_BACKOFF_SECONDS).unwrap();
         assert_eq!(par_hist, seq_hist);
         assert_eq!(seq_hist.count(), seq_stats.kod);
+    }
+
+    /// `run_until` + `resume_instrumented` must reproduce an
+    /// uninterrupted run bit for bit: feed, stats, and deterministic
+    /// telemetry — on both engines, with KoD traffic in the mix.
+    #[test]
+    fn run_until_then_resume_matches_uninterrupted() {
+        let world = World::generate(WorldConfig::tiny(9));
+        let end = SimTime(Duration::days(2).as_secs());
+        for pool in [study_pool(), kod_pool()] {
+            for threads in [1usize, 4] {
+                let make =
+                    || CollectionRun::new(&world, &pool, SimTime(0), end).with_threads(threads);
+                let mut base_feed = Vec::new();
+                let mut base_reg = Registry::new();
+                let base_stats = make().run_instrumented(&mut base_reg, |s, a, t| {
+                    base_feed.push((s, a, t));
+                });
+                // Checkpoint mid-window, at the window start (nothing
+                // processed), and at the end (everything processed).
+                for stop_secs in [0, Duration::hours(20).as_secs(), end.as_secs()] {
+                    let mut feed = Vec::new();
+                    let ckpt = make().run_until(SimTime(stop_secs), |s, a, t| {
+                        feed.push((s, a, t));
+                    });
+                    assert_eq!(ckpt.cursor, SimTime(stop_secs));
+                    let mut reg = Registry::new();
+                    let stats = make().resume_instrumented(ckpt, &mut reg, |s, a, t| {
+                        feed.push((s, a, t));
+                    });
+                    assert_eq!(stats, base_stats, "threads {threads} stop {stop_secs}");
+                    assert_eq!(feed, base_feed, "threads {threads} stop {stop_secs}");
+                    assert_eq!(
+                        reg.snapshot().deterministic(),
+                        base_reg.snapshot().deterministic(),
+                        "threads {threads} stop {stop_secs}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! [`Archive`]: an LSM-lite mutable address set.
+//!
+//! Inserts land in a `HashSet` memtable; when the memtable reaches its
+//! cap it is frozen (sorted + delta-encoded) into a [`CompactSet`]
+//! segment. When the number of segments exceeds the fanout, **all**
+//! segments are compacted into one with a streaming k-way union — a
+//! deterministic rule, so the segment list after any insert sequence is
+//! a pure function of that sequence.
+//!
+//! More importantly for the determinism contract: the *observable* state
+//! (membership, `len`, ordered iteration) is content-based and therefore
+//! independent of freeze/compaction boundaries entirely. Segments are
+//! pairwise disjoint and disjoint from the memtable (an address is only
+//! inserted once), so `len` is a plain sum.
+
+use crate::compact::CompactSet;
+use crate::error::StoreError;
+use crate::segment;
+use std::collections::HashSet;
+use std::net::Ipv6Addr;
+use std::path::Path;
+
+/// Default memtable spill threshold.
+pub const DEFAULT_MEMTABLE_CAP: usize = 1 << 16;
+/// Default segment fanout before full compaction.
+pub const DEFAULT_FANOUT: usize = 8;
+
+/// Archive manifest magic bytes.
+const MANIFEST_MAGIC: [u8; 8] = *b"NTP6ARCH";
+const MANIFEST_VERSION: u16 = 1;
+
+/// A mutable IPv6 address set backed by a memtable plus frozen
+/// [`CompactSet`] segments.
+#[derive(Clone)]
+pub struct Archive {
+    memtable: HashSet<u128>,
+    segments: Vec<CompactSet>,
+    memtable_cap: usize,
+    fanout: usize,
+}
+
+impl Default for Archive {
+    fn default() -> Archive {
+        Archive::new()
+    }
+}
+
+impl Archive {
+    /// An empty archive with default memtable cap and fanout.
+    pub fn new() -> Archive {
+        Archive::with_memtable_cap(DEFAULT_MEMTABLE_CAP)
+    }
+
+    /// An empty archive that spills to a segment every `cap` inserts.
+    pub fn with_memtable_cap(cap: usize) -> Archive {
+        Archive {
+            memtable: HashSet::new(),
+            segments: Vec::new(),
+            memtable_cap: cap.max(1),
+            fanout: DEFAULT_FANOUT,
+        }
+    }
+
+    /// Rebuilds an archive from frozen segments (e.g. a decoded
+    /// checkpoint). Segments must be pairwise disjoint, as produced by
+    /// [`Archive::segments`] after a freeze.
+    pub fn from_segments(segments: Vec<CompactSet>, cap: usize) -> Archive {
+        Archive {
+            memtable: HashSet::new(),
+            segments,
+            memtable_cap: cap.max(1),
+            fanout: DEFAULT_FANOUT,
+        }
+    }
+
+    /// Number of distinct addresses.
+    pub fn len(&self) -> usize {
+        self.memtable.len() + self.segments.iter().map(CompactSet::len).sum::<usize>()
+    }
+
+    /// True when no address has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test across the memtable and every segment.
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        let a = u128::from(addr);
+        self.memtable.contains(&a) || self.segments.iter().any(|s| s.contains_u128(a))
+    }
+
+    /// Inserts an address; returns `true` on first sight.
+    pub fn insert(&mut self, addr: Ipv6Addr) -> bool {
+        let a = u128::from(addr);
+        if self.segments.iter().any(|s| s.contains_u128(a)) {
+            return false;
+        }
+        if !self.memtable.insert(a) {
+            return false;
+        }
+        if self.memtable.len() >= self.memtable_cap {
+            self.freeze();
+        }
+        true
+    }
+
+    /// Spills the memtable into a frozen segment and compacts if the
+    /// fanout is exceeded. Idempotent on an empty memtable.
+    pub fn freeze(&mut self) {
+        if !self.memtable.is_empty() {
+            let mut v: Vec<u128> = self.memtable.drain().collect();
+            v.sort_unstable();
+            self.segments.push(CompactSet::from_sorted(v));
+        }
+        if self.segments.len() > self.fanout {
+            let refs: Vec<&CompactSet> = self.segments.iter().collect();
+            let merged = CompactSet::union_all(&refs);
+            self.segments = vec![merged];
+        }
+    }
+
+    /// The frozen segments (call [`Archive::freeze`] first to include
+    /// the memtable).
+    pub fn segments(&self) -> &[CompactSet] {
+        &self.segments
+    }
+
+    /// Ordered (ascending) iteration over every address.
+    pub fn iter(&self) -> impl Iterator<Item = Ipv6Addr> + '_ {
+        let mut mem: Vec<u128> = self.memtable.iter().copied().collect();
+        mem.sort_unstable();
+        // Segments and memtable are pairwise disjoint, so a merge of
+        // their sorted streams is already duplicate-free.
+        let mut streams: Vec<Box<dyn Iterator<Item = u128> + '_>> = self
+            .segments
+            .iter()
+            .map(|s| Box::new(s.iter_u128()) as Box<dyn Iterator<Item = u128> + '_>)
+            .collect();
+        streams.push(Box::new(mem.into_iter()));
+        let mut peeked: Vec<(Option<u128>, Box<dyn Iterator<Item = u128> + '_>)> =
+            streams.into_iter().map(|mut it| (it.next(), it)).collect();
+        std::iter::from_fn(move || {
+            let min = peeked.iter().filter_map(|(h, _)| *h).min()?;
+            for (head, it) in &mut peeked {
+                if *head == Some(min) {
+                    *head = it.next();
+                }
+            }
+            Some(min)
+        })
+        .map(Ipv6Addr::from)
+    }
+
+    /// A single [`CompactSet`] with the archive's full contents.
+    pub fn to_compact(&self) -> CompactSet {
+        CompactSet::from_sorted(self.iter().map(u128::from))
+    }
+
+    /// Resident heap bytes across memtable and segments.
+    pub fn heap_bytes(&self) -> usize {
+        self.memtable.capacity() * (std::mem::size_of::<u128>() + 1)
+            + self
+                .segments
+                .iter()
+                .map(CompactSet::heap_bytes)
+                .sum::<usize>()
+    }
+
+    /// Freezes the memtable and writes every segment plus a sealed
+    /// manifest into `dir` (created if absent).
+    pub fn flush(&mut self, dir: &Path) -> Result<(), StoreError> {
+        self.freeze();
+        std::fs::create_dir_all(dir)?;
+        let mut w = crate::codec::Writer::new();
+        w.put_raw(&MANIFEST_MAGIC);
+        w.put_u16(MANIFEST_VERSION);
+        w.put_u64(self.memtable_cap as u64);
+        w.put_u64(self.segments.len() as u64);
+        for (i, seg) in self.segments.iter().enumerate() {
+            w.put_u64(seg.len() as u64);
+            segment::write_file(&dir.join(format!("seg-{i:04}.seg")), seg)?;
+        }
+        w.seal();
+        std::fs::write(dir.join("MANIFEST"), w.into_bytes())?;
+        Ok(())
+    }
+
+    /// Reopens an archive flushed with [`Archive::flush`], validating
+    /// the manifest seal and every segment checksum.
+    pub fn open(dir: &Path) -> Result<Archive, StoreError> {
+        let manifest = std::fs::read(dir.join("MANIFEST"))?;
+        let payload = crate::codec::Reader::verify_seal(&manifest, "archive manifest")?;
+        let mut r = crate::codec::Reader::new(payload);
+        if r.take(8)? != MANIFEST_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != MANIFEST_VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let cap = r.u64()? as usize;
+        let count = r.u64()? as usize;
+        let mut segments = Vec::with_capacity(count);
+        for i in 0..count {
+            let len = r.u64()? as usize;
+            let seg = segment::read_file(&dir.join(format!("seg-{i:04}.seg")))?;
+            if seg.len() != len {
+                return Err(StoreError::Corrupt(
+                    "segment length disagrees with manifest",
+                ));
+            }
+            segments.push(seg);
+        }
+        if !r.is_done() {
+            return Err(StoreError::Corrupt("trailing bytes after manifest"));
+        }
+        Ok(Archive::from_segments(segments, cap))
+    }
+}
+
+impl std::fmt::Debug for Archive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Archive")
+            .field("len", &self.len())
+            .field("segments", &self.segments.len())
+            .field("memtable", &self.memtable.len())
+            .finish()
+    }
+}
+
+impl Extend<Ipv6Addr> for Archive {
+    fn extend<T: IntoIterator<Item = Ipv6Addr>>(&mut self, iter: T) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+impl FromIterator<Ipv6Addr> for Archive {
+    fn from_iter<T: IntoIterator<Item = Ipv6Addr>>(iter: T) -> Archive {
+        let mut ar = Archive::new();
+        ar.extend(iter);
+        ar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(a: u128) -> Ipv6Addr {
+        Ipv6Addr::from(a)
+    }
+
+    #[test]
+    fn insert_dedup_across_freeze_boundaries() {
+        let mut ar = Archive::with_memtable_cap(8);
+        for i in 0..100u128 {
+            assert!(ar.insert(addr(i)));
+        }
+        // Everything again: all duplicates, wherever they froze to.
+        for i in 0..100u128 {
+            assert!(!ar.insert(addr(i)));
+        }
+        assert_eq!(ar.len(), 100);
+        assert!(ar.contains(addr(0)));
+        assert!(ar.contains(addr(99)));
+        assert!(!ar.contains(addr(100)));
+        let got: Vec<u128> = ar.iter().map(u128::from).collect();
+        assert_eq!(got, (0..100u128).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn observable_state_independent_of_cap() {
+        // Same inserts through wildly different freeze schedules must
+        // agree on every observable.
+        let addrs: Vec<Ipv6Addr> = (0..500u128).map(|i| addr(i * 7919)).collect();
+        let mut small = Archive::with_memtable_cap(3);
+        let mut big = Archive::with_memtable_cap(1 << 20);
+        for &a in &addrs {
+            assert_eq!(small.insert(a), big.insert(a));
+        }
+        assert_eq!(small.len(), big.len());
+        assert_eq!(
+            small.iter().collect::<Vec<_>>(),
+            big.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(small.to_compact(), big.to_compact());
+        assert!(small.segments().len() <= DEFAULT_FANOUT + 1);
+    }
+
+    #[test]
+    fn flush_open_roundtrip() {
+        let dir = std::env::temp_dir().join("store-archive-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ar = Archive::with_memtable_cap(16);
+        for i in 0..200u128 {
+            ar.insert(addr(i * 31));
+        }
+        ar.flush(&dir).unwrap();
+        let back = Archive::open(&dir).unwrap();
+        assert_eq!(back.len(), ar.len());
+        assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            ar.iter().collect::<Vec<_>>()
+        );
+        // Corrupt one segment byte: open must fail with a typed error.
+        let seg0 = dir.join("seg-0000.seg");
+        let mut bytes = std::fs::read(&seg0).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&seg0, &bytes).unwrap();
+        assert!(Archive::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,499 @@
+//! [`CompactSet`]: an immutable, sorted IPv6 address set stored as
+//! delta-encoded blocks behind a fence-pointer index.
+//!
+//! # Layout
+//!
+//! Addresses are sorted as `u128` and cut into blocks of at most
+//! [`BLOCK_CAP`] entries. A block stores its first address raw (16
+//! little-endian bytes) followed by LEB128 varints of the strictly
+//! positive deltas between consecutive addresses. One [`Fence`] per
+//! block — `(first, last, count, byte offset)` — lives in a parallel
+//! vector, so `contains` is a binary search over fences plus a decode of
+//! at most one block, and ordered iteration is a straight walk of the
+//! byte stream.
+//!
+//! Because the representation is sorted, set algebra (union, intersect,
+//! difference, overlap counting) streams over decoded iterators with
+//! two-pointer / k-way merges — no intermediate `HashSet` is ever
+//! materialized. Masked network views (`/48`s, `/64`s, …) fall out of
+//! the same property: masking low bits preserves `u128` order, so
+//! distinct-network counting is a run-length pass over one sorted
+//! stream.
+
+use crate::codec;
+use std::net::Ipv6Addr;
+
+/// Maximum addresses per delta block.
+pub const BLOCK_CAP: usize = 256;
+
+/// Per-block index entry: everything `contains` needs to decide whether
+/// to decode the block at `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fence {
+    pub(crate) first: u128,
+    pub(crate) last: u128,
+    pub(crate) count: u32,
+    pub(crate) offset: u32,
+}
+
+/// An immutable sorted set of IPv6 addresses in delta-block encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactSet {
+    pub(crate) fences: Vec<Fence>,
+    pub(crate) data: Vec<u8>,
+    pub(crate) len: usize,
+}
+
+/// The netmask for a prefix length, as high bits of a `u128`.
+pub(crate) fn mask(len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        u128::MAX << (128 - u32::from(len.min(128)))
+    }
+}
+
+impl CompactSet {
+    /// The empty set.
+    pub fn new() -> CompactSet {
+        CompactSet::default()
+    }
+
+    /// Builds a set from a **non-decreasing** stream of `u128`
+    /// addresses; duplicates are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream decreases — sortedness is the structural
+    /// invariant everything else relies on. Use the `FromIterator`
+    /// impls for unsorted input.
+    pub fn from_sorted(iter: impl IntoIterator<Item = u128>) -> CompactSet {
+        let mut set = CompactSet::new();
+        let mut prev: Option<u128> = None;
+        let mut in_block = 0usize;
+        for a in iter {
+            match prev {
+                Some(p) if a < p => panic!("CompactSet::from_sorted: input decreased"),
+                Some(p) if a == p => continue,
+                Some(p) => {
+                    if in_block == BLOCK_CAP {
+                        set.start_block(a);
+                        in_block = 1;
+                    } else {
+                        codec::put_varint(&mut set.data, a - p);
+                        let f = set.fences.last_mut().expect("open block");
+                        f.last = a;
+                        f.count += 1;
+                        in_block += 1;
+                    }
+                }
+                None => {
+                    set.start_block(a);
+                    in_block = 1;
+                }
+            }
+            set.len += 1;
+            prev = Some(a);
+        }
+        // The set is immutable from here on: return the doubling
+        // growth slack so `heap_bytes` reflects what is actually kept
+        // resident.
+        set.data.shrink_to_fit();
+        set.fences.shrink_to_fit();
+        set
+    }
+
+    fn start_block(&mut self, first: u128) {
+        self.fences.push(Fence {
+            first,
+            last: first,
+            count: 1,
+            offset: u32::try_from(self.data.len()).expect("segment data exceeds 4 GiB"),
+        });
+        self.data.extend_from_slice(&first.to_le_bytes());
+    }
+
+    /// Number of addresses in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resident heap bytes of the encoded set (data + fence index).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() + self.fences.capacity() * std::mem::size_of::<Fence>()
+    }
+
+    /// Membership test: binary search over fences, then decode at most
+    /// one block.
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        self.contains_u128(u128::from(addr))
+    }
+
+    /// [`CompactSet::contains`] on the raw integer form.
+    pub fn contains_u128(&self, a: u128) -> bool {
+        let i = self.fences.partition_point(|f| f.first <= a);
+        let Some(f) = i.checked_sub(1).and_then(|i| self.fences.get(i)) else {
+            return false;
+        };
+        if a > f.last {
+            return false;
+        }
+        if a == f.first || a == f.last {
+            return true;
+        }
+        let mut pos = f.offset as usize + 16;
+        let mut cur = f.first;
+        for _ in 1..f.count {
+            let delta = codec::read_varint(&self.data, &mut pos).expect("validated block decodes");
+            cur += delta;
+            if cur >= a {
+                return cur == a;
+            }
+        }
+        false
+    }
+
+    /// Ordered iteration over the raw `u128` address stream.
+    pub fn iter_u128(&self) -> BlockIter<'_> {
+        BlockIter {
+            set: self,
+            block: 0,
+            emitted: 0,
+            pos: 0,
+            cur: 0,
+        }
+    }
+
+    /// Ordered (ascending) iteration over the addresses.
+    pub fn iter(&self) -> impl Iterator<Item = Ipv6Addr> + '_ {
+        self.iter_u128().map(Ipv6Addr::from)
+    }
+
+    /// Streaming k-way union of any number of sets.
+    pub fn union_all(sets: &[&CompactSet]) -> CompactSet {
+        CompactSet::from_sorted(KWayMerge::new(sets.iter().map(|s| s.iter_u128()).collect()))
+    }
+
+    /// Streaming two-set union.
+    pub fn union(&self, other: &CompactSet) -> CompactSet {
+        CompactSet::union_all(&[self, other])
+    }
+
+    /// Streaming intersection.
+    pub fn intersect(&self, other: &CompactSet) -> CompactSet {
+        CompactSet::from_sorted(
+            TwoPointer::new(self, other).filter_map(|(a, both)| both.then_some(a)),
+        )
+    }
+
+    /// Streaming difference (`self \ other`).
+    pub fn difference(&self, other: &CompactSet) -> CompactSet {
+        let mut rhs = other.iter_u128().peekable();
+        CompactSet::from_sorted(self.iter_u128().filter(move |&a| {
+            while rhs.next_if(|&b| b < a).is_some() {}
+            rhs.peek() != Some(&a)
+        }))
+    }
+
+    /// Number of addresses present in both sets, without materializing
+    /// the intersection.
+    pub fn overlap_count(&self, other: &CompactSet) -> usize {
+        TwoPointer::new(self, other)
+            .filter(|&(_, both)| both)
+            .count()
+    }
+
+    /// Distinct masked networks (e.g. `len = 48` for /48s).
+    pub fn network_count(&self, len: u8) -> usize {
+        self.masked_counts(len).count()
+    }
+
+    /// Number of masked networks that appear in both sets — the
+    /// sorted-merge replacement for building two masked `HashSet`s.
+    pub fn network_overlap(&self, other: &CompactSet, len: u8) -> usize {
+        let m = mask(len);
+        let mut rhs = other.iter_u128().map(|a| a & m).peekable();
+        let mut lhs = self.iter_u128().map(|a| a & m).peekable();
+        let mut shared = 0usize;
+        while let (Some(&a), Some(&b)) = (lhs.peek(), rhs.peek()) {
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => while lhs.next_if(|&x| x == a).is_some() {},
+                std::cmp::Ordering::Greater => while rhs.next_if(|&x| x == b).is_some() {},
+                std::cmp::Ordering::Equal => {
+                    shared += 1;
+                    while lhs.next_if(|&x| x == a).is_some() {}
+                    while rhs.next_if(|&x| x == a).is_some() {}
+                }
+            }
+        }
+        shared
+    }
+
+    /// Run-length group-by over the masked sorted stream: one
+    /// `(network, address count)` pair per distinct masked network, in
+    /// ascending network order.
+    pub fn masked_counts(&self, len: u8) -> impl Iterator<Item = (u128, u64)> + '_ {
+        let m = mask(len);
+        let mut it = self.iter_u128().map(move |a| a & m).peekable();
+        std::iter::from_fn(move || {
+            let net = it.next()?;
+            let mut count = 1u64;
+            while it.next_if(|&x| x == net).is_some() {
+                count += 1;
+            }
+            Some((net, count))
+        })
+    }
+}
+
+impl FromIterator<u128> for CompactSet {
+    fn from_iter<I: IntoIterator<Item = u128>>(iter: I) -> CompactSet {
+        let mut v: Vec<u128> = iter.into_iter().collect();
+        v.sort_unstable();
+        CompactSet::from_sorted(v)
+    }
+}
+
+impl FromIterator<Ipv6Addr> for CompactSet {
+    fn from_iter<I: IntoIterator<Item = Ipv6Addr>>(iter: I) -> CompactSet {
+        iter.into_iter().map(u128::from).collect()
+    }
+}
+
+/// Ordered decoder over a [`CompactSet`]'s blocks.
+#[derive(Debug, Clone)]
+pub struct BlockIter<'a> {
+    set: &'a CompactSet,
+    block: usize,
+    emitted: u32,
+    pos: usize,
+    cur: u128,
+}
+
+impl Iterator for BlockIter<'_> {
+    type Item = u128;
+
+    fn next(&mut self) -> Option<u128> {
+        loop {
+            let f = self.set.fences.get(self.block)?;
+            if self.emitted == 0 {
+                self.pos = f.offset as usize + 16;
+                self.cur = f.first;
+                self.emitted = 1;
+                return Some(self.cur);
+            }
+            if self.emitted == f.count {
+                self.block += 1;
+                self.emitted = 0;
+                continue;
+            }
+            let delta =
+                codec::read_varint(&self.set.data, &mut self.pos).expect("validated block decodes");
+            self.cur += delta;
+            self.emitted += 1;
+            return Some(self.cur);
+        }
+    }
+}
+
+/// Two-pointer walk over a pair of sorted streams, yielding every
+/// distinct address with a flag for "present in both".
+struct TwoPointer<'a> {
+    a: std::iter::Peekable<BlockIter<'a>>,
+    b: std::iter::Peekable<BlockIter<'a>>,
+}
+
+impl<'a> TwoPointer<'a> {
+    fn new(a: &'a CompactSet, b: &'a CompactSet) -> TwoPointer<'a> {
+        TwoPointer {
+            a: a.iter_u128().peekable(),
+            b: b.iter_u128().peekable(),
+        }
+    }
+}
+
+impl Iterator for TwoPointer<'_> {
+    type Item = (u128, bool);
+
+    fn next(&mut self) -> Option<(u128, bool)> {
+        match (self.a.peek().copied(), self.b.peek().copied()) {
+            (None, None) => None,
+            (Some(x), None) => {
+                self.a.next();
+                Some((x, false))
+            }
+            (None, Some(y)) => {
+                self.b.next();
+                Some((y, false))
+            }
+            (Some(x), Some(y)) => match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    self.a.next();
+                    Some((x, false))
+                }
+                std::cmp::Ordering::Greater => {
+                    self.b.next();
+                    Some((y, false))
+                }
+                std::cmp::Ordering::Equal => {
+                    self.a.next();
+                    self.b.next();
+                    Some((x, true))
+                }
+            },
+        }
+    }
+}
+
+/// K-way merge of sorted streams (duplicates across streams preserved —
+/// [`CompactSet::from_sorted`] drops them).
+struct KWayMerge<'a> {
+    heads: Vec<(Option<u128>, BlockIter<'a>)>,
+}
+
+impl<'a> KWayMerge<'a> {
+    fn new(iters: Vec<BlockIter<'a>>) -> KWayMerge<'a> {
+        KWayMerge {
+            heads: iters.into_iter().map(|mut it| (it.next(), it)).collect(),
+        }
+    }
+}
+
+impl Iterator for KWayMerge<'_> {
+    type Item = u128;
+
+    fn next(&mut self) -> Option<u128> {
+        let min = self.heads.iter().filter_map(|(head, _)| *head).min()?;
+        for (head, it) in &mut self.heads {
+            if *head == Some(min) {
+                *head = it.next();
+            }
+        }
+        Some(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_of(addrs: &[u128]) -> CompactSet {
+        addrs.iter().copied().collect()
+    }
+
+    /// The edge patterns the satellite task names: `::`, `ff..ff`,
+    /// dense /64 runs, and EUI-64-style IIDs.
+    fn edge_addresses() -> Vec<u128> {
+        let mut v = vec![0u128, u128::MAX, u128::MAX - 1, 1, 2];
+        // Dense run inside one /64.
+        let base = 0x2001_0db8_0001_0002_u128 << 64;
+        for i in 0..600u128 {
+            v.push(base | i);
+        }
+        // EUI-64 IIDs: OUI | fffe | NIC, universal/local bit flipped.
+        for nic in [0u128, 0x1234, 0xff_ffff] {
+            v.push(base | (0x0290_a9ff_fe00_0000 + nic));
+        }
+        // Sparse high addresses.
+        v.push(0xfe80_u128 << 112);
+        v.push(0xff02_u128 << 112 | 1);
+        v
+    }
+
+    #[test]
+    fn roundtrip_edge_patterns() {
+        let mut addrs = edge_addresses();
+        let set: CompactSet = addrs.iter().copied().collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(set.len(), addrs.len());
+        let decoded: Vec<u128> = set.iter_u128().collect();
+        assert_eq!(decoded, addrs);
+        for &a in &addrs {
+            assert!(set.contains_u128(a), "missing {a:#x}");
+        }
+        assert!(!set.contains_u128(3));
+        assert!(!set.contains_u128(u128::MAX - 2));
+        // Spills into multiple blocks.
+        assert!(set.fences.len() > 1);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty = CompactSet::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter_u128().count(), 0);
+        assert!(!empty.contains_u128(0));
+        let one = set_of(&[42]);
+        assert_eq!(one.len(), 1);
+        assert!(one.contains_u128(42));
+        assert!(!one.contains_u128(41));
+    }
+
+    #[test]
+    fn from_sorted_dedups() {
+        let set = CompactSet::from_sorted([1u128, 1, 2, 2, 2, 9]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.iter_u128().collect::<Vec<_>>(), vec![1, 2, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input decreased")]
+    fn from_sorted_rejects_unsorted() {
+        let _ = CompactSet::from_sorted([5u128, 3]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set_of(&[1, 2, 3, 10, 20]);
+        let b = set_of(&[2, 3, 4, 20, 30]);
+        assert_eq!(
+            a.union(&b).iter_u128().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 10, 20, 30]
+        );
+        assert_eq!(
+            a.intersect(&b).iter_u128().collect::<Vec<_>>(),
+            vec![2, 3, 20]
+        );
+        assert_eq!(
+            a.difference(&b).iter_u128().collect::<Vec<_>>(),
+            vec![1, 10]
+        );
+        assert_eq!(a.overlap_count(&b), 3);
+        assert_eq!(CompactSet::union_all(&[&a, &b, &set_of(&[99])]).len(), 8);
+    }
+
+    #[test]
+    fn network_views() {
+        let p48 = |hi: u128, lo: u128| (hi << 80) | lo;
+        let a = set_of(&[p48(1, 1), p48(1, 2), p48(2, 1), p48(3, 1)]);
+        let b = set_of(&[p48(2, 7), p48(3, 9), p48(4, 1)]);
+        assert_eq!(a.network_count(48), 3);
+        assert_eq!(a.network_overlap(&b, 48), 2);
+        assert_eq!(a.network_overlap(&b, 128), 0);
+        let counts: Vec<u64> = a.masked_counts(48).map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![2, 1, 1]);
+        // len = 0 masks everything into one network.
+        assert_eq!(a.network_count(0), 1);
+    }
+
+    #[test]
+    fn compact_beats_hashset_on_dense_runs() {
+        let base = 0x2001_0db8_u128 << 96;
+        let addrs: Vec<u128> = (0..10_000u128).map(|i| base | (i * 3)).collect();
+        let set: CompactSet = addrs.iter().copied().collect();
+        let hashset: std::collections::HashSet<u128> = addrs.iter().copied().collect();
+        let hs_bytes = hashset.capacity() * (std::mem::size_of::<u128>() + 1);
+        assert!(
+            set.heap_bytes() * 4 <= hs_bytes,
+            "{} vs {}",
+            set.heap_bytes(),
+            hs_bytes
+        );
+    }
+}

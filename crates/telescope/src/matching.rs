@@ -90,12 +90,22 @@ pub fn match_captures(
     let mut unmatched = 0u64;
     let mut scatter = 0u64;
 
+    // Nearly every captured packet targets a sourced vantage address, so
+    // one probe of this sorted compact set answers the common case; only
+    // misses fall through to the full scatter/ledger classification.
+    let sourced_addrs = vantage.sourced_compact();
+
     for pkt in log.sorted() {
-        if vantage.is_scatter(pkt.dst) {
+        let server = if sourced_addrs.contains(pkt.dst) {
+            vantage
+                .server_of(pkt.dst)
+                .expect("sourced vantage addresses decode")
+        } else if vantage.is_scatter(pkt.dst) {
             scatter += 1;
             continue;
-        }
-        let Some(server) = vantage.server_of(pkt.dst) else {
+        } else if let Some(server) = vantage.server_of(pkt.dst) {
+            server // queried but never sourced: classify by operator below
+        } else {
             unmatched += 1;
             continue;
         };

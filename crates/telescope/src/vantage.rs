@@ -5,17 +5,22 @@ use netsim::transport::{Ideal, Transport};
 use ntppool::{Pool, ServerId};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv6Addr;
+use store::CompactSet;
 use v6addr::Prefix;
 use wire::ntp::{NtpTimestamp, Packet};
 
 /// The telescope: a dedicated prefix, a ledger of which source address
 /// queried which pool server, and the surrounding addresses monitored for
 /// scatter.
+///
+/// There is no address→server map: vantage addresses are arithmetic
+/// ([`addr_for`](Vantage::addr_for) embeds the server index in the /64
+/// subnet bits), so [`server_of`](Vantage::server_of) inverts the
+/// construction and verifies against the server→address ledger.
 #[derive(Debug, Clone)]
 pub struct Vantage {
     /// The announced vantage prefix.
     pub prefix: Prefix,
-    by_addr: HashMap<Ipv6Addr, ServerId>,
     by_server: HashMap<ServerId, Ipv6Addr>,
     /// When each server was queried.
     query_times: HashMap<ServerId, SimTime>,
@@ -30,7 +35,6 @@ impl Vantage {
     pub fn new(prefix: Prefix) -> Vantage {
         Vantage {
             prefix,
-            by_addr: HashMap::new(),
             by_server: HashMap::new(),
             query_times: HashMap::new(),
             sourced: HashSet::new(),
@@ -93,7 +97,6 @@ impl Vantage {
             if saw {
                 self.sourced.insert(id);
             }
-            self.by_addr.insert(src, id);
             self.by_server.insert(id, src);
             self.query_times.insert(id, t);
             t += gap;
@@ -134,9 +137,27 @@ impl Vantage {
         self.sourced.contains(&server)
     }
 
-    /// Which server was queried from `addr`, if any.
+    /// Which server was queried from `addr`, if any. Inverts
+    /// [`addr_for`](Vantage::addr_for) arithmetically (subnet index →
+    /// server id), then confirms against the ledger so addresses of
+    /// never-queried servers stay `None`.
     pub fn server_of(&self, addr: Ipv6Addr) -> Option<ServerId> {
-        self.by_addr.get(&addr).copied()
+        if !self.prefix.contains(addr) {
+            return None;
+        }
+        let x = u128::from(addr) ^ self.prefix.bits();
+        if x & u128::from(u64::MAX) != 1 {
+            return None; // every vantage address has IID ::1
+        }
+        let id = ServerId(u32::try_from((x >> 64).checked_sub(1)?).ok()?);
+        (self.by_server.get(&id) == Some(&addr)).then_some(id)
+    }
+
+    /// The vantage addresses of all *sourced* servers as a sorted
+    /// [`CompactSet`] — the membership structure the capture matcher
+    /// probes once per packet.
+    pub fn sourced_compact(&self) -> CompactSet {
+        self.sourced.iter().map(|id| self.addr_for(*id)).collect()
     }
 
     /// The address used to query `server`.
@@ -152,7 +173,7 @@ impl Vantage {
     /// Is `addr` inside the monitored prefix but *not* a vantage address
     /// (i.e. would a packet there indicate scattering)?
     pub fn is_scatter(&self, addr: Ipv6Addr) -> bool {
-        self.prefix.contains(addr) && !self.by_addr.contains_key(&addr)
+        self.prefix.contains(addr) && self.server_of(addr).is_none()
     }
 
     /// Number of queried servers.
@@ -246,6 +267,35 @@ mod tests {
         assert_eq!(snap.counter_total("telescope_answered"), answered);
         let sourced = (0..100).filter(|i| v.was_sourced(ServerId(*i))).count();
         assert_eq!(snap.counter_total("telescope_sourced"), sourced as u64);
+    }
+
+    /// The arithmetic `server_of` must agree with what a literal
+    /// address→server map would say: exact round-trips decode, everything
+    /// else — near-miss IIDs, unqueried subnet indexes, out-of-prefix
+    /// addresses — stays `None`.
+    #[test]
+    fn server_of_inverts_addr_for_exactly() {
+        let p = pool(10);
+        let mut v = Vantage::new("2001:db8:aa::/48".parse().unwrap());
+        v.query_all(&p, SimTime(0), Duration::secs(1));
+        for i in 0..10 {
+            assert_eq!(v.server_of(v.addr_for(ServerId(i))), Some(ServerId(i)));
+        }
+        // Queried space ends at server 9: index 11 onwards never decodes.
+        assert_eq!(v.server_of(v.addr_for(ServerId(10))), None);
+        // IID 2 in a queried subnet is not a vantage address.
+        let near: Ipv6Addr = "2001:db8:aa:1::2".parse().unwrap();
+        assert_eq!(v.server_of(near), None);
+        assert!(v.is_scatter(near));
+        // Subnet 0 (no server maps there — indexes start at 1).
+        assert_eq!(v.server_of("2001:db8:aa::1".parse().unwrap()), None);
+        assert_eq!(v.server_of("2600::1".parse().unwrap()), None);
+        // The sourced compact set is exactly the sourced addresses.
+        let compact = v.sourced_compact();
+        assert_eq!(compact.len(), 10);
+        for i in 0..10 {
+            assert!(compact.contains(v.addr_for(ServerId(i))));
+        }
     }
 
     #[test]

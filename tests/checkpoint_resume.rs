@@ -1,0 +1,89 @@
+//! Checkpoint/resume equivalence: a study checkpointed mid-collection
+//! and resumed from disk must be **bit-identical** to an uninterrupted
+//! run — same first-sight feed, same `RunStats`, same collected set,
+//! and a byte-identical canonical-JSON run report — across both
+//! pipeline modes, thread counts, and fault profiles.
+
+use netsim::time::Duration;
+use netsim::transport::FaultProfile;
+use timetoscan::{PipelineMode, Study, StudyConfig};
+
+const SEED: u64 = 31;
+const MODES: [PipelineMode; 2] = [PipelineMode::Buffered, PipelineMode::Streaming];
+const THREADS: [usize; 2] = [1, 4];
+const FAULTS: [FaultProfile; 2] = [FaultProfile::Ideal, FaultProfile::Lossy1Pct];
+
+fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ttscan-ckpt-{tag}-{}", std::process::id()))
+}
+
+/// The full matrix: checkpoint at half the window, resume, and compare
+/// every observable against the uninterrupted run of the same config.
+#[test]
+fn resume_matches_uninterrupted_across_modes_threads_faults() {
+    for fault in FAULTS {
+        for mode in MODES {
+            for threads in THREADS {
+                let cfg = StudyConfig::tiny(SEED)
+                    .with_pipeline(mode)
+                    .with_fault(fault)
+                    .with_collection_threads(threads);
+                let half = Duration::secs(cfg.collection.as_secs() / 2);
+                let tag = format!("{mode:?}-{threads}-{}", fault.name());
+                let dir = ckpt_dir(&tag);
+                Study::checkpoint(cfg.clone(), half, &dir).expect("checkpoint writes");
+                let resumed = Study::resume(&dir).expect("checkpoint resumes");
+                let baseline = Study::run(cfg);
+                std::fs::remove_dir_all(&dir).ok();
+
+                assert_eq!(resumed.feed, baseline.feed, "feed diverged [{tag}]");
+                assert_eq!(
+                    resumed.run_stats, baseline.run_stats,
+                    "run stats diverged [{tag}]"
+                );
+                assert_eq!(
+                    resumed.collector.global().len(),
+                    baseline.collector.global().len(),
+                    "collected set diverged [{tag}]"
+                );
+                assert_eq!(
+                    resumed.ntp_scan.records().len(),
+                    baseline.ntp_scan.records().len(),
+                    "scan records diverged [{tag}]"
+                );
+                assert_eq!(
+                    resumed.run_report().to_json(),
+                    baseline.run_report().to_json(),
+                    "run report diverged [{tag}]"
+                );
+            }
+        }
+    }
+}
+
+/// A checkpoint taken past the end of the window clamps: resuming is a
+/// no-op replay and still matches the plain run.
+#[test]
+fn checkpoint_past_end_clamps() {
+    let cfg = StudyConfig::tiny(SEED + 1);
+    let dir = ckpt_dir("clamp");
+    let beyond = Duration::secs(cfg.collection.as_secs() * 3);
+    Study::checkpoint(cfg.clone(), beyond, &dir).expect("checkpoint writes");
+    let resumed = Study::resume(&dir).expect("checkpoint resumes");
+    let baseline = Study::run(cfg);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(resumed.feed, baseline.feed);
+    assert_eq!(
+        resumed.run_report().to_json(),
+        baseline.run_report().to_json()
+    );
+}
+
+/// Resuming from a directory with no checkpoint is a typed error.
+#[test]
+fn resume_missing_checkpoint_is_io_error() {
+    let dir = ckpt_dir("missing");
+    std::fs::remove_dir_all(&dir).ok();
+    let err = Study::resume(&dir).err().expect("resume must fail");
+    assert!(matches!(err, timetoscan::StoreError::Io(_)), "{err:?}");
+}

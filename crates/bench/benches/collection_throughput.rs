@@ -1,15 +1,16 @@
-//! Collection-engine throughput: events/sec of the sequential engine vs
-//! the bucket-synchronous parallel engine, against a reconstruction of
-//! the pre-optimization poll loop.
+//! Collection-engine throughput: events/sec of the sequential engine,
+//! the bucket-synchronous parallel engine, and the prefix-sharded
+//! engine, against a reconstruction of the pre-optimization poll loop.
 //!
 //! Besides the criterion samples, this bench *always* (including
 //! `--test` smoke mode) runs each engine once over the same workload,
 //! asserts their feeds and stats are **bit-identical** (the determinism
-//! contract the parallel engine ships under), and writes the measured
-//! throughput + speedups to
+//! contract the parallel and sharded engines ship under), and writes
+//! the measured throughput + speedups to
 //! `target/bench-reports/BENCH_collection.json` as a CI artifact. The
-//! recorded `cpus` field qualifies the parallel numbers: thread speedup
-//! needs cores, the constant-factor win over the legacy loop does not.
+//! recorded `cpus` field qualifies the parallel numbers: thread/shard
+//! speedup needs cores, the constant-factor win over the legacy loop
+//! does not.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use netsim::country;
@@ -17,7 +18,11 @@ use netsim::engine::EventQueue;
 use netsim::time::{Duration, SimTime};
 use netsim::world::{World, WorldConfig};
 use netsim::{DeviceId, Ideal};
-use ntppool::{next_poll, poll_once, Operator, PollReply, Pool, PoolServer, ServerId};
+use ntppool::collector::VecSink;
+use ntppool::{
+    next_poll, poll_once, AddressCollector, Operator, PollReply, Pool, PoolServer, ServerId,
+    ShardSet,
+};
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::net::Ipv6Addr;
@@ -106,6 +111,54 @@ fn run_engine(world: &World, pool: &Pool, start: SimTime, end: SimTime, threads:
     out
 }
 
+/// First-sight collection through the sequential engine + the flat
+/// `AddressCollector`: the ground truth for the sharded engine, whose
+/// feed is the deduplicated first-sight stream rather than the raw
+/// observation stream the legacy comparison uses.
+fn run_first_sight(world: &World, pool: &Pool, start: SimTime, end: SimTime) -> Outcome {
+    let sink = VecSink::default();
+    let buf = sink.0.clone();
+    let mut collector = AddressCollector::with_sink(Box::new(sink));
+    let run = ntppool::CollectionRun::new(world, pool, start, end);
+    let stats = run.run(|server, addr, t| collector.record(server, addr, t));
+    let feed = buf
+        .lock()
+        .iter()
+        .map(|o| (o.server, o.addr, o.seen))
+        .collect();
+    Outcome {
+        polls: stats.polls,
+        responses: stats.responses,
+        observed: stats.observed,
+        feed,
+    }
+}
+
+/// The prefix-sharded engine at a given shard count.
+fn run_sharded(world: &World, pool: &Pool, start: SimTime, end: SimTime, shards: usize) -> Outcome {
+    let recorded: Vec<ServerId> = pool
+        .servers()
+        .filter(|(_, s)| s.operator.collects())
+        .map(|(id, _)| id)
+        .collect();
+    let sink = VecSink::default();
+    let buf = sink.0.clone();
+    let mut set = ShardSet::new(shards, recorded, Some(Box::new(sink)), 0);
+    let run = ntppool::CollectionRun::new(world, pool, start, end);
+    let stats = run.run_sharded(&mut set);
+    let feed = buf
+        .lock()
+        .iter()
+        .map(|o| (o.server, o.addr, o.seen))
+        .collect();
+    Outcome {
+        polls: stats.polls,
+        responses: stats.responses,
+        observed: stats.observed,
+        feed,
+    }
+}
+
 fn time<T>(f: impl FnOnce() -> T) -> (T, u128) {
     let start = Instant::now();
     let v = f();
@@ -145,6 +198,19 @@ fn collection_throughput(c: &mut Criterion) {
         parallel_ns.push((threads, ns));
     }
 
+    // Sharded engine: its feed is the first-sight stream, so it is
+    // checked against the flat collector's rather than the raw legacy
+    // feed (poll counters still match legacy exactly).
+    let (first_sight, _) = time(|| run_first_sight(&world, &pool, start, end));
+    assert_eq!(first_sight.polls, legacy.polls);
+    assert_eq!(first_sight.observed, legacy.observed);
+    let mut sharded_ns = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let (sharded, ns) = time(|| run_sharded(&world, &pool, start, end, shards));
+        assert_eq!(sharded, first_sight, "{shards}-shard engine diverged");
+        sharded_ns.push((shards, ns));
+    }
+
     let events = legacy.polls;
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let speedup = |ns: u128| legacy_ns as f64 / ns.max(1) as f64;
@@ -161,6 +227,14 @@ fn collection_throughput(c: &mut Criterion) {
             speedup(ns),
         );
     }
+    let sharded_base_ns = sharded_ns[0].1;
+    for &(shards, ns) in &sharded_ns {
+        println!(
+            "collection/throughput: {shards} shards {} ev/s ({:.2}x vs 1-shard)",
+            events_per_sec(events, ns),
+            sharded_base_ns as f64 / ns.max(1) as f64,
+        );
+    }
 
     let json = format!(
         concat!(
@@ -175,8 +249,11 @@ fn collection_throughput(c: &mut Criterion) {
             "  \"sequential_ns\": {},\n",
             "  \"parallel_2t_ns\": {},\n",
             "  \"parallel_4t_ns\": {},\n",
-            "  \"events_per_sec\": {{\"legacy\": {}, \"sequential\": {}, \"threads_2\": {}, \"threads_4\": {}}},\n",
-            "  \"speedup_vs_legacy\": {{\"sequential\": {:.3}, \"threads_2\": {:.3}, \"threads_4\": {:.3}}}\n",
+            "  \"sharded_ns\": {{\"shards_1\": {}, \"shards_2\": {}, \"shards_4\": {}, \"shards_8\": {}}},\n",
+            "  \"events_per_sec\": {{\"legacy\": {}, \"sequential\": {}, \"threads_2\": {}, \"threads_4\": {}, ",
+            "\"shards_1\": {}, \"shards_2\": {}, \"shards_4\": {}, \"shards_8\": {}}},\n",
+            "  \"speedup_vs_legacy\": {{\"sequential\": {:.3}, \"threads_2\": {:.3}, \"threads_4\": {:.3}}},\n",
+            "  \"speedup_vs_sharded_1\": {{\"shards_2\": {:.3}, \"shards_4\": {:.3}, \"shards_8\": {:.3}}}\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
@@ -188,13 +265,24 @@ fn collection_throughput(c: &mut Criterion) {
         sequential_ns,
         parallel_ns[0].1,
         parallel_ns[1].1,
+        sharded_ns[0].1,
+        sharded_ns[1].1,
+        sharded_ns[2].1,
+        sharded_ns[3].1,
         events_per_sec(events, legacy_ns),
         events_per_sec(events, sequential_ns),
         events_per_sec(events, parallel_ns[0].1),
         events_per_sec(events, parallel_ns[1].1),
+        events_per_sec(events, sharded_ns[0].1),
+        events_per_sec(events, sharded_ns[1].1),
+        events_per_sec(events, sharded_ns[2].1),
+        events_per_sec(events, sharded_ns[3].1),
         speedup(sequential_ns),
         speedup(parallel_ns[0].1),
         speedup(parallel_ns[1].1),
+        sharded_base_ns as f64 / sharded_ns[1].1.max(1) as f64,
+        sharded_base_ns as f64 / sharded_ns[2].1.max(1) as f64,
+        sharded_base_ns as f64 / sharded_ns[3].1.max(1) as f64,
     );
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-reports");
     std::fs::create_dir_all(&dir).expect("create target/bench-reports");
@@ -214,6 +302,9 @@ fn collection_throughput(c: &mut Criterion) {
     });
     c.bench_function("collection/parallel_4t", |b| {
         b.iter(|| black_box(run_engine(&world, &pool, start, slice_end, 4).polls))
+    });
+    c.bench_function("collection/sharded_4", |b| {
+        b.iter(|| black_box(run_sharded(&world, &pool, start, slice_end, 4).polls))
     });
 }
 

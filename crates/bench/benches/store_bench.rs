@@ -60,6 +60,61 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, u128) {
     (v, start.elapsed().as_nanos())
 }
 
+/// Spill fanout used by both compaction-schedule reconstructions,
+/// matching [`store::archive::DEFAULT_FANOUT`].
+const SPILL_FANOUT: usize = 8;
+
+/// The pre-optimization compaction schedule, via the public
+/// [`CompactSet`] API: each spilled run is appended, and once the
+/// fanout is exceeded a full k-way union re-encodes **every** segment
+/// into one.
+fn legacy_compaction(runs: &[CompactSet]) -> Vec<CompactSet> {
+    let mut segments: Vec<CompactSet> = Vec::new();
+    for run in runs {
+        segments.push(run.clone());
+        if segments.len() > SPILL_FANOUT {
+            let refs: Vec<&CompactSet> = segments.iter().collect();
+            segments = vec![CompactSet::union_all(&refs)];
+        }
+    }
+    segments
+}
+
+/// The current archive's size-tiered schedule: segments bucket into
+/// power-of-two size classes, and a class is k-way merged only once it
+/// holds `fanout` segments (cascading upward), so each address is
+/// re-encoded once per tier level instead of every `fanout`-th spill.
+fn tiered_compaction(runs: &[CompactSet]) -> Vec<CompactSet> {
+    let size_class = |len: usize| len.max(1).next_power_of_two().trailing_zeros();
+    let mut segments: Vec<CompactSet> = Vec::new();
+    for run in runs {
+        segments.push(run.clone());
+        loop {
+            let mut counts = std::collections::BTreeMap::<u32, usize>::new();
+            for s in &segments {
+                *counts.entry(size_class(s.len())).or_insert(0) += 1;
+            }
+            let Some(class) = counts
+                .into_iter()
+                .find(|&(_, n)| n >= SPILL_FANOUT)
+                .map(|(c, _)| c)
+            else {
+                break;
+            };
+            let idxs: Vec<usize> = (0..segments.len())
+                .filter(|&i| size_class(segments[i].len()) == class)
+                .collect();
+            let refs: Vec<&CompactSet> = idxs.iter().map(|&i| &segments[i]).collect();
+            let merged = CompactSet::union_all(&refs);
+            for &i in idxs.iter().rev() {
+                segments.remove(i);
+            }
+            segments.push(merged);
+        }
+    }
+    segments
+}
+
 /// Resident bytes of the `HashSet<u128>` baseline: 16 bytes per slot
 /// plus one control byte, over the allocated capacity.
 fn hashset_bytes(set: &HashSet<u128>) -> usize {
@@ -91,6 +146,49 @@ fn store_bench(c: &mut Criterion) {
         ar
     });
     assert_eq!(archive.len(), hash.len(), "archive dedup diverged");
+    // Before/after for the spill rewrite, measuring exactly the path
+    // that changed: the same ~256 pre-sorted, globally deduplicated
+    // runs (a memtable 1/256 of the feed — a long study spills *many*
+    // times) pushed through the old full-recompaction schedule vs the
+    // new size-tiered one. Insert probes are excluded on purpose — they
+    // are identical code either way and would drown the freeze cost.
+    // The schedules only separate with spill count: full recompaction
+    // re-encodes the whole archive every `fanout` spills (quadratic in
+    // spills), tiered merging re-encodes each address O(log spills)
+    // times.
+    let spill_cap = (feed.len() / 256).max(64);
+    let runs: Vec<CompactSet> = {
+        let mut seen: HashSet<u128> = HashSet::new();
+        let mut runs = Vec::new();
+        let mut cur: Vec<u128> = Vec::with_capacity(spill_cap);
+        for &a in &feed {
+            if seen.insert(a) {
+                cur.push(a);
+                if cur.len() >= spill_cap {
+                    cur.sort_unstable();
+                    runs.push(CompactSet::from_sorted(cur.drain(..)));
+                }
+            }
+        }
+        if !cur.is_empty() {
+            cur.sort_unstable();
+            runs.push(CompactSet::from_sorted(cur.drain(..)));
+        }
+        runs
+    };
+    let (tiered, tiered_ns) = time(|| tiered_compaction(&runs));
+    let (legacy_segments, legacy_ns) = time(|| legacy_compaction(&runs));
+    let seg_total = |segs: &[CompactSet]| segs.iter().map(CompactSet::len).sum::<usize>();
+    assert_eq!(
+        seg_total(&tiered),
+        hash.len(),
+        "tiered schedule lost addresses"
+    );
+    assert_eq!(
+        seg_total(&legacy_segments),
+        hash.len(),
+        "legacy schedule lost addresses"
+    );
 
     // --- Resident bytes: the tentpole's stated memory target. ---
     let compact = archive.to_compact();
@@ -130,6 +228,13 @@ fn store_bench(c: &mut Criterion) {
         per_sec(feed.len(), archive_ns),
     );
     println!(
+        "store/spill ({} runs of {spill_cap}): tiered {} ns, full-recompaction {} ns ({:.2}x speedup)",
+        runs.len(),
+        tiered_ns,
+        legacy_ns,
+        legacy_ns as f64 / tiered_ns.max(1) as f64,
+    );
+    println!(
         "store/overlap: {compact_overlap} shared — compact {compact_overlap_ns} ns, hashset {hash_overlap_ns} ns",
     );
 
@@ -146,6 +251,7 @@ fn store_bench(c: &mut Criterion) {
             "  \"compression_ratio\": {:.3},\n",
             "  \"insert_ns\": {{\"hashset\": {}, \"archive\": {}}},\n",
             "  \"inserts_per_sec\": {{\"hashset\": {}, \"archive\": {}}},\n",
+            "  \"spill\": {{\"memtable_cap\": {}, \"runs\": {}, \"tiered_ns\": {}, \"full_recompaction_ns\": {}, \"speedup\": {:.3}}},\n",
             "  \"overlap_shared\": {},\n",
             "  \"overlap_ns\": {{\"compact\": {}, \"hashset\": {}}}\n",
             "}}\n"
@@ -162,6 +268,11 @@ fn store_bench(c: &mut Criterion) {
         archive_ns,
         per_sec(feed.len(), hash_ns),
         per_sec(feed.len(), archive_ns),
+        spill_cap,
+        runs.len(),
+        tiered_ns,
+        legacy_ns,
+        legacy_ns as f64 / tiered_ns.max(1) as f64,
         compact_overlap,
         compact_overlap_ns,
         hash_overlap_ns,

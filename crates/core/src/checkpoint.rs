@@ -13,7 +13,16 @@
 //!   and per-server dedup sets, serialized as compact segments;
 //! * the first-sight feed prefix, replayed into the scanner on resume;
 //! * the instrumented transport's [`TransportTotals`], exported next to
-//!   the post-resume remainder so `transport_*` metrics add up exactly.
+//!   the post-resume remainder so `transport_*` metrics add up exactly;
+//! * (version 2) one [`ShardCheckpoint`] per engine shard — the shard's
+//!   cursor and its local dedup archive — when the run used the
+//!   prefix-sharded engine (`collection_shards ≥ 2`).
+//!
+//! Version 1 files (written before sharding existed) still read: they
+//! carry no shard section and imply `collection_shards = 1`. A version
+//! 2 file whose shard section disagrees with the shard count in its own
+//! config fails with the typed [`StoreError::ShardMismatch`] — resuming
+//! it would silently re-home dedup state onto the wrong shards.
 //!
 //! The format reuses the [`store::codec`] writer/reader and the
 //! [`store::segment`] set encoding, so every corruption mode — flipped
@@ -36,7 +45,17 @@ use v6addr::AddrSet;
 pub const CHECKPOINT_FILE: &str = "study.ckpt";
 
 const MAGIC: &[u8; 8] = b"TTSCKPT\0";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+
+/// One engine shard's state in a version-2 checkpoint.
+pub struct ShardCheckpoint {
+    /// The shard's cursor: how far its loop ran. The bucket-synchronous
+    /// merge stops every shard at the same boundary, so all cursors
+    /// (and the collection cursor) must agree — the reader enforces it.
+    pub cursor: SimTime,
+    /// The shard-local first-sight dedup archive.
+    pub dedup: Archive,
+}
 
 /// Everything [`crate::Study::checkpoint`] persists and
 /// [`crate::Study::resume`] restores.
@@ -51,15 +70,25 @@ pub struct CheckpointData {
     pub feed_prefix: Vec<Observation>,
     /// Transport counters/histograms accumulated before the stop.
     pub transport: TransportTotals,
+    /// Per-shard engine state, one entry per shard when the run used
+    /// the sharded engine; empty for flat (`collection_shards = 1`)
+    /// runs and for version-1 files.
+    pub shards: Vec<ShardCheckpoint>,
 }
 
 /// Writes `data` to `dir/study.ckpt`, creating `dir` if needed.
 /// Returns the file path.
 pub fn write(data: &CheckpointData, dir: &Path) -> Result<PathBuf, StoreError> {
+    write_versioned(data, dir, VERSION)
+}
+
+/// [`write`] pinned to an explicit format version — the v1 path exists
+/// so the compat reader is tested against genuine v1 bytes.
+fn write_versioned(data: &CheckpointData, dir: &Path, version: u16) -> Result<PathBuf, StoreError> {
     let mut w = Writer::new();
     w.put_raw(MAGIC);
-    w.put_u16(VERSION);
-    put_config(&mut w, &data.config);
+    w.put_u16(version);
+    put_config(&mut w, &data.config, version);
     put_collection(&mut w, &data.collection);
     put_collector(&mut w, &data.collector);
     w.put_u64(data.feed_prefix.len() as u64);
@@ -69,6 +98,13 @@ pub fn write(data: &CheckpointData, dir: &Path) -> Result<PathBuf, StoreError> {
         w.put_u32(obs.server.0);
     }
     put_transport(&mut w, &data.transport);
+    if version >= 2 {
+        w.put_u64(data.shards.len() as u64);
+        for shard in &data.shards {
+            w.put_u64(shard.cursor.0);
+            w.put_bytes(&segment::encode(&shard.dedup.to_compact()));
+        }
+    }
     w.seal();
     std::fs::create_dir_all(dir)?;
     let path = dir.join(CHECKPOINT_FILE);
@@ -76,7 +112,8 @@ pub fn write(data: &CheckpointData, dir: &Path) -> Result<PathBuf, StoreError> {
     Ok(path)
 }
 
-/// Reads a checkpoint back from `dir/study.ckpt`.
+/// Reads a checkpoint back from `dir/study.ckpt`. Accepts version 1
+/// (no shard section, `collection_shards` implied 1) and version 2.
 pub fn read(dir: &Path) -> Result<CheckpointData, StoreError> {
     let bytes = std::fs::read(dir.join(CHECKPOINT_FILE))?;
     let payload = Reader::verify_seal(&bytes, "checkpoint")?;
@@ -85,10 +122,10 @@ pub fn read(dir: &Path) -> Result<CheckpointData, StoreError> {
         return Err(StoreError::BadMagic);
     }
     let version = r.u16()?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(StoreError::BadVersion(version));
     }
-    let config = read_config(&mut r)?;
+    let config = read_config(&mut r, version)?;
     let collection = read_collection(&mut r)?;
     let collector = read_collector(&mut r)?;
     let n = r.u64()?;
@@ -101,8 +138,39 @@ pub fn read(dir: &Path) -> Result<CheckpointData, StoreError> {
         });
     }
     let transport = read_transport(&mut r)?;
+    let mut shards = Vec::new();
+    if version >= 2 {
+        let n = r.u64()?;
+        shards.reserve(n.min(1 << 10) as usize);
+        for _ in 0..n {
+            let cursor = SimTime(r.u64()?);
+            let dedup = segment::decode(r.bytes()?)?;
+            shards.push(ShardCheckpoint {
+                cursor,
+                dedup: Archive::from_segments(vec![dedup], store::archive::DEFAULT_MEMTABLE_CAP),
+            });
+        }
+    }
     if !r.is_done() {
         return Err(StoreError::Corrupt("trailing bytes after checkpoint"));
+    }
+    // A sharded run writes one shard state per configured shard; a flat
+    // run writes none. Anything else means the file's halves disagree.
+    let expected = if config.collection_shards > 1 {
+        config.collection_shards
+    } else {
+        0
+    };
+    if shards.len() != expected {
+        return Err(StoreError::ShardMismatch {
+            expected: config.collection_shards.min(u32::MAX as usize) as u32,
+            found: shards.len().min(u32::MAX as usize) as u32,
+        });
+    }
+    if shards.iter().any(|s| s.cursor != collection.cursor) {
+        return Err(StoreError::Corrupt(
+            "shard cursor disagrees with collection cursor",
+        ));
     }
     Ok(CheckpointData {
         config,
@@ -110,10 +178,11 @@ pub fn read(dir: &Path) -> Result<CheckpointData, StoreError> {
         collector,
         feed_prefix,
         transport,
+        shards,
     })
 }
 
-fn put_config(w: &mut Writer, cfg: &StudyConfig) {
+fn put_config(w: &mut Writer, cfg: &StudyConfig, version: u16) {
     let wc = &cfg.world;
     w.put_u64(wc.seed);
     w.put_u32(wc.households);
@@ -136,6 +205,9 @@ fn put_config(w: &mut Writer, cfg: &StudyConfig) {
         PipelineMode::Streaming => 1,
     });
     w.put_u64(cfg.collection_threads as u64);
+    if version >= 2 {
+        w.put_u64(cfg.collection_shards as u64);
+    }
     w.put_u8(match cfg.fault {
         FaultProfile::Ideal => 0,
         FaultProfile::Lossy1Pct => 1,
@@ -143,7 +215,7 @@ fn put_config(w: &mut Writer, cfg: &StudyConfig) {
     });
 }
 
-fn read_config(r: &mut Reader<'_>) -> Result<StudyConfig, StoreError> {
+fn read_config(r: &mut Reader<'_>, version: u16) -> Result<StudyConfig, StoreError> {
     let world = WorldConfig {
         seed: r.u64()?,
         households: r.u32()?,
@@ -171,6 +243,13 @@ fn read_config(r: &mut Reader<'_>) -> Result<StudyConfig, StoreError> {
         },
         collection_threads: usize::try_from(r.u64()?)
             .map_err(|_| StoreError::Corrupt("thread count exceeds usize"))?,
+        // Version 1 predates the sharded engine: every v1 run was flat.
+        collection_shards: if version >= 2 {
+            usize::try_from(r.u64()?)
+                .map_err(|_| StoreError::Corrupt("shard count exceeds usize"))?
+        } else {
+            1
+        },
         fault: match r.u8()? {
             0 => FaultProfile::Ideal,
             1 => FaultProfile::Lossy1Pct,
@@ -369,7 +448,35 @@ mod tests {
                 delivered: 95,
                 rtt_seconds: rtt,
             },
+            shards: Vec::new(),
         }
+    }
+
+    /// `sample()` reshaped into a 4-shard run: the config asks for four
+    /// shards and the global dedup state is scattered across four
+    /// shard-local archives keyed by `addr % 4` (any partition works —
+    /// the format doesn't care how addresses were assigned).
+    fn sharded_sample() -> CheckpointData {
+        let mut data = sample();
+        data.config = data.config.with_collection_shards(4);
+        let mut locals = vec![Vec::new(); 4];
+        for a in data.collector.global.iter() {
+            locals[(u128::from(a) % 4) as usize].push(a);
+        }
+        data.shards = locals
+            .into_iter()
+            .map(|addrs| {
+                let mut dedup = Archive::new();
+                for a in addrs {
+                    dedup.insert(a);
+                }
+                ShardCheckpoint {
+                    cursor: data.collection.cursor,
+                    dedup,
+                }
+            })
+            .collect();
+        data
     }
 
     #[test]
@@ -403,6 +510,76 @@ mod tests {
         assert_eq!(back.collector.requests, data.collector.requests);
         assert_eq!(back.feed_prefix, data.feed_prefix);
         assert_eq!(back.transport, data.transport);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_roundtrip_preserves_per_shard_state() {
+        let dir = std::env::temp_dir().join(format!("ckpt-shard-rt-{}", std::process::id()));
+        let data = sharded_sample();
+        write(&data, &dir).unwrap();
+        let back = read(&dir).unwrap();
+        assert_eq!(back.config, data.config);
+        assert_eq!(back.shards.len(), 4);
+        for (a, b) in data.shards.iter().zip(back.shards.iter()) {
+            assert_eq!(a.cursor, b.cursor);
+            assert_eq!(a.dedup.to_compact(), b.dedup.to_compact());
+        }
+        // The shard-local archives partition the global one.
+        let total: usize = back.shards.iter().map(|s| s.dedup.len()).sum();
+        assert_eq!(total, back.collector.global.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_1_files_still_read_as_flat_runs() {
+        let dir = std::env::temp_dir().join(format!("ckpt-v1-{}", std::process::id()));
+        // Genuine v1 bytes: no shard count in the config, no shard
+        // section at the tail.
+        write_versioned(&sample(), &dir, 1).unwrap();
+        let back = read(&dir).unwrap();
+        assert_eq!(back.config, sample().config);
+        assert_eq!(back.config.collection_shards, 1);
+        assert!(back.shards.is_empty());
+        assert_eq!(back.collection.cursor, sample().collection.cursor);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_a_typed_error_never_a_panic() {
+        let dir = std::env::temp_dir().join(format!("ckpt-shard-mm-{}", std::process::id()));
+
+        // Config says 4 shards but only 2 shard states were written.
+        let mut data = sharded_sample();
+        data.shards.truncate(2);
+        write(&data, &dir).unwrap();
+        assert!(matches!(
+            read(&dir),
+            Err(StoreError::ShardMismatch {
+                expected: 4,
+                found: 2
+            })
+        ));
+
+        // Config says flat but a shard section is present.
+        let mut data = sharded_sample();
+        data.config.collection_shards = 1;
+        write(&data, &dir).unwrap();
+        assert!(matches!(
+            read(&dir),
+            Err(StoreError::ShardMismatch {
+                expected: 1,
+                found: 4
+            })
+        ));
+
+        // A shard whose cursor drifted from the collection cursor is
+        // corrupt: the bucket-synchronous engine stops all shards at
+        // the same boundary.
+        let mut data = sharded_sample();
+        data.shards[2].cursor = SimTime(data.collection.cursor.0 + 1);
+        write(&data, &dir).unwrap();
+        assert!(matches!(read(&dir), Err(StoreError::Corrupt(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -51,6 +51,15 @@ pub struct StudyConfig {
     /// deterministic run report) — the knob only changes wall-clock
     /// time, enforced by `tests/collection_parallel.rs`.
     pub collection_threads: usize,
+    /// Shards for the collection run's prefix-sharded engine. `1` (the
+    /// default) keeps the flat collector; ≥ 2 partitions the pool by
+    /// dense server id across that many persistent worker threads, each
+    /// owning its shard's RPS windows, dedup archive, and counters.
+    /// Like the thread knob, any value produces **bit-identical**
+    /// results (enforced by `tests/shard_equivalence.rs`). Shards
+    /// subsume threads: when `collection_shards ≥ 2` the engine runs
+    /// one worker per shard and `collection_threads` is ignored.
+    pub collection_shards: usize,
     /// Network fault model every byte exchange crosses. The default
     /// [`FaultProfile::Ideal`] is bit-identical to direct calls; the
     /// presets degrade the path for robustness experiments.
@@ -69,6 +78,7 @@ impl StudyConfig {
             telescope: true,
             pipeline: PipelineMode::default(),
             collection_threads: 1,
+            collection_shards: 1,
             fault: FaultProfile::default(),
         }
     }
@@ -121,6 +131,14 @@ impl StudyConfig {
     /// `threads` worker threads (clamped to ≥ 1).
     pub fn with_collection_threads(mut self, threads: usize) -> StudyConfig {
         self.collection_threads = threads.max(1);
+        self
+    }
+
+    /// The same config with the collection run partitioned over
+    /// `shards` engine shards (clamped to ≥ 1; 1 keeps the flat
+    /// collector).
+    pub fn with_collection_shards(mut self, shards: usize) -> StudyConfig {
+        self.collection_shards = shards.max(1);
         self
     }
 }
@@ -182,6 +200,24 @@ mod tests {
         // Everything but the thread knob is untouched.
         assert_eq!(par.collection, StudyConfig::tiny(1).collection);
         assert_eq!(par.fault, StudyConfig::tiny(1).fault);
+    }
+
+    #[test]
+    fn collection_shards_default_and_builder() {
+        assert_eq!(StudyConfig::tiny(1).collection_shards, 1);
+        assert_eq!(StudyConfig::paper_milli(1).collection_shards, 1);
+        let sharded = StudyConfig::tiny(1).with_collection_shards(4);
+        assert_eq!(sharded.collection_shards, 4);
+        // Zero clamps to the flat collector.
+        assert_eq!(
+            StudyConfig::tiny(1)
+                .with_collection_shards(0)
+                .collection_shards,
+            1
+        );
+        // Everything but the shard knob is untouched.
+        assert_eq!(sharded.collection, StudyConfig::tiny(1).collection);
+        assert_eq!(sharded.collection_threads, 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! the window, producing a [`Study::run_report`] **byte-identical** to
 //! an uninterrupted run's (enforced by `tests/checkpoint_resume.rs`).
 
-use crate::checkpoint::{self, CheckpointData};
+use crate::checkpoint::{self, CheckpointData, ShardCheckpoint};
 use crate::config::{PipelineMode, StudyConfig};
 use crate::metrics;
 use hitlist::{Hitlist, HitlistConfig};
@@ -25,13 +25,13 @@ use ntppool::collector::{FeedSink, VecSink};
 use ntppool::monitor::{tune_collecting_servers, TuneOutcome};
 use ntppool::{
     AddressCollector, CollectionCheckpoint, CollectionRun, CollectorParts, Observation, Operator,
-    Pool, PoolServer, RunStats, ServerId,
+    Pool, PoolServer, RunStats, ServerId, ShardSet,
 };
 use scanner::streaming::{feed_channel, MonitoredSender, FEED_CHANNEL_BOUND};
 use scanner::{BatchScan, RealTimeScanner, ScanPolicy, ScanStore, StreamingScanner};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use store::StoreError;
+use store::{Archive, StoreError};
 use telemetry::{PipelineMonitor, Registry, RunReport, Snapshot, SpanTimer};
 use telescope::{
     covert_actor, gt_actor, match_captures, Actor, CaptureLog, TelescopeReport, Vantage,
@@ -109,6 +109,18 @@ struct ResumeState {
     collector: CollectorParts,
     feed_prefix: Vec<Observation>,
     transport: TransportTotals,
+    /// Shard-local dedup archives in shard order, for runs checkpointed
+    /// under the sharded engine; empty for flat runs.
+    shards: Vec<Archive>,
+}
+
+/// Servers whose observations the study records: its own 11 collecting
+/// servers (actor servers collect too, but are analysed via §5 capture
+/// matching instead).
+fn recorded_servers(pool: &Pool) -> impl Iterator<Item = ServerId> + '_ {
+    pool.servers()
+        .filter(|(_, s)| matches!(s.operator, Operator::Study { .. }))
+        .map(|(id, _)| id)
 }
 
 /// Generates the world, the pool (tuned, with actors), the R&L set, and
@@ -199,20 +211,41 @@ impl Study {
         let sink = VecSink::default();
         let feed_buf = sink.0.clone();
         let expected = p.world.ntp_clients().count();
-        let mut collector = AddressCollector::sized_for(Some(Box::new(sink)), expected);
-        let pool = &p.pool;
-        let collection = run.run_until(p.start + at, |server, addr, t| {
-            if matches!(pool.server(server).operator, Operator::Study { .. }) {
-                collector.record(server, addr, t);
-            }
-        });
+        let (collector, collection, shards) = if config.collection_shards > 1 {
+            let mut set = ShardSet::new(
+                config.collection_shards,
+                recorded_servers(&p.pool),
+                Some(Box::new(sink)),
+                expected,
+            );
+            let collection = run.run_sharded_until(p.start + at, &mut set);
+            let (parts, dedup) = set.into_parts();
+            let shards = dedup
+                .into_iter()
+                .map(|dedup| ShardCheckpoint {
+                    cursor: collection.cursor,
+                    dedup,
+                })
+                .collect();
+            (parts, collection, shards)
+        } else {
+            let mut collector = AddressCollector::sized_for(Some(Box::new(sink)), expected);
+            let pool = &p.pool;
+            let collection = run.run_until(p.start + at, |server, addr, t| {
+                if matches!(pool.server(server).operator, Operator::Study { .. }) {
+                    collector.record(server, addr, t);
+                }
+            });
+            (collector.into_parts(), collection, Vec::new())
+        };
         let feed_prefix: Vec<Observation> = std::mem::take(&mut *feed_buf.lock());
         let data = CheckpointData {
             config,
             collection,
-            collector: collector.into_parts(),
+            collector,
             feed_prefix,
             transport: coll_stats.totals(),
+            shards,
         };
         checkpoint::write(&data, dir)
     }
@@ -228,6 +261,7 @@ impl Study {
             collector,
             feed_prefix,
             transport,
+            shards,
         } = checkpoint::read(dir)?;
         Ok(Study::run_with(
             config,
@@ -236,6 +270,7 @@ impl Study {
                 collector,
                 feed_prefix,
                 transport,
+                shards: shards.into_iter().map(|s| s.dedup).collect(),
             }),
         ))
     }
@@ -264,6 +299,7 @@ impl Study {
             end,
             config.pipeline,
             config.collection_threads,
+            config.collection_shards,
             transport.as_ref(),
             resume,
         );
@@ -391,12 +427,87 @@ impl Study {
 /// so the knob composes with either pipeline mode without touching a
 /// single deterministic bit.
 ///
+/// `shards ≥ 2` switches to the prefix-sharded engine instead (see
+/// [`ntppool::shard`]): the pool is partitioned by dense server id, each
+/// shard owns its RPS windows, dedup archive, and counters on a
+/// persistent worker, and cross-shard state merges in event order at
+/// bucket boundaries. Shards subsume threads — the worker count is the
+/// shard count and `threads` is ignored. Feed, stats, and deterministic
+/// telemetry stay bit-identical for any shard count in either pipeline
+/// mode (enforced by `tests/shard_equivalence.rs`).
+///
 /// With a [`ResumeState`], the collector restarts from its checkpointed
 /// dedup state, the engine replays its pending events from the saved
 /// cursor, and the feed prefix is stitched in front of (buffered) or
 /// replayed through (streaming) the scanner — after which the saved
 /// transport totals are exported next to the live remainder, making
 /// every deterministic metric equal to an uninterrupted run's.
+/// Runs the collection window (fresh or resumed) with the engine the
+/// shard knob selects, feeding first sights into `sink`, and returns a
+/// flat [`AddressCollector`] either way.
+///
+/// * `shards ≤ 1`: the flat collector driven by the bucket-synchronous
+///   engine (or the sequential one at `threads = 1`), recording via the
+///   study-server filter closure.
+/// * `shards ≥ 2`: a [`ShardSet`] driven by the prefix-sharded engine;
+///   the set is flattened back into an `AddressCollector` after the run
+///   (same observable state — the shards own disjoint servers).
+///
+/// A resumed run restores dedup state from `resume`: flat parts either
+/// way, plus the shard-local archives when sharded (the checkpoint
+/// reader already guaranteed their count matches the config).
+fn drive_collection(
+    run: CollectionRun<'_>,
+    pool: &Pool,
+    shards: usize,
+    sink: Box<dyn FeedSink>,
+    expected: usize,
+    resume: Option<(CollectionCheckpoint, CollectorParts, Vec<Archive>)>,
+    reg: &mut Registry,
+) -> (AddressCollector, RunStats) {
+    if shards > 1 {
+        let (ckpt, mut set) = match resume {
+            Some((c, parts, dedup)) => (
+                Some(c),
+                ShardSet::from_parts(parts, dedup, recorded_servers(pool), Some(sink), expected),
+            ),
+            None => (
+                None,
+                ShardSet::new(shards, recorded_servers(pool), Some(sink), expected),
+            ),
+        };
+        let run_stats = match ckpt {
+            Some(c) => run.resume_sharded_instrumented(c, &mut set, reg),
+            None => run.run_sharded_instrumented(&mut set, reg),
+        };
+        (set.into_collector(), run_stats)
+    } else {
+        let record = |collector: &mut AddressCollector, server, addr, t| {
+            if matches!(pool.server(server).operator, Operator::Study { .. }) {
+                collector.record(server, addr, t);
+            }
+            // Actor servers source addresses too, but only their scans
+            // of the telescope's vantage addresses are analysed (§5).
+        };
+        let (ckpt, mut collector) = match resume {
+            Some((c, parts, _)) => (
+                Some(c),
+                AddressCollector::from_parts(parts, Some(sink), expected),
+            ),
+            None => (None, AddressCollector::sized_for(Some(sink), expected)),
+        };
+        let run_stats = match ckpt {
+            Some(c) => run.resume_instrumented(c, reg, |server, addr, t| {
+                record(&mut collector, server, addr, t)
+            }),
+            None => run.run_instrumented(reg, |server, addr, t| {
+                record(&mut collector, server, addr, t)
+            }),
+        };
+        (collector, run_stats)
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_collection_and_scan(
     world: &World,
@@ -405,6 +516,7 @@ fn run_collection_and_scan(
     end: SimTime,
     mode: PipelineMode,
     threads: usize,
+    shards: usize,
     transport: &dyn Transport,
     resume: Option<ResumeState>,
 ) -> (
@@ -418,42 +530,31 @@ fn run_collection_and_scan(
     let (coll_transport, coll_stats) = Instrumented::new(transport.clone_box());
     let run = CollectionRun::with_transport(world, pool, start, end, Box::new(coll_transport))
         .with_threads(threads);
-    let record = |collector: &mut AddressCollector, server, addr, t| {
-        if matches!(pool.server(server).operator, Operator::Study { .. }) {
-            collector.record(server, addr, t);
-        }
-        // Actor servers source addresses too, but only their scans of
-        // the telescope's vantage addresses are analysed (§5).
-    };
     // Pre-size the per-server dedup sets from the device population
     // instead of rehashing up from empty (each collecting server sees
     // one location's slice of the world).
     let expected = world.ntp_clients().count();
-    let (ckpt, parts, feed_prefix, saved_transport) = match resume {
+    let (ckpt, feed_prefix, saved_transport) = match resume {
         Some(r) => (
-            Some(r.collection),
-            Some(r.collector),
+            Some((r.collection, r.collector, r.shards)),
             r.feed_prefix,
             Some(r.transport),
         ),
-        None => (None, None, Vec::new(), None),
+        None => (None, Vec::new(), None),
     };
     let (collector, feed, run_stats, ntp_scan, scan_stats, scan_monitor) = match mode {
         PipelineMode::Buffered => {
             let sink = VecSink::default();
             let feed_buf = sink.0.clone();
-            let mut collector = match parts {
-                Some(p) => AddressCollector::from_parts(p, Some(Box::new(sink)), expected),
-                None => AddressCollector::sized_for(Some(Box::new(sink)), expected),
-            };
-            let run_stats = match ckpt {
-                Some(c) => run.resume_instrumented(c, &mut coll_reg, |server, addr, t| {
-                    record(&mut collector, server, addr, t)
-                }),
-                None => run.run_instrumented(&mut coll_reg, |server, addr, t| {
-                    record(&mut collector, server, addr, t)
-                }),
-            };
+            let (collector, run_stats) = drive_collection(
+                run,
+                pool,
+                shards,
+                Box::new(sink),
+                expected,
+                ckpt,
+                &mut coll_reg,
+            );
             // The checkpointed prefix goes in front of the tail: the
             // scanner sees the same full feed as an uninterrupted run.
             let mut feed = feed_prefix;
@@ -483,18 +584,15 @@ fn run_collection_and_scan(
             for obs in feed_prefix {
                 sink.on_first_sight(obs);
             }
-            let mut collector = match parts {
-                Some(p) => AddressCollector::from_parts(p, Some(Box::new(sink)), expected),
-                None => AddressCollector::sized_for(Some(Box::new(sink)), expected),
-            };
-            let run_stats = match ckpt {
-                Some(c) => run.resume_instrumented(c, &mut coll_reg, |server, addr, t| {
-                    record(&mut collector, server, addr, t)
-                }),
-                None => run.run_instrumented(&mut coll_reg, |server, addr, t| {
-                    record(&mut collector, server, addr, t)
-                }),
-            };
+            let (mut collector, run_stats) = drive_collection(
+                run,
+                pool,
+                shards,
+                Box::new(sink),
+                expected,
+                ckpt,
+                &mut coll_reg,
+            );
             // Collection over: drop the sender so the scanner's receive
             // loop terminates once the channel drains.
             collector.detach_sink();

@@ -279,6 +279,22 @@ impl World {
             pool_views: HashMap::new(),
         }
     }
+
+    /// An [`AddrResolver`] view for one worker of a sharded collection
+    /// engine. Resolution is bit-identical to
+    /// [`addr_resolver`](World::addr_resolver); the difference is shape:
+    /// the per-AS cache is pre-allocated for every delegation-pool AS up
+    /// front, because a shard worker's pre-plan slice crosses the whole
+    /// AS population each bucket, and the view is meant to live for the
+    /// entire run — same-epoch buckets then pay the per-AS pool walk
+    /// once per worker instead of once per bucket.
+    pub fn shard_resolver(&self) -> AddrResolver<'_> {
+        AddrResolver {
+            world: self,
+            epoch: None,
+            pool_views: HashMap::with_capacity(self.pools.len()),
+        }
+    }
 }
 
 /// A read-through cache for [`World::address_of`] on the collection hot
@@ -1068,6 +1084,24 @@ mod tests {
                 assert_eq!(
                     resolver.address_of(dev.id, t),
                     w.address_of(dev.id, t),
+                    "device {:?} at {t}",
+                    dev.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_resolver_matches_plain_resolver() {
+        let w = tiny();
+        let mut plain = w.addr_resolver();
+        let mut sharded = w.shard_resolver();
+        let day = Duration::days(1).as_secs();
+        for t in [SimTime(7), SimTime(day + 3), SimTime(5 * day)] {
+            for dev in w.devices() {
+                assert_eq!(
+                    sharded.address_of(dev.id, t),
+                    plain.address_of(dev.id, t),
                     "device {:?} at {t}",
                     dev.id
                 );

@@ -26,6 +26,7 @@ pub mod monitor;
 pub mod pool;
 pub mod run;
 pub mod server;
+pub mod shard;
 
 pub use collector::{AddressCollector, CollectorParts, Observation};
 pub use pool::{Pool, ServerId};
@@ -33,3 +34,4 @@ pub use run::{
     next_poll, poll_once, CollectionCheckpoint, CollectionRun, PollOutcome, PollReply, RunStats,
 };
 pub use server::{Operator, PoolServer};
+pub use shard::{Shard, ShardSet};

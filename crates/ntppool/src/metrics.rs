@@ -38,6 +38,18 @@ pub const NTP_BUCKET_EVENTS: Key = Key::bare("ntp_bucket_events");
 /// order).
 pub const NTP_WORKER_POLLS: Key = Key::bare("ntp_worker_polls");
 
+/// Volatile gauge: shard count of the sharded collection engine. Set
+/// once per sharded drive; absent entirely on unsharded runs.
+pub const NTP_COLLECTION_SHARDS: Key = Key::bare("ntp_collection_shards");
+/// Volatile histogram: events one shard executed in one bucket (one
+/// sample per shard per bucket).
+pub const NTP_SHARD_EVENTS: Key = Key::bare("ntp_shard_events");
+/// Volatile: shard-local first sights forwarded to the bucket-boundary
+/// publish stage. The count varies with the shard count — a shard only
+/// dedups the servers it owns — which is exactly why it must stay out
+/// of the deterministic bank.
+pub const NTP_SHARD_CANDIDATES: Key = Key::bare("ntp_shard_candidates");
+
 /// Dynamic counter key: raw requests one collecting server received.
 pub fn server_requests(server: u32) -> OwnedKey {
     OwnedKey::with_labels("ntp_server_requests", &[("server", &server.to_string())])

@@ -237,30 +237,30 @@ impl RequestMemo {
 /// the servers' KoD load shedding. Indexed by `ServerId.0` (pool ids
 /// are dense), with `None` until a server first sees traffic — no
 /// sentinel second needed.
-struct RpsWindows {
-    windows: Vec<Option<(u64, u64)>>,
+pub(crate) struct RpsWindows {
+    pub(crate) windows: Vec<Option<(u64, u64)>>,
 }
 
 impl RpsWindows {
-    fn for_pool(pool: &Pool) -> RpsWindows {
+    pub(crate) fn for_pool(pool: &Pool) -> RpsWindows {
         RpsWindows {
             windows: vec![None; pool.len()],
         }
     }
 
     /// The raw per-server windows, for checkpointing.
-    fn into_parts(self) -> Vec<Option<(u64, u64)>> {
+    pub(crate) fn into_parts(self) -> Vec<Option<(u64, u64)>> {
         self.windows
     }
 
     /// Rebuilds windows saved by [`RpsWindows::into_parts`].
-    fn from_parts(windows: Vec<Option<(u64, u64)>>) -> RpsWindows {
+    pub(crate) fn from_parts(windows: Vec<Option<(u64, u64)>>) -> RpsWindows {
         RpsWindows { windows }
     }
 
     /// The server's 1-based request ordinal within second `sec`,
     /// advancing the window (and resetting it when the second moves).
-    fn ordinal(&mut self, server: ServerId, sec: u64) -> u64 {
+    pub(crate) fn ordinal(&mut self, server: ServerId, sec: u64) -> u64 {
         let slot = &mut self.windows[server.0 as usize];
         match slot {
             Some((s, n)) if *s == sec => {
@@ -280,16 +280,16 @@ impl RpsWindows {
 /// the study, and a batched flush keeps telemetry off it (same pattern
 /// as the transport's atomic sinks).
 #[derive(Default)]
-struct Totals {
-    polls: u64,
-    responses: u64,
-    kod: u64,
-    lost: u64,
-    observed: u64,
+pub(crate) struct Totals {
+    pub(crate) polls: u64,
+    pub(crate) responses: u64,
+    pub(crate) kod: u64,
+    pub(crate) lost: u64,
+    pub(crate) observed: u64,
 }
 
 impl Totals {
-    fn count_reply(&mut self, reply: PollReply) {
+    pub(crate) fn count_reply(&mut self, reply: PollReply) {
         match reply {
             PollReply::Time => self.responses += 1,
             PollReply::RateKod => self.kod += 1,
@@ -297,7 +297,7 @@ impl Totals {
         }
     }
 
-    fn flush(self, local: &mut Registry) -> RunStats {
+    pub(crate) fn flush(self, local: &mut Registry) -> RunStats {
         local.add(metrics::NTP_POLLS, self.polls);
         local.add(metrics::NTP_RESPONSES, self.responses);
         local.add(metrics::NTP_KOD, self.kod);
@@ -306,7 +306,7 @@ impl Totals {
         RunStats::from_registry(local)
     }
 
-    fn into_array(self) -> [u64; 5] {
+    pub(crate) fn into_array(self) -> [u64; 5] {
         [
             self.polls,
             self.responses,
@@ -316,7 +316,7 @@ impl Totals {
         ]
     }
 
-    fn from_array(a: [u64; 5]) -> Totals {
+    pub(crate) fn from_array(a: [u64; 5]) -> Totals {
         Totals {
             polls: a[0],
             responses: a[1],
@@ -353,23 +353,28 @@ pub struct CollectionCheckpoint {
 
 /// One bucket event flowing through the plan → execute → apply phases
 /// of the parallel engine.
-struct Planned {
-    t: SimTime,
-    id: DeviceId,
-    seq: u64,
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Planned {
+    /// Position within the popped bucket — the global event order the
+    /// sharded engine scatters its per-shard results back into.
+    pub(crate) idx: usize,
+    pub(crate) t: SimTime,
+    pub(crate) id: DeviceId,
+    pub(crate) seq: u64,
     /// Filled by the parallel pre-plan phase.
-    interval: Duration,
-    addr: Ipv6Addr,
-    server: Option<ServerId>,
+    pub(crate) interval: Duration,
+    pub(crate) addr: Ipv6Addr,
+    pub(crate) server: Option<ServerId>,
     /// Filled by the sequential plan phase (RPS ordinal in event order).
-    rps: u64,
+    pub(crate) rps: u64,
     /// Filled by the parallel execute phase.
-    outcome: PollOutcome,
+    pub(crate) outcome: PollOutcome,
 }
 
 impl Planned {
-    fn new(t: SimTime, id: DeviceId, seq: u64) -> Planned {
+    pub(crate) fn new(idx: usize, t: SimTime, id: DeviceId, seq: u64) -> Planned {
         Planned {
+            idx,
             t,
             id,
             seq,
@@ -389,20 +394,20 @@ impl Planned {
 /// per-server RPS windows, and the outcome totals. Everything else the
 /// engine touches (request memo, resolvers, worker scratch) is
 /// recomputable and lives on the stack of one `drive_*` call.
-struct EngineState {
-    queue: EventQueue<(DeviceId, u64)>,
-    rps: RpsWindows,
-    totals: Totals,
+pub(crate) struct EngineState {
+    pub(crate) queue: EventQueue<(DeviceId, u64)>,
+    pub(crate) rps: RpsWindows,
+    pub(crate) totals: Totals,
 }
 
 /// A collection run over a time window.
 pub struct CollectionRun<'w> {
-    world: &'w World,
-    pool: &'w Pool,
-    start: SimTime,
-    end: SimTime,
-    transport: Box<dyn Transport>,
-    threads: usize,
+    pub(crate) world: &'w World,
+    pub(crate) pool: &'w Pool,
+    pub(crate) start: SimTime,
+    pub(crate) end: SimTime,
+    pub(crate) transport: Box<dyn Transport>,
+    pub(crate) threads: usize,
 }
 
 impl<'w> CollectionRun<'w> {
@@ -440,7 +445,7 @@ impl<'w> CollectionRun<'w> {
     }
 
     /// The event queue seeded with every client's first poll.
-    fn seeded_queue(&self) -> EventQueue<(DeviceId, u64)> {
+    pub(crate) fn seeded_queue(&self) -> EventQueue<(DeviceId, u64)> {
         let mut queue = EventQueue::new();
         queue.schedule_batch(
             self.world
@@ -451,7 +456,7 @@ impl<'w> CollectionRun<'w> {
     }
 
     /// Fresh engine state at the start of the window.
-    fn fresh_state(&self) -> EngineState {
+    pub(crate) fn fresh_state(&self) -> EngineState {
         EngineState {
             queue: self.seeded_queue(),
             rps: RpsWindows::for_pool(self.pool),
@@ -564,6 +569,20 @@ impl<'w> CollectionRun<'w> {
         stats
     }
 
+    /// Safe bucket horizon: the minimum poll interval over scheduled
+    /// clients. Every follow-up scheduled from inside a bucket lands
+    /// at least one interval after its event (KoD widens the gap
+    /// KOD_BACKOFF_FACTOR×), so a bucket spanning at most the minimum
+    /// interval can never schedule into itself.
+    pub(crate) fn bucket_horizon(&self) -> u64 {
+        self.world
+            .ntp_clients()
+            .map(|(_, cfg)| cfg.poll_interval.as_secs())
+            .min()
+            .unwrap_or(1)
+            .max(1)
+    }
+
     /// The single-threaded engine: one pop per event, everything inline.
     fn drive_sequential<F: FnMut(ServerId, Ipv6Addr, SimTime)>(
         &self,
@@ -634,18 +653,7 @@ impl<'w> CollectionRun<'w> {
         observe: &mut F,
     ) {
         let EngineState { queue, rps, totals } = st;
-        // Safe bucket horizon: the minimum poll interval over scheduled
-        // clients. Every follow-up scheduled from inside a bucket lands
-        // at least one interval after its event (KoD widens the gap
-        // KOD_BACKOFF_FACTOR×), so a bucket spanning at most the minimum
-        // interval can never schedule into itself.
-        let horizon = self
-            .world
-            .ntp_clients()
-            .map(|(_, cfg)| cfg.poll_interval.as_secs())
-            .min()
-            .unwrap_or(1)
-            .max(1);
+        let horizon = self.bucket_horizon();
         let mut bucket: Vec<(SimTime, (DeviceId, u64))> = Vec::new();
         let mut planned: Vec<Planned> = Vec::new();
         let mut reschedule: Vec<(SimTime, (DeviceId, u64))> = Vec::new();
@@ -665,7 +673,8 @@ impl<'w> CollectionRun<'w> {
             planned.extend(
                 bucket
                     .iter()
-                    .map(|&(t, (id, seq))| Planned::new(t, id, seq)),
+                    .enumerate()
+                    .map(|(i, &(t, (id, seq)))| Planned::new(i, t, id, seq)),
             );
             let workers = self.threads.min(planned.len()).max(1);
             let chunk = planned.len().div_ceil(workers);

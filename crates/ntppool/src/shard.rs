@@ -1,0 +1,738 @@
+//! The prefix-sharded collection engine.
+//!
+//! The bucket-synchronous engine in [`run`](crate::run) parallelizes the
+//! pre-plan and execute phases but keeps one global RPS table, one dedup
+//! archive, and one feed — its plan and apply phases are serial, which
+//! caps scaling well short of linear. This module shards the world by
+//! dense [`ServerId`] range instead: shard `w` of `S` owns every server
+//! with `id % S == w`, and with it that server's RPS window, its
+//! per-server address sets, its request counters, and a shard-local
+//! first-sight [`Archive`]. Each shard runs its plan → execute → apply
+//! loop on a persistent worker thread; the main thread only routes
+//! events and merges results at bucket boundaries.
+//!
+//! # Why server-sharding preserves bit-determinism
+//!
+//! The engine's only order-dependent input is the per-server RPS
+//! ordinal (it drives KoD shedding). Routing an event by its selected
+//! server means each server's events land on exactly one shard, and the
+//! main thread routes them in popped (global event) order, so every
+//! server sees its events in the same relative order the sequential
+//! engine would process them — the ordinals, and therefore every KoD
+//! decision, are identical.
+//!
+//! # Hierarchical dedup and the bucket-boundary merge
+//!
+//! A device re-selects its server every poll, so one address surfaces
+//! through servers on *many* shards — no shard can decide global first
+//! sight alone. Instead each shard's local archive filters its own
+//! re-sights and emits surviving observations as **candidates** tagged
+//! with their global event index. At the bucket boundary the main
+//! thread replays all candidates in event-index order through the
+//! authoritative global archive and publishes the survivors to the feed
+//! sink. The global first occurrence of an address is necessarily also
+//! its shard-local first occurrence, so it is always a candidate, and
+//! it carries the smallest event index for that address — the feed is
+//! bit-identical to the sequential engine's, in order and content.
+//!
+//! Cross-shard state reconciles the same way, only at bucket
+//! boundaries: outcome totals are summed (commutative), the KoD-backoff
+//! histogram merges per-bucket counts (commutative), and next-poll
+//! reschedules are scattered back into event order before the batch
+//! re-schedule, so queue tie-breaking matches the sequential engine.
+//! Per-worker registries carry only volatile metrics and merge in shard
+//! order at the end of the drive.
+
+use crate::collector::{AddressCollector, CollectorParts, FeedSink, Observation};
+use crate::metrics;
+use crate::pool::ServerId;
+use crate::run::{
+    next_poll, poll_once_with_request, server_addr, CollectionCheckpoint, CollectionRun,
+    EngineState, Planned, PollReply, RequestMemo, RpsWindows, RunStats, Totals,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netsim::time::SimTime;
+use netsim::DeviceId;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv6Addr;
+use store::Archive;
+use telemetry::{Histogram, Registry};
+use v6addr::AddrSet;
+
+/// One shard of the collection world: the collector state for the
+/// servers it owns (`id % shard_count == index`).
+pub struct Shard {
+    index: usize,
+    count: usize,
+    /// Owned servers whose observations are *recorded* (the study
+    /// servers, as opposed to e.g. actor servers that collect but are
+    /// accounted elsewhere).
+    recorded: HashSet<ServerId>,
+    /// Shard-local first-sight filter: an address the shard has already
+    /// seen (through any of its servers) is never re-proposed to the
+    /// global merge.
+    dedup: Archive,
+    per_server: HashMap<ServerId, AddrSet>,
+    requests: HashMap<ServerId, u64>,
+    hint: usize,
+}
+
+impl Shard {
+    fn new(index: usize, count: usize, hint: usize) -> Shard {
+        Shard {
+            index,
+            count,
+            recorded: HashSet::new(),
+            dedup: Archive::new(),
+            per_server: HashMap::new(),
+            requests: HashMap::new(),
+            hint,
+        }
+    }
+
+    /// The shard's position in its [`ShardSet`].
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// True when this shard owns `server`'s state.
+    pub fn owns(&self, server: ServerId) -> bool {
+        server.0 as usize % self.count == self.index
+    }
+
+    /// True when observations at `server` are recorded by this shard.
+    fn records(&self, server: ServerId) -> bool {
+        self.recorded.contains(&server)
+    }
+
+    /// Records one observed request against an owned server; returns
+    /// `true` on shard-local first sight of the address.
+    fn record(&mut self, server: ServerId, addr: Ipv6Addr) -> bool {
+        *self.requests.entry(server).or_insert(0) += 1;
+        let hint = self.hint;
+        self.per_server
+            .entry(server)
+            .or_insert_with(|| AddrSet::with_capacity(hint))
+            .insert(addr);
+        self.dedup.insert(addr)
+    }
+
+    /// Distinct addresses in the shard-local dedup archive.
+    pub fn dedup_len(&self) -> usize {
+        self.dedup.len()
+    }
+}
+
+/// The sharded collector: a [`Shard`] per worker plus the authoritative
+/// global archive and the feed sink, which only the main thread touches
+/// (at bucket boundaries, in event order).
+///
+/// This is the sharded counterpart of
+/// [`AddressCollector`] — [`into_collector`](ShardSet::into_collector)
+/// merges it back into one (shards own disjoint servers, so per-server
+/// state concatenates; the global archive is already the merged view).
+pub struct ShardSet {
+    shards: Vec<Shard>,
+    global: Archive,
+    sink: Option<Box<dyn FeedSink>>,
+    expected: usize,
+}
+
+impl ShardSet {
+    /// A fresh sharded collector. `recorded` lists the servers whose
+    /// observations are recorded (each lands on the shard that owns
+    /// it); `expected_devices` pre-sizes per-server sets as
+    /// [`AddressCollector::sized_for`] does.
+    pub fn new(
+        shard_count: usize,
+        recorded: impl IntoIterator<Item = ServerId>,
+        sink: Option<Box<dyn FeedSink>>,
+        expected_devices: usize,
+    ) -> ShardSet {
+        let count = shard_count.max(1);
+        let hint = expected_devices / 4;
+        let mut shards: Vec<Shard> = (0..count).map(|i| Shard::new(i, count, hint)).collect();
+        for s in recorded {
+            shards[s.0 as usize % count].recorded.insert(s);
+        }
+        ShardSet {
+            shards,
+            global: Archive::new(),
+            sink,
+            expected: expected_devices,
+        }
+    }
+
+    /// Rebuilds a sharded collector from checkpointed flat
+    /// [`CollectorParts`] plus the per-shard dedup archives (the shard
+    /// count is `dedup.len()`). Per-server state is re-homed onto the
+    /// shard owning each server — the same partition that produced it.
+    pub fn from_parts(
+        parts: CollectorParts,
+        dedup: Vec<Archive>,
+        recorded: impl IntoIterator<Item = ServerId>,
+        sink: Option<Box<dyn FeedSink>>,
+        expected_devices: usize,
+    ) -> ShardSet {
+        let count = dedup.len().max(1);
+        let hint = expected_devices / 4;
+        let mut shards: Vec<Shard> = dedup
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| Shard {
+                dedup: d,
+                ..Shard::new(i, count, hint)
+            })
+            .collect();
+        for s in recorded {
+            shards[s.0 as usize % count].recorded.insert(s);
+        }
+        for (s, set) in parts.per_server {
+            shards[s.0 as usize % count].per_server.insert(s, set);
+        }
+        for (s, n) in parts.requests {
+            shards[s.0 as usize % count].requests.insert(s, n);
+        }
+        ShardSet {
+            shards,
+            global: parts.global,
+            sink,
+            expected: expected_devices,
+        }
+    }
+
+    /// Number of shards (= engine worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The authoritative global distinct-address archive.
+    pub fn global(&self) -> &Archive {
+        &self.global
+    }
+
+    /// Drops the feed sink (disconnecting e.g. a channel sender) while
+    /// keeping all collected state.
+    pub fn detach_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Flattens into checkpointable [`CollectorParts`] plus the
+    /// per-shard dedup archives in shard order. Shards own disjoint
+    /// servers, so the per-server maps concatenate without conflicts.
+    pub fn into_parts(self) -> (CollectorParts, Vec<Archive>) {
+        let mut per_server: Vec<(ServerId, AddrSet)> = Vec::new();
+        let mut requests: Vec<(ServerId, u64)> = Vec::new();
+        let mut dedup = Vec::with_capacity(self.shards.len());
+        for shard in self.shards {
+            per_server.extend(shard.per_server);
+            requests.extend(shard.requests);
+            dedup.push(shard.dedup);
+        }
+        per_server.sort_by_key(|(s, _)| *s);
+        requests.sort_by_key(|(s, _)| *s);
+        (
+            CollectorParts {
+                global: self.global,
+                per_server,
+                requests,
+            },
+            dedup,
+        )
+    }
+
+    /// Merges the shards back into a flat [`AddressCollector`] holding
+    /// identical observable state (global archive, per-server sets,
+    /// request counts) and the current sink.
+    pub fn into_collector(mut self) -> AddressCollector {
+        let sink = self.sink.take();
+        let expected = self.expected;
+        let (parts, _) = self.into_parts();
+        AddressCollector::from_parts(parts, sink, expected)
+    }
+
+    /// Publishes a candidate through the authoritative global archive;
+    /// feeds the sink on global first sight. Main-thread only, called
+    /// in event-index order at bucket boundaries.
+    fn publish(&mut self, obs: Observation) {
+        if self.global.insert(obs.addr) {
+            if let Some(sink) = &mut self.sink {
+                sink.on_first_sight(obs);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("shards", &self.shards.len())
+            .field("distinct", &self.global.len())
+            .finish()
+    }
+}
+
+/// Work sent to a shard worker.
+#[derive(Debug)]
+enum ToWorker {
+    /// A contiguous slice of the popped bucket for the pure pre-plan
+    /// phase (device lookup, address resolution, server selection).
+    PrePlan(Vec<Planned>),
+    /// The events routed to this shard's servers, in global event
+    /// order, for the plan + execute + apply phases.
+    Execute(Vec<Planned>),
+}
+
+/// One shard's results for one bucket, every per-event output tagged
+/// with its global event index so the main thread can scatter them back
+/// into sequential order.
+#[derive(Default)]
+struct ShardOut {
+    totals: Totals,
+    kod_backoff: Histogram,
+    resched: Vec<(usize, SimTime, DeviceId, u64)>,
+    candidates: Vec<(usize, Observation)>,
+}
+
+/// A shard worker's replies, in the order the work arrived. The
+/// executed payload is boxed so the enum stays channel-message sized
+/// regardless of [`ShardOut`]'s inline histograms.
+enum FromWorker {
+    PrePlanned(Vec<Planned>),
+    Executed(Box<ShardOut>),
+}
+
+/// The persistent worker loop: alternates pre-plan and execute rounds
+/// until the main thread hangs up, then returns its state for merging.
+fn shard_worker(
+    run: &CollectionRun<'_>,
+    mut shard: Shard,
+    mut rps: RpsWindows,
+    to_rx: Receiver<ToWorker>,
+    from_tx: Sender<FromWorker>,
+) -> (Shard, RpsWindows, Registry) {
+    let mut resolver = run.world.shard_resolver();
+    let mut memo = RequestMemo::new();
+    let mut reg = Registry::new();
+    while let Ok(msg) = to_rx.recv() {
+        match msg {
+            ToWorker::PrePlan(mut chunk) => {
+                for p in &mut chunk {
+                    let dev = run.world.device(p.id);
+                    let cfg = dev.ntp.expect("scheduled device has NTP config");
+                    p.interval = cfg.poll_interval;
+                    p.addr = resolver.address_of(p.id, p.t);
+                    p.server = run.pool.select(dev.country, u64::from(p.id.0), p.seq);
+                }
+                let _ = from_tx.send(FromWorker::PrePlanned(chunk));
+            }
+            ToWorker::Execute(mine) => {
+                reg.vol_observe(metrics::NTP_SHARD_EVENTS, mine.len() as u64);
+                let mut out = ShardOut::default();
+                for mut p in mine {
+                    let server_id = p.server.expect("routed events have a server");
+                    debug_assert!(shard.owns(server_id));
+                    // Plan: the RPS ordinal. The shard owns every event
+                    // of its servers and receives them in global event
+                    // order, so this matches the sequential engine.
+                    p.rps = rps.ordinal(server_id, p.t.as_secs());
+                    let server = run.pool.server(server_id);
+                    p.outcome = poll_once_with_request(
+                        server,
+                        run.transport.as_ref(),
+                        p.addr,
+                        server_addr(server_id),
+                        p.t,
+                        p.rps,
+                        memo.request(p.t),
+                    );
+                    out.totals.count_reply(p.outcome.reply);
+                    if p.outcome.server_saw && server.operator.collects() {
+                        out.totals.observed += 1;
+                        if shard.records(server_id) && shard.record(server_id, p.addr) {
+                            out.candidates.push((
+                                p.idx,
+                                Observation {
+                                    addr: p.addr,
+                                    seen: p.t,
+                                    server: server_id,
+                                },
+                            ));
+                        }
+                    }
+                    let next = next_poll(p.t, p.interval, p.outcome.reply);
+                    if p.outcome.reply == PollReply::RateKod {
+                        out.kod_backoff
+                            .observe(next.since(p.t).as_secs() - p.interval.as_secs());
+                    }
+                    out.resched.push((p.idx, next, p.id, p.seq + 1));
+                }
+                reg.vol_add(metrics::NTP_SHARD_CANDIDATES, out.candidates.len() as u64);
+                let _ = from_tx.send(FromWorker::Executed(Box::new(out)));
+            }
+        }
+    }
+    (shard, rps, reg)
+}
+
+impl<'w> CollectionRun<'w> {
+    /// Drives the run with the sharded engine. The worker count equals
+    /// `set.shard_count()` — shards *are* the unit of parallelism here,
+    /// so [`with_threads`](CollectionRun::with_threads) does not apply.
+    /// Feed order, stats, and deterministic telemetry are bit-identical
+    /// to the sequential engine recording into an [`AddressCollector`]
+    /// restricted to the same recorded servers, for any shard count.
+    pub fn run_sharded(&self, set: &mut ShardSet) -> RunStats {
+        self.run_sharded_instrumented(set, &mut Registry::new())
+    }
+
+    /// [`run_sharded`](CollectionRun::run_sharded), accounting outcomes
+    /// into `registry` exactly as
+    /// [`run_instrumented`](CollectionRun::run_instrumented) does.
+    pub fn run_sharded_instrumented(
+        &self,
+        set: &mut ShardSet,
+        registry: &mut Registry,
+    ) -> RunStats {
+        let mut local = Registry::new();
+        let mut st = self.fresh_state();
+        self.drive_sharded(&mut st, self.end, set, &mut local);
+        let stats = std::mem::take(&mut st.totals).flush(&mut local);
+        registry.merge(&local);
+        stats
+    }
+
+    /// Sharded counterpart of [`run_until`](CollectionRun::run_until):
+    /// runs the window prefix up to `stop` and returns the engine state
+    /// as a [`CollectionCheckpoint`]. The per-shard dedup archives live
+    /// in `set` — flatten them with [`ShardSet::into_parts`] alongside
+    /// the checkpoint.
+    pub fn run_sharded_until(&self, stop: SimTime, set: &mut ShardSet) -> CollectionCheckpoint {
+        let stop = stop.min(self.end);
+        let mut local = Registry::new();
+        let mut st = self.fresh_state();
+        self.drive_sharded(&mut st, stop, set, &mut local);
+        let mut pending = Vec::with_capacity(st.queue.len());
+        while let Some((t, (id, seq))) = st.queue.pop() {
+            pending.push((t, id, seq));
+        }
+        CollectionCheckpoint {
+            cursor: stop,
+            pending,
+            rps: st.rps.into_parts(),
+            totals: st.totals.into_array(),
+            kod_backoff: local
+                .hist(metrics::NTP_KOD_BACKOFF_SECONDS)
+                .cloned()
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Sharded counterpart of
+    /// [`resume_instrumented`](CollectionRun::resume_instrumented):
+    /// continues from a checkpoint (with `set` rebuilt via
+    /// [`ShardSet::from_parts`]) to the window end. Counters and stats
+    /// cover the whole window, bit-identical to an uninterrupted
+    /// sharded run.
+    pub fn resume_sharded_instrumented(
+        &self,
+        ckpt: CollectionCheckpoint,
+        set: &mut ShardSet,
+        registry: &mut Registry,
+    ) -> RunStats {
+        let mut local = Registry::new();
+        if !ckpt.kod_backoff.is_empty() {
+            local.merge_hist(metrics::NTP_KOD_BACKOFF_SECONDS, &ckpt.kod_backoff);
+        }
+        let mut queue = netsim::engine::EventQueue::new();
+        queue.schedule_batch(ckpt.pending.into_iter().map(|(t, id, seq)| (t, (id, seq))));
+        let mut st = EngineState {
+            queue,
+            rps: RpsWindows::from_parts(ckpt.rps),
+            totals: Totals::from_array(ckpt.totals),
+        };
+        self.drive_sharded(&mut st, self.end, set, &mut local);
+        let stats = std::mem::take(&mut st.totals).flush(&mut local);
+        registry.merge(&local);
+        stats
+    }
+
+    /// The sharded drive loop: persistent workers, two channel round
+    /// trips per bucket (pre-plan on contiguous slices, then execute on
+    /// shard-routed events), and the event-order merge at each bucket
+    /// boundary (module docs).
+    fn drive_sharded(
+        &self,
+        st: &mut EngineState,
+        stop: SimTime,
+        set: &mut ShardSet,
+        local: &mut Registry,
+    ) {
+        let stop = stop.min(self.end);
+        let count = set.shard_count();
+        local.vol_gauge_max(metrics::NTP_COLLECTION_SHARDS, count as u64);
+        let horizon = self.bucket_horizon();
+        let shards = std::mem::take(&mut set.shards);
+
+        let results: Vec<(Shard, RpsWindows, Registry)> = std::thread::scope(|scope| {
+            let mut to_txs: Vec<Sender<ToWorker>> = Vec::with_capacity(count);
+            let mut from_rxs: Vec<Receiver<FromWorker>> = Vec::with_capacity(count);
+            let mut handles = Vec::with_capacity(count);
+            for shard in shards {
+                let (to_tx, to_rx) = unbounded();
+                let (from_tx, from_rx) = unbounded();
+                // Each worker advances only its own servers' slots of a
+                // full-size window table, so indexing never remaps.
+                let rps = RpsWindows::from_parts(st.rps.windows.clone());
+                handles.push(scope.spawn(move || shard_worker(self, shard, rps, to_rx, from_tx)));
+                to_txs.push(to_tx);
+                from_rxs.push(from_rx);
+            }
+
+            let mut bucket: Vec<(SimTime, (DeviceId, u64))> = Vec::new();
+            let mut routed: Vec<Vec<Planned>> = vec![Vec::new(); count];
+            // Per-event outputs scattered by global index before the
+            // batch re-schedule / publish — the event-order merge.
+            let mut slots: Vec<Option<(SimTime, DeviceId, u64)>> = Vec::new();
+            let mut cands: Vec<Option<Observation>> = Vec::new();
+            while let Some(t0) = st.queue.peek_time() {
+                if t0 >= stop {
+                    break; // every remaining event is past the bound
+                }
+                let bucket_end = SimTime(t0.as_secs().saturating_add(horizon)).min(stop);
+                bucket.clear();
+                st.queue.pop_bucket(bucket_end, &mut bucket);
+                let n = bucket.len();
+                local.vol_add(metrics::NTP_COLLECTION_BUCKETS, 1);
+                local.vol_observe(metrics::NTP_BUCKET_EVENTS, n as u64);
+                st.totals.polls += n as u64;
+
+                // Round trip A — pre-plan on contiguous slices.
+                let chunk = n.div_ceil(count).max(1);
+                let active = n.div_ceil(chunk);
+                for (w, part) in bucket.chunks(chunk).enumerate() {
+                    let planned: Vec<Planned> = part
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(t, (id, seq)))| Planned::new(w * chunk + i, t, id, seq))
+                        .collect();
+                    to_txs[w]
+                        .send(ToWorker::PrePlan(planned))
+                        .expect("worker alive");
+                }
+
+                // Route by selected server, preserving event order
+                // (chunks return in worker order = bucket order).
+                slots.clear();
+                slots.resize(n, None);
+                cands.clear();
+                cands.resize(n, None);
+                for rx in from_rxs.iter().take(active) {
+                    let FromWorker::PrePlanned(part) = rx.recv().expect("worker alive") else {
+                        unreachable!("worker replies in request order");
+                    };
+                    for p in part {
+                        match p.server {
+                            Some(s) => routed[s.0 as usize % count].push(p),
+                            None => {
+                                // No reachable server: lost, reschedule
+                                // on the main thread.
+                                st.totals.lost += 1;
+                                slots[p.idx] = Some((
+                                    next_poll(p.t, p.interval, PollReply::None),
+                                    p.id,
+                                    p.seq + 1,
+                                ));
+                            }
+                        }
+                    }
+                }
+
+                // Round trip B — plan/execute/apply on every shard
+                // (empty sends keep the request/reply cadence uniform).
+                for (w, mine) in routed.iter_mut().enumerate() {
+                    to_txs[w]
+                        .send(ToWorker::Execute(std::mem::take(mine)))
+                        .expect("worker alive");
+                }
+                for rx in &from_rxs {
+                    let FromWorker::Executed(out) = rx.recv().expect("worker alive") else {
+                        unreachable!("worker replies in request order");
+                    };
+                    st.totals.responses += out.totals.responses;
+                    st.totals.kod += out.totals.kod;
+                    st.totals.lost += out.totals.lost;
+                    st.totals.observed += out.totals.observed;
+                    if !out.kod_backoff.is_empty() {
+                        local.merge_hist(metrics::NTP_KOD_BACKOFF_SECONDS, &out.kod_backoff);
+                    }
+                    for (idx, next, id, seq) in out.resched {
+                        slots[idx] = Some((next, id, seq));
+                    }
+                    for (idx, obs) in out.candidates {
+                        cands[idx] = Some(obs);
+                    }
+                }
+
+                // Bucket-boundary merge, both in global event order:
+                // re-schedule (queue tie-breaks match the sequential
+                // engine) and candidate publish through the
+                // authoritative global archive.
+                st.queue
+                    .schedule_batch(slots.drain(..).flatten().map(|(t, id, seq)| (t, (id, seq))));
+                for obs in cands.drain(..).flatten() {
+                    set.publish(obs);
+                }
+            }
+
+            drop(to_txs);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Merge worker state back in shard order: owned RPS slots into
+        // the dense table, shards into the set, volatile registries.
+        for (w, (shard, rps, reg)) in results.into_iter().enumerate() {
+            for (sid, slot) in rps.windows.into_iter().enumerate() {
+                if sid % count == w {
+                    st.rps.windows[sid] = slot;
+                }
+            }
+            set.shards.push(shard);
+            local.merge(&reg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::VecSink;
+    use crate::pool::Pool;
+    use crate::server::{Operator, PoolServer};
+    use netsim::country;
+    use netsim::time::Duration;
+    use netsim::world::{World, WorldConfig};
+
+    fn study_pool(max_rps: u64) -> Pool {
+        let mut pool = Pool::with_background();
+        for (i, c) in country::COLLECTOR_LOCATIONS.iter().enumerate() {
+            pool.add(PoolServer {
+                netspeed: 50_000,
+                max_rps,
+                operator: Operator::Study {
+                    location_index: i as u8,
+                },
+                ..PoolServer::background(*c)
+            });
+        }
+        pool
+    }
+
+    fn recorded(pool: &Pool) -> Vec<ServerId> {
+        pool.servers()
+            .filter(|(_, s)| s.operator.collects())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The sequential engine + flat collector, the ground truth every
+    /// shard count must reproduce bit-for-bit.
+    fn baseline(
+        world: &World,
+        pool: &Pool,
+        end: SimTime,
+    ) -> (RunStats, Vec<Observation>, Registry) {
+        let sink = VecSink::default();
+        let buf = sink.0.clone();
+        let mut collector = AddressCollector::with_sink(Box::new(sink));
+        let mut reg = Registry::new();
+        let run = CollectionRun::new(world, pool, SimTime(0), end);
+        let stats = run.run_instrumented(&mut reg, |server, addr, t| {
+            collector.record(server, addr, t);
+        });
+        let feed = buf.lock().clone();
+        (stats, feed, reg)
+    }
+
+    fn sharded(
+        world: &World,
+        pool: &Pool,
+        end: SimTime,
+        shards: usize,
+    ) -> (RunStats, Vec<Observation>, Registry, AddressCollector) {
+        let sink = VecSink::default();
+        let buf = sink.0.clone();
+        let mut set = ShardSet::new(shards, recorded(pool), Some(Box::new(sink)), 0);
+        let mut reg = Registry::new();
+        let run = CollectionRun::new(world, pool, SimTime(0), end);
+        let stats = run.run_sharded_instrumented(&mut set, &mut reg);
+        let feed = buf.lock().clone();
+        (stats, feed, reg, set.into_collector())
+    }
+
+    #[test]
+    fn sharded_engine_is_bit_identical_to_sequential() {
+        let world = World::generate(WorldConfig::tiny(23));
+        let pool = study_pool(0);
+        let end = SimTime(0) + Duration::days(2);
+        let (base_stats, base_feed, base_reg) = baseline(&world, &pool, end);
+        for shards in [1, 2, 4, 8] {
+            let (stats, feed, reg, collector) = sharded(&world, &pool, end, shards);
+            assert_eq!(stats, base_stats, "{shards} shards");
+            assert_eq!(feed, base_feed, "{shards} shards");
+            assert_eq!(
+                reg.snapshot().deterministic(),
+                base_reg.snapshot().deterministic(),
+                "{shards} shards"
+            );
+            assert_eq!(collector.global().len(), base_feed.len(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_kod_backoff_matches_sequential() {
+        let world = World::generate(WorldConfig::tiny(23));
+        let pool = study_pool(1); // aggressive shedding: KoDs guaranteed
+        let end = SimTime(0) + Duration::days(1);
+        let (base_stats, _, base_reg) = baseline(&world, &pool, end);
+        assert!(base_stats.kod > 0, "test needs KoD traffic");
+        for shards in [2, 8] {
+            let (stats, _, reg, _) = sharded(&world, &pool, end, shards);
+            assert_eq!(stats, base_stats, "{shards} shards");
+            assert_eq!(
+                reg.hist(metrics::NTP_KOD_BACKOFF_SECONDS),
+                base_reg.hist(metrics::NTP_KOD_BACKOFF_SECONDS),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn parts_roundtrip_rehomes_state() {
+        let world = World::generate(WorldConfig::tiny(5));
+        let pool = study_pool(0);
+        let end = SimTime(0) + Duration::days(1);
+        let (_, feed, _, _) = sharded(&world, &pool, end, 4);
+        // Run again, flatten, rebuild, and make sure dedup state
+        // survives: replaying the whole feed proposes nothing new.
+        let sink = VecSink::default();
+        let mut set = ShardSet::new(4, recorded(&pool), Some(Box::new(sink)), 0);
+        let run = CollectionRun::new(&world, &pool, SimTime(0), end);
+        run.run_sharded(&mut set);
+        let (parts, dedup) = set.into_parts();
+        assert_eq!(dedup.len(), 4);
+        let replay = VecSink::default();
+        let replay_buf = replay.0.clone();
+        let mut set =
+            ShardSet::from_parts(parts, dedup, recorded(&pool), Some(Box::new(replay)), 0);
+        for obs in &feed {
+            set.publish(*obs);
+        }
+        assert!(replay_buf.lock().is_empty(), "restored dedup re-fed");
+        let collector = set.into_collector();
+        assert_eq!(collector.global().len(), feed.len());
+    }
+}

@@ -18,11 +18,21 @@
 //! The producer side upholds the same contract even when collection
 //! itself is parallel: `CollectionRun`'s bucket-synchronous engine
 //! (any `StudyConfig::collection_threads`) applies observations in its
-//! sequential *apply* phase, so first sights enter this channel in the
-//! exact event order the sequential engine would produce. A streaming
-//! scanner therefore never needs to know — or care — how many worker
-//! threads fed it (`tests/collection_parallel.rs` crosses both pipeline
-//! modes with thread counts to pin this).
+//! sequential *apply* phase, and the prefix-sharded engine
+//! (`StudyConfig::collection_shards`) publishes candidates through its
+//! global archive in event-index order at bucket boundaries — either
+//! way, first sights enter this channel in the exact event order the
+//! sequential engine would produce. A streaming scanner therefore never
+//! needs to know — or care — how many workers or shards fed it
+//! (`tests/collection_parallel.rs` and `tests/shard_equivalence.rs`
+//! cross both pipeline modes with thread/shard counts to pin this).
+//!
+//! Parallel producers do change the feed's *shape*: a sharded run
+//! publishes its whole bucket's first sights in one burst at the
+//! boundary rather than trickling them out mid-bucket. The consumer
+//! loop drains whatever has accumulated in one batch between probe
+//! computations, so boundary bursts don't pay one channel sync per
+//! observation.
 
 use crate::engine::ScanPolicy;
 use crate::scheduler::RealTimeScanner;
@@ -129,9 +139,21 @@ impl<'scope> StreamingScanner<'scope> {
         let handle = scope.spawn(move || {
             let mut scanner = RealTimeScanner::with_transport(policy, transport);
             let mut feed = Vec::new();
-            for obs in rx.iter() {
-                scanner.feed(world, obs);
-                feed.push(obs);
+            let mut batch = Vec::new();
+            // Batched drain: block for the first observation, then take
+            // everything else already buffered in one sweep. Bucket-
+            // boundary bursts from sharded producers cost one blocking
+            // recv per batch instead of one per observation; consumption
+            // order is still exactly channel order.
+            while let Ok(first) = rx.recv() {
+                batch.push(first);
+                while let Ok(next) = rx.try_recv() {
+                    batch.push(next);
+                }
+                for obs in batch.drain(..) {
+                    scanner.feed(world, obs);
+                    feed.push(obs);
+                }
             }
             (scanner.finish(), feed)
         });

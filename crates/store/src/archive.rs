@@ -1,11 +1,20 @@
 //! [`Archive`]: an LSM-lite mutable address set.
 //!
 //! Inserts land in a `HashSet` memtable; when the memtable reaches its
-//! cap it is frozen (sorted + delta-encoded) into a [`CompactSet`]
-//! segment. When the number of segments exceeds the fanout, **all**
-//! segments are compacted into one with a streaming k-way union — a
-//! deterministic rule, so the segment list after any insert sequence is
-//! a pure function of that sequence.
+//! cap it is frozen into a segment: the spill emits one pre-sorted run
+//! (sort the drained memtable once, delta-encode it) and touches no
+//! existing segment. Compaction is size-tiered: segments are bucketed
+//! into power-of-two size classes, and only when a class accumulates
+//! `fanout` segments are *those* merged (cascading upward if the
+//! result fills its own class). Each address is therefore re-encoded
+//! once per tier level — `O(log spills)` — instead of the whole
+//! archive being re-encoded every `fanout` spills. The rule is
+//! deterministic, so the segment list after any insert sequence is a
+//! pure function of that sequence.
+//!
+//! Lookups go memtable first (the hot set: recently inserted addresses
+//! repeat far more often than archived ones), then prune segments by
+//! their O(1) min/max bounds before the per-segment fence search.
 //!
 //! More importantly for the determinism contract: the *observable* state
 //! (membership, `len`, ordered iteration) is content-based and therefore
@@ -22,12 +31,21 @@ use std::path::Path;
 
 /// Default memtable spill threshold.
 pub const DEFAULT_MEMTABLE_CAP: usize = 1 << 16;
-/// Default segment fanout before full compaction.
+/// Default per-size-class fanout before tiered compaction merges the
+/// class.
 pub const DEFAULT_FANOUT: usize = 8;
 
 /// Archive manifest magic bytes.
 const MANIFEST_MAGIC: [u8; 8] = *b"NTP6ARCH";
 const MANIFEST_VERSION: u16 = 1;
+
+/// Power-of-two size class of a segment: `log2` of the smallest power
+/// of two covering `len`. Segments in one class are within 2x of each
+/// other, so merging a full class is the balanced, write-amortized
+/// move.
+fn size_class(len: usize) -> u32 {
+    len.max(1).next_power_of_two().trailing_zeros()
+}
 
 /// A mutable IPv6 address set backed by a memtable plus frozen
 /// [`CompactSet`] segments.
@@ -86,37 +104,78 @@ impl Archive {
     /// Membership test across the memtable and every segment.
     pub fn contains(&self, addr: Ipv6Addr) -> bool {
         let a = u128::from(addr);
-        self.memtable.contains(&a) || self.segments.iter().any(|s| s.contains_u128(a))
+        self.memtable.contains(&a) || self.in_segments(a)
+    }
+
+    /// Segment-side membership, pruning segments whose min/max bounds
+    /// cannot hold `a` before paying their fence binary search.
+    fn in_segments(&self, a: u128) -> bool {
+        self.segments.iter().any(|s| {
+            s.bounds_u128()
+                .is_some_and(|(lo, hi)| lo <= a && a <= hi && s.contains_u128(a))
+        })
     }
 
     /// Inserts an address; returns `true` on first sight.
     pub fn insert(&mut self, addr: Ipv6Addr) -> bool {
         let a = u128::from(addr);
-        if self.segments.iter().any(|s| s.contains_u128(a)) {
+        // Memtable first: on collection workloads a re-seen address is
+        // overwhelmingly likely to be a *recent* one still in the hot
+        // set, and the hash probe is far cheaper than segment searches.
+        if self.memtable.contains(&a) || self.in_segments(a) {
             return false;
         }
-        if !self.memtable.insert(a) {
-            return false;
-        }
+        self.memtable.insert(a);
         if self.memtable.len() >= self.memtable_cap {
             self.freeze();
         }
         true
     }
 
-    /// Spills the memtable into a frozen segment and compacts if the
-    /// fanout is exceeded. Idempotent on an empty memtable.
+    /// Spills the memtable into a frozen segment and runs size-tiered
+    /// compaction. Idempotent on an empty memtable.
+    ///
+    /// The spill path emits one pre-sorted run — the drained memtable,
+    /// sorted once — and leaves every existing segment untouched.
+    /// Compaction then merges only a *full size class*: segments are
+    /// bucketed by the power of two covering their length, and when a
+    /// class holds `fanout` segments they are k-way merged into one
+    /// (which lands in a higher class and may cascade). Each address is
+    /// re-encoded once per tier level rather than on every `fanout`-th
+    /// spill, at the cost of keeping `O(fanout · log n)` resident
+    /// segments instead of `fanout`. Segments remain pairwise disjoint
+    /// (a merge of disjoint sets is disjoint from the rest), and the
+    /// schedule depends only on the insert sequence.
     pub fn freeze(&mut self) {
         if !self.memtable.is_empty() {
             let mut v: Vec<u128> = self.memtable.drain().collect();
             v.sort_unstable();
             self.segments.push(CompactSet::from_sorted(v));
         }
-        if self.segments.len() > self.fanout {
-            let refs: Vec<&CompactSet> = self.segments.iter().collect();
+        while let Some(class) = self.full_size_class() {
+            let idxs: Vec<usize> = (0..self.segments.len())
+                .filter(|&i| size_class(self.segments[i].len()) == class)
+                .collect();
+            let refs: Vec<&CompactSet> = idxs.iter().map(|&i| &self.segments[i]).collect();
             let merged = CompactSet::union_all(&refs);
-            self.segments = vec![merged];
+            for &i in idxs.iter().rev() {
+                self.segments.remove(i);
+            }
+            self.segments.push(merged);
         }
+    }
+
+    /// The smallest size class currently holding at least `fanout`
+    /// segments, if any.
+    fn full_size_class(&self) -> Option<u32> {
+        let mut counts = std::collections::BTreeMap::<u32, usize>::new();
+        for s in &self.segments {
+            *counts.entry(size_class(s.len())).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .find(|&(_, n)| n >= self.fanout)
+            .map(|(class, _)| class)
     }
 
     /// The frozen segments (call [`Archive::freeze`] first to include
@@ -286,7 +345,44 @@ mod tests {
             big.iter().collect::<Vec<_>>()
         );
         assert_eq!(small.to_compact(), big.to_compact());
-        assert!(small.segments().len() <= DEFAULT_FANOUT + 1);
+        assert!(no_size_class_is_full(&small));
+    }
+
+    /// The compaction invariant: after a freeze, every power-of-two
+    /// size class holds fewer than `fanout` segments.
+    fn no_size_class_is_full(ar: &Archive) -> bool {
+        let mut counts = std::collections::BTreeMap::<u32, usize>::new();
+        for s in ar.segments() {
+            *counts.entry(size_class(s.len())).or_insert(0) += 1;
+        }
+        counts.values().all(|&n| n < DEFAULT_FANOUT)
+    }
+
+    #[test]
+    fn tiered_compaction_keeps_segments_bounded_and_disjoint() {
+        let mut ar = Archive::with_memtable_cap(4);
+        for i in 0..1000u128 {
+            assert!(ar.insert(addr(i * 2_654_435_761)));
+        }
+        ar.freeze();
+        assert!(!ar.segments().is_empty());
+        // Size-tiered bound: no class full, so the resident count stays
+        // O(fanout · log n) — here 250 runs collapse to a handful.
+        assert!(no_size_class_is_full(&ar));
+        assert!(ar.segments().len() <= DEFAULT_FANOUT * 4);
+        // Disjointness: len is the plain sum and the k-way merged
+        // iteration is strictly increasing with no duplicates dropped.
+        let total: usize = ar.segments().iter().map(CompactSet::len).sum();
+        assert_eq!(total, ar.len());
+        let v: Vec<u128> = ar.iter().map(u128::from).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        // Bounds prune must not change membership answers.
+        for i in 0..1000u128 {
+            assert!(ar.contains(addr(i * 2_654_435_761)));
+            assert!(!ar.insert(addr(i * 2_654_435_761)));
+        }
+        assert!(!ar.contains(addr(3)));
     }
 
     #[test]

@@ -128,6 +128,14 @@ impl CompactSet {
         self.data.capacity() + self.fences.capacity() * std::mem::size_of::<Fence>()
     }
 
+    /// Smallest and largest address in the set as raw integers, `None`
+    /// when empty — O(1) off the fence index. Callers holding many
+    /// disjoint sets (e.g. [`Archive`](crate::Archive) segments) use
+    /// this to skip whole segments before the per-set binary search.
+    pub fn bounds_u128(&self) -> Option<(u128, u128)> {
+        Some((self.fences.first()?.first, self.fences.last()?.last))
+    }
+
     /// Membership test: binary search over fences, then decode at most
     /// one block.
     pub fn contains(&self, addr: Ipv6Addr) -> bool {
@@ -384,6 +392,23 @@ mod tests {
 
     fn set_of(addrs: &[u128]) -> CompactSet {
         addrs.iter().copied().collect()
+    }
+
+    #[test]
+    fn bounds_come_from_the_fence_index() {
+        assert_eq!(CompactSet::new().bounds_u128(), None);
+        let one = set_of(&[42]);
+        assert_eq!(one.bounds_u128(), Some((42, 42)));
+        // More than one block, so first and last live in different fences.
+        let many: Vec<u128> = (0..(BLOCK_CAP as u128 * 3 + 7))
+            .map(|i| i * 11 + 5)
+            .collect();
+        let set = set_of(&many);
+        assert!(set.fences.len() > 1);
+        assert_eq!(
+            set.bounds_u128(),
+            Some((many[0], *many.last().expect("non-empty")))
+        );
     }
 
     /// The edge patterns the satellite task names: `::`, `ff..ff`,

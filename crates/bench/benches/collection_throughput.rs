@@ -11,6 +11,12 @@
 //! recorded `cpus` field qualifies the parallel numbers: thread/shard
 //! speedup needs cores, the constant-factor win over the legacy loop
 //! does not.
+//!
+//! It also runs a **procedural-world scale slice**: a 1:100-of-the-paper
+//! world (~13 M nominal devices) collected through the same engine with
+//! no device table ever materialized, asserting resident memory stays
+//! under [`PROCEDURAL_RESIDENT_BOUND`] and recording the measured
+//! events/sec + resident bytes under the artifact's `procedural` key.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use netsim::country;
@@ -66,10 +72,10 @@ fn run_legacy(world: &World, pool: &Pool, start: SimTime, end: SimTime) -> Outco
         if t >= end {
             continue;
         }
-        let dev = world.device(id);
+        let dev = world.meta(id);
         let cfg = dev.ntp.expect("scheduled device has NTP config");
         out.polls += 1;
-        let addr = world.address_of(id, t);
+        let addr = world.address_of_meta(&dev, t);
         let mut reply = PollReply::None;
         if let Some(server_id) = pool.select(dev.country, u64::from(id.0), seq) {
             let server = pool.server(server_id);
@@ -169,6 +175,21 @@ fn events_per_sec(events: u64, nanos: u128) -> u64 {
     ((events as f64) * 1e9 / nanos.max(1) as f64) as u64
 }
 
+/// Resident set size of this process in bytes (Linux `VmRSS`), or
+/// `None` where `/proc` is unavailable (non-Linux dev machines).
+fn resident_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Hard ceiling for the procedural scale run's resident memory. A
+/// materialized world of the same nominal size needs tens of bytes per
+/// device times ~13 M devices *before* the engine allocates anything;
+/// the procedural backend keeps the whole run comfortably under this.
+const PROCEDURAL_RESIDENT_BOUND: u64 = 2 * 1024 * 1024 * 1024;
+
 /// The throughput measurement + equivalence guard + artifact writer.
 /// Runs in smoke mode too (on a smaller workload) — CI uploads the
 /// artifact either way.
@@ -236,6 +257,61 @@ fn collection_throughput(c: &mut Criterion) {
         );
     }
 
+    // Procedural scale run: a 1:100-of-the-paper world (~13 M nominal
+    // devices) that is never materialized — clients stream out of the
+    // derivation layer and only touched devices ever exist. The
+    // resident-memory assert is the point of the exercise: collection
+    // cost is O(observed), not O(generated).
+    let proc_world = World::generate(WorldConfig::paper_centi(bench::BENCH_SEED));
+    let proc_devices = proc_world.device_count();
+    let baseline_devices = world.device_count();
+    assert!(
+        proc_devices >= 20 * baseline_devices,
+        "procedural world must dwarf the largest materialized bench world \
+         ({proc_devices} vs {baseline_devices} devices)"
+    );
+    let proc_slice = if smoke {
+        Duration::mins(15)
+    } else {
+        Duration::hours(1)
+    };
+    let (proc_out, proc_ns) =
+        time(|| run_engine(&proc_world, &pool, start, SimTime(proc_slice.as_secs()), 1));
+    let proc_rss = resident_bytes();
+    if let Some(rss) = proc_rss {
+        assert!(
+            rss < PROCEDURAL_RESIDENT_BOUND,
+            "procedural scale run resident memory {rss} bytes exceeds the \
+             {PROCEDURAL_RESIDENT_BOUND}-byte bound"
+        );
+    }
+    println!(
+        "collection/procedural: {} devices ({}x baseline), {} events in {:.1}s ({} ev/s), resident {} MiB",
+        proc_devices,
+        proc_devices / baseline_devices.max(1),
+        proc_out.polls,
+        proc_ns as f64 / 1e9,
+        events_per_sec(proc_out.polls, proc_ns),
+        proc_rss.map_or(0, |r| r / (1024 * 1024)),
+    );
+    drop(proc_world);
+    let proc_json = format!(
+        concat!(
+            "{{\"world\": \"paper_centi\", \"world_devices\": {}, ",
+            "\"baseline_world_devices\": {}, \"scale_factor\": {:.1}, ",
+            "\"slice_secs\": {}, \"events\": {}, \"events_per_sec\": {}, ",
+            "\"resident_bytes\": {}, \"resident_bound_bytes\": {}}}"
+        ),
+        proc_devices,
+        baseline_devices,
+        proc_devices as f64 / baseline_devices.max(1) as f64,
+        proc_slice.as_secs(),
+        proc_out.polls,
+        events_per_sec(proc_out.polls, proc_ns),
+        proc_rss.map_or_else(|| "null".to_owned(), |r| r.to_string()),
+        PROCEDURAL_RESIDENT_BOUND,
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -253,7 +329,8 @@ fn collection_throughput(c: &mut Criterion) {
             "  \"events_per_sec\": {{\"legacy\": {}, \"sequential\": {}, \"threads_2\": {}, \"threads_4\": {}, ",
             "\"shards_1\": {}, \"shards_2\": {}, \"shards_4\": {}, \"shards_8\": {}}},\n",
             "  \"speedup_vs_legacy\": {{\"sequential\": {:.3}, \"threads_2\": {:.3}, \"threads_4\": {:.3}}},\n",
-            "  \"speedup_vs_sharded_1\": {{\"shards_2\": {:.3}, \"shards_4\": {:.3}, \"shards_8\": {:.3}}}\n",
+            "  \"speedup_vs_sharded_1\": {{\"shards_2\": {:.3}, \"shards_4\": {:.3}, \"shards_8\": {:.3}}},\n",
+            "  \"procedural\": {}\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
@@ -283,6 +360,7 @@ fn collection_throughput(c: &mut Criterion) {
         sharded_base_ns as f64 / sharded_ns[1].1.max(1) as f64,
         sharded_base_ns as f64 / sharded_ns[2].1.max(1) as f64,
         sharded_base_ns as f64 / sharded_ns[3].1.max(1) as f64,
+        proc_json,
     );
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-reports");
     std::fs::create_dir_all(&dir).expect("create target/bench-reports");

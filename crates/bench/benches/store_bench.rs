@@ -190,6 +190,17 @@ fn store_bench(c: &mut Criterion) {
         "legacy schedule lost addresses"
     );
 
+    // --- K-way merge ingest: one `union_all` across every spilled run
+    // is the inner loop both compaction schedules share, now a
+    // `BinaryHeap` min-merge (O(log k) per element instead of an O(k)
+    // min-scan). Recorded so the artifact tracks the merge's ingest
+    // rate across that rewrite and any future one.
+    let (kway_merged, kway_ns) = time(|| {
+        let refs: Vec<&CompactSet> = runs.iter().collect();
+        CompactSet::union_all(&refs)
+    });
+    assert_eq!(kway_merged.len(), hash.len(), "k-way merge lost addresses");
+
     // --- Resident bytes: the tentpole's stated memory target. ---
     let compact = archive.to_compact();
     assert_eq!(compact.len(), hash.len());
@@ -235,6 +246,13 @@ fn store_bench(c: &mut Criterion) {
         legacy_ns as f64 / tiered_ns.max(1) as f64,
     );
     println!(
+        "store/kway-merge: {} streams -> {} addresses in {} ns ({} addr/s)",
+        runs.len(),
+        kway_merged.len(),
+        kway_ns,
+        per_sec(kway_merged.len(), kway_ns),
+    );
+    println!(
         "store/overlap: {compact_overlap} shared — compact {compact_overlap_ns} ns, hashset {hash_overlap_ns} ns",
     );
 
@@ -252,6 +270,7 @@ fn store_bench(c: &mut Criterion) {
             "  \"insert_ns\": {{\"hashset\": {}, \"archive\": {}}},\n",
             "  \"inserts_per_sec\": {{\"hashset\": {}, \"archive\": {}}},\n",
             "  \"spill\": {{\"memtable_cap\": {}, \"runs\": {}, \"tiered_ns\": {}, \"full_recompaction_ns\": {}, \"speedup\": {:.3}}},\n",
+            "  \"kway_merge\": {{\"streams\": {}, \"addresses\": {}, \"union_all_ns\": {}, \"addresses_per_sec\": {}}},\n",
             "  \"overlap_shared\": {},\n",
             "  \"overlap_ns\": {{\"compact\": {}, \"hashset\": {}}}\n",
             "}}\n"
@@ -273,6 +292,10 @@ fn store_bench(c: &mut Criterion) {
         tiered_ns,
         legacy_ns,
         legacy_ns as f64 / tiered_ns.max(1) as f64,
+        runs.len(),
+        kway_merged.len(),
+        kway_ns,
+        per_sec(kway_merged.len(), kway_ns),
         compact_overlap,
         compact_overlap_ns,
         hash_overlap_ns,

@@ -23,6 +23,9 @@
 //! 2 file whose shard section disagrees with the shard count in its own
 //! config fails with the typed [`StoreError::ShardMismatch`] — resuming
 //! it would silently re-home dedup state onto the wrong shards.
+//! Version 3 adds one byte for the world backend ([`WorldBackend`]);
+//! older files imply the materialized backend, the only one that
+//! existed when they were written.
 //!
 //! The format reuses the [`store::codec`] writer/reader and the
 //! [`store::segment`] set encoding, so every corruption mode — flipped
@@ -31,7 +34,7 @@
 
 use crate::config::{PipelineMode, StudyConfig};
 use netsim::transport::FaultProfile;
-use netsim::world::WorldConfig;
+use netsim::world::{WorldBackend, WorldConfig};
 use netsim::{DeviceId, Duration, SimTime, TransportTotals};
 use ntppool::{CollectionCheckpoint, CollectorParts, Observation, ServerId};
 use std::net::Ipv6Addr;
@@ -45,7 +48,7 @@ use v6addr::AddrSet;
 pub const CHECKPOINT_FILE: &str = "study.ckpt";
 
 const MAGIC: &[u8; 8] = b"TTSCKPT\0";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 
 /// One engine shard's state in a version-2 checkpoint.
 pub struct ShardCheckpoint {
@@ -194,6 +197,12 @@ fn put_config(w: &mut Writer, cfg: &StudyConfig, version: u16) {
     w.put_u64(wc.rotation.as_secs());
     w.put_u64(wc.privacy_regen.as_secs());
     w.put_u8(u8::from(wc.cdn));
+    if version >= 3 {
+        w.put_u8(match wc.backend {
+            WorldBackend::Materialized => 0,
+            WorldBackend::Procedural => 1,
+        });
+    }
     w.put_u64(cfg.collection.as_secs());
     w.put_u64(cfg.hitlist_scan_offset.as_secs());
     w.put_u64(cfg.telescope_offset.as_secs());
@@ -227,6 +236,17 @@ fn read_config(r: &mut Reader<'_>, version: u16) -> Result<StudyConfig, StoreErr
         rotation: Duration::secs(r.u64()?),
         privacy_regen: Duration::secs(r.u64()?),
         cdn: r.u8()? != 0,
+        // Versions 1/2 predate the procedural backend: every old run
+        // was materialized.
+        backend: if version >= 3 {
+            match r.u8()? {
+                0 => WorldBackend::Materialized,
+                1 => WorldBackend::Procedural,
+                _ => return Err(StoreError::Corrupt("unknown world backend")),
+            }
+        } else {
+            WorldBackend::Materialized
+        },
     };
     Ok(StudyConfig {
         world,
@@ -542,6 +562,30 @@ mod tests {
         assert_eq!(back.config.collection_shards, 1);
         assert!(back.shards.is_empty());
         assert_eq!(back.collection.cursor, sample().collection.cursor);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_2_files_read_with_materialized_backend() {
+        let dir = std::env::temp_dir().join(format!("ckpt-v2-{}", std::process::id()));
+        // Genuine v2 bytes: shard section present, no backend byte.
+        let data = sharded_sample();
+        write_versioned(&data, &dir, 2).unwrap();
+        let back = read(&dir).unwrap();
+        assert_eq!(back.config.world.backend, WorldBackend::Materialized);
+        assert_eq!(back.config, data.config);
+        assert_eq!(back.shards.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn procedural_backend_survives_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ckpt-proc-{}", std::process::id()));
+        let mut data = sample();
+        data.config.world.backend = WorldBackend::Procedural;
+        write(&data, &dir).unwrap();
+        let back = read(&dir).unwrap();
+        assert_eq!(back.config.world.backend, WorldBackend::Procedural);
         std::fs::remove_dir_all(&dir).ok();
     }
 

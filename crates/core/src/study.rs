@@ -210,7 +210,10 @@ impl Study {
         .with_threads(config.collection_threads);
         let sink = VecSink::default();
         let feed_buf = sink.0.clone();
-        let expected = p.world.ntp_clients().count();
+        // Capacity hint only — the O(1) estimate never enumerates the
+        // client population (which a procedural world would have to
+        // derive end to end).
+        let expected = p.world.client_count_estimate();
         let (collector, collection, shards) = if config.collection_shards > 1 {
             let mut set = ShardSet::new(
                 config.collection_shards,
@@ -532,8 +535,9 @@ fn run_collection_and_scan(
         .with_threads(threads);
     // Pre-size the per-server dedup sets from the device population
     // instead of rehashing up from empty (each collecting server sees
-    // one location's slice of the world).
-    let expected = world.ntp_clients().count();
+    // one location's slice of the world). The O(1) estimate is a
+    // capacity hint only — no path enumerates all clients to pre-size.
+    let expected = world.client_count_estimate();
     let (ckpt, feed_prefix, saved_transport) = match resume {
         Some(r) => (
             Some((r.collection, r.collector, r.shards)),

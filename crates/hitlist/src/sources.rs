@@ -76,13 +76,13 @@ impl Source for DnsSource {
     }
 
     fn collect(&self, world: &World, t: SimTime, out: &mut AddrSet) {
-        for dev in world.devices() {
+        world.for_each_device(|dev| {
             if stable_coin(world, dev, 0xD45, dns_probability(dev.kind)) {
                 // Dynamic-DNS names resolve to the *current* address; the
                 // daily hitlist build snapshots it at t.
                 out.insert(world.address_of(dev.id, t));
             }
-        }
+        });
     }
 }
 
@@ -95,7 +95,7 @@ impl Source for RdnsSource {
     }
 
     fn collect(&self, world: &World, t: SimTime, out: &mut AddrSet) {
-        for dev in world.devices() {
+        world.for_each_device(|dev| {
             // Zone walking only covers statically numbered space; a
             // household device's PTR (if any) churns with its prefix.
             if matches!(dev.attachment, Attachment::Static { .. })
@@ -103,7 +103,7 @@ impl Source for RdnsSource {
             {
                 out.insert(world.address_of(dev.id, t));
             }
-        }
+        });
     }
 }
 
@@ -116,11 +116,11 @@ impl Source for TracerouteSource {
     }
 
     fn collect(&self, world: &World, t: SimTime, out: &mut AddrSet) {
-        for dev in world.devices() {
+        world.for_each_device(|dev| {
             if dev.kind == DeviceKind::CoreRouter && stable_coin(world, dev, 0x7124, 0.9) {
                 out.insert(world.address_of(dev.id, t));
             }
-        }
+        });
     }
 }
 
@@ -226,8 +226,8 @@ impl Source for ArchiveSource {
     }
 
     fn collect(&self, world: &World, t: SimTime, out: &mut AddrSet) {
-        let households = world.households();
-        if households.is_empty() {
+        let households = world.household_count();
+        if households == 0 {
             return;
         }
         for (i, _) in world
@@ -239,8 +239,8 @@ impl Source for ArchiveSource {
         {
             for k in 0..self.per_as {
                 let h = mix2(world.config.seed ^ 0xa5c1, (i as u64) << 24 | k as u64);
-                let hh = &households[(h % households.len() as u64) as usize];
-                let member = hh.members[(mix2(h, 2) % hh.members.len() as u64) as usize];
+                let members = world.household_members((h % u64::from(households)) as u32);
+                let member = members[(mix2(h, 2) % members.len() as u64) as usize];
                 // Archive entries are at least a few days stale — fresher
                 // data would still be in the live DNS sources, not the
                 // archive.

@@ -27,7 +27,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// How the device forms its 64-bit interface identifier.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Addressing {
     /// SLAAC from the hardware address — leaks the MAC (and vendor).
     Eui64(Mac),
@@ -99,15 +99,63 @@ pub struct Device {
 impl Device {
     /// The interface identifier at time `t`.
     pub fn iid_at(&self, t: SimTime) -> Iid {
-        match &self.addressing {
-            Addressing::Eui64(mac) => Iid(Eui64::from_mac(*mac).0),
-            Addressing::Privacy { regen } => {
-                let epoch = t.as_secs() / regen.as_secs().max(1);
-                Iid(privacy_iid(self.id, epoch))
-            }
-            Addressing::Structured(v) => Iid(*v),
-            Addressing::Zero => Iid(0),
+        iid_at(self.id, self.addressing, t)
+    }
+
+    /// The cheap, `Copy` summary of this device (everything except the
+    /// service stack).
+    pub fn meta(&self) -> DeviceMeta {
+        DeviceMeta {
+            id: self.id,
+            kind: self.kind,
+            asn: self.asn,
+            country: self.country,
+            attachment: self.attachment,
+            addressing: self.addressing,
+            ntp: self.ntp,
         }
+    }
+}
+
+/// The addressing-relevant summary of a device: everything except its
+/// service stack, all `Copy`. Hot paths (the collection engine, client
+/// enumeration) work on metas so the procedural world backend can derive
+/// them on the stack without allocating a [`Device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceMeta {
+    /// Identifier.
+    pub id: DeviceId,
+    /// Archetype.
+    pub kind: DeviceKind,
+    /// Origin AS.
+    pub asn: Asn,
+    /// Country (of the AS).
+    pub country: Country,
+    /// Address-plan attachment.
+    pub attachment: Attachment,
+    /// IID formation.
+    pub addressing: Addressing,
+    /// NTP client behaviour.
+    pub ntp: Option<NtpClientCfg>,
+}
+
+impl DeviceMeta {
+    /// The interface identifier at time `t`.
+    pub fn iid_at(&self, t: SimTime) -> Iid {
+        iid_at(self.id, self.addressing, t)
+    }
+}
+
+/// The interface identifier of device `id` with `addressing` at `t`.
+pub fn iid_at(id: DeviceId, addressing: Addressing, t: SimTime) -> Iid {
+    match addressing {
+        Addressing::Eui64(mac) => Iid(Eui64::from_mac(mac).0),
+        Addressing::Privacy { regen } => {
+            let epoch = t.as_secs() / regen.as_secs().max(1);
+            Iid(privacy_iid(id, epoch))
+        }
+        Addressing::Structured(v) => Iid(v),
+        Addressing::Zero => Iid(0),
     }
 }
 

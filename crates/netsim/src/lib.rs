@@ -25,6 +25,9 @@
 //!   front-ends, …) with their addressing and exposure behaviour.
 //! * [`device`] — device state: addressing mode, prefix churn, NTP client
 //!   configuration, time-dependent address computation.
+//! * [`procgen`] — pure per-coordinate derivation of households, devices
+//!   and prefixes from `(seed, AS, index, member)`, shared by both world
+//!   backends.
 //! * [`world`] — the assembled world: device populations per AS, reverse
 //!   address lookup at a point in time, and the probe dispatcher that
 //!   parses scanner bytes and produces response bytes.
@@ -49,6 +52,7 @@ pub mod engine;
 pub mod geodb;
 pub mod instrument;
 pub mod peeringdb;
+pub mod procgen;
 pub mod services;
 pub mod stats;
 pub mod time;
@@ -58,12 +62,12 @@ pub mod world;
 
 pub use archetype::DeviceKind;
 pub use country::Country;
-pub use device::{Device, DeviceId};
+pub use device::{Device, DeviceId, DeviceMeta};
 pub use instrument::{Instrumented, TransportStats, TransportTotals};
 pub use time::{Duration, SimTime};
 pub use topology::{AsInfo, Asn, Topology};
 pub use transport::{Delivery, FaultConfig, FaultProfile, Faulty, Ideal, Link, Transport};
-pub use world::{AddrResolver, World, WorldConfig};
+pub use world::{AddrResolver, World, WorldBackend, WorldConfig};
 
 /// Deterministic 64-bit mix used everywhere the simulation needs a
 /// pseudo-random but reproducible value derived from identifiers

@@ -28,7 +28,7 @@ impl WorldStats {
         let mut devices_by_kind: BTreeMap<DeviceKind, u64> = BTreeMap::new();
         let mut pool_clients = 0;
         let mut reachable = 0;
-        for d in world.devices() {
+        world.for_each_device(|d| {
             *devices_by_kind.entry(d.kind).or_insert(0) += 1;
             if d.ntp.is_some() {
                 pool_clients += 1;
@@ -39,7 +39,7 @@ impl WorldStats {
             {
                 reachable += 1;
             }
-        }
+        });
         let mut ases_by_type: BTreeMap<AsType, u64> = BTreeMap::new();
         for a in world.topology.ases() {
             *ases_by_type.entry(a.kind).or_insert(0) += 1;
@@ -47,7 +47,7 @@ impl WorldStats {
         WorldStats {
             devices_by_kind,
             ases_by_type,
-            households: world.households().len() as u64,
+            households: u64::from(world.household_count()),
             pool_clients,
             reachable_devices: reachable,
         }

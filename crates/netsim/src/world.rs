@@ -15,24 +15,44 @@
 //!
 //! The world resolves an address *at a time* to a device and dispatches
 //! probe bytes to its service stack.
+//!
+//! ## Backends
+//!
+//! Worlds come in two shapes behind the same API
+//! ([`WorldConfig::backend`]):
+//!
+//! * [`WorldBackend::Materialized`] — every [`Device`] is built up front
+//!   into a dense table. O(devices) memory; the equivalence oracle.
+//! * [`WorldBackend::Procedural`] — devices are derived on demand from
+//!   their coordinates via [`crate::procgen`], memoized in a small
+//!   bounded cache. O(#ASes + cache) memory, so world size is bounded by
+//!   what the study *observes*, not what the config *declares*.
+//!
+//! Both backends run the identical per-coordinate derivation, so for any
+//! config the materialized backend can hold, all observable behaviour —
+//! addresses, responses, NTP client schedules — is bit-identical between
+//! them (enforced by tests).
 
-use crate::archetype::{build_services, BuildCtx, DeviceKind, KeyPools};
-use crate::country::{self, Continent, Country};
-use crate::device::{Addressing, Attachment, Device, DeviceId, NtpClientCfg};
-use crate::mix2;
-use crate::peeringdb::AsType;
-use crate::services::{HttpService, ServiceSet, TlsEndpoint};
+use crate::device::{Attachment, Device, DeviceId, DeviceMeta, NtpClientCfg};
+use crate::procgen::{Layout, HOUSEHOLD_STRIDE, POLL_INTERVAL};
+use crate::services::ServiceSet;
 use crate::time::{Duration, SimTime};
-use crate::topology::{AsInfo, Asn, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::topology::{Asn, Topology};
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
-use v6addr::{Iid, Mac, Oui, Prefix};
+use std::sync::{Arc, Mutex};
+use v6addr::{Iid, Prefix};
 
-/// First /48 subnet index used for household delegation inside an eyeball
-/// /32 (lower indices are reserved for ISP infrastructure).
-const POOL_BASE: u32 = 0x100;
+/// Which world representation backs the [`World`] API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldBackend {
+    /// Materialize every device up front (O(devices) memory). The
+    /// equivalence oracle for small configs.
+    Materialized,
+    /// Derive devices on demand from coordinates (O(#ASes) memory plus a
+    /// bounded cache). Required for paper-scale worlds.
+    Procedural,
+}
 
 /// Size/behaviour preset for world generation.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +77,8 @@ pub struct WorldConfig {
     pub privacy_regen: Duration,
     /// Model the aliased CDN prefix.
     pub cdn: bool,
+    /// World representation (derivation is identical either way).
+    pub backend: WorldBackend,
 }
 
 impl WorldConfig {
@@ -73,6 +95,7 @@ impl WorldConfig {
             rotation: Duration::days(1),
             privacy_regen: Duration::days(1),
             cdn: true,
+            backend: WorldBackend::Materialized,
         }
     }
 
@@ -114,6 +137,27 @@ impl WorldConfig {
             ..WorldConfig::tiny(seed)
         }
     }
+
+    /// Procedural-only world (≈ 1:100 of the paper, ~13 M devices):
+    /// too large to materialize, cheap to derive.
+    pub fn paper_centi(seed: u64) -> WorldConfig {
+        WorldConfig {
+            households: 2_300_000,
+            servers: 1_200_000,
+            routers: 60_000,
+            eyeball_ases: 1_200,
+            hosting_ases: 800,
+            nsp_ases: 150,
+            backend: WorldBackend::Procedural,
+            ..WorldConfig::tiny(seed)
+        }
+    }
+
+    /// The same world with a different representation.
+    pub fn with_backend(mut self, backend: WorldBackend) -> WorldConfig {
+        self.backend = backend;
+        self
+    }
 }
 
 /// One eyeball household: a CPE plus LAN members sharing a delegated /48.
@@ -127,31 +171,6 @@ pub struct Household {
     pub members: Vec<DeviceId>,
 }
 
-/// Per-AS dynamic delegation pool.
-#[derive(Debug, Clone)]
-struct EyeballPool {
-    alloc: Prefix,
-    /// Household ids by pool index.
-    households: Vec<u32>,
-    /// Slot space size (≥ households, leaving head-room so prefixes move
-    /// to fresh /48s for a while).
-    space: u32,
-    /// Rotation stride, coprime with `space`.
-    step: u32,
-}
-
-impl EyeballPool {
-    fn slot_at(&self, house_idx: u32, epoch: u64) -> u32 {
-        ((house_idx as u64 + epoch * self.step as u64) % self.space as u64) as u32
-    }
-
-    fn house_at(&self, slot: u32, epoch: u64) -> Option<u32> {
-        let shift = (epoch * self.step as u64 % self.space as u64) as u32;
-        let idx = (slot + self.space - shift) % self.space;
-        self.households.get(idx as usize).copied()
-    }
-}
-
 /// An aliased region: a whole prefix that answers on every address
 /// (CDN/hyperscaler front-end).
 #[derive(Debug, Clone)]
@@ -162,38 +181,272 @@ pub struct AliasedRegion {
     pub services: ServiceSet,
 }
 
+/// Dense device table plus household index (the classic representation).
+struct MaterializedModel {
+    /// Devices in ascending-id order.
+    devices: Vec<Device>,
+    households: Vec<Household>,
+    /// Dense index of household `h`'s first member is `offsets[h]`; the
+    /// static range starts at `offsets[households.len()]`.
+    offsets: Vec<u32>,
+}
+
+impl MaterializedModel {
+    fn build(layout: &Layout) -> MaterializedModel {
+        let hh_count = layout.households();
+        let mut devices = Vec::new();
+        let mut households = Vec::with_capacity(hh_count as usize);
+        let mut offsets = Vec::with_capacity(hh_count as usize + 1);
+        for h in 0..hh_count {
+            offsets.push(devices.len() as u32);
+            let profile = layout.household_profile(h);
+            let (plan, _) = layout.eyeball_of_house(h);
+            let mut members = Vec::with_capacity(usize::from(profile.len));
+            for m in 0..profile.len {
+                let meta = layout.member_meta(&profile, m);
+                devices.push(device_from_meta(layout, meta));
+                members.push(meta.id);
+            }
+            households.push(Household {
+                asn: profile.asn,
+                index_in_as: h - plan.base,
+                members,
+            });
+        }
+        offsets.push(devices.len() as u32);
+        for i in 0..layout.servers() + layout.routers() {
+            devices.push(device_from_meta(layout, layout.static_meta(i)));
+        }
+        MaterializedModel {
+            devices,
+            households,
+            offsets,
+        }
+    }
+
+    /// Dense index of an encoded device id.
+    fn dense(&self, layout: &Layout, id: DeviceId) -> usize {
+        let v = id.0;
+        let s0 = layout.static_base();
+        if v < s0 {
+            let (h, m) = (v / HOUSEHOLD_STRIDE, v % HOUSEHOLD_STRIDE);
+            (self.offsets[h as usize] + m) as usize
+        } else {
+            (self.offsets[self.households.len()] + (v - s0)) as usize
+        }
+    }
+}
+
+fn device_from_meta(layout: &Layout, meta: DeviceMeta) -> Device {
+    Device {
+        id: meta.id,
+        kind: meta.kind,
+        asn: meta.asn,
+        country: meta.country,
+        attachment: meta.attachment,
+        addressing: meta.addressing,
+        services: layout.derive_services(meta.id, meta.kind),
+        ntp: meta.ntp,
+    }
+}
+
+/// Bounded memoization for derived devices: two generational banks; when
+/// the current bank fills, it becomes the previous one and the oldest
+/// entries drop. O(1) amortized, at most [`DeviceCache::CAP`] entries.
+struct DeviceCache {
+    cur: HashMap<DeviceId, Arc<Device>>,
+    prev: HashMap<DeviceId, Arc<Device>>,
+}
+
+impl DeviceCache {
+    /// Total bound: at most this many devices resident (~a few MB).
+    const CAP: usize = 4096;
+
+    fn new() -> DeviceCache {
+        DeviceCache {
+            cur: HashMap::new(),
+            prev: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, id: DeviceId) -> Option<Arc<Device>> {
+        if let Some(d) = self.cur.get(&id) {
+            return Some(Arc::clone(d));
+        }
+        if let Some(d) = self.prev.remove(&id) {
+            // Promote: recently used entries survive the next rotation.
+            self.insert(id, Arc::clone(&d));
+            return Some(d);
+        }
+        None
+    }
+
+    fn insert(&mut self, id: DeviceId, dev: Arc<Device>) {
+        if self.cur.len() >= Self::CAP / 2 {
+            self.prev = std::mem::take(&mut self.cur);
+        }
+        self.cur.insert(id, dev);
+    }
+}
+
+/// Derive-on-demand representation: nothing per-device is stored beyond
+/// the bounded cache.
+struct ProceduralModel {
+    cache: Mutex<DeviceCache>,
+}
+
+enum WorldModel {
+    Materialized(MaterializedModel),
+    Procedural(ProceduralModel),
+}
+
 /// The simulated Internet.
 pub struct World {
     /// Generation config.
     pub config: WorldConfig,
     /// AS-level topology.
     pub topology: Topology,
-    devices: Vec<Device>,
-    households: Vec<Household>,
-    pools: HashMap<Asn, EyeballPool>,
-    static64: HashMap<u128, DeviceId>,
+    layout: Layout,
     aliased: Vec<AliasedRegion>,
+    model: WorldModel,
 }
 
 impl World {
-    /// Generates a world from a config. Deterministic in `config`.
+    /// Generates a world from a config. Deterministic in `config`:
+    /// both backends derive devices through the same per-coordinate
+    /// functions ([`crate::procgen`]), so all observable behaviour is
+    /// bit-identical between them.
     pub fn generate(config: WorldConfig) -> World {
-        Generator::new(config).run()
+        let (layout, topology, aliased) = Layout::build(&config);
+        let model = match config.backend {
+            WorldBackend::Materialized => {
+                WorldModel::Materialized(MaterializedModel::build(&layout))
+            }
+            WorldBackend::Procedural => WorldModel::Procedural(ProceduralModel {
+                cache: Mutex::new(DeviceCache::new()),
+            }),
+        };
+        World {
+            config,
+            topology,
+            layout,
+            aliased,
+            model,
+        }
     }
 
-    /// All devices.
+    /// All devices, as a slice. Only the materialized backend holds a
+    /// device table; use [`for_each_device`](World::for_each_device) or
+    /// [`meta`](World::meta) for backend-agnostic access.
+    ///
+    /// # Panics
+    /// On a procedural world.
     pub fn devices(&self) -> &[Device] {
-        &self.devices
+        match &self.model {
+            WorldModel::Materialized(m) => &m.devices,
+            WorldModel::Procedural(_) => {
+                panic!("devices(): procedural worlds have no device table; use for_each_device")
+            }
+        }
     }
 
-    /// A device by id.
-    pub fn device(&self, id: DeviceId) -> &Device {
-        &self.devices[id.0 as usize]
-    }
-
-    /// All households.
+    /// All households, as a slice.
+    ///
+    /// # Panics
+    /// On a procedural world (use [`household_count`](World::household_count)
+    /// and [`household_members`](World::household_members)).
     pub fn households(&self) -> &[Household] {
-        &self.households
+        match &self.model {
+            WorldModel::Materialized(m) => &m.households,
+            WorldModel::Procedural(_) => {
+                panic!("households(): procedural worlds have no household table")
+            }
+        }
+    }
+
+    /// Visits every device in ascending-id order. Works on both
+    /// backends; the procedural one derives each device transiently, so
+    /// memory stays O(1) regardless of world size.
+    pub fn for_each_device(&self, mut f: impl FnMut(&Device)) {
+        match &self.model {
+            WorldModel::Materialized(m) => m.devices.iter().for_each(f),
+            WorldModel::Procedural(_) => {
+                for h in 0..self.layout.households() {
+                    let profile = self.layout.household_profile(h);
+                    for m in 0..profile.len {
+                        let meta = self.layout.member_meta(&profile, m);
+                        f(&device_from_meta(&self.layout, meta));
+                    }
+                }
+                for i in 0..self.layout.servers() + self.layout.routers() {
+                    f(&device_from_meta(&self.layout, self.layout.static_meta(i)));
+                }
+            }
+        }
+    }
+
+    /// Total device count. O(1) on a materialized world, O(households)
+    /// on a procedural one (member counts must be derived).
+    pub fn device_count(&self) -> u64 {
+        match &self.model {
+            WorldModel::Materialized(m) => m.devices.len() as u64,
+            WorldModel::Procedural(_) => {
+                let mut n = u64::from(self.layout.servers() + self.layout.routers());
+                for h in 0..self.layout.households() {
+                    n += u64::from(self.layout.household_profile(h).len);
+                }
+                n
+            }
+        }
+    }
+
+    /// Number of households.
+    pub fn household_count(&self) -> u32 {
+        self.layout.households()
+    }
+
+    /// Member device ids of household `h`; element 0 is the CPE.
+    pub fn household_members(&self, h: u32) -> Vec<DeviceId> {
+        match &self.model {
+            WorldModel::Materialized(m) => m.households[h as usize].members.clone(),
+            WorldModel::Procedural(_) => self.layout.household_profile(h).member_ids().collect(),
+        }
+    }
+
+    /// A device by id, with its full service stack. The procedural
+    /// backend derives it on demand (memoized, bounded).
+    ///
+    /// # Panics
+    /// On an id outside the world.
+    pub fn device(&self, id: DeviceId) -> Arc<Device> {
+        match &self.model {
+            WorldModel::Materialized(m) => Arc::new(m.devices[m.dense(&self.layout, id)].clone()),
+            WorldModel::Procedural(p) => {
+                if let Some(d) = p.cache.lock().expect("device cache poisoned").get(id) {
+                    return d;
+                }
+                // Derive outside the lock; a concurrent double-derive is
+                // benign (both derive the identical device).
+                let dev = Arc::new(self.layout.derive_device(id));
+                p.cache
+                    .lock()
+                    .expect("device cache poisoned")
+                    .insert(id, Arc::clone(&dev));
+                dev
+            }
+        }
+    }
+
+    /// A device's cheap summary (no service stack). This is the hot-path
+    /// accessor: on both backends it allocates nothing.
+    ///
+    /// # Panics
+    /// On an id outside the world.
+    pub fn meta(&self, id: DeviceId) -> DeviceMeta {
+        match &self.model {
+            WorldModel::Materialized(m) => m.devices[m.dense(&self.layout, id)].meta(),
+            WorldModel::Procedural(_) => self.layout.device_meta(id),
+        }
     }
 
     /// Aliased (CDN) regions.
@@ -203,55 +456,38 @@ impl World {
 
     /// Prefix-rotation epoch at `t`.
     pub fn epoch(&self, t: SimTime) -> u64 {
-        t.as_secs() / self.config.rotation.as_secs().max(1)
+        self.layout.epoch(t)
     }
 
     /// The device's global address at time `t`.
     pub fn address_of(&self, id: DeviceId, t: SimTime) -> Ipv6Addr {
-        let dev = self.device(id);
-        let net64 = self.net64_of(dev, t);
-        net64.host(u128::from(dev.iid_at(t).0))
+        self.layout.address_of(&self.meta(id), t)
+    }
+
+    /// Like [`address_of`](World::address_of) for a meta already in hand
+    /// (skips the id lookup).
+    pub fn address_of_meta(&self, meta: &DeviceMeta, t: SimTime) -> Ipv6Addr {
+        self.layout.address_of(meta, t)
     }
 
     /// The /64 the device lives in at `t`.
-    pub fn net64_of(&self, dev: &Device, t: SimTime) -> Prefix {
-        match dev.attachment {
-            Attachment::Static { net64 } => net64,
-            Attachment::Household { household, member } => {
-                let hh = &self.households[household as usize];
-                let pool = &self.pools[&hh.asn];
-                let slot = pool.slot_at(hh.index_in_as, self.epoch(t));
-                pool.alloc
-                    .subnet(48, u128::from(POOL_BASE + slot))
-                    .subnet(64, u128::from(member))
-            }
-        }
+    pub fn net64_of(&self, meta: &DeviceMeta, t: SimTime) -> Prefix {
+        self.layout.net64_of(meta, t)
     }
 
-    /// Resolves an address at time `t` to the device holding it, verifying
-    /// that the interface identifier matches (a stale address resolves to
-    /// nothing — exactly the staleness the paper's §6 warns about).
-    pub fn device_at(&self, addr: Ipv6Addr, t: SimTime) -> Option<&Device> {
-        let bits = u128::from(addr);
-        let iid = Iid(bits as u64);
-        // Static host?
-        if let Some(&id) = self.static64.get(&(bits & Prefix::netmask(64))) {
-            let dev = self.device(id);
-            return (dev.iid_at(t) == iid).then_some(dev);
-        }
-        // Household member?
-        let asn = self.topology.origin(addr)?;
-        let pool = self.pools.get(&asn)?;
-        let slot48 = ((bits >> 80) & 0xffff) as u32;
-        if slot48 < POOL_BASE {
-            return None;
-        }
-        let house = pool.house_at(slot48 - POOL_BASE, self.epoch(t))?;
-        let hh = &self.households[house as usize];
-        let member = ((bits >> 64) & 0xffff) as usize;
-        let &id = hh.members.get(member)?;
-        let dev = self.device(id);
-        (dev.iid_at(t) == iid).then_some(dev)
+    /// The id of the device holding `addr` at `t`, with the interface
+    /// identifier verified (a stale address resolves to nothing —
+    /// exactly the staleness the paper's §6 warns about).
+    fn resolve(&self, addr: Ipv6Addr, t: SimTime) -> Option<DeviceId> {
+        let id = self.layout.locate(&self.topology, addr, t)?;
+        let meta = self.meta(id);
+        (meta.iid_at(t) == Iid(u128::from(addr) as u64)).then_some(id)
+    }
+
+    /// Resolves an address at time `t` to the device holding it,
+    /// verifying the interface identifier.
+    pub fn device_at(&self, addr: Ipv6Addr, t: SimTime) -> Option<Arc<Device>> {
+        self.resolve(addr, t).map(|id| self.device(id))
     }
 
     /// Dispatches probe bytes to whatever answers `addr:port` at `t`.
@@ -263,12 +499,57 @@ impl World {
                 return region.services.respond(port, probe);
             }
         }
-        self.device_at(addr, t)?.services.respond(port, probe)
+        let id = self.resolve(addr, t)?;
+        match &self.model {
+            // Avoid the Arc round-trip on the materialized fast path.
+            WorldModel::Materialized(m) => m.devices[m.dense(&self.layout, id)]
+                .services
+                .respond(port, probe),
+            WorldModel::Procedural(_) => self.device(id).services.respond(port, probe),
+        }
     }
 
-    /// Devices that run an NTP pool client, with their configs.
-    pub fn ntp_clients(&self) -> impl Iterator<Item = (&Device, NtpClientCfg)> + '_ {
-        self.devices.iter().filter_map(|d| d.ntp.map(|c| (d, c)))
+    /// Devices that run an NTP pool client, with their configs, in
+    /// ascending-id order (the order is part of feed determinism). The
+    /// procedural backend derives lazily: enumeration never materializes
+    /// the population.
+    pub fn ntp_clients(&self) -> Box<dyn Iterator<Item = (DeviceMeta, NtpClientCfg)> + '_> {
+        match &self.model {
+            WorldModel::Materialized(m) => Box::new(
+                m.devices
+                    .iter()
+                    .filter_map(|d| d.ntp.map(|c| (d.meta(), c))),
+            ),
+            WorldModel::Procedural(_) => {
+                let layout = &self.layout;
+                let households = (0..layout.households()).flat_map(move |h| {
+                    let profile = layout.household_profile(h);
+                    (0..profile.len).filter_map(move |m| {
+                        let meta = layout.member_meta(&profile, m);
+                        meta.ntp.map(|c| (meta, c))
+                    })
+                });
+                let statics = (0..layout.servers() + layout.routers()).filter_map(move |i| {
+                    let meta = layout.static_meta(i);
+                    meta.ntp.map(|c| (meta, c))
+                });
+                Box::new(households.chain(statics))
+            }
+        }
+    }
+
+    /// Deterministic O(1) estimate of the pool-client population. A
+    /// **capacity hint only** (collector/shard pre-sizing) — never an
+    /// observable quantity, so it may differ from the exact count but is
+    /// identical across backends by construction.
+    pub fn client_count_estimate(&self) -> usize {
+        self.layout.client_count_estimate()
+    }
+
+    /// The uniform poll interval of every pool client — the collection
+    /// engine's bucket horizon, O(1) by construction.
+    pub fn poll_floor(&self) -> Duration {
+        POLL_INTERVAL
     }
 
     /// A fresh [`AddrResolver`] over this world.
@@ -276,641 +557,92 @@ impl World {
         AddrResolver {
             world: self,
             epoch: None,
-            pool_views: HashMap::new(),
+            shifts: Vec::new(),
         }
     }
 
     /// An [`AddrResolver`] view for one worker of a sharded collection
     /// engine. Resolution is bit-identical to
-    /// [`addr_resolver`](World::addr_resolver); the difference is shape:
-    /// the per-AS cache is pre-allocated for every delegation-pool AS up
-    /// front, because a shard worker's pre-plan slice crosses the whole
-    /// AS population each bucket, and the view is meant to live for the
-    /// entire run — same-epoch buckets then pay the per-AS pool walk
-    /// once per worker instead of once per bucket.
+    /// [`addr_resolver`](World::addr_resolver); each worker owns its own
+    /// view so the per-epoch cache needs no locking.
     pub fn shard_resolver(&self) -> AddrResolver<'_> {
-        AddrResolver {
-            world: self,
-            epoch: None,
-            pool_views: HashMap::with_capacity(self.pools.len()),
-        }
+        self.addr_resolver()
     }
 }
 
 /// A read-through cache for [`World::address_of`] on the collection hot
 /// path.
 ///
-/// Resolving a household address walks the per-AS delegation-pool map
-/// and redoes the rotation-slot arithmetic on every call, even though
-/// both only change once per rotation *epoch*. The resolver caches the
-/// per-(AS, epoch) pool view — allocation prefix, rotation shift, slot
-/// space — so a bucket of same-epoch polls touches the map once per AS.
-/// Addresses are **bit-identical** to [`World::address_of`] for every
-/// device and time (enforced by tests); each worker of the parallel
-/// collection engine owns its own resolver, so the cache needs no
-/// locking.
+/// Resolving a household address redoes the rotation-slot arithmetic on
+/// every call, even though the per-AS rotation shift only changes once
+/// per rotation *epoch*. The resolver caches all per-AS shifts for the
+/// current epoch (O(#ASes), recomputed on epoch change), so a bucket of
+/// same-epoch polls pays one multiply-mod per AS instead of one per
+/// poll. Addresses are **bit-identical** to [`World::address_of`] for
+/// every device and time (enforced by tests); each worker of the
+/// parallel collection engine owns its own resolver, so the cache needs
+/// no locking.
 pub struct AddrResolver<'w> {
     world: &'w World,
-    /// Rotation epoch the cached views were computed for.
+    /// Rotation epoch the cached shifts were computed for.
     epoch: Option<u64>,
-    /// Per-AS `(allocation, rotation shift, slot space)` at `epoch`.
-    pool_views: HashMap<Asn, (Prefix, u64, u64)>,
+    /// Per-eyeball-plan rotation shift `(epoch*step) % space` at `epoch`,
+    /// indexed like [`Layout::eyeball_plans`].
+    shifts: Vec<u32>,
 }
 
 impl AddrResolver<'_> {
     /// The device's global address at `t`; same value as
-    /// [`World::address_of`], amortizing the per-(AS, epoch) pool work.
+    /// [`World::address_of`], amortizing the per-(AS, epoch) work.
     pub fn address_of(&mut self, id: DeviceId, t: SimTime) -> Ipv6Addr {
-        let world = self.world;
-        let dev = world.device(id);
-        let net64 = match dev.attachment {
+        self.address_of_meta(&self.world.meta(id), t)
+    }
+
+    /// Like [`address_of`](AddrResolver::address_of) for a meta already
+    /// in hand — the collection engine derives the meta once per event
+    /// and addresses it here without a second lookup.
+    pub fn address_of_meta(&mut self, meta: &DeviceMeta, t: SimTime) -> Ipv6Addr {
+        let layout = self.world.layout();
+        let net64 = match meta.attachment {
             Attachment::Static { net64 } => net64,
             Attachment::Household { household, member } => {
-                let epoch = world.epoch(t);
+                let epoch = layout.epoch(t);
                 if self.epoch != Some(epoch) {
-                    self.pool_views.clear();
+                    self.shifts.clear();
+                    self.shifts.extend(
+                        layout
+                            .eyeball_plans()
+                            .iter()
+                            .map(|p| (epoch * u64::from(p.step) % u64::from(p.space)) as u32),
+                    );
                     self.epoch = Some(epoch);
                 }
-                let hh = &world.households[household as usize];
-                let (alloc, shift, space) = *self.pool_views.entry(hh.asn).or_insert_with(|| {
-                    let pool = &world.pools[&hh.asn];
-                    (
-                        pool.alloc,
-                        epoch * u64::from(pool.step) % u64::from(pool.space),
-                        u64::from(pool.space),
-                    )
-                });
-                // Same arithmetic as `EyeballPool::slot_at`, with the
+                let (plan, plan_idx) = layout.eyeball_of_house(household);
+                // Same arithmetic as `EyeballPlan::slot_at`, with the
                 // epoch-dependent term folded into the cached shift:
-                // (idx + epoch*step) mod m == ((idx mod m) + shift) mod m.
-                let slot = (u64::from(hh.index_in_as) % space + shift) % space;
-                alloc
-                    .subnet(48, u128::from(POOL_BASE) + u128::from(slot))
+                // (idx + epoch*step) mod m == ((idx mod m) + shift) mod m
+                // (idx ≤ count ≤ space, so idx mod m = idx).
+                let slot = (household - plan.base + self.shifts[plan_idx as usize]) % plan.space;
+                plan.alloc
+                    .subnet(48, u128::from(crate::procgen::POOL_BASE + slot))
                     .subnet(64, u128::from(member))
             }
         };
-        net64.host(u128::from(dev.iid_at(t).0))
+        net64.host(u128::from(meta.iid_at(t).0))
     }
 }
 
-// ---------------------------------------------------------------------
-// Generation
-// ---------------------------------------------------------------------
-
-struct Generator {
-    config: WorldConfig,
-    rng: StdRng,
-    pools_keys: KeyPools,
-    topology: Topology,
-    devices: Vec<Device>,
-    households: Vec<Household>,
-    pools: HashMap<Asn, EyeballPool>,
-    static64: HashMap<u128, DeviceId>,
-    aliased: Vec<AliasedRegion>,
-    next_asn: u32,
-    eyeball_as_list: Vec<(Asn, Country)>,
-    hosting_as_list: Vec<(Asn, Country)>,
-    nsp_as_list: Vec<(Asn, Country)>,
-    /// Next static /64 index per hosting AS.
-    next_static: HashMap<Asn, u64>,
-}
-
-impl Generator {
-    fn new(config: WorldConfig) -> Generator {
-        let rng = StdRng::seed_from_u64(config.seed);
-        let pools_keys = KeyPools::new(config.seed ^ 0x6b65_7970_6f6f_6c73);
-        Generator {
-            config,
-            rng,
-            pools_keys,
-            topology: Topology::new(),
-            devices: Vec::new(),
-            households: Vec::new(),
-            pools: HashMap::new(),
-            static64: HashMap::new(),
-            aliased: Vec::new(),
-            next_asn: 64_500,
-            eyeball_as_list: Vec::new(),
-            hosting_as_list: Vec::new(),
-            nsp_as_list: Vec::new(),
-            next_static: HashMap::new(),
-        }
+impl World {
+    /// The procedural layout shared by both backends.
+    pub(crate) fn layout(&self) -> &Layout {
+        &self.layout
     }
-
-    fn run(mut self) -> World {
-        self.build_topology();
-        self.build_households();
-        self.build_servers();
-        self.build_routers();
-        if self.config.cdn {
-            self.build_cdn();
-        }
-        World {
-            config: self.config,
-            topology: self.topology,
-            devices: self.devices,
-            households: self.households,
-            pools: self.pools,
-            static64: self.static64,
-            aliased: self.aliased,
-        }
-    }
-
-    fn alloc_prefix(base: u32, idx: u32) -> Prefix {
-        Prefix::new(Ipv6Addr::from(u128::from(base + idx) << 96), 32)
-    }
-
-    fn register_as(&mut self, name: String, kind: AsType, country: Country, alloc: Prefix) -> Asn {
-        let asn = Asn(self.next_asn);
-        self.next_asn += 1;
-        self.topology.register(AsInfo {
-            asn,
-            name,
-            kind,
-            country,
-            allocations: vec![alloc],
-        });
-        asn
-    }
-
-    fn build_topology(&mut self) {
-        // Eyeball ASes proportional to country client weight.
-        let weights: Vec<(Country, u64)> = country::COUNTRY_TABLE
-            .iter()
-            .map(|(c, _, _, w, _)| (*c, *w))
-            .collect();
-        for i in 0..self.config.eyeball_ases {
-            let c = weighted_pick(&mut self.rng, &weights);
-            let alloc = Self::alloc_prefix(0x2a00_0000, i);
-            let asn = self.register_as(
-                format!("{} Broadband {}", country::name(c), i),
-                AsType::CableDslIsp,
-                c,
-                alloc,
-            );
-            self.eyeball_as_list.push((asn, c));
-        }
-        // Hosting ASes, concentrated in DE/US/NL/FR/GB.
-        let hosting_weights: Vec<(Country, u64)> = [
-            (country::DE, 30u64),
-            (country::US, 30),
-            (country::NL, 15),
-            (country::FR, 10),
-            (country::GB, 10),
-            (country::JP, 5),
-            (country::AU, 3),
-            (country::BR, 3),
-        ]
-        .into();
-        for i in 0..self.config.hosting_ases {
-            let c = weighted_pick(&mut self.rng, &hosting_weights);
-            let alloc = Self::alloc_prefix(0x2600_8000, i);
-            let asn = self.register_as(
-                format!("Hosting {} {}", c.code(), i),
-                AsType::Hosting,
-                c,
-                alloc,
-            );
-            self.hosting_as_list.push((asn, c));
-        }
-        // NSPs.
-        let nsp_weights: Vec<(Country, u64)> = [
-            (country::US, 30u64),
-            (country::DE, 15),
-            (country::GB, 12),
-            (country::JP, 10),
-            (country::BR, 8),
-            (country::IN, 8),
-            (country::ZA, 5),
-        ]
-        .into();
-        for i in 0..self.config.nsp_ases {
-            let c = weighted_pick(&mut self.rng, &nsp_weights);
-            let alloc = Self::alloc_prefix(0x2001_4000, i);
-            let asn =
-                self.register_as(format!("Transit {} {}", c.code(), i), AsType::Nsp, c, alloc);
-            self.nsp_as_list.push((asn, c));
-        }
-    }
-
-    fn build_ctx_salt(&self) -> u64 {
-        mix2(self.config.seed, self.devices.len() as u64)
-    }
-
-    fn push_device(
-        &mut self,
-        kind: DeviceKind,
-        asn: Asn,
-        c: Country,
-        attachment: Attachment,
-        addressing: Addressing,
-        services: ServiceSet,
-    ) -> DeviceId {
-        let id = DeviceId(self.devices.len() as u32);
-        let ntp = self
-            .rng
-            .random_bool(kind.pool_client_probability())
-            .then(|| {
-                let poll = Duration::hours(6);
-                NtpClientCfg {
-                    poll_interval: poll,
-                    phase: Duration::secs(
-                        mix2(self.config.seed ^ 0x9019, u64::from(id.0)) % poll.as_secs(),
-                    ),
-                }
-            });
-        self.devices.push(Device {
-            id,
-            kind,
-            asn,
-            country: c,
-            attachment,
-            addressing,
-            services,
-            ntp,
-        });
-        id
-    }
-
-    fn sample_addressing(&mut self, kind: DeviceKind) -> Addressing {
-        let salt = self.build_ctx_salt();
-        if self.rng.random_bool(kind.eui64_probability()) {
-            let mac = if self.rng.random_bool(kind.local_mac_probability()) {
-                // Locally administered (randomised) MAC.
-                let mut m = Mac::from_u64(mix2(salt, 0x10ca1) & 0xffff_ffff_ffff);
-                m.0[0] = (m.0[0] | 0x02) & !0x01;
-                m
-            } else {
-                let ouis = kind.vendor_ouis();
-                // A small share of hardware carries OUIs absent from the
-                // registry (paper Table 4's "(Unlisted)" row): model it
-                // with 0xD4:xx:xx, a range no registry entry uses.
-                let unlisted = self.rng.random_bool(0.04);
-                let oui = if ouis.is_empty() || unlisted {
-                    let v = (mix2(salt, 0x0517) as u32) & 0xffff;
-                    Oui::from_u32(0xD4_0000 | v)
-                } else {
-                    Oui::from_u32(ouis[self.rng.random_range(0..ouis.len())])
-                };
-                let mut m = Mac::from_parts(oui, (mix2(salt, 0x71c) & 0xff_ffff) as u32);
-                m.0[0] &= !0x03; // universal, unicast
-                m
-            };
-            Addressing::Eui64(mac)
-        } else {
-            Addressing::Privacy {
-                regen: self.config.privacy_regen,
-            }
-        }
-    }
-
-    fn build_households(&mut self) {
-        // Pre-size per-AS pools.
-        let mut per_as: HashMap<Asn, Vec<u32>> = HashMap::new();
-        for h in 0..self.config.households {
-            let (asn, c) = self.eyeball_as_list[weighted_as(&mut self.rng, &self.eyeball_as_list)];
-            let house_id = self.households.len() as u32;
-            let index_in_as = {
-                let v = per_as.entry(asn).or_default();
-                v.push(house_id);
-                (v.len() - 1) as u32
-            };
-            let members = self.sample_household(house_id, asn, c);
-            self.households.push(Household {
-                asn,
-                index_in_as,
-                members,
-            });
-            let _ = h;
-        }
-        // Freeze pools.
-        for (asn, houses) in per_as {
-            let alloc = self.topology.info(asn).unwrap().allocations[0];
-            let n = houses.len() as u32;
-            let space = (n * 4).clamp(8, 0xffff - POOL_BASE);
-            // Stride: odd and ≠ 0 mod space ⇒ walks all slots for
-            // power-of-two-free spaces; good enough rotation behaviour.
-            let step = (mix2(self.config.seed, u64::from(asn.0)) as u32 % space) | 1;
-            self.pools.insert(
-                asn,
-                EyeballPool {
-                    alloc,
-                    households: houses,
-                    space,
-                    step,
-                },
-            );
-        }
-    }
-
-    fn sample_household(&mut self, house_id: u32, asn: Asn, c: Country) -> Vec<DeviceId> {
-        let continent = country::continent(c);
-        // CPE choice by region: AVM's European market share is what makes
-        // AVM the top EUI-64 vendor (Appendix B).
-        let cpe_kind = {
-            let r: f64 = self.rng.random();
-            match continent {
-                Some(Continent::Europe) => {
-                    let avm = if c == country::DE { 0.75 } else { 0.52 };
-                    if r < avm {
-                        DeviceKind::FritzBox
-                    } else if r < avm + 0.05 {
-                        DeviceKind::MyModemCpe
-                    } else {
-                        DeviceKind::GenericCpe
-                    }
-                }
-                Some(Continent::Asia) => {
-                    if r < 0.25 {
-                        DeviceKind::GponGateway
-                    } else if r < 0.40 {
-                        DeviceKind::UfiRouter
-                    } else if r < 0.43 {
-                        DeviceKind::FritzBox
-                    } else {
-                        DeviceKind::GenericCpe
-                    }
-                }
-                _ => {
-                    if r < 0.06 {
-                        DeviceKind::FritzBox
-                    } else if r < 0.16 {
-                        DeviceKind::MyModemCpe
-                    } else {
-                        DeviceKind::GenericCpe
-                    }
-                }
-            }
-        };
-        let mut members = Vec::new();
-        let cpe = self.spawn_member(cpe_kind, asn, c, house_id, 0);
-        members.push(cpe);
-        let is_fritz = cpe_kind == DeviceKind::FritzBox;
-        let n_members = 1 + self.rng.random_range(0..7);
-        for m in 1..=n_members {
-            let kind = self.sample_member_kind(is_fritz, continent);
-            members.push(self.spawn_member(kind, asn, c, house_id, m));
-        }
-        members
-    }
-
-    fn sample_member_kind(
-        &mut self,
-        fritz_household: bool,
-        continent: Option<Continent>,
-    ) -> DeviceKind {
-        use DeviceKind::*;
-        let r: f64 = self.rng.random();
-        // Fritz households may add AVM accessories.
-        if fritz_household {
-            if r < 0.10 {
-                return FritzRepeater;
-            }
-            if r < 0.12 {
-                return FritzPowerline;
-            }
-        } else if r < 0.001 {
-            return CiscoWap150;
-        }
-        let r: f64 = self.rng.random();
-        let asia = matches!(continent, Some(Continent::Asia));
-        if asia {
-            // Phone-heavy markets: the bulk of Asian NTP clients are
-            // mobile devices with randomised MACs / privacy IIDs, which
-            // is why the paper's listed-OUI MACs concentrate on the
-            // European collectors (Appendix B, Figure 4).
-            return match r {
-                x if x < 0.50 => AndroidPhone,
-                x if x < 0.64 => IPhone,
-                x if x < 0.79 => LaptopPc,
-                x if x < 0.82 => SmartTv,
-                x if x < 0.83 => EchoSpeaker,
-                x if x < 0.86 => QlinkWifi,
-                x if x < 0.89 => CastDevice,
-                x if x < 0.90 => RaspberryPi,
-                x if x < 0.906 => HomeServerDebian,
-                x if x < 0.915 => HomeServerUbuntu,
-                x if x < 0.928 => HomeMqttBroker,
-                x if x < 0.931 => HomeAmqpBroker,
-                x if x < 0.933 => EfentoSensor,
-                _ => AndroidPhone,
-            };
-        }
-        match r {
-            x if x < 0.30 => AndroidPhone,
-            x if x < 0.46 => IPhone,
-            x if x < 0.64 => LaptopPc,
-            x if x < 0.72 => SmartTv,
-            x if x < 0.732 => SonosSpeaker,
-            x if x < 0.757 => EchoSpeaker,
-            x if x < 0.787 => CastDevice,
-            x if x < 0.812 => RaspberryPi,
-            x if x < 0.824 => HomeServerDebian,
-            x if x < 0.842 => HomeServerUbuntu,
-            x if x < 0.862 => HomeMqttBroker,
-            x if x < 0.867 => HomeAmqpBroker,
-            x if x < 0.870 => EfentoSensor,
-            x if x < 0.871 => NanoleafLight,
-            _ => LaptopPc, // silent filler
-        }
-    }
-
-    fn spawn_member(
-        &mut self,
-        kind: DeviceKind,
-        asn: Asn,
-        c: Country,
-        house_id: u32,
-        member: u8,
-    ) -> DeviceId {
-        let salt = self.build_ctx_salt();
-        let services = {
-            let mut ctx = BuildCtx {
-                rng: &mut self.rng,
-                pools: &self.pools_keys,
-                salt,
-                now_unix: SimTime::EPOCH.to_unix(),
-            };
-            build_services(kind, &mut ctx)
-        };
-        let addressing = self.sample_addressing(kind);
-        self.push_device(
-            kind,
-            asn,
-            c,
-            Attachment::Household {
-                household: house_id,
-                member,
-            },
-            addressing,
-            services,
-        )
-    }
-
-    fn sample_server_kind(&mut self) -> DeviceKind {
-        use DeviceKind::*;
-        let r: f64 = self.rng.random();
-        match r {
-            x if x < 0.20 => NginxServer,
-            x if x < 0.34 => ApacheUbuntuServer,
-            x if x < 0.48 => DebianServer,
-            x if x < 0.51 => FreeBsdServer,
-            x if x < 0.56 => PleskServer,
-            x if x < 0.66 => HostEuropeVhost,
-            x if x < 0.70 => ThreeCxServer,
-            x if x < 0.745 => ThreeCxWebclient,
-            x if x < 0.79 => DlinkInfra,
-            x if x < 0.855 => GponGateway,
-            x if x < 0.88 => QlinkWifi, // statically-wired Wi-Fi service nodes
-            x if x < 0.905 => SynologyNas,
-            x if x < 0.935 => ManagedMqttBroker,
-            x if x < 0.952 => ManagedAmqpBroker,
-            x if x < 0.97 => ManagedCoapBackend,
-            x if x < 0.985 => EfentoCloudSensor,
-            _ => NanoleafShowroom,
-        }
-    }
-
-    fn build_servers(&mut self) {
-        for _ in 0..self.config.servers {
-            let kind = self.sample_server_kind();
-            let (asn, c) = self.hosting_as_list[weighted_as(&mut self.rng, &self.hosting_as_list)];
-            self.spawn_static(kind, asn, c);
-        }
-    }
-
-    fn build_routers(&mut self) {
-        for _ in 0..self.config.routers {
-            let (asn, c) = self.nsp_as_list[weighted_as(&mut self.rng, &self.nsp_as_list)];
-            self.spawn_static(DeviceKind::CoreRouter, asn, c);
-        }
-    }
-
-    fn spawn_static(&mut self, kind: DeviceKind, asn: Asn, c: Country) -> DeviceId {
-        let alloc = self.topology.info(asn).unwrap().allocations[0];
-        let idx = {
-            let e = self.next_static.entry(asn).or_insert(0);
-            let v = *e;
-            *e += 1;
-            v
-        };
-        // Spread servers over /48s (4 per /48) with structured subnets:
-        // keeps the hitlist's per-/48 density low (Table 1's medians).
-        let net48 = alloc.subnet(48, u128::from(idx / 4));
-        let net64 = net48.subnet(64, u128::from(idx % 4));
-        let salt = self.build_ctx_salt();
-        let services = {
-            let mut ctx = BuildCtx {
-                rng: &mut self.rng,
-                pools: &self.pools_keys,
-                salt,
-                now_unix: SimTime::EPOCH.to_unix(),
-            };
-            build_services(kind, &mut ctx)
-        };
-        let addressing = if kind == DeviceKind::CoreRouter {
-            if self.rng.random_bool(0.6) {
-                Addressing::Zero
-            } else {
-                Addressing::Structured(self.rng.random_range(1..=2u64))
-            }
-        } else {
-            let r: f64 = self.rng.random();
-            if r < 0.45 {
-                // Operators overwhelmingly number hosts ::1, ::2, ... —
-                // the clustering that makes target-generation algorithms
-                // productive on server space.
-                let iid = if self.rng.random_bool(0.6) {
-                    self.rng.random_range(1..=8u64)
-                } else {
-                    self.rng.random_range(9..=255u64)
-                };
-                Addressing::Structured(iid)
-            } else if r < 0.62 {
-                Addressing::Structured(self.rng.random_range(0x100..=0xffffu64))
-            } else if r < 0.72 {
-                Addressing::Zero
-            } else {
-                Addressing::Privacy {
-                    regen: Duration::days(3650), // effectively stable
-                }
-            }
-        };
-        let id = self.push_device(
-            kind,
-            asn,
-            c,
-            Attachment::Static { net64 },
-            addressing,
-            services,
-        );
-        self.static64.insert(net64.bits(), id);
-        id
-    }
-
-    fn build_cdn(&mut self) {
-        let alloc = Self::alloc_prefix(0x2606_4700, 0);
-        self.register_as("EdgeCloud CDN".into(), AsType::Content, country::US, alloc);
-        // The whole /36 answers HTTP on every address; TLS demands SNI.
-        let prefix = Prefix::new(alloc.network(), 36);
-        let services = ServiceSet {
-            http: Some(HttpService {
-                title: None, // CDN error page without a title
-                status: 403,
-                server_header: Some("EdgeCloud".into()),
-                plain: true,
-                tls: Some(TlsEndpoint {
-                    cert: wire::tls::Certificate {
-                        subject: "edgecloud.example".into(),
-                        issuer: "R3".into(),
-                        serial: 0xcd41,
-                        not_before: 0,
-                        not_after: u64::MAX,
-                        key_blob: b"edgecloud-frontend".to_vec(),
-                    },
-                    version: wire::tls::Version::Tls13,
-                    require_sni: true,
-                }),
-            }),
-            ..ServiceSet::default()
-        };
-        self.aliased.push(AliasedRegion { prefix, services });
-    }
-}
-
-/// Weighted pick over `(value, weight)` pairs.
-fn weighted_pick<T: Copy>(rng: &mut StdRng, items: &[(T, u64)]) -> T {
-    let total: u64 = items.iter().map(|(_, w)| w).sum();
-    let mut target = rng.random_range(0..total.max(1));
-    for (v, w) in items {
-        if target < *w {
-            return *v;
-        }
-        target -= w;
-    }
-    items.last().expect("non-empty").0
-}
-
-/// Index pick over AS lists, weighted by the country's client weight.
-fn weighted_as(rng: &mut StdRng, list: &[(Asn, Country)]) -> usize {
-    let total: u64 = list
-        .iter()
-        .map(|(_, c)| country::client_weight(*c).max(1))
-        .sum();
-    let mut target = rng.random_range(0..total.max(1));
-    for (i, (_, c)) in list.iter().enumerate() {
-        let w = country::client_weight(*c).max(1);
-        if target < w {
-            return i;
-        }
-        target -= w;
-    }
-    list.len() - 1
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::archetype::DeviceKind;
 
     fn tiny() -> World {
         World::generate(WorldConfig::tiny(11))
@@ -1110,18 +842,56 @@ mod tests {
     }
 
     #[test]
-    fn pool_inverse_is_correct() {
-        let pool = EyeballPool {
-            alloc: "2a00::/32".parse().unwrap(),
-            households: (0..97).collect(),
-            space: 391,
-            step: 17,
-        };
-        for epoch in [0u64, 1, 5, 27, 1000] {
-            for h in 0..97u32 {
-                let slot = pool.slot_at(h, epoch);
-                assert_eq!(pool.house_at(slot, epoch), Some(h));
+    fn procedural_backend_matches_materialized() {
+        let mat = World::generate(WorldConfig::tiny(11));
+        let proc_ = World::generate(WorldConfig::tiny(11).with_backend(WorldBackend::Procedural));
+        assert_eq!(mat.device_count(), proc_.device_count());
+        let day = Duration::days(1).as_secs();
+        for t in [SimTime(0), SimTime(day + 3), SimTime(40 * day)] {
+            for dev in mat.devices() {
+                let meta = proc_.meta(dev.id);
+                assert_eq!(dev.meta(), meta, "meta of {:?}", dev.id);
+                assert_eq!(
+                    mat.address_of(dev.id, t),
+                    proc_.address_of(dev.id, t),
+                    "address of {:?} at {t}",
+                    dev.id
+                );
+                let full = proc_.device(dev.id);
+                assert_eq!(dev.services, full.services, "services of {:?}", dev.id);
             }
+        }
+        // Client enumeration yields the same sequence.
+        let a: Vec<_> = mat.ntp_clients().map(|(d, c)| (d.id, c)).collect();
+        let b: Vec<_> = proc_.ntp_clients().map(|(d, c)| (d.id, c)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn procedural_enumeration_matches_device_table() {
+        let mat = World::generate(WorldConfig::tiny(3));
+        let proc_ = World::generate(WorldConfig::tiny(3).with_backend(WorldBackend::Procedural));
+        let mut ids = Vec::new();
+        proc_.for_each_device(|d| ids.push(d.id));
+        let expected: Vec<_> = mat.devices().iter().map(|d| d.id).collect();
+        assert_eq!(ids, expected);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids not ascending");
+    }
+
+    #[test]
+    fn device_cache_is_bounded() {
+        let w = World::generate(WorldConfig::tiny(7).with_backend(WorldBackend::Procedural));
+        let mut seen = 0usize;
+        w.for_each_device(|d| {
+            let _ = w.device(d.id);
+            seen += 1;
+        });
+        assert!(seen > 500);
+        if let WorldModel::Procedural(p) = &w.model {
+            let cache = p.cache.lock().unwrap();
+            assert!(cache.cur.len() + cache.prev.len() <= DeviceCache::CAP);
+        } else {
+            panic!("expected procedural model");
         }
     }
 }

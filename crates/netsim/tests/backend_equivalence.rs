@@ -1,0 +1,75 @@
+//! Property-based equivalence between the materialized and procedural
+//! world backends: for sampled coordinates, seeds, and times, every
+//! observable — archetype, services, addressing, NTP config, addresses,
+//! reverse resolution — must be bit-identical between the two.
+
+use netsim::time::SimTime;
+use netsim::world::{World, WorldBackend, WorldConfig};
+use proptest::prelude::*;
+
+fn pair_for(seed: u64) -> (World, World) {
+    let cfg = WorldConfig::tiny(seed % 8);
+    (
+        World::generate(cfg.clone()),
+        World::generate(cfg.with_backend(WorldBackend::Procedural)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `device_at(address_of(id, t), t)` roundtrips on both backends,
+    /// and both resolve to the same device.
+    #[test]
+    fn roundtrip_on_both_backends(seed in 0u64..8, t in 0u64..90_000_000, pick in any::<u16>()) {
+        let (mat, proc_) = pair_for(seed);
+        let t = SimTime(t);
+        let dev = &mat.devices()[pick as usize % mat.devices().len()];
+        for w in [&mat, &proc_] {
+            let addr = w.address_of(dev.id, t);
+            let found = w.device_at(addr, t);
+            prop_assert!(found.is_some(), "{addr} unresolvable at {t}");
+            prop_assert_eq!(found.unwrap().id, dev.id);
+        }
+        prop_assert_eq!(mat.address_of(dev.id, t), proc_.address_of(dev.id, t));
+    }
+
+    /// Archetype, AS, country, addressing mode, NTP config, and the full
+    /// derived service stack agree between backends for sampled devices —
+    /// across epochs (time enters via addresses above) and seeds.
+    #[test]
+    fn derivation_agrees_between_backends(seed in 0u64..8, pick in any::<u16>()) {
+        let (mat, proc_) = pair_for(seed);
+        let dev = &mat.devices()[pick as usize % mat.devices().len()];
+        prop_assert_eq!(dev.meta(), proc_.meta(dev.id));
+        let derived = proc_.device(dev.id);
+        prop_assert_eq!(&dev.services, &derived.services);
+    }
+
+    /// Household composition agrees: same member ids from both backends.
+    #[test]
+    fn households_agree_between_backends(seed in 0u64..8, pick in any::<u16>()) {
+        let (mat, proc_) = pair_for(seed);
+        prop_assert_eq!(mat.household_count(), proc_.household_count());
+        let h = pick as u32 % mat.household_count();
+        prop_assert_eq!(mat.household_members(h), proc_.household_members(h));
+    }
+
+    /// Reverse resolution agrees on arbitrary (mostly unassigned)
+    /// addresses too: both backends resolve or both stay silent.
+    #[test]
+    fn resolution_agrees_on_arbitrary_addresses(seed in 0u64..8, t in 0u64..90_000_000,
+                                                bits in any::<u128>(), pick in any::<u16>()) {
+        let (mat, proc_) = pair_for(seed);
+        let t = SimTime(t);
+        // Bias toward routed space: graft random low bits onto a real
+        // device's address so some probes land near live hosts.
+        let dev = &mat.devices()[pick as usize % mat.devices().len()];
+        let base = u128::from(mat.address_of(dev.id, t));
+        for addr in [std::net::Ipv6Addr::from(bits), std::net::Ipv6Addr::from((base & !0xffff_ffff) | (bits & 0xffff_ffff))] {
+            let a = mat.device_at(addr, t).map(|d| d.id);
+            let b = proc_.device_at(addr, t).map(|d| d.id);
+            prop_assert_eq!(a, b, "divergence at {}", addr);
+        }
+    }
+}

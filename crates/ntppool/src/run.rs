@@ -573,14 +573,11 @@ impl<'w> CollectionRun<'w> {
     /// clients. Every follow-up scheduled from inside a bucket lands
     /// at least one interval after its event (KoD widens the gap
     /// KOD_BACKOFF_FACTOR×), so a bucket spanning at most the minimum
-    /// interval can never schedule into itself.
+    /// interval can never schedule into itself. The world's poll floor
+    /// is O(1) — every pool client uses the uniform interval — so this
+    /// never enumerates the client population.
     pub(crate) fn bucket_horizon(&self) -> u64 {
-        self.world
-            .ntp_clients()
-            .map(|(_, cfg)| cfg.poll_interval.as_secs())
-            .min()
-            .unwrap_or(1)
-            .max(1)
+        self.world.poll_floor().as_secs().max(1)
     }
 
     /// The single-threaded engine: one pop per event, everything inline.
@@ -599,11 +596,11 @@ impl<'w> CollectionRun<'w> {
         // (for a checkpoint) instead of being drained.
         while queue.peek_time().is_some_and(|t0| t0 < stop) {
             let (t, (id, seq)) = queue.pop().expect("peeked event pops");
-            let dev = self.world.device(id);
+            let dev = self.world.meta(id);
             let cfg = dev.ntp.expect("scheduled device has NTP config");
             totals.polls += 1;
 
-            let addr = resolver.address_of(id, t);
+            let addr = resolver.address_of_meta(&dev, t);
             let mut reply = PollReply::None;
             if let Some(server_id) = self.pool.select(dev.country, u64::from(id.0), seq) {
                 let server = self.pool.server(server_id);
@@ -685,10 +682,10 @@ impl<'w> CollectionRun<'w> {
                     scope.spawn(move || {
                         let mut resolver = self.world.addr_resolver();
                         for p in part {
-                            let dev = self.world.device(p.id);
+                            let dev = self.world.meta(p.id);
                             let cfg = dev.ntp.expect("scheduled device has NTP config");
                             p.interval = cfg.poll_interval;
-                            p.addr = resolver.address_of(p.id, p.t);
+                            p.addr = resolver.address_of_meta(&dev, p.t);
                             p.server = self.pool.select(dev.country, u64::from(p.id.0), p.seq);
                         }
                     });
@@ -798,7 +795,7 @@ pub fn sample_addresses(
                 % (span / u64::from(samples).max(1)).max(1);
             let t =
                 SimTime(start.as_secs() + u64::from(k) * span / u64::from(samples).max(1) + jitter);
-            set.insert(world.address_of(dev.id, t));
+            set.insert(world.address_of_meta(&dev, t));
         }
     }
     set

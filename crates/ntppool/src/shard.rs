@@ -318,10 +318,10 @@ fn shard_worker(
         match msg {
             ToWorker::PrePlan(mut chunk) => {
                 for p in &mut chunk {
-                    let dev = run.world.device(p.id);
+                    let dev = run.world.meta(p.id);
                     let cfg = dev.ntp.expect("scheduled device has NTP config");
                     p.interval = cfg.poll_interval;
-                    p.addr = resolver.address_of(p.id, p.t);
+                    p.addr = resolver.address_of_meta(&dev, p.t);
                     p.server = run.pool.select(dev.country, u64::from(p.id.0), p.seq);
                 }
                 let _ = from_tx.send(FromWorker::PrePlanned(chunk));

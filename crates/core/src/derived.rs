@@ -26,8 +26,8 @@ use scanner::ScanStore;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv6Addr;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
 use store::CompactSet;
 
 /// Which address source a per-store artifact is derived from.
@@ -134,6 +134,89 @@ impl Counters {
     }
 }
 
+/// Study-scoped counters for the compact-set cells, snapshot via
+/// [`DerivedCells::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DerivedCellStats {
+    /// Sets materialized from study data.
+    pub builds: u32,
+    /// Cells pre-populated with an already-materialized set (e.g. one
+    /// reopened from a shared segment pool) instead of being rebuilt.
+    pub seeded: u32,
+    /// Builds of a kind that was already built in a previous life of
+    /// this study (marked via [`DerivedCells::mark_prior_built`]) —
+    /// work the memo layer failed to carry across a restore.
+    pub rebuilds: u32,
+}
+
+/// The four [`SetKind`] compact-set memo cells, owned by the [`Study`]
+/// itself rather than by any one [`Derived`] wrapper.
+///
+/// Historically the cells lived inside `Derived`, so every
+/// `study.derived()` call started empty and silently re-materialized
+/// sets an earlier wrapper had already built — invisible except as lost
+/// time, and unavoidable for a study restored from a checkpoint. Owning
+/// them here (behind an `Arc`, shared by every wrapper) makes the
+/// exactly-once contract study-scoped, lets a service seed cells from
+/// its shared segment cache, and counts any rebuild that does happen.
+#[derive(Default)]
+pub struct DerivedCells {
+    sets: [OnceLock<Arc<CompactSet>>; 4],
+    builds: AtomicU32,
+    seeded: AtomicU32,
+    rebuilds: AtomicU32,
+    prior_built: [AtomicBool; 4],
+}
+
+impl DerivedCells {
+    /// Empty cells.
+    pub fn new() -> DerivedCells {
+        DerivedCells::default()
+    }
+
+    /// Whether `kind` is currently materialized.
+    pub fn built(&self, kind: SetKind) -> bool {
+        self.sets[kind.idx()].get().is_some()
+    }
+
+    /// Records that `kind` was built in a previous life of this study —
+    /// before a checkpoint/restore or an eviction — so a later build of
+    /// it is counted as a rebuild rather than a first build.
+    pub fn mark_prior_built(&self, kind: SetKind) {
+        self.prior_built[kind.idx()].store(true, Ordering::Relaxed);
+    }
+
+    /// Pre-populates `kind` with an already-materialized set. Returns
+    /// `true` (and counts a seed) if the cell was empty; a cell that
+    /// already holds a set is left untouched.
+    pub fn seed(&self, kind: SetKind, set: Arc<CompactSet>) -> bool {
+        let seeded = self.sets[kind.idx()].set(set).is_ok();
+        if seeded {
+            self.seeded.fetch_add(1, Ordering::Relaxed);
+        }
+        seeded
+    }
+
+    fn get_or_build(&self, kind: SetKind, build: impl FnOnce() -> CompactSet) -> &Arc<CompactSet> {
+        self.sets[kind.idx()].get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            if self.prior_built[kind.idx()].load(Ordering::Relaxed) {
+                self.rebuilds.fetch_add(1, Ordering::Relaxed);
+            }
+            Arc::new(build())
+        })
+    }
+
+    /// Snapshot of the study-scoped cell counters.
+    pub fn stats(&self) -> DerivedCellStats {
+        DerivedCellStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            seeded: self.seeded.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A [`Study`] plus its memoized derived analyses.
 ///
 /// Construct with [`Study::derived`] (or [`Derived::new`]); pass
@@ -149,7 +232,6 @@ pub struct Derived<'a> {
     amqp: PerSource<Vec<Broker>>,
     fingerprints: PerSource<HashMap<Protocol, HashSet<[u8; 32]>>>,
     networks: PerSource<Vec<(Protocol, NetworkCounts)>>,
-    compact_sets: [OnceLock<CompactSet>; 4],
     counters: Counters,
 }
 
@@ -174,12 +256,6 @@ impl<'a> Derived<'a> {
             amqp: cells(),
             fingerprints: cells(),
             networks: cells(),
-            compact_sets: [
-                OnceLock::new(),
-                OnceLock::new(),
-                OnceLock::new(),
-                OnceLock::new(),
-            ],
             counters: Counters::default(),
         }
     }
@@ -286,19 +362,36 @@ impl<'a> Derived<'a> {
     }
 
     /// One of the study's address sets in sorted delta-block form,
-    /// materialized once and shared by every overlap/structure
+    /// materialized once **per study** (the cells live on the study,
+    /// see [`DerivedCells`]) and shared by every overlap/structure
     /// analysis (Table 1, Figures 1 and 4).
     pub fn compact_set(&self, kind: SetKind) -> &CompactSet {
         Counters::bump(&self.counters.accesses);
-        self.compact_sets[kind.idx()].get_or_init(|| {
-            Counters::bump(&self.counters.compact_set);
-            match kind {
-                SetKind::Ours => self.study.collector.global().to_compact(),
-                SetKind::Rl => self.study.rl_set.iter().collect(),
-                SetKind::HitlistFull => self.study.hitlist.full.iter().collect(),
-                SetKind::HitlistPublic => self.study.hitlist.public.iter().collect(),
-            }
-        })
+        self.study
+            .derived_cells
+            .get_or_build(kind, || self.build_set(kind))
+    }
+
+    /// [`Derived::compact_set`] returning the shared handle — what a
+    /// long-lived cache (the study service) holds so the set outlives
+    /// this wrapper and even the study itself.
+    pub fn compact_set_shared(&self, kind: SetKind) -> Arc<CompactSet> {
+        Counters::bump(&self.counters.accesses);
+        Arc::clone(
+            self.study
+                .derived_cells
+                .get_or_build(kind, || self.build_set(kind)),
+        )
+    }
+
+    fn build_set(&self, kind: SetKind) -> CompactSet {
+        Counters::bump(&self.counters.compact_set);
+        match kind {
+            SetKind::Ours => self.study.collector.global().to_compact(),
+            SetKind::Rl => self.study.rl_set.iter().collect(),
+            SetKind::HitlistFull => self.study.hitlist.full.iter().collect(),
+            SetKind::HitlistPublic => self.study.hitlist.public.iter().collect(),
+        }
     }
 
     /// Total memoized-accessor calls served from an already-built cell.
@@ -329,6 +422,12 @@ impl<'a> Derived<'a> {
     pub fn export_into(&self, registry: &mut telemetry::Registry) {
         registry.vol_add(crate::metrics::DERIVED_MEMO_HITS, self.memo_hits());
         registry.vol_add(crate::metrics::DERIVED_MEMO_MISSES, self.memo_misses());
+        let cells = self.study.derived_cells.stats();
+        registry.vol_add(crate::metrics::DERIVED_MEMO_SEEDED, u64::from(cells.seeded));
+        registry.vol_add(
+            crate::metrics::DERIVED_MEMO_REBUILDS,
+            u64::from(cells.rebuilds),
+        );
     }
 
     /// Snapshot of the build counters.
@@ -348,7 +447,11 @@ impl<'a> Derived<'a> {
 }
 
 impl Study {
-    /// Wraps this study in a fresh [`Derived`] cache.
+    /// Wraps this study in a fresh [`Derived`] cache. Scan-artifact
+    /// cells start empty per wrapper; the compact-set cells are the
+    /// study's own [`DerivedCells`], so a second wrapper (or a service
+    /// re-wrapping a resident study) never rebuilds an
+    /// already-materialized set.
     pub fn derived(&self) -> Derived<'_> {
         Derived::new(self)
     }
@@ -413,6 +516,69 @@ mod tests {
         assert_eq!(snap.counter_total("derived_memo_misses"), 1);
         // Volatile: excluded from deterministic reports.
         assert!(snap.deterministic().is_empty());
+    }
+
+    /// The bug this layer fixes: a second wrapper over the same study
+    /// (or a service re-wrapping a resident one) used to rebuild every
+    /// compact set from scratch. The cells now live on the study.
+    #[test]
+    fn second_wrapper_reuses_study_scoped_compact_sets() {
+        let study = Study::run(StudyConfig::tiny(3));
+        {
+            let d1 = study.derived();
+            for kind in SetKind::ALL {
+                d1.compact_set(kind);
+            }
+            assert_eq!(d1.stats().compact_set_builds, 4);
+        }
+        let d2 = study.derived();
+        for kind in SetKind::ALL {
+            d2.compact_set(kind);
+        }
+        // No wrapper-local builds: every access hit the study's cells.
+        assert_eq!(d2.stats().compact_set_builds, 0);
+        assert_eq!(d2.memo_misses(), 0);
+        assert_eq!(d2.memo_hits(), 4);
+        let cells = study.derived_cells.stats();
+        assert_eq!(cells.builds, 4);
+        assert_eq!(cells.rebuilds, 0);
+    }
+
+    #[test]
+    fn seeded_cells_skip_builds_and_rebuilds_are_counted() {
+        let study = Study::run(StudyConfig::tiny(3));
+        let shared = study.derived().compact_set_shared(SetKind::HitlistFull);
+
+        // A second study (same config, fresh cells) seeded with the
+        // already-materialized set never rebuilds it.
+        let other = Study::run(StudyConfig::tiny(3));
+        assert!(other.derived_cells.seed(SetKind::HitlistFull, shared));
+        let d = other.derived();
+        assert_eq!(d.compact_set(SetKind::HitlistFull).len(), {
+            other.hitlist.full.len()
+        });
+        let cells = other.derived_cells.stats();
+        assert_eq!(cells.seeded, 1);
+        assert_eq!(cells.builds, 0);
+        // Seeding an occupied cell is a no-op.
+        assert!(!other.derived_cells.seed(
+            SetKind::HitlistFull,
+            d.compact_set_shared(SetKind::HitlistFull)
+        ));
+        assert_eq!(other.derived_cells.stats().seeded, 1);
+
+        // A kind known built in a previous life that gets built again
+        // counts as a rebuild — the silent-rebuild telemetry signal.
+        other.derived_cells.mark_prior_built(SetKind::Ours);
+        assert!(!other.derived_cells.built(SetKind::Ours));
+        d.compact_set(SetKind::Ours);
+        let cells = other.derived_cells.stats();
+        assert_eq!(cells.rebuilds, 1);
+        let mut reg = telemetry::Registry::new();
+        d.export_into(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("derived_memo_seeded"), 1);
+        assert_eq!(snap.counter_total("derived_memo_rebuilds"), 1);
     }
 
     #[test]

@@ -34,11 +34,13 @@ pub mod derived;
 pub mod experiments;
 pub mod metrics;
 pub mod report;
+pub mod session;
 pub mod study;
 
 pub use checkpoint::CheckpointData;
 pub use config::{PipelineMode, StudyConfig};
-pub use derived::{Derived, SetKind, Source};
+pub use derived::{Derived, DerivedCellStats, DerivedCells, SetKind, Source};
 pub use netsim::transport::FaultProfile;
+pub use session::StudySession;
 pub use store::StoreError;
 pub use study::Study;

@@ -24,6 +24,12 @@ pub const HITLIST_ADDRESSES: Key = Key::bare("hitlist_addresses");
 pub const DERIVED_MEMO_HITS: Key = Key::bare("derived_memo_hits");
 /// Volatile: derived-analysis memoization cells actually built.
 pub const DERIVED_MEMO_MISSES: Key = Key::bare("derived_memo_misses");
+/// Volatile: compact-set cells pre-populated from an external cache
+/// instead of being rebuilt (see [`crate::derived::DerivedCells`]).
+pub const DERIVED_MEMO_SEEDED: Key = Key::bare("derived_memo_seeded");
+/// Volatile: compact-set builds of a kind already built in a previous
+/// life of the study — rebuild work the memo layer failed to avoid.
+pub const DERIVED_MEMO_REBUILDS: Key = Key::bare("derived_memo_rebuilds");
 
 const STAGE_RL: [(&str, &str); 1] = [("stage", "rl")];
 const STAGE_COLLECTION: [(&str, &str); 1] = [("stage", "collection")];

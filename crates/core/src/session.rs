@@ -1,0 +1,409 @@
+//! Cooperative, slice-resumable study sessions.
+//!
+//! A [`StudySession`] is the unit the study service schedules: one
+//! study's collection stage, held resident between bucket-sized
+//! [`StudySession::advance`] slices instead of running to completion in
+//! one call. The session owns exactly the state a study checkpoint
+//! persists — the engine's [`CollectionCheckpoint`], the collector's
+//! dedup parts, the shard archives, the feed prefix, and the
+//! accumulated transport totals — so suspending one
+//! ([`StudySession::suspend`]) *is* writing a checkpoint, and restoring
+//! one ([`StudySession::from_checkpoint`]) is byte-equivalent to
+//! [`crate::Study::resume`].
+//!
+//! Slicing changes nothing observable: each `advance` drives the same
+//! engine the standalone run uses (`resume_until`, or
+//! `resume_sharded_until` under the sharded engine) from the saved
+//! cursor to the next stop, and per-slice transport totals merge into
+//! one running [`TransportTotals`]. Composing any sequence of slices —
+//! interleaved with suspends, restores, and a final
+//! [`StudySession::finish`] — yields a [`Study`] whose
+//! [`crate::Study::run_report`] is byte-identical to an uninterrupted
+//! [`Study::run`] of the same config (enforced by the tests below and
+//! by the service's eviction tests).
+//!
+//! The world is shared: sessions take an `Arc<World>` so any number of
+//! concurrent studies over the same `(WorldConfig, seed)` pay for one
+//! resident copy; [`StudySession::resident_bytes`] deliberately counts
+//! only the session's *marginal* state beyond that shared snapshot.
+
+use crate::checkpoint::{CheckpointData, ShardCheckpoint};
+use crate::config::StudyConfig;
+use crate::study::{build_pool, build_transport, recorded_servers, study_start, Study};
+use netsim::time::{Duration, SimTime};
+use netsim::transport::Transport;
+use netsim::world::World;
+use netsim::{DeviceId, Instrumented, TransportTotals};
+use ntppool::collector::VecSink;
+use ntppool::{
+    AddressCollector, CollectionCheckpoint, CollectionRun, CollectorParts, Observation, Pool,
+    ServerId, ShardSet,
+};
+use std::sync::Arc;
+use store::Archive;
+
+/// Approximate heap bytes per entry of a `u128` hash set (value plus
+/// control byte) — the same convention the store benches compare
+/// archive footprints against.
+const HASH_SLOT_BYTES: usize = 17;
+
+/// One study's collection stage, resident between cooperative slices.
+pub struct StudySession {
+    config: StudyConfig,
+    world: Arc<World>,
+    pool: Pool,
+    /// The config's fault transport — the prototype each slice wraps in
+    /// a fresh [`Instrumented`] sink. Stateless across exchanges, so
+    /// re-wrapping per slice changes no behaviour.
+    transport: Box<dyn Transport>,
+    start: SimTime,
+    end: SimTime,
+    collection: CollectionCheckpoint,
+    collector: CollectorParts,
+    /// Shard-local dedup archives in shard order; empty for flat runs.
+    shards: Vec<Archive>,
+    feed_prefix: Vec<Observation>,
+    transport_totals: TransportTotals,
+}
+
+/// Empty collector parts — the state before any observation.
+fn empty_parts() -> CollectorParts {
+    CollectorParts {
+        global: Archive::new(),
+        per_server: Vec::new(),
+        requests: Vec::new(),
+    }
+}
+
+/// A placeholder checkpoint for `mem::replace` while a slice runs.
+fn hollow(cursor: SimTime) -> CollectionCheckpoint {
+    CollectionCheckpoint {
+        cursor,
+        pending: Vec::new(),
+        rps: Vec::new(),
+        totals: [0; 5],
+        kod_backoff: telemetry::Histogram::new(),
+    }
+}
+
+impl StudySession {
+    /// Opens a session for `config` over a shared world snapshot,
+    /// positioned at the start of the collection window (no events
+    /// processed yet). The snapshot must have been generated from this
+    /// config's world parameters.
+    pub fn new(config: StudyConfig, world: Arc<World>) -> StudySession {
+        assert_eq!(
+            world.config, config.world,
+            "shared world was generated from a different WorldConfig"
+        );
+        let (pool, _servers, _tuning, _actors) = build_pool(&config, &world);
+        let transport = build_transport(&config);
+        let start = study_start(&config);
+        let end = start + config.collection;
+
+        // Capture the engine's initial state by "running" to the window
+        // start: nothing fires before it, so this only materializes the
+        // seeded queue (and fresh RPS windows) as a checkpoint — the
+        // exact state `Study::checkpoint(config, ZERO, ..)` would save.
+        let expected = world.client_count_estimate();
+        let run = CollectionRun::with_transport(&world, &pool, start, end, transport.clone_box())
+            .with_threads(config.collection_threads);
+        let (collection, collector, shards) = if config.collection_shards > 1 {
+            let mut set = ShardSet::new(
+                config.collection_shards,
+                recorded_servers(&pool),
+                None,
+                expected,
+            );
+            let collection = run.run_sharded_until(start, &mut set);
+            let (parts, dedup) = set.into_parts();
+            (collection, parts, dedup)
+        } else {
+            let collection = run.run_until(start, |_, _, _| {});
+            (collection, empty_parts(), Vec::new())
+        };
+
+        StudySession {
+            config,
+            world,
+            pool,
+            transport,
+            start,
+            end,
+            collection,
+            collector,
+            shards,
+            feed_prefix: Vec::new(),
+            transport_totals: TransportTotals::zero(),
+        }
+    }
+
+    /// Restores a session from checkpoint state (in-memory or read back
+    /// via [`crate::checkpoint::read`]) over a shared world snapshot —
+    /// the eviction/readmission path of the study service.
+    pub fn from_checkpoint(data: CheckpointData, world: Arc<World>) -> StudySession {
+        let CheckpointData {
+            config,
+            collection,
+            collector,
+            feed_prefix,
+            transport,
+            shards,
+        } = data;
+        assert_eq!(
+            world.config, config.world,
+            "shared world was generated from a different WorldConfig"
+        );
+        let (pool, _servers, _tuning, _actors) = build_pool(&config, &world);
+        let fault = build_transport(&config);
+        let start = study_start(&config);
+        let end = start + config.collection;
+        StudySession {
+            config,
+            world,
+            pool,
+            transport: fault,
+            start,
+            end,
+            collection,
+            collector,
+            shards: shards.into_iter().map(|s| s.dedup).collect(),
+            feed_prefix,
+            transport_totals: transport,
+        }
+    }
+
+    /// Drives collection forward by (up to) `slice` of simulated time,
+    /// clamped to the window end. Returns [`StudySession::done`].
+    pub fn advance(&mut self, slice: Duration) -> bool {
+        if self.done() {
+            return true;
+        }
+        let stop = (self.collection.cursor + slice).min(self.end);
+        let sink = VecSink::default();
+        let feed_buf = sink.0.clone();
+        let (coll_transport, coll_stats) = Instrumented::new(self.transport.clone_box());
+        let expected = self.world.client_count_estimate();
+        let ckpt = std::mem::replace(&mut self.collection, hollow(stop));
+        let parts = std::mem::replace(&mut self.collector, empty_parts());
+        let dedup = std::mem::take(&mut self.shards);
+        let pool = &self.pool;
+        let run = CollectionRun::with_transport(
+            &self.world,
+            pool,
+            self.start,
+            self.end,
+            Box::new(coll_transport),
+        )
+        .with_threads(self.config.collection_threads);
+        if self.config.collection_shards > 1 {
+            let mut set = ShardSet::from_parts(
+                parts,
+                dedup,
+                recorded_servers(pool),
+                Some(Box::new(sink)),
+                expected,
+            );
+            let next = run.resume_sharded_until(ckpt, stop, &mut set);
+            let (parts, dedup) = set.into_parts();
+            self.collection = next;
+            self.collector = parts;
+            self.shards = dedup;
+        } else {
+            let mut collector = AddressCollector::from_parts(parts, Some(Box::new(sink)), expected);
+            let next = run.resume_until(ckpt, stop, |server, addr, t| {
+                if matches!(
+                    pool.server(server).operator,
+                    ntppool::Operator::Study { .. }
+                ) {
+                    collector.record(server, addr, t);
+                }
+            });
+            self.collection = next;
+            self.collector = collector.into_parts();
+        }
+        self.feed_prefix.extend(feed_buf.lock().drain(..));
+        self.transport_totals.merge(&coll_stats.totals());
+        self.done()
+    }
+
+    /// Whether the collection window has been fully processed.
+    pub fn done(&self) -> bool {
+        self.collection.cursor >= self.end
+    }
+
+    /// The engine cursor: simulated time processed so far.
+    pub fn cursor(&self) -> SimTime {
+        self.collection.cursor
+    }
+
+    /// The collection window.
+    pub fn window(&self) -> (SimTime, SimTime) {
+        (self.start, self.end)
+    }
+
+    /// The session's config.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The shared world snapshot.
+    pub fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
+    /// Snapshots the session as checkpoint data — what
+    /// [`crate::checkpoint::write`] persists on eviction. The session
+    /// stays usable; pair with [`StudySession::into_checkpoint`] when
+    /// tearing it down.
+    pub fn suspend(&self) -> CheckpointData {
+        CheckpointData {
+            config: self.config.clone(),
+            collection: self.collection.clone(),
+            collector: self.collector.clone(),
+            feed_prefix: self.feed_prefix.clone(),
+            transport: self.transport_totals.clone(),
+            shards: self
+                .shards
+                .iter()
+                .map(|dedup| ShardCheckpoint {
+                    cursor: self.collection.cursor,
+                    dedup: dedup.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// [`StudySession::suspend`] by value — no state is cloned.
+    pub fn into_checkpoint(self) -> CheckpointData {
+        let cursor = self.collection.cursor;
+        CheckpointData {
+            config: self.config,
+            collection: self.collection,
+            collector: self.collector,
+            feed_prefix: self.feed_prefix,
+            transport: self.transport_totals,
+            shards: self
+                .shards
+                .into_iter()
+                .map(|dedup| ShardCheckpoint { cursor, dedup })
+                .collect(),
+        }
+    }
+
+    /// Completes the study: finishes any remaining collection and runs
+    /// the rest of the pipeline (scans, hitlist, telescope) over the
+    /// shared world. Byte-identical to an uninterrupted
+    /// [`Study::run`] of the same config, at any cursor position.
+    pub fn finish(self) -> Study {
+        let world = Arc::clone(&self.world);
+        Study::run_resumed(self.into_checkpoint(), Some(world))
+    }
+
+    /// Approximate heap bytes of the session's *marginal* state — the
+    /// dedup archives, pending events, RPS windows, and buffered feed
+    /// this study adds on top of the shared world snapshot (which is
+    /// deliberately excluded: it is counted once, not per study).
+    pub fn resident_bytes(&self) -> usize {
+        let collector = self.collector.global.heap_bytes()
+            + self
+                .collector
+                .per_server
+                .iter()
+                .map(|(_, set)| set.len() * HASH_SLOT_BYTES)
+                .sum::<usize>()
+            + self.collector.requests.len() * std::mem::size_of::<(ServerId, u64)>();
+        let shards: usize = self.shards.iter().map(Archive::heap_bytes).sum();
+        let engine = self.collection.pending.len()
+            * std::mem::size_of::<(SimTime, DeviceId, u64)>()
+            + self.collection.rps.len() * std::mem::size_of::<Option<(u64, u64)>>();
+        let feed = self.feed_prefix.len() * std::mem::size_of::<Observation>();
+        collector + shards + engine + feed
+    }
+}
+
+impl std::fmt::Debug for StudySession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StudySession")
+            .field("seed", &self.config.world.seed)
+            .field("cursor", &self.collection.cursor)
+            .field("end", &self.end)
+            .field("distinct", &self.collector.global.len())
+            .field("resident_bytes", &self.resident_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint;
+
+    fn shared_world(config: &StudyConfig) -> Arc<World> {
+        Arc::new(World::generate(config.world.clone()))
+    }
+
+    /// Slicing the collection window (uneven slices, flat engine) and
+    /// finishing produces a byte-identical run report.
+    #[test]
+    fn sliced_session_matches_uninterrupted_run() {
+        let cfg = StudyConfig::tiny(21);
+        let world = shared_world(&cfg);
+        let mut session = StudySession::new(cfg.clone(), Arc::clone(&world));
+        assert!(!session.done());
+        assert_eq!(session.cursor(), session.window().0);
+        let mut slices = 0;
+        while !session.advance(Duration::secs(11 * 3600)) {
+            slices += 1;
+            assert!(session.resident_bytes() > 0);
+        }
+        assert!(slices > 2, "window should span several slices: {slices}");
+        let study = session.finish();
+        let baseline = Study::run(cfg);
+        assert_eq!(study.feed, baseline.feed);
+        assert_eq!(study.run_stats, baseline.run_stats);
+        assert_eq!(
+            study.run_report().to_json(),
+            baseline.run_report().to_json()
+        );
+        // The session's study holds the shared snapshot, not a copy.
+        assert!(Arc::ptr_eq(&study.world, &world));
+    }
+
+    /// A session suspended mid-window restores bit-identically — both
+    /// in memory (`from_checkpoint`) and through the on-disk checkpoint
+    /// file (`Study::resume`) — under the sharded engine.
+    #[test]
+    fn suspend_and_restore_mid_window_is_bit_identical() {
+        let mut cfg = StudyConfig::tiny(22);
+        cfg.collection_shards = 2;
+        let world = shared_world(&cfg);
+        let baseline = Study::run(cfg.clone());
+
+        let mut session = StudySession::new(cfg.clone(), Arc::clone(&world));
+        session.advance(Duration::days(2));
+        let data = session.suspend();
+
+        // On-disk round trip: the suspended state is a real checkpoint.
+        let dir = std::env::temp_dir().join(format!("session-suspend-{}", std::process::id()));
+        checkpoint::write(&data, &dir).unwrap();
+        let resumed = Study::resume(&dir).unwrap();
+        assert_eq!(
+            resumed.run_report().to_json(),
+            baseline.run_report().to_json()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        // In-memory restore, more slices, then finish early (the
+        // remainder runs inside `finish`).
+        drop(session);
+        let mut restored = StudySession::from_checkpoint(data, Arc::clone(&world));
+        restored.advance(Duration::days(1));
+        let study = restored.finish();
+        assert_eq!(study.feed, baseline.feed);
+        assert_eq!(
+            study.run_report().to_json(),
+            baseline.run_report().to_json()
+        );
+    }
+}

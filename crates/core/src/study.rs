@@ -51,8 +51,11 @@ const FAULT_SEED_DOMAIN: u64 = 0x7472_616e_7370_6f72; // "transpor"
 pub struct Study {
     /// Configuration.
     pub config: StudyConfig,
-    /// The simulated Internet.
-    pub world: World,
+    /// The simulated Internet. Behind an `Arc` so many concurrent
+    /// studies served over one resident world share a single copy
+    /// (see [`Study::run_shared`] and the `service` crate); standalone
+    /// runs hold the only reference and nothing changes for them.
+    pub world: Arc<World>,
     /// The pool, post-tuning, including actor servers.
     pub pool: Pool,
     /// The 11 collecting servers with their locations.
@@ -84,13 +87,17 @@ pub struct Study {
     /// pipeline modes; volatile ones (channel depth, stall times) exist
     /// only in streaming mode and are excluded from [`Study::run_report`].
     pub telemetry: Snapshot,
+    /// Study-scoped memo cells for the derived compact sets — shared by
+    /// every [`Study::derived`] wrapper, seedable by a serving layer
+    /// (see [`crate::derived::DerivedCells`]).
+    pub derived_cells: Arc<crate::derived::DerivedCells>,
 }
 
 /// Everything deterministic the study sets up *before* collection:
 /// recomputed identically on a fresh run and on a resume, so only the
 /// collection-stage state needs persisting.
 struct Prelude {
-    world: World,
+    world: Arc<World>,
     transport: Box<dyn Transport>,
     study_reg: Registry,
     rl_set: AddrSet,
@@ -117,19 +124,82 @@ struct ResumeState {
 /// Servers whose observations the study records: its own 11 collecting
 /// servers (actor servers collect too, but are analysed via §5 capture
 /// matching instead).
-fn recorded_servers(pool: &Pool) -> impl Iterator<Item = ServerId> + '_ {
+pub(crate) fn recorded_servers(pool: &Pool) -> impl Iterator<Item = ServerId> + '_ {
     pool.servers()
         .filter(|(_, s)| matches!(s.operator, Operator::Study { .. }))
         .map(|(id, _)| id)
 }
 
-/// Generates the world, the pool (tuned, with actors), the R&L set, and
-/// the study window — every input the collection stage needs.
-fn prelude(config: &StudyConfig) -> Prelude {
-    let world = World::generate(config.world.clone());
-    let transport = config
+/// The transport the config's fault profile builds, seeded from the
+/// world seed through a domain separator.
+pub(crate) fn build_transport(config: &StudyConfig) -> Box<dyn Transport> {
+    config
         .fault
-        .build(netsim::mix2(config.world.seed, FAULT_SEED_DOMAIN));
+        .build(netsim::mix2(config.world.seed, FAULT_SEED_DOMAIN))
+}
+
+/// Everything [`build_pool`] materializes: the pool, our collecting
+/// servers with their countries, their tuning outcomes, and the
+/// third-party actors.
+pub(crate) type PoolSetup = (Pool, Vec<(ServerId, Country)>, Vec<TuneOutcome>, Vec<Actor>);
+
+/// Builds the pool a study collects over: background servers, the 11
+/// collecting servers at [`COLLECTOR_LOCATIONS`], netspeed tuning, and
+/// (when the telescope is enabled) the third-party actor servers.
+/// Deterministic in `(config, world)` — a resumed or shared-world run
+/// rebuilds the identical pool.
+pub(crate) fn build_pool(config: &StudyConfig, world: &World) -> PoolSetup {
+    // --- Pool setup: background + our 11 servers, then tuning. ---
+    let mut pool = Pool::with_background();
+    let mut study_servers = Vec::new();
+    for (i, c) in COLLECTOR_LOCATIONS.iter().enumerate() {
+        let id = pool.add(PoolServer {
+            operator: Operator::Study {
+                location_index: i as u8,
+            },
+            ..PoolServer::background(*c)
+        });
+        study_servers.push((id, *c));
+    }
+    let tuning = tune_collecting_servers(&mut pool, world, config.target_rps);
+
+    // --- Third-party actors join the pool after our tuning. ---
+    let mut actors = Vec::new();
+    if config.telescope {
+        let mut gt = gt_actor();
+        gt.register(&mut pool);
+        let mut covert = covert_actor();
+        covert.register(&mut pool);
+        actors.push(gt);
+        actors.push(covert);
+    }
+    (pool, study_servers, tuning, actors)
+}
+
+/// The world a run uses: the shared snapshot when one was provided (it
+/// must have been generated from this config's world parameters), a
+/// freshly generated one otherwise. Generation is deterministic, so the
+/// two paths yield indistinguishable worlds — sharing changes memory,
+/// never results.
+fn world_for(config: &StudyConfig, shared: Option<Arc<World>>) -> Arc<World> {
+    match shared {
+        Some(world) => {
+            assert_eq!(
+                world.config, config.world,
+                "shared world was generated from a different WorldConfig"
+            );
+            world
+        }
+        None => Arc::new(World::generate(config.world.clone())),
+    }
+}
+
+/// Generates the world, the pool (tuned, with actors), the R&L set, and
+/// the study window — every input the collection stage needs. A shared
+/// world snapshot (if any) substitutes for generation.
+fn prelude(config: &StudyConfig, shared: Option<Arc<World>>) -> Prelude {
+    let world = world_for(config, shared);
+    let transport = build_transport(config);
     // Study-level metrics: stage spans (simulated time), the feed
     // count, set sizes. Stage-internal metrics are recorded into
     // per-stage registries and merged with a `stage` label.
@@ -145,30 +215,7 @@ fn prelude(config: &StudyConfig) -> Prelude {
     let start = study_start(config);
     let end = start + config.collection;
 
-    // --- Pool setup: background + our 11 servers, then tuning. ---
-    let mut pool = Pool::with_background();
-    let mut study_servers = Vec::new();
-    for (i, c) in COLLECTOR_LOCATIONS.iter().enumerate() {
-        let id = pool.add(PoolServer {
-            operator: Operator::Study {
-                location_index: i as u8,
-            },
-            ..PoolServer::background(*c)
-        });
-        study_servers.push((id, *c));
-    }
-    let tuning = tune_collecting_servers(&mut pool, &world, config.target_rps);
-
-    // --- Third-party actors join the pool after our tuning. ---
-    let mut actors = Vec::new();
-    if config.telescope {
-        let mut gt = gt_actor();
-        gt.register(&mut pool);
-        let mut covert = covert_actor();
-        covert.register(&mut pool);
-        actors.push(gt);
-        actors.push(covert);
-    }
+    let (pool, study_servers, tuning, actors) = build_pool(config, &world);
 
     Prelude {
         world,
@@ -187,7 +234,17 @@ fn prelude(config: &StudyConfig) -> Prelude {
 impl Study {
     /// Runs the full pipeline. Deterministic in the config.
     pub fn run(config: StudyConfig) -> Study {
-        Study::run_with(config, None)
+        Study::run_with(config, None, None)
+    }
+
+    /// [`Study::run`] over a pre-generated shared world snapshot: the
+    /// study holds the `Arc` instead of generating its own copy. The
+    /// snapshot must come from `World::generate(config.world.clone())`
+    /// (asserted against the snapshot's embedded config) — results are
+    /// bit-identical to a standalone [`Study::run`]; only the memory
+    /// accounting differs.
+    pub fn run_shared(config: StudyConfig, world: Arc<World>) -> Study {
+        Study::run_with(config, Some(world), None)
     }
 
     /// Runs collection until `at` past the study start, then persists a
@@ -198,7 +255,7 @@ impl Study {
         at: Duration,
         dir: &Path,
     ) -> Result<PathBuf, StoreError> {
-        let p = prelude(&config);
+        let p = prelude(&config, None);
         let (coll_transport, coll_stats) = Instrumented::new(p.transport.clone_box());
         let run = CollectionRun::with_transport(
             &p.world,
@@ -258,6 +315,16 @@ impl Study {
     /// byte-identical to an uninterrupted [`Study::run`] of the same
     /// config.
     pub fn resume(dir: &Path) -> Result<Study, StoreError> {
+        Ok(Study::run_resumed(checkpoint::read(dir)?, None))
+    }
+
+    /// Finishes a study from in-memory checkpoint state: restores the
+    /// collection stage from `data` and runs the remainder of the
+    /// pipeline, optionally over a shared world snapshot. This is
+    /// [`Study::resume`] without the disk round-trip — the study
+    /// service uses it to complete suspended sessions, and the report
+    /// is byte-identical to an uninterrupted run's either way.
+    pub fn run_resumed(data: CheckpointData, world: Option<Arc<World>>) -> Study {
         let CheckpointData {
             config,
             collection,
@@ -265,9 +332,10 @@ impl Study {
             feed_prefix,
             transport,
             shards,
-        } = checkpoint::read(dir)?;
-        Ok(Study::run_with(
+        } = data;
+        Study::run_with(
             config,
+            world,
             Some(ResumeState {
                 collection,
                 collector,
@@ -275,11 +343,15 @@ impl Study {
                 transport,
                 shards: shards.into_iter().map(|s| s.dedup).collect(),
             }),
-        ))
+        )
     }
 
     /// Shared body of [`Study::run`] and [`Study::resume`].
-    fn run_with(config: StudyConfig, resume: Option<ResumeState>) -> Study {
+    fn run_with(
+        config: StudyConfig,
+        shared: Option<Arc<World>>,
+        resume: Option<ResumeState>,
+    ) -> Study {
         let Prelude {
             world,
             transport,
@@ -291,7 +363,7 @@ impl Study {
             actors,
             start,
             end,
-        } = prelude(&config);
+        } = prelude(&config, shared);
 
         // --- Four weeks of collection, feeding the scanner. ---
         let span = SpanTimer::start(metrics::SPAN_COLLECTION, start.as_secs());
@@ -376,6 +448,7 @@ impl Study {
             tuning,
             oui_db: OuiDb::builtin(),
             telemetry,
+            derived_cells: Arc::new(crate::derived::DerivedCells::new()),
         }
     }
 

@@ -124,6 +124,33 @@ pub struct TransportTotals {
 }
 
 impl TransportTotals {
+    /// Zeroed totals: the identity for [`TransportTotals::merge`].
+    pub fn zero() -> TransportTotals {
+        TransportTotals {
+            exchanges: 0,
+            answered: 0,
+            unanswered: 0,
+            lost: 0,
+            truncated: 0,
+            delivered: 0,
+            rtt_seconds: telemetry::Histogram::new(),
+        }
+    }
+
+    /// Accumulates `other` into `self`: counters add, the RTT histogram
+    /// merges. Merging per-slice totals in any grouping equals one
+    /// uninterrupted run's totals, which is what lets a sliced study
+    /// carry transport accounting across suspend/resume boundaries.
+    pub fn merge(&mut self, other: &TransportTotals) {
+        self.exchanges += other.exchanges;
+        self.answered += other.answered;
+        self.unanswered += other.unanswered;
+        self.lost += other.lost;
+        self.truncated += other.truncated;
+        self.delivered += other.delivered;
+        self.rtt_seconds.merge(&other.rtt_seconds);
+    }
+
     /// Exports into `registry`'s deterministic bank under the
     /// `transport_*` keys; counters add and the histogram merges, so
     /// exporting a prefix snapshot plus the remainder equals exporting

@@ -44,7 +44,7 @@ use std::sync::{Arc, Mutex};
 use v6addr::{Iid, Prefix};
 
 /// Which world representation backs the [`World`] API.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorldBackend {
     /// Materialize every device up front (O(devices) memory). The
     /// equivalence oracle for small configs.
@@ -55,7 +55,11 @@ pub enum WorldBackend {
 }
 
 /// Size/behaviour preset for world generation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `WorldConfig` is `Eq + Hash` so immutable world snapshots can be pooled
+/// and shared keyed by their config (every field, including the seed, is
+/// integral — equal configs generate bit-identical worlds).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct WorldConfig {
     /// RNG seed; equal configs generate bit-identical worlds.
     pub seed: u64,
@@ -550,6 +554,23 @@ impl World {
     /// engine's bucket horizon, O(1) by construction.
     pub fn poll_floor(&self) -> Duration {
         POLL_INTERVAL
+    }
+
+    /// A deterministic order-of-magnitude estimate of this world's heap
+    /// footprint, for admission budgeting when snapshots are pooled. A
+    /// materialized world is dominated by its device table; a procedural
+    /// world by its bounded device cache. An accounting quantity only —
+    /// never observable in reports.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let per_device = std::mem::size_of::<Device>();
+        match &self.model {
+            WorldModel::Materialized(m) => {
+                m.devices.len() * per_device
+                    + m.households.len() * std::mem::size_of::<Household>()
+                    + m.offsets.len() * std::mem::size_of::<u32>()
+            }
+            WorldModel::Procedural(_) => DeviceCache::CAP * per_device,
+        }
     }
 
     /// A fresh [`AddrResolver`] over this world.

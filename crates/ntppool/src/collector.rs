@@ -59,7 +59,9 @@ impl FeedSink for ChannelSink {
 }
 
 /// The collector's dedup state, detached from its sink — what a study
-/// checkpoint persists and a resume restores.
+/// checkpoint persists and a resume restores. `Clone` so a suspended
+/// study session can snapshot its state without tearing it down.
+#[derive(Clone)]
 pub struct CollectorParts {
     /// The global distinct-address archive.
     pub global: Archive,

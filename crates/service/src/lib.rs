@@ -1,0 +1,522 @@
+//! Study service: concurrent multi-study serving over one shared
+//! resident world.
+//!
+//! A research group reproducing the paper rarely runs one study: it
+//! runs a *matrix* — the same world under several fault profiles, both
+//! pipeline modes, different shard counts — and each standalone
+//! [`Study::run`](timetoscan::Study::run) regenerates the world and re-materializes every
+//! derived set from scratch. At paper scale the world snapshot is the
+//! dominant resident cost, so N concurrent studies paid N× for data
+//! that is bit-identical across all of them.
+//!
+//! [`StudyService`] is the serving layer that removes that
+//! multiplication:
+//!
+//! * **Shared worlds** — snapshots are keyed by [`WorldConfig`] (which
+//!   includes the seed) and held behind `Arc`s; every study over the
+//!   same config shares one resident copy ([`Study::run_shared`](timetoscan::Study::run_shared)).
+//! * **Shared segments** — sealed compact sets from completed studies
+//!   are frozen into a content-addressed [`SegmentPool`]; identical
+//!   sets (e.g. the hitlist baseline of every study over one world)
+//!   converge on one file and one resident copy, and seed the derived
+//!   cells of later studies so they are never rebuilt.
+//! * **Deterministic cooperative scheduling** — each [`StudyService::tick`]
+//!   admits queued studies in id order up to the admission budget,
+//!   advances every active [`StudySession`] by one slice, completes
+//!   finished ones, and then enforces the resident-bytes budget by
+//!   evicting the highest-id sessions to on-disk checkpoints
+//!   ([`timetoscan::checkpoint`]). An evicted study resumes
+//!   byte-identically — eviction is checkpoint/resume used as
+//!   admission control.
+//! * **Memoized queries** — [`StudyService::report`],
+//!   [`StudyService::set`], and [`StudyService::overlap`] serve run
+//!   reports, compact sets, and overlap counts from service-level
+//!   caches keyed by study id and [`SetKind`].
+//!
+//! Everything observable is bit-identical to standalone runs: every
+//! completed study's [`Study::run_report`](timetoscan::Study::run_report) equals the report an
+//! uninterrupted `Study::run` of the same config produces, across both
+//! pipeline modes, any shard count, and any number of forced evictions
+//! (enforced by `tests/service.rs`). The service's own telemetry —
+//! admissions, evictions, resumes, completions, query and cache
+//! counters — is itself deterministic and exported as a canonical
+//! [`RunReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+
+use netsim::time::Duration;
+use netsim::world::{World, WorldConfig};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use store::{CompactSet, SegmentId, SegmentPool, StoreError};
+use telemetry::{Registry, RunReport};
+use timetoscan::checkpoint;
+use timetoscan::{SetKind, StudyConfig, StudySession};
+
+/// Admission and scheduling parameters of a [`StudyService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Simulated time each active session advances per tick.
+    pub slice: Duration,
+    /// Maximum concurrently active (resident) sessions.
+    pub max_active: usize,
+    /// Budget for the summed *marginal* resident bytes of active
+    /// sessions ([`StudySession::resident_bytes`] — the shared world is
+    /// deliberately outside it). When exceeded after a tick's advances,
+    /// the highest-id sessions are evicted to disk until the total fits
+    /// (at least one session always stays resident so the service makes
+    /// progress).
+    pub max_resident_bytes: usize,
+    /// Root directory: `segments/` holds the shared segment pool,
+    /// `study-<id>/` the eviction checkpoints.
+    pub dir: PathBuf,
+}
+
+impl ServiceConfig {
+    /// A config with effectively unbounded budgets — scheduling without
+    /// eviction pressure.
+    pub fn unbounded(dir: impl Into<PathBuf>, slice: Duration) -> ServiceConfig {
+        ServiceConfig {
+            slice,
+            max_active: usize::MAX,
+            max_resident_bytes: usize::MAX,
+            dir: dir.into(),
+        }
+    }
+}
+
+/// Handle to a submitted study. Ids are assigned in submission order
+/// and double as the scheduler's priority (lower id first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StudyId(pub u32);
+
+/// What one tick did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickStats {
+    /// Studies newly admitted (fresh or resumed from eviction).
+    pub admitted: usize,
+    /// Sessions advanced by one slice.
+    pub advanced: usize,
+    /// Studies completed this tick.
+    pub completed: usize,
+    /// Sessions evicted by the resident-bytes budget.
+    pub evicted: usize,
+}
+
+/// A completed study's cached artifacts.
+struct Completed {
+    report: RunReport,
+    report_json: String,
+}
+
+/// One submitted study's lifecycle state.
+enum Slot {
+    /// Submitted, never yet admitted.
+    Queued(StudyConfig),
+    /// Resident, advancing slice by slice.
+    Active(Box<StudySession>),
+    /// Suspended to `study-<id>/` by the budget; config kept for the
+    /// world lookup on readmission.
+    Evicted(StudyConfig),
+    /// Finished: report cached, sets frozen into the pool.
+    Done(Completed),
+}
+
+/// Cache key for derived sets that are pure functions of the world and
+/// window geometry — identical across studies that differ only in
+/// fault profile, pipeline mode, or engine knobs — so a later study's
+/// cells can be seeded from an earlier study's frozen segment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SharedSetKey {
+    world: WorldConfig,
+    collection_secs: u64,
+    /// `rl_samples` for the R&L set, the hitlist offset for hitlist
+    /// kinds — the remaining input of each build.
+    param: u64,
+    kind: SetKind,
+}
+
+fn shared_set_key(config: &StudyConfig, kind: SetKind) -> Option<SharedSetKey> {
+    let param = match kind {
+        // "Ours" depends on the whole collection run — never shared.
+        SetKind::Ours => return None,
+        SetKind::Rl => u64::from(config.rl_samples),
+        SetKind::HitlistFull | SetKind::HitlistPublic => config.hitlist_scan_offset.as_secs(),
+    };
+    Some(SharedSetKey {
+        world: config.world.clone(),
+        collection_secs: config.collection.as_secs(),
+        param,
+        kind,
+    })
+}
+
+/// The long-running study service. See the crate docs.
+pub struct StudyService {
+    config: ServiceConfig,
+    slots: Vec<Slot>,
+    worlds: HashMap<WorldConfig, Arc<World>>,
+    segments: SegmentPool,
+    /// Frozen segment of each completed study's compact sets.
+    sets: HashMap<(u32, SetKind), SegmentId>,
+    /// World-determined sets already frozen by an earlier study.
+    shared_sets: HashMap<SharedSetKey, SegmentId>,
+    /// Memoized overlap counts, keyed `(low id, high id, kind)`.
+    overlaps: HashMap<(u32, u32, SetKind), u64>,
+    reg: Registry,
+}
+
+impl StudyService {
+    /// Opens a service (creating its directories).
+    pub fn new(config: ServiceConfig) -> Result<StudyService, StoreError> {
+        let segments = SegmentPool::new(config.dir.join("segments"))?;
+        Ok(StudyService {
+            config,
+            slots: Vec::new(),
+            worlds: HashMap::new(),
+            segments,
+            sets: HashMap::new(),
+            shared_sets: HashMap::new(),
+            overlaps: HashMap::new(),
+            reg: Registry::new(),
+        })
+    }
+
+    /// Enqueues a study. Nothing runs until [`StudyService::tick`].
+    pub fn submit(&mut self, config: StudyConfig) -> StudyId {
+        let id = StudyId(self.slots.len() as u32);
+        self.slots.push(Slot::Queued(config));
+        id
+    }
+
+    /// All submitted studies have completed.
+    pub fn idle(&self) -> bool {
+        self.slots.iter().all(|s| matches!(s, Slot::Done(_)))
+    }
+
+    /// The shared snapshot for `wc`, generating it on first use.
+    fn world(&mut self, wc: &WorldConfig) -> Arc<World> {
+        if let Some(w) = self.worlds.get(wc) {
+            self.reg.add(metrics::SERVICE_WORLD_SHARES, 1);
+            return Arc::clone(w);
+        }
+        self.reg.add(metrics::SERVICE_WORLD_BUILDS, 1);
+        let w = Arc::new(World::generate(wc.clone()));
+        self.worlds.insert(wc.clone(), Arc::clone(&w));
+        w
+    }
+
+    fn study_dir(&self, id: u32) -> PathBuf {
+        self.config.dir.join(format!("study-{id}"))
+    }
+
+    /// Number of currently resident (active) sessions.
+    pub fn active_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Active(_)))
+            .count()
+    }
+
+    /// Summed marginal resident bytes of the active sessions (the
+    /// shared world snapshots are counted by
+    /// [`StudyService::world_resident_bytes`] instead — once, not per
+    /// study).
+    pub fn resident_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Active(session) => Some(session.resident_bytes()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Heap bytes of the resident world snapshots.
+    pub fn world_resident_bytes(&self) -> usize {
+        self.worlds.values().map(|w| w.approx_heap_bytes()).sum()
+    }
+
+    /// Usage counters of the shared segment pool.
+    pub fn segment_stats(&self) -> store::PoolStats {
+        self.segments.stats()
+    }
+
+    /// One deterministic scheduling round: admit (ascending id, up to
+    /// `max_active`), advance every active session by one slice,
+    /// complete finished studies, then enforce the resident-bytes
+    /// budget by evicting from the highest id down.
+    pub fn tick(&mut self) -> Result<TickStats, StoreError> {
+        let mut stats = TickStats::default();
+
+        // --- Admission, ascending id. ---
+        for i in 0..self.slots.len() {
+            if self.active_count() >= self.config.max_active {
+                break;
+            }
+            match &self.slots[i] {
+                Slot::Queued(cfg) => {
+                    let cfg = cfg.clone();
+                    let world = self.world(&cfg.world);
+                    self.slots[i] = Slot::Active(Box::new(StudySession::new(cfg, world)));
+                    self.reg.add(metrics::SERVICE_ADMISSIONS, 1);
+                    stats.admitted += 1;
+                }
+                Slot::Evicted(cfg) => {
+                    let wc = cfg.world.clone();
+                    let world = self.world(&wc);
+                    let data = checkpoint::read(&self.study_dir(i as u32))?;
+                    self.slots[i] =
+                        Slot::Active(Box::new(StudySession::from_checkpoint(data, world)));
+                    self.reg.add(metrics::SERVICE_RESUMES, 1);
+                    stats.admitted += 1;
+                }
+                _ => {}
+            }
+        }
+
+        // --- Advance, ascending id; complete as sessions finish. ---
+        for i in 0..self.slots.len() {
+            let done = match &mut self.slots[i] {
+                Slot::Active(session) => {
+                    let done = session.advance(self.config.slice);
+                    self.reg.add(metrics::SERVICE_SLICES, 1);
+                    stats.advanced += 1;
+                    done
+                }
+                _ => continue,
+            };
+            if done {
+                let slot = std::mem::replace(
+                    &mut self.slots[i],
+                    Slot::Done(Completed {
+                        report: RunReport::default(),
+                        report_json: String::new(),
+                    }),
+                );
+                let Slot::Active(session) = slot else {
+                    unreachable!("slot was Active above")
+                };
+                let completed = self.complete(i as u32, *session)?;
+                self.slots[i] = Slot::Done(completed);
+                stats.completed += 1;
+            }
+        }
+
+        // --- Budget: evict highest id first, keep one session. ---
+        loop {
+            let active: Vec<(usize, usize)> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Slot::Active(session) => Some((i, session.resident_bytes())),
+                    _ => None,
+                })
+                .collect();
+            let total: usize = active.iter().map(|(_, b)| b).sum();
+            if active.len() <= 1 || total <= self.config.max_resident_bytes {
+                break;
+            }
+            let (victim, _) = *active.last().expect("len > 1");
+            let slot = std::mem::replace(&mut self.slots[victim], Slot::Queued(placeholder()));
+            let Slot::Active(session) = slot else {
+                unreachable!("victim was Active above")
+            };
+            let cfg = session.config().clone();
+            checkpoint::write(&session.into_checkpoint(), &self.study_dir(victim as u32))?;
+            self.slots[victim] = Slot::Evicted(cfg);
+            self.reg.add(metrics::SERVICE_EVICTIONS, 1);
+            stats.evicted += 1;
+        }
+
+        Ok(stats)
+    }
+
+    /// Ticks until every submitted study completes.
+    pub fn run_to_completion(&mut self) -> Result<(), StoreError> {
+        // Generous bound: with ≥1 session resident, every tick advances
+        // at least one study by one slice.
+        let slices_per_study = |cfg: &StudyConfig| {
+            (cfg.collection.as_secs() / self.config.slice.as_secs().max(1) + 2) as usize
+        };
+        let budget: usize = self
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Queued(c) | Slot::Evicted(c) => slices_per_study(c),
+                Slot::Active(sess) => slices_per_study(sess.config()),
+                Slot::Done(_) => 0,
+            })
+            .sum::<usize>()
+            * self.slots.len().max(1)
+            + 16;
+        for _ in 0..budget {
+            if self.idle() {
+                return Ok(());
+            }
+            self.tick()?;
+        }
+        panic!("scheduler failed to converge within {budget} ticks");
+    }
+
+    /// Finishes a completed session: runs the pipeline remainder over
+    /// the shared world, seeds world-determined derived sets from
+    /// earlier studies' frozen segments, freezes all four compact sets
+    /// into the pool, and caches the canonical report.
+    fn complete(&mut self, id: u32, session: StudySession) -> Result<Completed, StoreError> {
+        let study = session.finish();
+        for kind in SetKind::ALL {
+            if let Some(key) = shared_set_key(&study.config, kind) {
+                if let Some(&seg) = self.shared_sets.get(&key) {
+                    study.derived_cells.seed(kind, self.segments.open(seg)?);
+                }
+            }
+        }
+        let derived = study.derived();
+        for kind in SetKind::ALL {
+            let set = derived.compact_set_shared(kind);
+            let seg = self.segments.freeze(&set)?;
+            self.sets.insert((id, kind), seg);
+            if let Some(key) = shared_set_key(&study.config, kind) {
+                self.shared_sets.entry(key).or_insert(seg);
+            }
+        }
+        let cells = study.derived_cells.stats();
+        self.reg
+            .add(metrics::SERVICE_SETS_SEEDED, u64::from(cells.seeded));
+        self.reg
+            .add(metrics::SERVICE_SET_REBUILDS, u64::from(cells.rebuilds));
+        self.reg.add(metrics::SERVICE_COMPLETIONS, 1);
+        let report = study.run_report();
+        let report_json = report.to_json();
+        Ok(Completed {
+            report,
+            report_json,
+        })
+    }
+
+    /// The completed study's canonical run report, if it has finished.
+    pub fn report(&mut self, id: StudyId) -> Option<&RunReport> {
+        self.count_query(matches!(self.slots.get(id.0 as usize), Some(Slot::Done(_))));
+        match self.slots.get(id.0 as usize) {
+            Some(Slot::Done(c)) => Some(&c.report),
+            _ => None,
+        }
+    }
+
+    /// The completed study's report as canonical JSON — byte-identical
+    /// to `Study::run(config).run_report().to_json()`.
+    pub fn report_json(&mut self, id: StudyId) -> Option<&str> {
+        self.count_query(matches!(self.slots.get(id.0 as usize), Some(Slot::Done(_))));
+        match self.slots.get(id.0 as usize) {
+            Some(Slot::Done(c)) => Some(&c.report_json),
+            _ => None,
+        }
+    }
+
+    /// A completed study's compact set, served from the shared segment
+    /// pool (resident `Arc` when cached, re-read from disk otherwise).
+    pub fn set(
+        &mut self,
+        id: StudyId,
+        kind: SetKind,
+    ) -> Result<Option<Arc<CompactSet>>, StoreError> {
+        self.reg.add(metrics::SERVICE_QUERIES, 1);
+        let Some(&seg) = self.sets.get(&(id.0, kind)) else {
+            self.reg.add(metrics::SERVICE_CACHE_MISSES, 1);
+            return Ok(None);
+        };
+        let resident_before = self.segments.stats().cache_hits;
+        let set = self.segments.open(seg)?;
+        let key = if self.segments.stats().cache_hits > resident_before {
+            metrics::SERVICE_CACHE_HITS
+        } else {
+            metrics::SERVICE_CACHE_MISSES
+        };
+        self.reg.add(key, 1);
+        Ok(Some(set))
+    }
+
+    /// Overlap count between two completed studies' sets of `kind`,
+    /// memoized service-side (symmetric in the ids).
+    pub fn overlap(
+        &mut self,
+        a: StudyId,
+        b: StudyId,
+        kind: SetKind,
+    ) -> Result<Option<u64>, StoreError> {
+        self.reg.add(metrics::SERVICE_QUERIES, 1);
+        let key = if a.0 <= b.0 {
+            (a.0, b.0, kind)
+        } else {
+            (b.0, a.0, kind)
+        };
+        if let Some(&n) = self.overlaps.get(&key) {
+            self.reg.add(metrics::SERVICE_CACHE_HITS, 1);
+            return Ok(Some(n));
+        }
+        self.reg.add(metrics::SERVICE_CACHE_MISSES, 1);
+        let (Some(&sa), Some(&sb)) = (self.sets.get(&(key.0, kind)), self.sets.get(&(key.1, kind)))
+        else {
+            return Ok(None);
+        };
+        let (set_a, set_b) = (self.segments.open(sa)?, self.segments.open(sb)?);
+        let n = set_a.overlap_count(&set_b) as u64;
+        self.overlaps.insert(key, n);
+        Ok(Some(n))
+    }
+
+    fn count_query(&mut self, hit: bool) {
+        self.reg.add(metrics::SERVICE_QUERIES, 1);
+        let key = if hit {
+            metrics::SERVICE_CACHE_HITS
+        } else {
+            metrics::SERVICE_CACHE_MISSES
+        };
+        self.reg.add(key, 1);
+    }
+
+    /// The service's own canonical telemetry report: admission,
+    /// eviction, resume, completion, slice, query, and cache counters.
+    /// Deterministic for a given submission and query sequence.
+    pub fn run_report(&self) -> RunReport {
+        let studies = self.slots.len().to_string();
+        let max_active = if self.config.max_active == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            self.config.max_active.to_string()
+        };
+        let slice = self.config.slice.as_secs().to_string();
+        RunReport::new(
+            &[
+                ("component", "study_service"),
+                ("max_active", &max_active),
+                ("slice_secs", &slice),
+                ("studies", &studies),
+            ],
+            &self.reg.snapshot(),
+        )
+    }
+}
+
+/// Placeholder config for `mem::replace` on a slot about to be
+/// overwritten — never observed.
+fn placeholder() -> StudyConfig {
+    StudyConfig::tiny(0)
+}
+
+impl std::fmt::Debug for StudyService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StudyService")
+            .field("studies", &self.slots.len())
+            .field("active", &self.active_count())
+            .field("resident_bytes", &self.resident_bytes())
+            .field("worlds", &self.worlds.len())
+            .finish()
+    }
+}

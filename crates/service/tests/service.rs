@@ -1,0 +1,176 @@
+//! Service-level equivalence tests: every report the service hands out
+//! must be byte-identical to the report of an uninterrupted standalone
+//! [`Study::run`] of the same config — across pipeline modes, shard
+//! counts, and any number of budget-forced evictions.
+
+use netsim::time::Duration;
+use service::{ServiceConfig, StudyService};
+use timetoscan::{FaultProfile, PipelineMode, SetKind, Study, StudyConfig};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("service-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The study matrix: one world (seed 31), varied fault profile,
+/// pipeline mode, and engine shape — the shape a research group
+/// actually submits.
+fn matrix() -> Vec<StudyConfig> {
+    vec![
+        StudyConfig::tiny(31),
+        StudyConfig::tiny(31).with_pipeline(PipelineMode::Buffered),
+        StudyConfig::tiny(31)
+            .with_fault(FaultProfile::Lossy1Pct)
+            .with_collection_shards(2),
+        StudyConfig::tiny(31)
+            .with_pipeline(PipelineMode::Buffered)
+            .with_collection_shards(3),
+    ]
+}
+
+#[test]
+fn concurrent_studies_over_one_world_match_standalone() {
+    let configs = matrix();
+    let baselines: Vec<Study> = configs.iter().map(|c| Study::run(c.clone())).collect();
+
+    let dir = temp_dir("concurrent");
+    let mut svc =
+        StudyService::new(ServiceConfig::unbounded(&dir, Duration::hours(36))).expect("service");
+    let ids: Vec<_> = configs.iter().map(|c| svc.submit(c.clone())).collect();
+    svc.run_to_completion().expect("run to completion");
+    assert!(svc.idle());
+
+    // Byte-identical canonical reports for every study in the matrix.
+    for (id, baseline) in ids.iter().zip(&baselines) {
+        let expected = baseline.run_report().to_json();
+        assert_eq!(svc.report_json(*id), Some(expected.as_str()));
+        assert_eq!(svc.report(*id), Some(&baseline.run_report()));
+    }
+
+    // One world config means exactly one generated snapshot; the other
+    // three admissions shared it.
+    let report = svc.run_report();
+    assert_eq!(report.metrics.counter_total("service_world_builds"), 1);
+    assert_eq!(report.metrics.counter_total("service_world_shares"), 3);
+    assert_eq!(report.metrics.counter_total("service_admissions"), 4);
+    assert_eq!(report.metrics.counter_total("service_completions"), 4);
+    assert_eq!(report.metrics.counter_total("service_evictions"), 0);
+
+    // World-determined sets (Rl + both hitlist kinds) are pure
+    // functions of the shared world, so studies 2..4 seed them from
+    // study 1's frozen segments instead of rebuilding: 3 kinds × 3
+    // later studies. The memo layer never rebuilds a built cell.
+    assert_eq!(report.metrics.counter_total("service_sets_seeded"), 9);
+    assert_eq!(report.metrics.counter_total("service_set_rebuilds"), 0);
+
+    // Identical sets converge on one segment in the pool: freezing
+    // 4 studies × 4 kinds hits dedup for every shared world set.
+    assert!(svc.segment_stats().freeze_dedups >= 9);
+
+    // Served sets match what the standalone studies derive.
+    for (id, baseline) in ids.iter().zip(&baselines) {
+        let derived = baseline.derived();
+        for kind in SetKind::ALL {
+            let served = svc.set(*id, kind).expect("segment io").expect("completed");
+            assert_eq!(served.len(), derived.compact_set(kind).len());
+        }
+    }
+
+    // Overlap queries match a direct computation, and the repeat query
+    // is a memoized hit.
+    let expected_overlap = baselines[0]
+        .derived()
+        .compact_set(SetKind::Ours)
+        .overlap_count(baselines[2].derived().compact_set(SetKind::Ours))
+        as u64;
+    assert_eq!(
+        svc.overlap(ids[0], ids[2], SetKind::Ours).expect("io"),
+        Some(expected_overlap)
+    );
+    let hits_before = svc.run_report().metrics.counter_total("service_cache_hits");
+    assert_eq!(
+        svc.overlap(ids[2], ids[0], SetKind::Ours).expect("io"),
+        Some(expected_overlap)
+    );
+    let hits_after = svc.run_report().metrics.counter_total("service_cache_hits");
+    assert_eq!(hits_after, hits_before + 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tight_budget_evicts_and_restores_bit_identically() {
+    let configs = matrix();
+    let baselines: Vec<String> = configs
+        .iter()
+        .map(|c| Study::run(c.clone()).run_report().to_json())
+        .collect();
+
+    // max_resident_bytes = 1 forces an eviction pass every tick (only
+    // the lowest-id active session survives it), so every study except
+    // the first is suspended and resumed mid-window repeatedly, across
+    // both pipeline modes and flat + sharded engines.
+    let dir = temp_dir("evict");
+    let mut svc = StudyService::new(ServiceConfig {
+        slice: Duration::hours(30),
+        max_active: 2,
+        max_resident_bytes: 1,
+        dir: dir.clone(),
+    })
+    .expect("service");
+    let ids: Vec<_> = configs.iter().map(|c| svc.submit(c.clone())).collect();
+    svc.run_to_completion().expect("run to completion");
+
+    let report = svc.run_report();
+    let evictions = report.metrics.counter_total("service_evictions");
+    let resumes = report.metrics.counter_total("service_resumes");
+    assert!(evictions > 0, "budget never forced an eviction");
+    assert_eq!(
+        resumes, evictions,
+        "every evicted study must be readmitted exactly once per eviction"
+    );
+    assert_eq!(report.metrics.counter_total("service_completions"), 4);
+
+    // Forced suspend/resume cycles must not perturb a single bit of
+    // any study's canonical report.
+    for (id, expected) in ids.iter().zip(&baselines) {
+        assert_eq!(svc.report_json(*id), Some(expected.as_str()));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn service_report_is_canonical_and_deterministic() {
+    let run = |queries: bool| -> String {
+        let dir = temp_dir(if queries { "det-q" } else { "det" });
+        let mut svc =
+            StudyService::new(ServiceConfig::unbounded(&dir, Duration::days(2))).expect("service");
+        let a = svc.submit(StudyConfig::tiny(5));
+        let b = svc.submit(StudyConfig::tiny(5).with_pipeline(PipelineMode::Buffered));
+        svc.run_to_completion().expect("run to completion");
+        if queries {
+            let _ = svc.report_json(a);
+            let _ = svc.set(b, SetKind::Rl);
+        }
+        let json = svc.run_report().to_json();
+        let _ = std::fs::remove_dir_all(&dir);
+        json
+    };
+
+    // Same submissions + same query sequence → byte-identical report.
+    let first = run(true);
+    assert_eq!(first, run(true));
+
+    // Round-trips through canonical JSON.
+    let report = telemetry::RunReport::from_json(&first).expect("parse");
+    assert_eq!(report.to_json(), first);
+    assert_eq!(report.meta["component"], "study_service");
+    assert_eq!(report.metrics.counter_total("service_completions"), 2);
+    assert_eq!(report.metrics.counter_total("service_world_builds"), 1);
+
+    // The query counters are part of the deterministic report: a run
+    // without the queries differs.
+    assert_ne!(first, run(false));
+}

@@ -14,7 +14,12 @@
 //!
 //! Lookups go memtable first (the hot set: recently inserted addresses
 //! repeat far more often than archived ones), then prune segments by
-//! their O(1) min/max bounds before the per-segment fence search.
+//! their O(1) min/max bounds, then by a per-segment [`Bloom`] filter —
+//! only segments the bloom cannot rule out pay the fence binary search.
+//! Blooms are a pure function of segment contents (rebuilt on freeze,
+//! compaction, and checkpoint restore), so they never perturb
+//! observable state; the prune effectiveness is tracked in relaxed
+//! counters surfaced by [`Archive::bloom_stats`].
 //!
 //! More importantly for the determinism contract: the *observable* state
 //! (membership, `len`, ordered iteration) is content-based and therefore
@@ -22,12 +27,14 @@
 //! pairwise disjoint and disjoint from the memtable (an address is only
 //! inserted once), so `len` is a plain sum.
 
+use crate::bloom::Bloom;
 use crate::compact::CompactSet;
 use crate::error::StoreError;
 use crate::segment;
 use std::collections::HashSet;
 use std::net::Ipv6Addr;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default memtable spill threshold.
 pub const DEFAULT_MEMTABLE_CAP: usize = 1 << 16;
@@ -47,14 +54,56 @@ fn size_class(len: usize) -> u32 {
     len.max(1).next_power_of_two().trailing_zeros()
 }
 
+/// Bloom prune effectiveness counters for one [`Archive`], snapshot via
+/// [`Archive::bloom_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BloomStats {
+    /// Segment probes that passed the min/max bounds prune (and so would
+    /// have paid a fence search without the bloom).
+    pub candidates: u64,
+    /// Of those, probes the bloom ruled out without a fence search.
+    pub pruned: u64,
+}
+
+impl BloomStats {
+    /// Fraction of bounds-surviving segment probes the bloom skipped.
+    pub fn prune_ratio(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.candidates as f64
+        }
+    }
+}
+
 /// A mutable IPv6 address set backed by a memtable plus frozen
 /// [`CompactSet`] segments.
-#[derive(Clone)]
 pub struct Archive {
     memtable: HashSet<u128>,
     segments: Vec<CompactSet>,
+    /// Per-segment bloom filters, parallel to `segments`; a pure
+    /// function of each segment's contents.
+    blooms: Vec<Bloom>,
     memtable_cap: usize,
     fanout: usize,
+    /// Lookup accounting (relaxed: counters only, never observable in
+    /// deterministic state).
+    bloom_candidates: AtomicU64,
+    bloom_pruned: AtomicU64,
+}
+
+impl Clone for Archive {
+    fn clone(&self) -> Archive {
+        Archive {
+            memtable: self.memtable.clone(),
+            segments: self.segments.clone(),
+            blooms: self.blooms.clone(),
+            memtable_cap: self.memtable_cap,
+            fanout: self.fanout,
+            bloom_candidates: AtomicU64::new(self.bloom_candidates.load(Ordering::Relaxed)),
+            bloom_pruned: AtomicU64::new(self.bloom_pruned.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Default for Archive {
@@ -74,20 +123,29 @@ impl Archive {
         Archive {
             memtable: HashSet::new(),
             segments: Vec::new(),
+            blooms: Vec::new(),
             memtable_cap: cap.max(1),
             fanout: DEFAULT_FANOUT,
+            bloom_candidates: AtomicU64::new(0),
+            bloom_pruned: AtomicU64::new(0),
         }
     }
 
     /// Rebuilds an archive from frozen segments (e.g. a decoded
     /// checkpoint). Segments must be pairwise disjoint, as produced by
-    /// [`Archive::segments`] after a freeze.
+    /// [`Archive::segments`] after a freeze. Bloom filters are rebuilt
+    /// from the segment contents, so a restored archive prunes exactly
+    /// like the one that was flushed.
     pub fn from_segments(segments: Vec<CompactSet>, cap: usize) -> Archive {
+        let blooms = segments.iter().map(Bloom::for_segment).collect();
         Archive {
             memtable: HashSet::new(),
             segments,
+            blooms,
             memtable_cap: cap.max(1),
             fanout: DEFAULT_FANOUT,
+            bloom_candidates: AtomicU64::new(0),
+            bloom_pruned: AtomicU64::new(0),
         }
     }
 
@@ -107,13 +165,30 @@ impl Archive {
         self.memtable.contains(&a) || self.in_segments(a)
     }
 
-    /// Segment-side membership, pruning segments whose min/max bounds
-    /// cannot hold `a` before paying their fence binary search.
+    /// Segment-side membership: prune by O(1) min/max bounds, then by
+    /// the per-segment bloom filter, and only pay the fence binary
+    /// search on segments neither could rule out.
     fn in_segments(&self, a: u128) -> bool {
-        self.segments.iter().any(|s| {
-            s.bounds_u128()
-                .is_some_and(|(lo, hi)| lo <= a && a <= hi && s.contains_u128(a))
+        self.segments.iter().zip(&self.blooms).any(|(s, b)| {
+            let in_bounds = s.bounds_u128().is_some_and(|(lo, hi)| lo <= a && a <= hi);
+            if !in_bounds {
+                return false;
+            }
+            self.bloom_candidates.fetch_add(1, Ordering::Relaxed);
+            if !b.may_contain(a) {
+                self.bloom_pruned.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            s.contains_u128(a)
         })
+    }
+
+    /// Snapshot of the bloom prune counters.
+    pub fn bloom_stats(&self) -> BloomStats {
+        BloomStats {
+            candidates: self.bloom_candidates.load(Ordering::Relaxed),
+            pruned: self.bloom_pruned.load(Ordering::Relaxed),
+        }
     }
 
     /// Inserts an address; returns `true` on first sight.
@@ -150,7 +225,9 @@ impl Archive {
         if !self.memtable.is_empty() {
             let mut v: Vec<u128> = self.memtable.drain().collect();
             v.sort_unstable();
-            self.segments.push(CompactSet::from_sorted(v));
+            let seg = CompactSet::from_sorted(v);
+            self.blooms.push(Bloom::for_segment(&seg));
+            self.segments.push(seg);
         }
         while let Some(class) = self.full_size_class() {
             let idxs: Vec<usize> = (0..self.segments.len())
@@ -160,9 +237,35 @@ impl Archive {
             let merged = CompactSet::union_all(&refs);
             for &i in idxs.iter().rev() {
                 self.segments.remove(i);
+                self.blooms.remove(i);
             }
+            self.blooms.push(Bloom::for_segment(&merged));
             self.segments.push(merged);
         }
+    }
+
+    /// Merges the memtable and every frozen segment into one segment
+    /// with one rebuilt bloom filter, and releases the memtable's spare
+    /// capacity.
+    ///
+    /// The heavy-hammer maintenance move for a long-lived archive at a
+    /// quiet point (end of a sustained ingest, before serving a query
+    /// burst): one k-way merge re-encodes each address exactly once,
+    /// after which the resident footprint is a single densely
+    /// delta-packed segment and lookups probe a single bounds check,
+    /// bloom, and fence search. Size-tiered [`Archive::freeze`] deliberately
+    /// tolerates `O(fanout · log n)` overlapping segments to amortize
+    /// writes; `optimize` trades one full rewrite to drop that
+    /// fragmentation.
+    pub fn optimize(&mut self) {
+        self.freeze();
+        if self.segments.len() > 1 {
+            let refs: Vec<&CompactSet> = self.segments.iter().collect();
+            let merged = CompactSet::union_all(&refs);
+            self.blooms = vec![Bloom::for_segment(&merged)];
+            self.segments = vec![merged];
+        }
+        self.memtable.shrink_to_fit();
     }
 
     /// The smallest size class currently holding at least `fanout`
@@ -215,7 +318,8 @@ impl Archive {
         CompactSet::from_sorted(self.iter().map(u128::from))
     }
 
-    /// Resident heap bytes across memtable and segments.
+    /// Resident heap bytes across memtable, segments, and bloom
+    /// filters.
     pub fn heap_bytes(&self) -> usize {
         self.memtable.capacity() * (std::mem::size_of::<u128>() + 1)
             + self
@@ -223,6 +327,7 @@ impl Archive {
                 .iter()
                 .map(CompactSet::heap_bytes)
                 .sum::<usize>()
+            + self.blooms.iter().map(Bloom::heap_bytes).sum::<usize>()
     }
 
     /// Freezes the memtable and writes every segment plus a sealed
@@ -359,6 +464,32 @@ mod tests {
     }
 
     #[test]
+    fn optimize_collapses_to_one_segment_without_changing_observables() {
+        let mut ar = Archive::with_memtable_cap(16);
+        for i in 0..2000u128 {
+            ar.insert(addr(i * 2_654_435_761));
+        }
+        let before: Vec<u128> = ar.iter().map(u128::from).collect();
+        let fragmented = ar.heap_bytes();
+        assert!(ar.segments().len() > 1);
+        ar.optimize();
+        assert_eq!(ar.segments().len(), 1);
+        assert!(
+            ar.heap_bytes() < fragmented,
+            "optimize must shrink resident bytes"
+        );
+        assert_eq!(ar.iter().map(u128::from).collect::<Vec<_>>(), before);
+        for &a in &before {
+            assert!(ar.contains(Ipv6Addr::from(a)));
+        }
+        assert!(!ar.contains(addr(1)));
+        // The archive stays usable: further inserts dedup correctly.
+        assert!(!ar.insert(addr(0)));
+        assert!(ar.insert(addr(3)));
+        assert_eq!(ar.len(), before.len() + 1);
+    }
+
+    #[test]
     fn tiered_compaction_keeps_segments_bounded_and_disjoint() {
         let mut ar = Archive::with_memtable_cap(4);
         for i in 0..1000u128 {
@@ -383,6 +514,35 @@ mod tests {
             assert!(!ar.insert(addr(i * 2_654_435_761)));
         }
         assert!(!ar.contains(addr(3)));
+    }
+
+    #[test]
+    fn bloom_prunes_misses_without_changing_answers() {
+        let mut ar = Archive::with_memtable_cap(64);
+        for i in 0..5_000u128 {
+            ar.insert(addr(i * 2_654_435_761));
+        }
+        ar.freeze();
+        assert_eq!(ar.segments().len(), ar.blooms.len());
+        // Misses inside the global bounds: the bounds prune can't help,
+        // the bloom must carry the load.
+        for i in 0..5_000u128 {
+            assert!(!ar.contains(addr(i * 2_654_435_761 + 1)));
+        }
+        let stats = ar.bloom_stats();
+        assert!(stats.candidates > 0);
+        assert!(
+            stats.prune_ratio() > 0.9,
+            "bloom pruned too little: {stats:?}"
+        );
+        // And membership answers are still exact.
+        for i in 0..5_000u128 {
+            assert!(ar.contains(addr(i * 2_654_435_761)));
+        }
+        // A restored archive rebuilds identical filters.
+        ar.freeze();
+        let restored = Archive::from_segments(ar.segments().to_vec(), 64);
+        assert_eq!(restored.blooms, ar.blooms);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Per-segment bloom filters for [`Archive`](crate::Archive) lookups.
+//!
+//! Min/max bounds pruning helps little once segments span the address
+//! space — a compacted archive's largest segment covers nearly every
+//! probe, so most misses still pay a fence binary search per segment. A
+//! bloom filter answers "definitely not here" in O(k) word probes with
+//! no false negatives, so a negative probe skips the segment entirely.
+//!
+//! The filter is a pure function of the segment's contents: ~[`BITS_PER_KEY`]
+//! bits per address rounded up to a power of two, [`K`] probes derived by
+//! double hashing (`h1 + i·h2`) from a splitmix64 fold of the `u128`
+//! address. Deterministic by construction, so archives rebuilt from
+//! checkpointed segments carry bit-identical filters.
+
+use crate::compact::CompactSet;
+
+/// Target filter density: bits per stored address (before rounding the
+/// table up to a power of two). 8 bits/key with 4 probes gives ≈2.2%
+/// false positives — a >97% prune rate on true negatives.
+pub const BITS_PER_KEY: usize = 8;
+
+/// Probes per query.
+pub const K: u32 = 4;
+
+/// splitmix64: the 64-bit finalizer used to derive probe hashes. Strong
+/// avalanche, cheap, and stable across platforms.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The two double-hashing bases for an address: both halves of the
+/// `u128` participate, and `h2` is forced odd so the probe sequence
+/// walks the whole (power-of-two) table.
+#[inline]
+fn hashes(a: u128) -> (u64, u64) {
+    let h1 = splitmix64(a as u64) ^ splitmix64((a >> 64) as u64).rotate_left(32);
+    let h2 = splitmix64(h1) | 1;
+    (h1, h2)
+}
+
+/// A fixed-size bloom filter over `u128` addresses. No false negatives;
+/// false-positive rate set by [`BITS_PER_KEY`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom {
+    /// Bit table, length a power of two.
+    words: Vec<u64>,
+    /// `words.len() * 64 - 1`: the probe index mask.
+    mask: u64,
+}
+
+impl Bloom {
+    /// An empty filter sized for `n` keys.
+    pub fn with_capacity(n: usize) -> Bloom {
+        let bits = (n.max(1) * BITS_PER_KEY).next_power_of_two().max(64);
+        Bloom {
+            words: vec![0; bits / 64],
+            mask: (bits - 1) as u64,
+        }
+    }
+
+    /// Builds the filter for a frozen segment — a pure function of the
+    /// segment's contents.
+    pub fn for_segment(seg: &CompactSet) -> Bloom {
+        let mut b = Bloom::with_capacity(seg.len());
+        for a in seg.iter_u128() {
+            b.insert(a);
+        }
+        b
+    }
+
+    /// Sets the key's probe bits.
+    pub fn insert(&mut self, a: u128) {
+        let (h1, h2) = hashes(a);
+        for i in 0..K {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & self.mask;
+            self.words[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// `false` means the key is definitely absent; `true` means it may
+    /// be present (false positives at the configured rate).
+    pub fn may_contain(&self, a: u128) -> bool {
+        let (h1, h2) = hashes(a);
+        (0..K).all(|i| {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & self.mask;
+            self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Resident heap bytes of the bit table.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<u128> = (0..10_000u128)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
+        let seg = CompactSet::from_sorted({
+            let mut v = keys.clone();
+            v.sort_unstable();
+            v
+        });
+        let b = Bloom::for_segment(&seg);
+        for &k in &keys {
+            assert!(b.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let n = 10_000u128;
+        let mut b = Bloom::with_capacity(n as usize);
+        for i in 0..n {
+            b.insert(i.wrapping_mul(2_654_435_761));
+        }
+        // Probe disjoint keys; at 8 bits/key + rounding up, fp should be
+        // well under 5%.
+        let fp = (0..n)
+            .filter(|i| b.may_contain(i.wrapping_mul(2_654_435_761).wrapping_add(1)))
+            .count();
+        assert!(
+            (fp as f64) < n as f64 * 0.05,
+            "false-positive rate too high: {fp}/{n}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let seg = CompactSet::from_sorted((0..5_000u128).map(|i| i * 97));
+        assert_eq!(Bloom::for_segment(&seg), Bloom::for_segment(&seg));
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let b = Bloom::with_capacity(0);
+        assert!(!b.may_contain(42));
+    }
+}

@@ -18,6 +18,11 @@
 //! * [`codec`] — the byte writer/reader + varint + FNV primitives the
 //!   segment format and the study checkpoint file share, with typed
 //!   [`StoreError`]s (truncation and corruption never panic).
+//! * [`bloom`] — per-segment bloom filters backing the archive's
+//!   lookup prune (no false negatives; deterministic contents).
+//! * [`shared`] — a content-addressed [`SegmentPool`] where sealed
+//!   segments from completed collections are opened once and shared
+//!   behind `Arc`s across every study that references them.
 //!
 //! Everything here is deterministic: the observable state of an
 //! [`Archive`] (membership, length, iteration order) is a pure function
@@ -25,11 +30,15 @@
 //! segments compacted.
 
 pub mod archive;
+pub mod bloom;
 pub mod codec;
 pub mod compact;
 pub mod error;
 pub mod segment;
+pub mod shared;
 
-pub use archive::Archive;
+pub use archive::{Archive, BloomStats};
+pub use bloom::Bloom;
 pub use compact::{CompactSet, BLOCK_CAP};
 pub use error::StoreError;
+pub use shared::{PoolStats, SegmentId, SegmentPool};

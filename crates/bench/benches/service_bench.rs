@@ -51,23 +51,50 @@ fn service_bench(c: &mut Criterion) {
 
     let dir = std::env::temp_dir().join(format!("service-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let mut svc = StudyService::new(ServiceConfig::unbounded(&dir, slice)).expect("service");
-    let ids: Vec<_> = configs.iter().map(|cfg| svc.submit(cfg.clone())).collect();
 
-    // --- Scheduling: tick to completion, sampling the live marginal
-    // resident bytes per active session at every step. ---
-    let sched_start = Instant::now();
-    let mut peak_marginal = 0usize;
-    let mut ticks = 0usize;
-    while !svc.idle() {
-        svc.tick().expect("tick");
-        ticks += 1;
-        if let Some(marginal) = svc.resident_bytes().checked_div(svc.active_count()) {
-            peak_marginal = peak_marginal.max(marginal);
+    // --- Scheduling: run the same matrix at each worker count, timing
+    // the tick loop and sampling the live marginal resident bytes per
+    // active session at every step. Worker count must change only
+    // wall-clock time, never an observable — asserted on study 0's
+    // report below. ---
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut parallel_runs: Vec<(usize, u128)> = Vec::new();
+    let mut kept: Option<(StudyService, Vec<service::StudyId>, usize, usize)> = None;
+    let mut reference_report: Option<String> = None;
+    for &workers in &worker_counts {
+        let run_dir = dir.join(format!("w{workers}"));
+        let mut svc =
+            StudyService::new(ServiceConfig::unbounded(&run_dir, slice).with_workers(workers))
+                .expect("service");
+        let ids: Vec<_> = configs.iter().map(|cfg| svc.submit(cfg.clone())).collect();
+        let sched_start = Instant::now();
+        let mut peak_marginal = 0usize;
+        let mut ticks = 0usize;
+        while !svc.idle() {
+            svc.tick().expect("tick");
+            ticks += 1;
+            if let Some(marginal) = svc.resident_bytes().checked_div(svc.active_count()) {
+                peak_marginal = peak_marginal.max(marginal);
+            }
+            assert!(ticks < 10_000, "scheduler failed to converge");
         }
-        assert!(ticks < 10_000, "scheduler failed to converge");
+        let sched_ns = sched_start.elapsed().as_nanos();
+        let report = svc.report_json(ids[0]).expect("study 0 completed");
+        match &reference_report {
+            None => reference_report = Some(report),
+            Some(expected) => assert_eq!(
+                &report, expected,
+                "study report diverged at workers={workers}"
+            ),
+        }
+        parallel_runs.push((workers, sched_ns));
+        if workers == 1 {
+            kept = Some((svc, ids, peak_marginal, ticks));
+        }
     }
-    let sched_ns = sched_start.elapsed().as_nanos();
+    let (svc, ids, peak_marginal, ticks) = kept.expect("workers=1 run kept");
+    let sched_ns = parallel_runs[0].1;
 
     let world_bytes = svc.world_resident_bytes();
     // What a standalone run of one of these studies keeps resident: its
@@ -127,12 +154,41 @@ fn service_bench(c: &mut Criterion) {
     );
 
     let pool = svc.segment_stats();
+    // --- Mmap economics: a completed (evicted-from-active) study's
+    // sets stay queryable through the pool, but their data bytes are
+    // now page-cache windows into the sealed files — the private heap
+    // left behind is just the fence indexes. The owned baseline is
+    // what the same pool cost before mmap backing: heap + data. ---
+    let pool_owned_baseline = pool.resident_bytes + pool.mapped_bytes;
+    let mapped_ratio = pool.resident_bytes as f64 / pool_owned_baseline.max(1) as f64;
+    if pool.mapped_segments > 0 {
+        assert!(
+            pool.resident_bytes < pool_owned_baseline,
+            "mapped segments must shed their data bytes from the heap"
+        );
+    }
     println!(
         "service/resident: world {world_bytes} B shared across {} studies, \
          peak marginal {peak_marginal} B/study ({:.1}% of a standalone footprint)",
         ids.len(),
         marginal_ratio * 100.0,
     );
+    println!(
+        "service/mmap: {} of {} pool segments mapped — {} B heap vs {} B owned baseline \
+         ({:.1}% resident)",
+        pool.mapped_segments,
+        pool.resident_segments,
+        pool.resident_bytes,
+        pool_owned_baseline,
+        mapped_ratio * 100.0,
+    );
+    let base_ns = parallel_runs[0].1.max(1);
+    for &(workers, ns) in &parallel_runs {
+        println!(
+            "service/parallel: workers={workers} sched {ns} ns (speedup {:.2}x, cpus {cpus})",
+            base_ns as f64 / ns.max(1) as f64,
+        );
+    }
     println!(
         "service/sched: {ticks} ticks, {} slices, {} seeded sets, {} pool dedups in {sched_ns} ns",
         counter("service_slices"),
@@ -155,6 +211,8 @@ fn service_bench(c: &mut Criterion) {
             "  \"standalone_footprint_bytes\": {},\n",
             "  \"marginal_ratio\": {:.4},\n",
             "  \"schedule\": {{\"ticks\": {}, \"slices\": {}, \"evictions\": {}, \"sets_seeded\": {}, \"pool_freeze_dedups\": {}, \"ns\": {}}},\n",
+            "  \"parallel\": {{\"cpus\": {}, \"runs\": [{}]}},\n",
+            "  \"mmap\": {{\"pool_segments\": {}, \"mapped_segments\": {}, \"pool_heap_bytes\": {}, \"pool_mapped_bytes\": {}, \"owned_baseline_bytes\": {}, \"resident_ratio\": {:.4}}},\n",
             "  \"queries\": {},\n",
             "  \"query_ns\": {},\n",
             "  \"queries_per_sec\": {},\n",
@@ -173,6 +231,21 @@ fn service_bench(c: &mut Criterion) {
         counter("service_sets_seeded"),
         pool.freeze_dedups,
         sched_ns,
+        cpus,
+        parallel_runs
+            .iter()
+            .map(|&(workers, ns)| format!(
+                "{{\"workers\": {workers}, \"sched_ns\": {ns}, \"speedup\": {:.3}}}",
+                base_ns as f64 / ns.max(1) as f64
+            ))
+            .collect::<Vec<_>>()
+            .join(", "),
+        pool.resident_segments,
+        pool.mapped_segments,
+        pool.resident_bytes,
+        pool.mapped_bytes,
+        pool_owned_baseline,
+        mapped_ratio,
         queries,
         query_ns,
         queries_per_sec,

@@ -276,8 +276,32 @@ fn store_bench(c: &mut Criterion) {
     });
     let sustained_distinct = sustained.len();
     let fragmented_bytes = sustained.heap_bytes();
+    // Adaptive cap: sustained ingest grew the memtable (bounded), so
+    // the 1/4 bound below is exercised at the grown cap, not the
+    // default.
+    let adaptive_cap = sustained.memtable_cap();
+    assert!(
+        adaptive_cap > store::archive::DEFAULT_MEMTABLE_CAP
+            && adaptive_cap <= store::archive::MAX_MEMTABLE_CAP,
+        "sustained ingest should grow the adaptive cap within bounds: {adaptive_cap}"
+    );
     let (_, optimize_ns) = time(|| sustained.optimize());
     let sustained_bytes = sustained.heap_bytes();
+    // Post-optimize bloom: one filter over every distinct address. The
+    // old power-of-two table rounded this worst case nearly 2x up
+    // (9.3M keys -> 16.8 MiB); the blocked layout must track ~8
+    // bits/key within one cache line.
+    let bloom_table_bytes = sustained.bloom_bytes();
+    let pow2_baseline_bytes = (sustained_distinct * 8).next_power_of_two().max(64) / 8;
+    let bloom_bits_per_key = bloom_table_bytes as f64 * 8.0 / sustained_distinct.max(1) as f64;
+    assert!(
+        bloom_table_bytes <= pow2_baseline_bytes,
+        "blocked bloom {bloom_table_bytes} B regressed past the pow2 baseline {pow2_baseline_bytes} B"
+    );
+    assert!(
+        bloom_bits_per_key < 9.0,
+        "blocked bloom overshoots the 8 bits/key target: {bloom_bits_per_key:.2}"
+    );
     // The honest baseline: the `HashSet<u128>` this archive replaced,
     // actually materialized over the same distinct addresses.
     let sustained_hash: HashSet<u128> = sustained.iter().map(u128::from).collect();
@@ -331,9 +355,14 @@ fn store_bench(c: &mut Criterion) {
     println!(
         "store/sustained: {sustained_n} addresses ({sustained_distinct} distinct) in {sustained_ns} ns \
          ({} addr/s) — {fragmented_bytes} B tiered, {sustained_bytes} B optimized \
-         ({:.2} B/addr) vs {sustained_hs_bytes} B HashSet baseline",
+         ({:.2} B/addr) vs {sustained_hs_bytes} B HashSet baseline, adaptive cap {adaptive_cap}",
         per_sec(sustained_n as usize, sustained_ns),
         per_addr_of(sustained_bytes, sustained_distinct),
+    );
+    println!(
+        "store/bloom-table: post-optimize {bloom_table_bytes} B ({bloom_bits_per_key:.2} bits/key) \
+         vs pow2 baseline {pow2_baseline_bytes} B ({:.2}x smaller)",
+        pow2_baseline_bytes as f64 / bloom_table_bytes.max(1) as f64,
     );
 
     let json = format!(
@@ -353,8 +382,8 @@ fn store_bench(c: &mut Criterion) {
             "  \"kway_merge\": {{\"streams\": {}, \"addresses\": {}, \"union_all_ns\": {}, \"addresses_per_sec\": {}}},\n",
             "  \"overlap_shared\": {},\n",
             "  \"overlap_ns\": {{\"compact\": {}, \"hashset\": {}}},\n",
-            "  \"bloom\": {{\"candidates\": {}, \"pruned\": {}, \"prune_ratio\": {:.4}, \"absent_probes\": {}, \"absent_hits\": {}, \"lookup_ns\": {{\"present\": {}, \"absent\": {}}}}},\n",
-            "  \"sustained_ingest\": {{\"addresses\": {}, \"distinct\": {}, \"ingest_ns\": {}, \"addresses_per_sec\": {}, \"tiered_bytes\": {}, \"optimize_ns\": {}, \"optimized_bytes\": {}, \"bytes_per_addr\": {:.2}, \"hashset_bytes\": {}, \"quarter_bound_ok\": true}}\n",
+            "  \"bloom\": {{\"candidates\": {}, \"pruned\": {}, \"prune_ratio\": {:.4}, \"absent_probes\": {}, \"absent_hits\": {}, \"lookup_ns\": {{\"present\": {}, \"absent\": {}}}, \"post_optimize_table_bytes\": {}, \"pow2_baseline_bytes\": {}, \"bits_per_key\": {:.2}}},\n",
+            "  \"sustained_ingest\": {{\"addresses\": {}, \"distinct\": {}, \"ingest_ns\": {}, \"addresses_per_sec\": {}, \"tiered_bytes\": {}, \"optimize_ns\": {}, \"optimized_bytes\": {}, \"bytes_per_addr\": {:.2}, \"hashset_bytes\": {}, \"adaptive_memtable_cap\": {}, \"quarter_bound_ok\": true}}\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
@@ -388,6 +417,9 @@ fn store_bench(c: &mut Criterion) {
         absent_hits,
         lookup_present_ns,
         lookup_absent_ns,
+        bloom_table_bytes,
+        pow2_baseline_bytes,
+        bloom_bits_per_key,
         sustained_n,
         sustained_distinct,
         sustained_ns,
@@ -397,6 +429,7 @@ fn store_bench(c: &mut Criterion) {
         sustained_bytes,
         per_addr_of(sustained_bytes, sustained_distinct),
         sustained_hs_bytes,
+        adaptive_cap,
     );
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-reports");
     std::fs::create_dir_all(&dir).expect("create target/bench-reports");

@@ -322,6 +322,19 @@ impl StudySession {
     }
 }
 
+/// The study service's worker pool moves whole sessions onto scoped
+/// worker threads for a slice and back; that is only sound if every
+/// field — including the boxed `dyn Transport`, whose trait bound is
+/// `Send + Sync` — travels. Assert it at compile time so a future field
+/// (an `Rc`, a raw pointer, a non-`Send` trait object) fails here, with
+/// a readable error, rather than deep inside the service's
+/// `thread::scope`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<StudySession>();
+    assert_send::<CheckpointData>();
+};
+
 impl std::fmt::Debug for StudySession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StudySession")

@@ -18,29 +18,40 @@
 //! * **Shared segments** — sealed compact sets from completed studies
 //!   are frozen into a content-addressed [`SegmentPool`]; identical
 //!   sets (e.g. the hitlist baseline of every study over one world)
-//!   converge on one file and one resident copy, and seed the derived
-//!   cells of later studies so they are never rebuilt.
-//! * **Deterministic cooperative scheduling** — each [`StudyService::tick`]
-//!   admits queued studies in id order up to the admission budget,
-//!   advances every active [`StudySession`] by one slice, completes
-//!   finished ones, and then enforces the resident-bytes budget by
-//!   evicting the highest-id sessions to on-disk checkpoints
-//!   ([`timetoscan::checkpoint`]). An evicted study resumes
-//!   byte-identically — eviction is checkpoint/resume used as
-//!   admission control.
-//! * **Memoized queries** — [`StudyService::report`],
-//!   [`StudyService::set`], and [`StudyService::overlap`] serve run
-//!   reports, compact sets, and overlap counts from service-level
-//!   caches keyed by study id and [`SetKind`].
+//!   converge on one file and one resident copy — served zero-copy from
+//!   the mmap'd sealed file — and seed the derived cells of later
+//!   studies so they are never rebuilt.
+//! * **Deterministic parallel scheduling** — each [`StudyService::tick`]
+//!   admits queued studies in id order up to the admission budget, fans
+//!   active [`StudySession`]s out over a pool of
+//!   [`ServiceConfig::workers`] scoped threads for their slice, then
+//!   applies every result (telemetry, completion, segment-pool
+//!   contributions) *sequentially in study-id order*. Sessions never
+//!   share mutable state while advancing and the apply order is fixed,
+//!   so every observable — study reports, set contents, service
+//!   telemetry — is byte-identical at any worker count.
+//! * **Budget-driven eviction** — after each tick the resident-bytes
+//!   budget is enforced by suspending the *largest* session (by
+//!   [`StudySession::resident_bytes`], ties broken by study id) to an
+//!   on-disk checkpoint ([`timetoscan::checkpoint`]). An evicted study
+//!   resumes byte-identically — eviction is checkpoint/resume used as
+//!   admission control — and each victim's size lands in the
+//!   `service_evicted_bytes` counter.
+//! * **Concurrent memoized queries** — completed-study state (reports,
+//!   frozen set ids, overlap memos) lives behind an `Arc`-shared
+//!   [`QueryClient`]: [`StudyService::queries`] hands out cheap clones
+//!   that serve [`QueryClient::report`], [`QueryClient::set`], and
+//!   [`QueryClient::overlap`] from any thread *while the scheduler
+//!   ticks*, with query/cache counters folded into the service report.
 //!
 //! Everything observable is bit-identical to standalone runs: every
 //! completed study's [`Study::run_report`](timetoscan::Study::run_report) equals the report an
 //! uninterrupted `Study::run` of the same config produces, across both
-//! pipeline modes, any shard count, and any number of forced evictions
-//! (enforced by `tests/service.rs`). The service's own telemetry —
-//! admissions, evictions, resumes, completions, query and cache
-//! counters — is itself deterministic and exported as a canonical
-//! [`RunReport`].
+//! pipeline modes, any shard count, any number of forced evictions,
+//! and any worker count (enforced by `tests/service.rs`). The
+//! service's own telemetry — admissions, evictions, resumes,
+//! completions, query and cache counters — is itself deterministic and
+//! exported as a canonical [`RunReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,7 +62,8 @@ use netsim::time::Duration;
 use netsim::world::{World, WorldConfig};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use store::{CompactSet, SegmentId, SegmentPool, StoreError};
 use telemetry::{Registry, RunReport};
 use timetoscan::checkpoint;
@@ -67,10 +79,16 @@ pub struct ServiceConfig {
     /// Budget for the summed *marginal* resident bytes of active
     /// sessions ([`StudySession::resident_bytes`] — the shared world is
     /// deliberately outside it). When exceeded after a tick's advances,
-    /// the highest-id sessions are evicted to disk until the total fits
+    /// the largest sessions are evicted to disk until the total fits
     /// (at least one session always stays resident so the service makes
     /// progress).
     pub max_resident_bytes: usize,
+    /// Worker threads a tick fans active sessions over. `1` advances
+    /// inline on the caller's thread; higher counts use scoped threads.
+    /// Results are applied sequentially in study-id order either way,
+    /// so the worker count is *never observable* in any report — it
+    /// only changes wall-clock time.
+    pub workers: usize,
     /// Root directory: `segments/` holds the shared segment pool,
     /// `study-<id>/` the eviction checkpoints.
     pub dir: PathBuf,
@@ -78,15 +96,27 @@ pub struct ServiceConfig {
 
 impl ServiceConfig {
     /// A config with effectively unbounded budgets — scheduling without
-    /// eviction pressure.
+    /// eviction pressure — and the default worker pool.
     pub fn unbounded(dir: impl Into<PathBuf>, slice: Duration) -> ServiceConfig {
         ServiceConfig {
             slice,
             max_active: usize::MAX,
             max_resident_bytes: usize::MAX,
+            workers: default_workers(),
             dir: dir.into(),
         }
     }
+
+    /// The same config with `workers` worker threads per tick.
+    pub fn with_workers(mut self, workers: usize) -> ServiceConfig {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// The default tick worker count: the host's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Handle to a submitted study. Ids are assigned in submission order
@@ -108,6 +138,7 @@ pub struct TickStats {
 }
 
 /// A completed study's cached artifacts.
+#[derive(Debug)]
 struct Completed {
     report: RunReport,
     report_json: String,
@@ -122,8 +153,8 @@ enum Slot {
     /// Suspended to `study-<id>/` by the budget; config kept for the
     /// world lookup on readmission.
     Evicted(StudyConfig),
-    /// Finished: report cached, sets frozen into the pool.
-    Done(Completed),
+    /// Finished: report and sets live in the shared [`QueryState`].
+    Done,
 }
 
 /// Cache key for derived sets that are pure functions of the world and
@@ -155,18 +186,169 @@ fn shared_set_key(config: &StudyConfig, kind: SetKind) -> Option<SharedSetKey> {
     })
 }
 
+/// Immutable-once-published completed-study state, shared between the
+/// service and every [`QueryClient`]. Entries are only ever *added*
+/// (by [`StudyService::tick`], under short write locks); queries take
+/// read locks and atomics, so any number of threads can serve while
+/// the scheduler runs.
+struct QueryState {
+    /// The shared content-addressed segment pool (internally synced).
+    segments: SegmentPool,
+    /// Completed studies' cached reports, keyed by study id.
+    completed: RwLock<HashMap<u32, Arc<Completed>>>,
+    /// Frozen segment of each completed study's compact sets.
+    sets: RwLock<HashMap<(u32, SetKind), SegmentId>>,
+    /// Memoized overlap counts, keyed `(low id, high id, kind)`.
+    overlaps: RwLock<HashMap<(u32, u32, SetKind), u64>>,
+    /// Query accounting. Kept in atomics (not the registry) so `&self`
+    /// queries work from any thread; folded into the deterministic
+    /// registry snapshot by [`StudyService::run_report`]. A *sum* of
+    /// increments is order-independent, so the fold is deterministic
+    /// for a given query multiset.
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl QueryState {
+    fn count(&self, hit: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let c = if hit {
+            &self.cache_hits
+        } else {
+            &self.cache_misses
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A cheap, cloneable, thread-safe handle to the service's completed
+/// studies: reports, frozen sets, and overlap memos. Obtained from
+/// [`StudyService::queries`]; every clone shares the same state and
+/// counters, and all methods take `&self`, so clients on other threads
+/// keep serving while [`StudyService::tick`] runs.
+#[derive(Clone)]
+pub struct QueryClient {
+    state: Arc<QueryState>,
+}
+
+impl QueryClient {
+    /// The completed study's canonical run report, if it has finished.
+    pub fn report(&self, id: StudyId) -> Option<RunReport> {
+        let got = self
+            .state
+            .completed
+            .read()
+            .expect("query state poisoned")
+            .get(&id.0)
+            .cloned();
+        self.state.count(got.is_some());
+        got.map(|c| c.report.clone())
+    }
+
+    /// The completed study's report as canonical JSON — byte-identical
+    /// to `Study::run(config).run_report().to_json()`.
+    pub fn report_json(&self, id: StudyId) -> Option<String> {
+        let got = self
+            .state
+            .completed
+            .read()
+            .expect("query state poisoned")
+            .get(&id.0)
+            .cloned();
+        self.state.count(got.is_some());
+        got.map(|c| c.report_json.clone())
+    }
+
+    /// A completed study's compact set, served from the shared segment
+    /// pool (resident mmap-backed `Arc` when cached, re-mapped from
+    /// disk otherwise).
+    pub fn set(&self, id: StudyId, kind: SetKind) -> Result<Option<Arc<CompactSet>>, StoreError> {
+        let seg = self
+            .state
+            .sets
+            .read()
+            .expect("query state poisoned")
+            .get(&(id.0, kind))
+            .copied();
+        let Some(seg) = seg else {
+            self.state.count(false);
+            return Ok(None);
+        };
+        let hits_before = self.state.segments.stats().cache_hits;
+        let set = self.state.segments.open(seg)?;
+        self.state
+            .count(self.state.segments.stats().cache_hits > hits_before);
+        Ok(Some(set))
+    }
+
+    /// Overlap count between two completed studies' sets of `kind`,
+    /// memoized service-side (symmetric in the ids).
+    pub fn overlap(
+        &self,
+        a: StudyId,
+        b: StudyId,
+        kind: SetKind,
+    ) -> Result<Option<u64>, StoreError> {
+        let key = if a.0 <= b.0 {
+            (a.0, b.0, kind)
+        } else {
+            (b.0, a.0, kind)
+        };
+        if let Some(&n) = self
+            .state
+            .overlaps
+            .read()
+            .expect("query state poisoned")
+            .get(&key)
+        {
+            self.state.count(true);
+            return Ok(Some(n));
+        }
+        self.state.count(false);
+        let (sa, sb) = {
+            let sets = self.state.sets.read().expect("query state poisoned");
+            match (sets.get(&(key.0, kind)), sets.get(&(key.1, kind))) {
+                (Some(&sa), Some(&sb)) => (sa, sb),
+                _ => return Ok(None),
+            }
+        };
+        let (set_a, set_b) = (self.state.segments.open(sa)?, self.state.segments.open(sb)?);
+        let n = set_a.overlap_count(&set_b) as u64;
+        self.state
+            .overlaps
+            .write()
+            .expect("query state poisoned")
+            .insert(key, n);
+        Ok(Some(n))
+    }
+}
+
+impl std::fmt::Debug for QueryClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryClient")
+            .field(
+                "completed",
+                &self
+                    .state
+                    .completed
+                    .read()
+                    .expect("query state poisoned")
+                    .len(),
+            )
+            .finish()
+    }
+}
+
 /// The long-running study service. See the crate docs.
 pub struct StudyService {
     config: ServiceConfig,
     slots: Vec<Slot>,
     worlds: HashMap<WorldConfig, Arc<World>>,
-    segments: SegmentPool,
-    /// Frozen segment of each completed study's compact sets.
-    sets: HashMap<(u32, SetKind), SegmentId>,
+    /// Completed-study state shared with every [`QueryClient`].
+    query: Arc<QueryState>,
     /// World-determined sets already frozen by an earlier study.
     shared_sets: HashMap<SharedSetKey, SegmentId>,
-    /// Memoized overlap counts, keyed `(low id, high id, kind)`.
-    overlaps: HashMap<(u32, u32, SetKind), u64>,
     reg: Registry,
 }
 
@@ -178,10 +360,16 @@ impl StudyService {
             config,
             slots: Vec::new(),
             worlds: HashMap::new(),
-            segments,
-            sets: HashMap::new(),
+            query: Arc::new(QueryState {
+                segments,
+                completed: RwLock::new(HashMap::new()),
+                sets: RwLock::new(HashMap::new()),
+                overlaps: RwLock::new(HashMap::new()),
+                queries: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                cache_misses: AtomicU64::new(0),
+            }),
             shared_sets: HashMap::new(),
-            overlaps: HashMap::new(),
             reg: Registry::new(),
         })
     }
@@ -193,9 +381,18 @@ impl StudyService {
         id
     }
 
+    /// A thread-safe handle to the completed-study query path. Clones
+    /// are cheap; all methods take `&self` and can run concurrently
+    /// with [`StudyService::tick`] on this service.
+    pub fn queries(&self) -> QueryClient {
+        QueryClient {
+            state: Arc::clone(&self.query),
+        }
+    }
+
     /// All submitted studies have completed.
     pub fn idle(&self) -> bool {
-        self.slots.iter().all(|s| matches!(s, Slot::Done(_)))
+        self.slots.iter().all(|s| matches!(s, Slot::Done))
     }
 
     /// The shared snapshot for `wc`, generating it on first use.
@@ -243,13 +440,22 @@ impl StudyService {
 
     /// Usage counters of the shared segment pool.
     pub fn segment_stats(&self) -> store::PoolStats {
-        self.segments.stats()
+        self.query.segments.stats()
     }
 
     /// One deterministic scheduling round: admit (ascending id, up to
-    /// `max_active`), advance every active session by one slice,
-    /// complete finished studies, then enforce the resident-bytes
-    /// budget by evicting from the highest id down.
+    /// `max_active`), fan every active session out over the worker pool
+    /// for one slice, apply the results in ascending id order
+    /// (telemetry, completions, segment freezes), then enforce the
+    /// resident-bytes budget by evicting the largest session until the
+    /// total fits.
+    ///
+    /// The fan-out is a pure plan/apply split: workers only ever touch
+    /// the one session they were handed (sessions are `Send` and share
+    /// no mutable state), and every side effect on the service — the
+    /// registry, the pool, the query state — happens on the calling
+    /// thread afterwards, in id order. Observable state is therefore
+    /// independent of [`ServiceConfig::workers`].
     pub fn tick(&mut self) -> Result<TickStats, StoreError> {
         let mut stats = TickStats::default();
 
@@ -279,35 +485,56 @@ impl StudyService {
             }
         }
 
-        // --- Advance, ascending id; complete as sessions finish. ---
+        // --- Plan: pull every active session out of its slot. ---
+        let mut work: Vec<(usize, Box<StudySession>, bool)> = Vec::new();
         for i in 0..self.slots.len() {
-            let done = match &mut self.slots[i] {
-                Slot::Active(session) => {
-                    let done = session.advance(self.config.slice);
-                    self.reg.add(metrics::SERVICE_SLICES, 1);
-                    stats.advanced += 1;
-                    done
-                }
-                _ => continue,
-            };
-            if done {
-                let slot = std::mem::replace(
-                    &mut self.slots[i],
-                    Slot::Done(Completed {
-                        report: RunReport::default(),
-                        report_json: String::new(),
-                    }),
-                );
+            if matches!(self.slots[i], Slot::Active(_)) {
+                let slot = std::mem::replace(&mut self.slots[i], Slot::Queued(placeholder()));
                 let Slot::Active(session) = slot else {
                     unreachable!("slot was Active above")
                 };
-                let completed = self.complete(i as u32, *session)?;
-                self.slots[i] = Slot::Done(completed);
-                stats.completed += 1;
+                work.push((i, session, false));
             }
         }
 
-        // --- Budget: evict highest id first, keep one session. ---
+        // --- Advance: fan out over the worker pool. Each worker owns
+        // its chunk of sessions exclusively; nothing else is shared. ---
+        let slice = self.config.slice;
+        let workers = self.config.workers.clamp(1, work.len().max(1));
+        if workers <= 1 {
+            for (_, session, done) in &mut work {
+                *done = session.advance(slice);
+            }
+        } else {
+            let chunk = work.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for part in work.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for (_, session, done) in part {
+                            *done = session.advance(slice);
+                        }
+                    });
+                }
+            });
+        }
+
+        // --- Apply, ascending id (`work` is id-sorted by build order):
+        // counters, completions, and pool contributions land in the
+        // same sequence regardless of which worker ran what. ---
+        for (i, session, done) in work {
+            self.reg.add(metrics::SERVICE_SLICES, 1);
+            stats.advanced += 1;
+            if done {
+                self.complete(i as u32, *session)?;
+                self.slots[i] = Slot::Done;
+                stats.completed += 1;
+            } else {
+                self.slots[i] = Slot::Active(session);
+            }
+        }
+
+        // --- Budget: evict the largest resident session (ties broken
+        // toward the higher id), keep at least one. ---
         loop {
             let active: Vec<(usize, usize)> = self
                 .slots
@@ -322,7 +549,10 @@ impl StudyService {
             if active.len() <= 1 || total <= self.config.max_resident_bytes {
                 break;
             }
-            let (victim, _) = *active.last().expect("len > 1");
+            let (victim, bytes) = *active
+                .iter()
+                .max_by_key(|&&(i, b)| (b, i))
+                .expect("len > 1");
             let slot = std::mem::replace(&mut self.slots[victim], Slot::Queued(placeholder()));
             let Slot::Active(session) = slot else {
                 unreachable!("victim was Active above")
@@ -331,6 +561,7 @@ impl StudyService {
             checkpoint::write(&session.into_checkpoint(), &self.study_dir(victim as u32))?;
             self.slots[victim] = Slot::Evicted(cfg);
             self.reg.add(metrics::SERVICE_EVICTIONS, 1);
+            self.reg.add(metrics::SERVICE_EVICTED_BYTES, bytes as u64);
             stats.evicted += 1;
         }
 
@@ -350,7 +581,7 @@ impl StudyService {
             .map(|s| match s {
                 Slot::Queued(c) | Slot::Evicted(c) => slices_per_study(c),
                 Slot::Active(sess) => slices_per_study(sess.config()),
-                Slot::Done(_) => 0,
+                Slot::Done => 0,
             })
             .sum::<usize>()
             * self.slots.len().max(1)
@@ -367,23 +598,29 @@ impl StudyService {
     /// Finishes a completed session: runs the pipeline remainder over
     /// the shared world, seeds world-determined derived sets from
     /// earlier studies' frozen segments, freezes all four compact sets
-    /// into the pool, and caches the canonical report.
-    fn complete(&mut self, id: u32, session: StudySession) -> Result<Completed, StoreError> {
+    /// into the pool, and publishes the canonical report to the shared
+    /// query state.
+    fn complete(&mut self, id: u32, session: StudySession) -> Result<(), StoreError> {
         let study = session.finish();
         for kind in SetKind::ALL {
             if let Some(key) = shared_set_key(&study.config, kind) {
                 if let Some(&seg) = self.shared_sets.get(&key) {
-                    study.derived_cells.seed(kind, self.segments.open(seg)?);
+                    study
+                        .derived_cells
+                        .seed(kind, self.query.segments.open(seg)?);
                 }
             }
         }
         let derived = study.derived();
-        for kind in SetKind::ALL {
-            let set = derived.compact_set_shared(kind);
-            let seg = self.segments.freeze(&set)?;
-            self.sets.insert((id, kind), seg);
-            if let Some(key) = shared_set_key(&study.config, kind) {
-                self.shared_sets.entry(key).or_insert(seg);
+        {
+            let mut sets = self.query.sets.write().expect("query state poisoned");
+            for kind in SetKind::ALL {
+                let set = derived.compact_set_shared(kind);
+                let seg = self.query.segments.freeze(&set)?;
+                sets.insert((id, kind), seg);
+                if let Some(key) = shared_set_key(&study.config, kind) {
+                    self.shared_sets.entry(key).or_insert(seg);
+                }
             }
         }
         let cells = study.derived_cells.stats();
@@ -394,96 +631,55 @@ impl StudyService {
         self.reg.add(metrics::SERVICE_COMPLETIONS, 1);
         let report = study.run_report();
         let report_json = report.to_json();
-        Ok(Completed {
-            report,
-            report_json,
-        })
+        self.query
+            .completed
+            .write()
+            .expect("query state poisoned")
+            .insert(
+                id,
+                Arc::new(Completed {
+                    report,
+                    report_json,
+                }),
+            );
+        Ok(())
     }
 
     /// The completed study's canonical run report, if it has finished.
-    pub fn report(&mut self, id: StudyId) -> Option<&RunReport> {
-        self.count_query(matches!(self.slots.get(id.0 as usize), Some(Slot::Done(_))));
-        match self.slots.get(id.0 as usize) {
-            Some(Slot::Done(c)) => Some(&c.report),
-            _ => None,
-        }
+    /// (Convenience for [`StudyService::queries`]`().report(..)`.)
+    pub fn report(&self, id: StudyId) -> Option<RunReport> {
+        self.queries().report(id)
     }
 
     /// The completed study's report as canonical JSON — byte-identical
     /// to `Study::run(config).run_report().to_json()`.
-    pub fn report_json(&mut self, id: StudyId) -> Option<&str> {
-        self.count_query(matches!(self.slots.get(id.0 as usize), Some(Slot::Done(_))));
-        match self.slots.get(id.0 as usize) {
-            Some(Slot::Done(c)) => Some(&c.report_json),
-            _ => None,
-        }
+    pub fn report_json(&self, id: StudyId) -> Option<String> {
+        self.queries().report_json(id)
     }
 
     /// A completed study's compact set, served from the shared segment
-    /// pool (resident `Arc` when cached, re-read from disk otherwise).
-    pub fn set(
-        &mut self,
-        id: StudyId,
-        kind: SetKind,
-    ) -> Result<Option<Arc<CompactSet>>, StoreError> {
-        self.reg.add(metrics::SERVICE_QUERIES, 1);
-        let Some(&seg) = self.sets.get(&(id.0, kind)) else {
-            self.reg.add(metrics::SERVICE_CACHE_MISSES, 1);
-            return Ok(None);
-        };
-        let resident_before = self.segments.stats().cache_hits;
-        let set = self.segments.open(seg)?;
-        let key = if self.segments.stats().cache_hits > resident_before {
-            metrics::SERVICE_CACHE_HITS
-        } else {
-            metrics::SERVICE_CACHE_MISSES
-        };
-        self.reg.add(key, 1);
-        Ok(Some(set))
+    /// pool (resident `Arc` when cached, re-mapped from disk
+    /// otherwise).
+    pub fn set(&self, id: StudyId, kind: SetKind) -> Result<Option<Arc<CompactSet>>, StoreError> {
+        self.queries().set(id, kind)
     }
 
     /// Overlap count between two completed studies' sets of `kind`,
     /// memoized service-side (symmetric in the ids).
     pub fn overlap(
-        &mut self,
+        &self,
         a: StudyId,
         b: StudyId,
         kind: SetKind,
     ) -> Result<Option<u64>, StoreError> {
-        self.reg.add(metrics::SERVICE_QUERIES, 1);
-        let key = if a.0 <= b.0 {
-            (a.0, b.0, kind)
-        } else {
-            (b.0, a.0, kind)
-        };
-        if let Some(&n) = self.overlaps.get(&key) {
-            self.reg.add(metrics::SERVICE_CACHE_HITS, 1);
-            return Ok(Some(n));
-        }
-        self.reg.add(metrics::SERVICE_CACHE_MISSES, 1);
-        let (Some(&sa), Some(&sb)) = (self.sets.get(&(key.0, kind)), self.sets.get(&(key.1, kind)))
-        else {
-            return Ok(None);
-        };
-        let (set_a, set_b) = (self.segments.open(sa)?, self.segments.open(sb)?);
-        let n = set_a.overlap_count(&set_b) as u64;
-        self.overlaps.insert(key, n);
-        Ok(Some(n))
-    }
-
-    fn count_query(&mut self, hit: bool) {
-        self.reg.add(metrics::SERVICE_QUERIES, 1);
-        let key = if hit {
-            metrics::SERVICE_CACHE_HITS
-        } else {
-            metrics::SERVICE_CACHE_MISSES
-        };
-        self.reg.add(key, 1);
+        self.queries().overlap(a, b, kind)
     }
 
     /// The service's own canonical telemetry report: admission,
     /// eviction, resume, completion, slice, query, and cache counters.
-    /// Deterministic for a given submission and query sequence.
+    /// Deterministic for a given submission and query sequence — and
+    /// independent of [`ServiceConfig::workers`], which deliberately
+    /// appears nowhere in the meta or counters.
     pub fn run_report(&self) -> RunReport {
         let studies = self.slots.len().to_string();
         let max_active = if self.config.max_active == usize::MAX {
@@ -492,6 +688,22 @@ impl StudyService {
             self.config.max_active.to_string()
         };
         let slice = self.config.slice.as_secs().to_string();
+        // Fold the query-path atomics into a snapshot of the scheduler
+        // registry: sums are order-independent, so the folded counters
+        // depend only on the multiset of queries served.
+        let mut reg = self.reg.clone();
+        reg.add(
+            metrics::SERVICE_QUERIES,
+            self.query.queries.load(Ordering::Relaxed),
+        );
+        reg.add(
+            metrics::SERVICE_CACHE_HITS,
+            self.query.cache_hits.load(Ordering::Relaxed),
+        );
+        reg.add(
+            metrics::SERVICE_CACHE_MISSES,
+            self.query.cache_misses.load(Ordering::Relaxed),
+        );
         RunReport::new(
             &[
                 ("component", "study_service"),
@@ -499,7 +711,7 @@ impl StudyService {
                 ("slice_secs", &slice),
                 ("studies", &studies),
             ],
-            &self.reg.snapshot(),
+            &reg.snapshot(),
         )
     }
 }
@@ -515,6 +727,7 @@ impl std::fmt::Debug for StudyService {
         f.debug_struct("StudyService")
             .field("studies", &self.slots.len())
             .field("active", &self.active_count())
+            .field("workers", &self.config.workers)
             .field("resident_bytes", &self.resident_bytes())
             .field("worlds", &self.worlds.len())
             .finish()

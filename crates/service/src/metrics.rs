@@ -14,6 +14,10 @@ pub const SERVICE_ADMISSIONS: Key = Key::bare("service_admissions");
 pub const SERVICE_RESUMES: Key = Key::bare("service_resumes");
 /// Active sessions suspended to disk by the resident-bytes budget.
 pub const SERVICE_EVICTIONS: Key = Key::bare("service_evictions");
+/// Summed [`timetoscan::StudySession::resident_bytes`] of eviction
+/// victims at the moment they were suspended — the budget pressure the
+/// largest-resident-first policy relieved.
+pub const SERVICE_EVICTED_BYTES: Key = Key::bare("service_evicted_bytes");
 /// Studies run to completion (report extracted, sets frozen).
 pub const SERVICE_COMPLETIONS: Key = Key::bare("service_completions");
 /// Cooperative slices executed across all sessions.

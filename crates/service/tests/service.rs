@@ -44,8 +44,8 @@ fn concurrent_studies_over_one_world_match_standalone() {
     // Byte-identical canonical reports for every study in the matrix.
     for (id, baseline) in ids.iter().zip(&baselines) {
         let expected = baseline.run_report().to_json();
-        assert_eq!(svc.report_json(*id), Some(expected.as_str()));
-        assert_eq!(svc.report(*id), Some(&baseline.run_report()));
+        assert_eq!(svc.report_json(*id).as_deref(), Some(expected.as_str()));
+        assert_eq!(svc.report(*id), Some(baseline.run_report()));
     }
 
     // One world config means exactly one generated snapshot; the other
@@ -116,6 +116,7 @@ fn tight_budget_evicts_and_restores_bit_identically() {
         slice: Duration::hours(30),
         max_active: 2,
         max_resident_bytes: 1,
+        workers: 2,
         dir: dir.clone(),
     })
     .expect("service");
@@ -135,9 +136,122 @@ fn tight_budget_evicts_and_restores_bit_identically() {
     // Forced suspend/resume cycles must not perturb a single bit of
     // any study's canonical report.
     for (id, expected) in ids.iter().zip(&baselines) {
-        assert_eq!(svc.report_json(*id), Some(expected.as_str()));
+        assert_eq!(svc.report_json(*id).as_deref(), Some(expected.as_str()));
     }
 
+    // The victim's size is surfaced: the largest-resident-first policy
+    // always evicts sessions with real state.
+    assert!(report.metrics.counter_total("service_evicted_bytes") > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs the whole matrix at one worker count and returns every
+/// observable: per-study report JSON, set lengths, one overlap, and the
+/// service's own canonical report.
+fn run_matrix(
+    workers: usize,
+    evict: bool,
+) -> (Vec<Option<String>>, Vec<usize>, Option<u64>, String) {
+    let dir = temp_dir(&format!("matrix-w{workers}-e{evict}"));
+    let config = if evict {
+        ServiceConfig {
+            slice: Duration::hours(30),
+            max_active: 2,
+            max_resident_bytes: 1,
+            workers,
+            dir: dir.clone(),
+        }
+    } else {
+        ServiceConfig::unbounded(&dir, Duration::hours(36)).with_workers(workers)
+    };
+    let mut svc = StudyService::new(config).expect("service");
+    let ids: Vec<_> = matrix().iter().map(|c| svc.submit(c.clone())).collect();
+    svc.run_to_completion().expect("run to completion");
+    let reports: Vec<Option<String>> = ids.iter().map(|id| svc.report_json(*id)).collect();
+    let mut lens = Vec::new();
+    for id in &ids {
+        for kind in SetKind::ALL {
+            lens.push(svc.set(*id, kind).expect("io").expect("completed").len());
+        }
+    }
+    let overlap = svc.overlap(ids[0], ids[2], SetKind::Ours).expect("io");
+    let service_report = svc.run_report().to_json();
+    let _ = std::fs::remove_dir_all(&dir);
+    (reports, lens, overlap, service_report)
+}
+
+/// The tentpole determinism bar: every observable — study reports,
+/// served sets, overlaps, and the service's own telemetry report — is
+/// byte-identical across worker counts {1, 2, 4, 8}, both with and
+/// without budget-forced evictions (the matrix spans both pipeline
+/// modes and flat + sharded engines).
+#[test]
+fn observables_identical_across_worker_counts() {
+    for evict in [false, true] {
+        let baseline = run_matrix(1, evict);
+        for workers in [2, 4, 8] {
+            let got = run_matrix(workers, evict);
+            assert_eq!(got, baseline, "workers={workers} evict={evict} diverged");
+        }
+    }
+}
+
+/// Queries keep serving from another thread while the scheduler ticks:
+/// the query client is `Send + Sync`, already-completed studies stay
+/// readable mid-tick, and the answers match what the service reports
+/// after the run.
+#[test]
+fn queries_serve_concurrently_with_ticks() {
+    let dir = temp_dir("concurrent-queries");
+    let mut svc =
+        StudyService::new(ServiceConfig::unbounded(&dir, Duration::hours(36)).with_workers(2))
+            .expect("service");
+    let ids: Vec<_> = matrix().iter().map(|c| svc.submit(c.clone())).collect();
+
+    // Complete study 0 first so the concurrent reader has something to
+    // serve while later studies still tick.
+    while svc.report_json(ids[0]).is_none() {
+        svc.tick().expect("tick");
+    }
+    let first_json = svc.report_json(ids[0]).expect("study 0 completed");
+    let first_len = svc
+        .set(ids[0], SetKind::Ours)
+        .expect("io")
+        .expect("completed")
+        .len();
+
+    let client = svc.queries();
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            // Hammer the query path until every study is done; each
+            // answer must be internally consistent the whole time.
+            let mut served = 0u64;
+            loop {
+                match client.report_json(ids[0]) {
+                    Some(json) => {
+                        assert_eq!(json, first_json);
+                        served += 1;
+                    }
+                    None => panic!("completed study became unreadable"),
+                }
+                let set = client.set(ids[0], SetKind::Ours).expect("io");
+                assert_eq!(set.expect("completed").len(), first_len);
+                if client.report(ids[3]).is_some() {
+                    return served;
+                }
+            }
+        });
+        // Tick the scheduler to completion on this thread while the
+        // reader runs on the other.
+        while !svc.idle() {
+            svc.tick().expect("tick");
+        }
+        assert!(reader.join().expect("reader panicked") > 0);
+    });
+
+    // The concurrent traffic changed no study observable.
+    assert_eq!(svc.report_json(ids[0]), Some(first_json));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -36,8 +36,16 @@ use std::net::Ipv6Addr;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Default memtable spill threshold.
+/// Default (initial) memtable spill threshold.
 pub const DEFAULT_MEMTABLE_CAP: usize = 1 << 16;
+/// Ceiling for the adaptive memtable cap: sustained ingest may grow the
+/// memtable to amortize spills, but never past ~1M resident keys.
+pub const MAX_MEMTABLE_CAP: usize = 1 << 20;
+/// Adaptive growth cadence: after this many spills at one cap the cap
+/// doubles (bounded by [`MAX_MEMTABLE_CAP`]). A workload that spills
+/// often is ingesting fast enough that a bigger memtable pays for
+/// itself in fewer, larger, better-packed segments.
+const SPILLS_PER_GROWTH: u32 = 4;
 /// Default per-size-class fanout before tiered compaction merges the
 /// class.
 pub const DEFAULT_FANOUT: usize = 8;
@@ -85,6 +93,11 @@ pub struct Archive {
     /// function of each segment's contents.
     blooms: Vec<Bloom>,
     memtable_cap: usize,
+    /// Whether the cap grows with sustained ingest. Fixed-cap archives
+    /// ([`Archive::with_memtable_cap`]) keep their exact spill schedule.
+    adaptive: bool,
+    /// Spills since the cap last grew (adaptive mode only).
+    spills_at_cap: u32,
     fanout: usize,
     /// Lookup accounting (relaxed: counters only, never observable in
     /// deterministic state).
@@ -99,6 +112,8 @@ impl Clone for Archive {
             segments: self.segments.clone(),
             blooms: self.blooms.clone(),
             memtable_cap: self.memtable_cap,
+            adaptive: self.adaptive,
+            spills_at_cap: self.spills_at_cap,
             fanout: self.fanout,
             bloom_candidates: AtomicU64::new(self.bloom_candidates.load(Ordering::Relaxed)),
             bloom_pruned: AtomicU64::new(self.bloom_pruned.load(Ordering::Relaxed)),
@@ -113,18 +128,28 @@ impl Default for Archive {
 }
 
 impl Archive {
-    /// An empty archive with default memtable cap and fanout.
+    /// An empty archive with an **adaptive** memtable cap: it starts at
+    /// [`DEFAULT_MEMTABLE_CAP`] and doubles after every
+    /// `SPILLS_PER_GROWTH` spills, bounded by [`MAX_MEMTABLE_CAP`], so
+    /// sustained ingest amortizes freeze cost into fewer, larger
+    /// segments. The cap schedule is a pure function of the insert
+    /// sequence, and observable state never depends on the cap at all.
     pub fn new() -> Archive {
-        Archive::with_memtable_cap(DEFAULT_MEMTABLE_CAP)
+        let mut ar = Archive::with_memtable_cap(DEFAULT_MEMTABLE_CAP);
+        ar.adaptive = true;
+        ar
     }
 
-    /// An empty archive that spills to a segment every `cap` inserts.
+    /// An empty archive that spills to a segment every `cap` inserts —
+    /// the cap is fixed, so the spill schedule is exact.
     pub fn with_memtable_cap(cap: usize) -> Archive {
         Archive {
             memtable: HashSet::new(),
             segments: Vec::new(),
             blooms: Vec::new(),
             memtable_cap: cap.max(1),
+            adaptive: false,
+            spills_at_cap: 0,
             fanout: DEFAULT_FANOUT,
             bloom_candidates: AtomicU64::new(0),
             bloom_pruned: AtomicU64::new(0),
@@ -143,6 +168,8 @@ impl Archive {
             segments,
             blooms,
             memtable_cap: cap.max(1),
+            adaptive: false,
+            spills_at_cap: 0,
             fanout: DEFAULT_FANOUT,
             bloom_candidates: AtomicU64::new(0),
             bloom_pruned: AtomicU64::new(0),
@@ -228,6 +255,13 @@ impl Archive {
             let seg = CompactSet::from_sorted(v);
             self.blooms.push(Bloom::for_segment(&seg));
             self.segments.push(seg);
+            if self.adaptive && self.memtable_cap < MAX_MEMTABLE_CAP {
+                self.spills_at_cap += 1;
+                if self.spills_at_cap >= SPILLS_PER_GROWTH {
+                    self.spills_at_cap = 0;
+                    self.memtable_cap = (self.memtable_cap * 2).min(MAX_MEMTABLE_CAP);
+                }
+            }
         }
         while let Some(class) = self.full_size_class() {
             let idxs: Vec<usize> = (0..self.segments.len())
@@ -285,6 +319,17 @@ impl Archive {
     /// the memtable).
     pub fn segments(&self) -> &[CompactSet] {
         &self.segments
+    }
+
+    /// The current memtable spill threshold (grows under sustained
+    /// ingest for archives built with [`Archive::new`]).
+    pub fn memtable_cap(&self) -> usize {
+        self.memtable_cap
+    }
+
+    /// Resident bytes of the bloom filter tables alone.
+    pub fn bloom_bytes(&self) -> usize {
+        self.blooms.iter().map(Bloom::heap_bytes).sum()
     }
 
     /// Ordered (ascending) iteration over every address.
@@ -543,6 +588,32 @@ mod tests {
         ar.freeze();
         let restored = Archive::from_segments(ar.segments().to_vec(), 64);
         assert_eq!(restored.blooms, ar.blooms);
+    }
+
+    #[test]
+    fn adaptive_cap_grows_under_sustained_ingest_and_stays_bounded() {
+        let mut ar = Archive::new();
+        assert_eq!(ar.memtable_cap(), DEFAULT_MEMTABLE_CAP);
+        // Drive spills directly: every freeze of a non-empty memtable
+        // counts toward growth, regardless of how full it was.
+        for s in 0..SPILLS_PER_GROWTH as u128 {
+            ar.memtable.insert(s);
+            ar.freeze();
+        }
+        assert_eq!(ar.memtable_cap(), DEFAULT_MEMTABLE_CAP * 2);
+        // Growth saturates at MAX_MEMTABLE_CAP no matter how sustained
+        // the ingest gets.
+        for s in 0..200u128 {
+            ar.memtable.insert(1000 + s);
+            ar.freeze();
+        }
+        assert_eq!(ar.memtable_cap(), MAX_MEMTABLE_CAP);
+        // Fixed-cap archives never adapt.
+        let mut fixed = Archive::with_memtable_cap(8);
+        for i in 0..100u128 {
+            fixed.insert(addr(i));
+        }
+        assert_eq!(fixed.memtable_cap(), 8);
     }
 
     #[test]

@@ -21,10 +21,85 @@
 //! stream.
 
 use crate::codec;
+use crate::mmap::Mmap;
 use std::net::Ipv6Addr;
+use std::sync::Arc;
 
 /// Maximum addresses per delta block.
 pub const BLOCK_CAP: usize = 256;
+
+/// The encoded block bytes of a [`CompactSet`]: owned on the build
+/// path, or a zero-copy window into an mmap'd sealed segment file on
+/// the [`segment::map_file`](crate::segment::map_file) path. Both deref
+/// to the same `&[u8]`, so every decoder is backing-agnostic; equality
+/// and hashing are over the bytes, never the backing.
+#[derive(Clone)]
+pub(crate) enum SetBytes {
+    /// Heap-resident encoded blocks.
+    Owned(Vec<u8>),
+    /// `map[offset..offset + len]` of a validated, sealed segment file.
+    /// The `Arc` keeps the mapping alive for as long as any set (or
+    /// clone of it) references the window.
+    Mapped {
+        map: Arc<Mmap>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl std::ops::Deref for SetBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            SetBytes::Owned(v) => v,
+            SetBytes::Mapped { map, offset, len } => &map[*offset..*offset + *len],
+        }
+    }
+}
+
+impl Default for SetBytes {
+    fn default() -> SetBytes {
+        SetBytes::Owned(Vec::new())
+    }
+}
+
+impl PartialEq for SetBytes {
+    fn eq(&self, other: &SetBytes) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for SetBytes {}
+
+impl std::fmt::Debug for SetBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetBytes")
+            .field("len", &self.len())
+            .field("mapped", &matches!(self, SetBytes::Mapped { .. }))
+            .finish()
+    }
+}
+
+impl SetBytes {
+    /// Private heap bytes: the buffer for owned backings, zero for
+    /// mapped ones (their pages belong to the page cache and are
+    /// reclaimable by the kernel).
+    fn heap_bytes(&self) -> usize {
+        match self {
+            SetBytes::Owned(v) => v.capacity(),
+            SetBytes::Mapped { map, .. } => {
+                // A refused map degrades to an owned read inside `Mmap`;
+                // report it honestly.
+                if map.is_mapped() {
+                    0
+                } else {
+                    map.heap_bytes()
+                }
+            }
+        }
+    }
+}
 
 /// Per-block index entry: everything `contains` needs to decide whether
 /// to decode the block at `offset`.
@@ -40,7 +115,7 @@ pub(crate) struct Fence {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompactSet {
     pub(crate) fences: Vec<Fence>,
-    pub(crate) data: Vec<u8>,
+    pub(crate) data: SetBytes,
     pub(crate) len: usize,
 }
 
@@ -68,7 +143,19 @@ impl CompactSet {
     /// invariant everything else relies on. Use the `FromIterator`
     /// impls for unsorted input.
     pub fn from_sorted(iter: impl IntoIterator<Item = u128>) -> CompactSet {
-        let mut set = CompactSet::new();
+        fn start_block(fences: &mut Vec<Fence>, data: &mut Vec<u8>, first: u128) {
+            fences.push(Fence {
+                first,
+                last: first,
+                count: 1,
+                offset: u32::try_from(data.len()).expect("segment data exceeds 4 GiB"),
+            });
+            data.extend_from_slice(&first.to_le_bytes());
+        }
+
+        let mut fences: Vec<Fence> = Vec::new();
+        let mut data: Vec<u8> = Vec::new();
+        let mut len = 0usize;
         let mut prev: Option<u128> = None;
         let mut in_block = 0usize;
         for a in iter {
@@ -77,40 +164,34 @@ impl CompactSet {
                 Some(p) if a == p => continue,
                 Some(p) => {
                     if in_block == BLOCK_CAP {
-                        set.start_block(a);
+                        start_block(&mut fences, &mut data, a);
                         in_block = 1;
                     } else {
-                        codec::put_varint(&mut set.data, a - p);
-                        let f = set.fences.last_mut().expect("open block");
+                        codec::put_varint(&mut data, a - p);
+                        let f = fences.last_mut().expect("open block");
                         f.last = a;
                         f.count += 1;
                         in_block += 1;
                     }
                 }
                 None => {
-                    set.start_block(a);
+                    start_block(&mut fences, &mut data, a);
                     in_block = 1;
                 }
             }
-            set.len += 1;
+            len += 1;
             prev = Some(a);
         }
         // The set is immutable from here on: return the doubling
         // growth slack so `heap_bytes` reflects what is actually kept
         // resident.
-        set.data.shrink_to_fit();
-        set.fences.shrink_to_fit();
-        set
-    }
-
-    fn start_block(&mut self, first: u128) {
-        self.fences.push(Fence {
-            first,
-            last: first,
-            count: 1,
-            offset: u32::try_from(self.data.len()).expect("segment data exceeds 4 GiB"),
-        });
-        self.data.extend_from_slice(&first.to_le_bytes());
+        data.shrink_to_fit();
+        fences.shrink_to_fit();
+        CompactSet {
+            fences,
+            data: SetBytes::Owned(data),
+            len,
+        }
     }
 
     /// Number of addresses in the set.
@@ -123,9 +204,28 @@ impl CompactSet {
         self.len == 0
     }
 
-    /// Resident heap bytes of the encoded set (data + fence index).
+    /// Resident *heap* bytes of the encoded set: data buffer + fence
+    /// index for owned sets; only the fence index for mmap-backed sets,
+    /// whose data pages live in the page cache and are reclaimable by
+    /// the kernel (see [`CompactSet::is_mapped`]).
     pub fn heap_bytes(&self) -> usize {
-        self.data.capacity() + self.fences.capacity() * std::mem::size_of::<Fence>()
+        self.data.heap_bytes() + self.fences.capacity() * std::mem::size_of::<Fence>()
+    }
+
+    /// Total encoded data bytes, regardless of backing — the page-cache
+    /// cost of a mapped set, or part of [`CompactSet::heap_bytes`] for
+    /// an owned one.
+    pub fn data_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the encoded blocks are served zero-copy from an mmap'd
+    /// sealed segment file instead of private heap.
+    pub fn is_mapped(&self) -> bool {
+        matches!(
+            &self.data,
+            SetBytes::Mapped { map, .. } if map.is_mapped()
+        )
     }
 
     /// Smallest and largest address in the set as raw integers, `None`

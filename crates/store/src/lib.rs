@@ -23,6 +23,10 @@
 //! * [`shared`] — a content-addressed [`SegmentPool`] where sealed
 //!   segments from completed collections are opened once and shared
 //!   behind `Arc`s across every study that references them.
+//! * [`mmap`] — read-only memory maps (direct-syscall on Linux, owned
+//!   fallback elsewhere) backing zero-copy frozen segments: a pool
+//!   segment served from an mmap costs O(page cache) instead of
+//!   O(segment bytes) of private heap, checksum-verified once at open.
 //!
 //! Everything here is deterministic: the observable state of an
 //! [`Archive`] (membership, length, iteration order) is a pure function
@@ -34,6 +38,7 @@ pub mod bloom;
 pub mod codec;
 pub mod compact;
 pub mod error;
+pub mod mmap;
 pub mod segment;
 pub mod shared;
 
@@ -41,4 +46,5 @@ pub use archive::{Archive, BloomStats};
 pub use bloom::Bloom;
 pub use compact::{CompactSet, BLOCK_CAP};
 pub use error::StoreError;
+pub use mmap::Mmap;
 pub use shared::{PoolStats, SegmentId, SegmentPool};

@@ -1,0 +1,301 @@
+//! Read-only memory maps for sealed segment files.
+//!
+//! The segment pool's frozen files are written once and never mutated
+//! (content-addressed names, sealed with a trailing checksum), which
+//! makes them ideal mmap targets: a mapped segment costs O(page cache)
+//! instead of O(segment bytes) of private heap, and the kernel drops
+//! cold pages under memory pressure without any eviction logic here.
+//!
+//! `std` has no mmap, and this workspace builds offline (no `libc` /
+//! `memmap2`), so on Linux the map is issued as a direct `mmap(2)` /
+//! `munmap(2)` syscall via inline assembly — the only `unsafe` in the
+//! workspace, confined to this module. On other targets [`Mmap::open`]
+//! transparently falls back to reading the file into an owned buffer:
+//! callers see the same `&[u8]`, just without the page-cache economics
+//! ([`Mmap::is_mapped`] reports which backing was used).
+//!
+//! # Safety contract
+//!
+//! A mapping is only sound while the underlying bytes cannot change.
+//! The pool guarantees that for its own files: they are created with a
+//! single `fs::write` under a content-addressed name and never
+//! truncated or rewritten. Mapping a file some *other* process
+//! truncates concurrently can raise `SIGBUS` on access — the same
+//! contract every mmap wrapper (e.g. `memmap2`) documents. Corrupt
+//! *contents* are handled, not assumed away: every open re-validates
+//! the segment seal and per-block checksums before a set is handed out,
+//! so a damaged file surfaces as a typed [`crate::StoreError`], never
+//! as UB.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::arch::asm;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Raw `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`. Returns the
+    /// mapped address, or a negative errno in `[-4095, -1]`.
+    ///
+    /// # Safety
+    ///
+    /// `fd` must be a readable open file descriptor and `len` non-zero.
+    pub(super) unsafe fn mmap(len: usize, fd: i32) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        asm!(
+            "syscall",
+            inlateout("rax") 9isize => ret, // SYS_mmap
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd as isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        #[cfg(target_arch = "aarch64")]
+        asm!(
+            "svc 0",
+            inlateout("x8") 222isize => _, // SYS_mmap
+            inlateout("x0") 0usize => ret,
+            in("x1") len,
+            in("x2") PROT_READ,
+            in("x3") MAP_PRIVATE,
+            in("x4") fd as isize,
+            in("x5") 0usize,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// Raw `munmap(addr, len)`.
+    ///
+    /// # Safety
+    ///
+    /// `(addr, len)` must denote a live mapping produced by [`mmap`].
+    pub(super) unsafe fn munmap(addr: *const u8, len: usize) {
+        let _ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        asm!(
+            "syscall",
+            inlateout("rax") 11isize => _ret, // SYS_munmap
+            in("rdi") addr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        #[cfg(target_arch = "aarch64")]
+        asm!(
+            "svc 0",
+            inlateout("x8") 215isize => _, // SYS_munmap
+            inlateout("x0") addr => _ret,
+            in("x1") len,
+            options(nostack)
+        );
+    }
+}
+
+enum Backing {
+    /// A live read-only `MAP_PRIVATE` mapping.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Fallback: the whole file read into an owned buffer (non-Linux
+    /// targets, empty files, or a refused map).
+    Owned(Vec<u8>),
+}
+
+/// An immutable byte view of a file — memory-mapped where the platform
+/// supports it, owned otherwise. Dereferences to `&[u8]`.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE and never handed out
+// mutably; a shared `&[u8]` over it is as thread-safe as any other
+// immutable buffer.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `path` read-only, falling back to an owned read where
+    /// mapping is unavailable. Missing files and I/O failures surface
+    /// as [`io::Error`].
+    pub fn open(path: &Path) -> io::Result<Mmap> {
+        let file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file exceeds usize"))?;
+        Mmap::from_file(&file, len, path)
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    fn from_file(file: &File, len: usize, path: &Path) -> io::Result<Mmap> {
+        use std::os::fd::AsRawFd;
+        if len == 0 {
+            // mmap(2) rejects zero-length maps; an empty buffer is
+            // equivalent.
+            return Ok(Mmap {
+                backing: Backing::Owned(Vec::new()),
+            });
+        }
+        // SAFETY: `file` is open and readable for the whole call; a
+        // failed map is detected below and never dereferenced. The
+        // mapping outlives the fd on purpose — mmap'd pages stay valid
+        // after close(2).
+        let ret = unsafe { sys::mmap(len, file.as_raw_fd()) };
+        if (-4095..0).contains(&ret) {
+            // Refused map (e.g. exotic filesystem): fall back to a read.
+            return Ok(Mmap {
+                backing: Backing::Owned(std::fs::read(path)?),
+            });
+        }
+        Ok(Mmap {
+            backing: Backing::Mapped {
+                ptr: ret as *const u8,
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    fn from_file(_file: &File, _len: usize, path: &Path) -> io::Result<Mmap> {
+        Ok(Mmap {
+            backing: Backing::Owned(std::fs::read(path)?),
+        })
+    }
+
+    /// Whether the bytes are served from a live mapping (`false` means
+    /// the owned-read fallback was used).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+
+    /// Private heap bytes held by this view: zero when mapped (pages
+    /// belong to the page cache), the buffer size otherwise.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped { .. } => 0,
+            Backing::Owned(v) => v.capacity(),
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            // SAFETY: `(ptr, len)` is a live PROT_READ mapping owned by
+            // `self`; it is unmapped only in `Drop`, after which no
+            // `&self` borrow can exist.
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(v) => v,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: exactly the region mmap returned, unmapped once.
+            unsafe { sys::munmap(ptr, len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_reads_back_file_contents() {
+        let dir = std::env::temp_dir().join("store-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bin");
+        let payload: Vec<u8> = (0..10_000u32).flat_map(u32::to_le_bytes).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(&*map, payload.as_slice());
+        if map.is_mapped() {
+            assert_eq!(map.heap_bytes(), 0);
+        }
+        // Pages stay valid after the file is unlinked (POSIX keeps the
+        // inode alive while mapped).
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(map[4..8], payload[4..8]);
+    }
+
+    #[test]
+    fn empty_file_and_missing_file() {
+        let dir = std::env::temp_dir().join("store-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(map.len(), 0);
+        assert!(Mmap::open(&dir.join("does-not-exist")).is_err());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let dir = std::env::temp_dir().join("store-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.bin");
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        let map = std::sync::Arc::new(Mmap::open(&path).unwrap());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&map);
+                s.spawn(move || assert!(m.iter().all(|&b| b == 7)));
+            }
+        });
+    }
+}

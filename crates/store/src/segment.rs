@@ -22,9 +22,11 @@
 //! panics.
 
 use crate::codec::{fnv1a, Reader, Writer};
-use crate::compact::{CompactSet, Fence, BLOCK_CAP};
+use crate::compact::{CompactSet, Fence, SetBytes, BLOCK_CAP};
 use crate::error::StoreError;
+use crate::mmap::Mmap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Segment file magic bytes.
 pub const MAGIC: [u8; 8] = *b"NTP6SEG\0";
@@ -55,8 +57,21 @@ pub fn encode(set: &CompactSet) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decodes and fully validates a segment.
-pub fn decode(bytes: &[u8]) -> Result<CompactSet, StoreError> {
+/// The parsed header of a segment byte stream: everything but the
+/// block data, plus the data's byte range within the full file bytes
+/// (so a zero-copy backing can window straight into a mapping).
+struct Parsed {
+    fences: Vec<Fence>,
+    /// Per-block `(data_len, fnv)` from the fence table.
+    sums: Vec<(usize, u64)>,
+    len: usize,
+    data_start: usize,
+    data_len: usize,
+}
+
+/// Verifies the seal and parses the header; block-level validation
+/// happens in [`validate`] once a set is constructed over the data.
+fn parse(bytes: &[u8]) -> Result<Parsed, StoreError> {
     let payload = Reader::verify_seal(bytes, "segment")?;
     let mut r = Reader::new(payload);
     if r.take(8)? != MAGIC {
@@ -88,16 +103,55 @@ pub fn decode(bytes: &[u8]) -> Result<CompactSet, StoreError> {
             .checked_add(data_len)
             .ok_or(StoreError::Corrupt("offset overflow"))?;
     }
-    let data = r.bytes()?.to_vec();
+    let data = r.bytes()?;
     if !r.is_done() {
         return Err(StoreError::Corrupt("trailing bytes after segment data"));
     }
     if data.len() != offset {
         return Err(StoreError::Corrupt("data length disagrees with fences"));
     }
+    let data_start = data.as_ptr() as usize - bytes.as_ptr() as usize;
+    Ok(Parsed {
+        fences,
+        sums,
+        len,
+        data_start,
+        data_len: data.len(),
+    })
+}
 
-    let set = CompactSet { fences, data, len };
-    validate(&set, &sums)?;
+/// Decodes and fully validates a segment into an owned set.
+pub fn decode(bytes: &[u8]) -> Result<CompactSet, StoreError> {
+    let p = parse(bytes)?;
+    let set = CompactSet {
+        fences: p.fences,
+        data: SetBytes::Owned(bytes[p.data_start..p.data_start + p.data_len].to_vec()),
+        len: p.len,
+    };
+    validate(&set, &p.sums)?;
+    Ok(set)
+}
+
+/// Memory-maps a sealed segment file and fully validates it **once at
+/// open** (seal, magic/version, every per-block checksum, full decode
+/// walk), then hands out a [`CompactSet`] whose block data is served
+/// zero-copy from the mapping: resident heap cost is the fence index
+/// only, the data pages belong to the page cache. Corruption surfaces
+/// here as a typed [`StoreError`] — a set that validates never reads
+/// bytes outside its checked window.
+pub fn map_file(path: &Path) -> Result<CompactSet, StoreError> {
+    let map = Arc::new(Mmap::open(path)?);
+    let p = parse(&map)?;
+    let set = CompactSet {
+        fences: p.fences,
+        data: SetBytes::Mapped {
+            map,
+            offset: p.data_start,
+            len: p.data_len,
+        },
+        len: p.len,
+    };
+    validate(&set, &p.sums)?;
     Ok(set)
 }
 
@@ -234,6 +288,83 @@ mod tests {
         assert!(matches!(
             decode(&w.into_bytes()),
             Err(StoreError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn map_file_roundtrip_is_zero_copy() {
+        let dir = std::env::temp_dir().join("store-segment-map-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mapped.seg");
+        let set = sample();
+        write_file(&path, &set).unwrap();
+        let mapped = map_file(&path).unwrap();
+        // Same observable set, different backing.
+        assert_eq!(mapped, set);
+        assert_eq!(
+            mapped.iter_u128().collect::<Vec<_>>(),
+            set.iter_u128().collect::<Vec<_>>()
+        );
+        for a in set.iter_u128() {
+            assert!(mapped.contains_u128(a));
+        }
+        // On platforms with a real mapping the data bytes cost no heap.
+        if mapped.is_mapped() {
+            assert!(
+                mapped.heap_bytes() < set.heap_bytes(),
+                "mapped {} B vs owned {} B",
+                mapped.heap_bytes(),
+                set.heap_bytes()
+            );
+            assert_eq!(mapped.data_bytes(), set.data_bytes());
+        }
+        // Set algebra works straight off the mapping.
+        assert_eq!(mapped.overlap_count(&set), set.len());
+        // A clone shares the mapping (cheap) and stays equal.
+        let clone = mapped.clone();
+        drop(mapped);
+        assert_eq!(clone, set);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The satellite requirement: a corrupted mmap'd segment must yield
+    /// a typed [`StoreError`] at open — never a panic or UB later.
+    #[test]
+    fn corrupted_mapped_segment_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("store-segment-map-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let set = sample();
+        let bytes = encode(&set);
+        // Flip one bit at a spread of positions: seal, magic, fence
+        // table, block data, trailing checksum — every one must be
+        // caught by the open-time validation pass.
+        for (i, pos) in (0..bytes.len()).step_by(101).enumerate() {
+            let path = dir.join(format!("bad-{i}.seg"));
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            std::fs::write(&path, &bad).unwrap();
+            let err = map_file(&path).expect_err("corruption must be detected");
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Checksum(_)
+                        | StoreError::Corrupt(_)
+                        | StoreError::Truncated { .. }
+                        | StoreError::BadMagic
+                        | StoreError::BadVersion(_)
+                ),
+                "flip at {pos}: unexpected error {err}"
+            );
+            std::fs::remove_file(&path).unwrap();
+        }
+        // Truncation (file shorter than the header claims) is typed too.
+        let path = dir.join("truncated.seg");
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(map_file(&path).is_err());
+        // Missing file surfaces as Io, mirroring `read_file`.
+        assert!(matches!(
+            map_file(&dir.join("missing.seg")),
+            Err(StoreError::Io(_))
         ));
     }
 

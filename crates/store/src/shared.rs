@@ -12,6 +12,13 @@
 //! The pool is a cache, not a store of record: dropping it (or calling
 //! [`SegmentPool::evict`]) loses only resident copies, never files, and
 //! a later [`SegmentPool::open`] re-reads and re-validates from disk.
+//!
+//! Opens are **mmap-backed** ([`segment::map_file`]): the returned set's
+//! block data is a zero-copy window into the sealed file, validated once
+//! at open, so its resident heap cost is the fence index only — the
+//! data pages belong to the page cache and the kernel reclaims them
+//! under pressure. [`PoolStats::resident_bytes`] counts heap only;
+//! [`PoolStats::mapped_bytes`] reports the page-cache-backed remainder.
 
 use crate::compact::CompactSet;
 use crate::error::StoreError;
@@ -46,7 +53,13 @@ pub struct PoolStats {
     /// Segments currently resident.
     pub resident_segments: usize,
     /// Heap bytes of the resident segments (shared, counted once each).
+    /// Mmap-backed segments contribute only their fence index here.
     pub resident_bytes: usize,
+    /// Resident segments whose data is served from a live mapping.
+    pub mapped_segments: usize,
+    /// Encoded data bytes of the mapped segments — page-cache cost, not
+    /// private heap.
+    pub mapped_bytes: usize,
 }
 
 /// A directory of content-addressed sealed segments plus a resident
@@ -80,8 +93,10 @@ impl SegmentPool {
 
     /// Freezes `set` into the pool: encodes it, derives its content id,
     /// writes the file if this content was never frozen before, and
-    /// caches the resident copy. Freezing equal sets — from any number
-    /// of studies — converges on one file and one `Arc`.
+    /// caches a resident copy served **from the mapped file** — the
+    /// heap copy the caller froze can be dropped, leaving the fence
+    /// index as the segment's only resident cost. Freezing equal sets —
+    /// from any number of studies — converges on one file and one `Arc`.
     pub fn freeze(&self, set: &CompactSet) -> Result<SegmentId, StoreError> {
         let bytes = segment::encode(set);
         let id = SegmentId(codec::fnv1a(&bytes));
@@ -91,16 +106,18 @@ impl SegmentPool {
         } else {
             std::fs::write(&path, &bytes)?;
         }
-        self.cache
-            .lock()
-            .expect("segment pool cache poisoned")
-            .entry(id)
-            .or_insert_with(|| Arc::new(set.clone()));
+        let mut cache = self.cache.lock().expect("segment pool cache poisoned");
+        if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(id) {
+            // Map the just-written file rather than cloning the caller's
+            // heap copy. This is part of the freeze, not a cache miss, so
+            // it does not count toward `file_opens`.
+            slot.insert(Arc::new(segment::map_file(&path)?));
+        }
         Ok(id)
     }
 
     /// The shared resident copy of segment `id`: from cache if resident,
-    /// otherwise read and fully validated from the pool directory.
+    /// otherwise mapped and fully validated from the pool directory.
     pub fn open(&self, id: SegmentId) -> Result<Arc<CompactSet>, StoreError> {
         if let Some(set) = self
             .cache
@@ -111,7 +128,7 @@ impl SegmentPool {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(set));
         }
-        let set = Arc::new(segment::read_file(&self.dir.join(id.file_name()))?);
+        let set = Arc::new(segment::map_file(&self.dir.join(id.file_name()))?);
         self.file_opens.fetch_add(1, Ordering::Relaxed);
         Ok(Arc::clone(
             self.cache
@@ -135,12 +152,15 @@ impl SegmentPool {
     /// Current usage counters and resident footprint.
     pub fn stats(&self) -> PoolStats {
         let cache = self.cache.lock().expect("segment pool cache poisoned");
+        let mapped: Vec<&Arc<CompactSet>> = cache.values().filter(|s| s.is_mapped()).collect();
         PoolStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             file_opens: self.file_opens.load(Ordering::Relaxed),
             freeze_dedups: self.freeze_dedups.load(Ordering::Relaxed),
             resident_segments: cache.len(),
             resident_bytes: cache.values().map(|s| s.heap_bytes()).sum(),
+            mapped_segments: mapped.len(),
+            mapped_bytes: mapped.iter().map(|s| s.data_bytes()).sum(),
         }
     }
 }
@@ -209,6 +229,26 @@ mod tests {
         // A second pool over the same directory sees the file too.
         let p2 = SegmentPool::new(p.dir()).unwrap();
         assert_eq!(*p2.open(id).unwrap(), set);
+    }
+
+    #[test]
+    fn frozen_segments_are_served_from_the_mapping() {
+        let p = pool("mapped");
+        let set = sample(4000, 31);
+        let id = p.freeze(&set).unwrap();
+        let shared = p.open(id).unwrap();
+        assert_eq!(*shared, set);
+        let stats = p.stats();
+        // On Linux the resident copy is mmap-backed: its data bytes are
+        // page-cache, not private heap, so the pool's resident_bytes is
+        // just the fence index — strictly below the owned encoding.
+        if shared.is_mapped() {
+            assert_eq!(stats.mapped_segments, 1);
+            assert!(stats.mapped_bytes > 0);
+            assert!(stats.resident_bytes < set.heap_bytes());
+        } else {
+            assert_eq!(stats.mapped_segments, 0);
+        }
     }
 
     #[test]

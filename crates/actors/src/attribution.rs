@@ -1,0 +1,359 @@
+//! Blind attribution: fingerprint source clusters in the capture and
+//! classify each into an archetype, then score against ground truth.
+//!
+//! The classifier never sees the truth labels — it works from
+//! observables only: source-prefix clustering (/32), port-set width,
+//! vantage overlap (Tanveer et al.), IID fan-out per destination /64,
+//! revisit ratio, inter-probe timing, and correlation with route-feed
+//! announcements. The ground truth rides along in the
+//! [`EcosystemOutcome`] records purely to
+//! build the confusion matrix.
+
+use analysis::attribution::ConfusionMatrix;
+use netsim::bgp::BgpFeed;
+use netsim::time::{Duration, SimTime};
+use netsim::OrgId;
+use std::collections::{BTreeMap, BTreeSet};
+use telemetry::{OwnedKey, Registry};
+use v6addr::Prefix;
+
+use crate::ecosystem::EcosystemOutcome;
+
+/// Probes trailing an announce event by at most this long count as
+/// BGP-correlated.
+pub const BGP_CORRELATION_WINDOW: Duration = Duration::secs(120);
+
+/// One attributed source cluster (a /32 of probe sources).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// The cluster's source /32.
+    pub src_prefix: Prefix,
+    /// Captured probes from this cluster.
+    pub probes: u64,
+    /// Distinct destination ports.
+    pub n_ports: usize,
+    /// Distinct vantage prefixes hit (multi-telescope overlap).
+    pub vantage_count: usize,
+    /// Max distinct destination IIDs within one destination /64.
+    pub iid_fanout: usize,
+    /// Probes per distinct `(dst, port)` pair.
+    pub revisit_ratio: f64,
+    /// Fraction of probes within [`BGP_CORRELATION_WINDOW`] after an
+    /// announce event covering their destination.
+    pub bgp_corr: f64,
+    /// Median gap between consecutive probes, seconds.
+    pub median_gap: u64,
+    /// The classifier's verdict.
+    pub predicted: &'static str,
+    /// Operating organisation, joined through the interned
+    /// [`OrgId`] directory (never by name string).
+    pub org: Option<OrgId>,
+}
+
+/// The deterministic attribution table plus its accuracy scoring.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionTable {
+    /// Per-cluster findings, ordered by source prefix.
+    pub clusters: Vec<ClusterReport>,
+    /// Ground-truth confusion matrix over captured probes.
+    pub confusion: ConfusionMatrix,
+}
+
+struct ClusterAcc {
+    times: Vec<SimTime>,
+    ports: BTreeSet<u16>,
+    vantages: BTreeSet<u128>,
+    iids: BTreeMap<u128, BTreeSet<u64>>,
+    dst_ports: BTreeSet<(std::net::Ipv6Addr, u16)>,
+    correlated: u64,
+    truths: Vec<&'static str>,
+}
+
+/// The rule cascade. Order matters: the sharpest signals fire first.
+fn classify(bgp_corr: f64, iid_fanout: usize, n_ports: usize, revisit_ratio: f64) -> &'static str {
+    if bgp_corr > 0.9 {
+        "bgp-adaptive"
+    } else if iid_fanout >= 8 {
+        "prefix-walk"
+    } else if n_ports > 64 {
+        "research"
+    } else if revisit_ratio >= 2.0 {
+        "hitlist-reuse"
+    } else {
+        "covert"
+    }
+}
+
+/// Attributes the outcome's capture: clusters sources by /32, computes
+/// each cluster's fingerprint, classifies it, and scores every probe's
+/// predicted label against the emitting archetype.
+pub fn attribute(
+    outcome: &EcosystemOutcome,
+    vantage_prefixes: &[Prefix],
+    feed: &BgpFeed,
+    org_directory: &[(Prefix, OrgId)],
+) -> AttributionTable {
+    let mut acc: BTreeMap<u128, ClusterAcc> = BTreeMap::new();
+    for (pkt, truth) in &outcome.records {
+        let key = Prefix::of(pkt.src, 32).bits();
+        let a = acc.entry(key).or_insert_with(|| ClusterAcc {
+            times: Vec::new(),
+            ports: BTreeSet::new(),
+            vantages: BTreeSet::new(),
+            iids: BTreeMap::new(),
+            dst_ports: BTreeSet::new(),
+            correlated: 0,
+            truths: Vec::new(),
+        });
+        a.times.push(pkt.time);
+        a.ports.insert(pkt.port);
+        if let Some(v) = vantage_prefixes.iter().find(|p| p.contains(pkt.dst)) {
+            a.vantages.insert(v.bits());
+        }
+        let dst_bits = u128::from(pkt.dst);
+        a.iids
+            .entry(dst_bits >> 64)
+            .or_default()
+            .insert(dst_bits as u64);
+        a.dst_ports.insert((pkt.dst, pkt.port));
+        let announced = feed
+            .between(
+                pkt.time - BGP_CORRELATION_WINDOW,
+                pkt.time + Duration::secs(1),
+            )
+            .iter()
+            .any(|e| e.announce && e.prefix.contains(pkt.dst));
+        if announced {
+            a.correlated += 1;
+        }
+        a.truths.push(truth);
+    }
+
+    let mut clusters = Vec::new();
+    let mut confusion = ConfusionMatrix::new();
+    for (bits, mut a) in acc {
+        let probes = a.times.len() as u64;
+        let iid_fanout = a.iids.values().map(BTreeSet::len).max().unwrap_or(0);
+        let revisit_ratio = probes as f64 / a.dst_ports.len().max(1) as f64;
+        let bgp_corr = a.correlated as f64 / probes.max(1) as f64;
+        let predicted = classify(bgp_corr, iid_fanout, a.ports.len(), revisit_ratio);
+        a.times.sort();
+        let mut gaps: Vec<u64> = a
+            .times
+            .windows(2)
+            .map(|w| w[1].since(w[0]).as_secs())
+            .collect();
+        gaps.sort_unstable();
+        let median_gap = gaps.get(gaps.len() / 2).copied().unwrap_or(0);
+        let src_prefix = Prefix::new(std::net::Ipv6Addr::from(bits), 32);
+        let org = org_directory
+            .iter()
+            .find(|(p, _)| p.bits() == bits && p.len() == 32)
+            .map(|&(_, o)| o);
+        for truth in &a.truths {
+            confusion.add(*truth, predicted, 1);
+        }
+        clusters.push(ClusterReport {
+            src_prefix,
+            probes,
+            n_ports: a.ports.len(),
+            vantage_count: a.vantages.len(),
+            iid_fanout,
+            revisit_ratio,
+            bgp_corr,
+            median_gap,
+            predicted,
+            org,
+        });
+    }
+    AttributionTable {
+        clusters,
+        confusion,
+    }
+}
+
+impl AttributionTable {
+    /// Renders the table (and the confusion matrix) as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "cluster           probes  ports  vantages  fanout  revisit  bgp%  org              verdict\n",
+        );
+        for c in &self.clusters {
+            out.push_str(&format!(
+                "{:<17} {:>6}  {:>5}  {:>8}  {:>6}  {:>7.2}  {:>4.0}  {:<16} {}\n",
+                c.src_prefix.to_string(),
+                c.probes,
+                c.n_ports,
+                c.vantage_count,
+                c.iid_fanout,
+                c.revisit_ratio,
+                c.bgp_corr * 100.0,
+                c.org.map(|o| o.name()).unwrap_or("(unknown)"),
+                c.predicted,
+            ));
+        }
+        out.push_str("\nconfusion (truth -> predicted):\n");
+        for (t, p, n) in self.confusion.cells() {
+            out.push_str(&format!("  {t:<14} -> {p:<14} {n}\n"));
+        }
+        if let Some(acc) = self.confusion.accuracy() {
+            out.push_str(&format!("accuracy: {:.1}%\n", acc * 100.0));
+        }
+        out
+    }
+
+    /// Exports the confusion matrix as deterministic dynamic counters:
+    /// `attribution_probes{predicted=…,truth=…}`.
+    pub fn export_into(&self, reg: &mut Registry) {
+        for (t, p, n) in self.confusion.cells() {
+            reg.add_dyn(
+                OwnedKey::with_labels("attribution_probes", &[("predicted", p), ("truth", t)]),
+                n,
+            );
+        }
+    }
+}
+
+impl EcosystemOutcome {
+    /// Exports the per-archetype emitted/captured counts as dynamic
+    /// counters: `eco_probes{actor=…}` and `actor_captures{actor=…}`.
+    pub fn export_into(&self, reg: &mut Registry) {
+        for (label, n) in &self.emitted {
+            reg.add_dyn(OwnedKey::with_labels("eco_probes", &[("actor", label)]), *n);
+        }
+        for (label, n) in &self.captured {
+            reg.add_dyn(
+                OwnedKey::with_labels("actor_captures", &[("actor", label)]),
+                *n,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telescope::CapturedPacket;
+
+    fn pkt(dst: &str, src: &str, port: u16, time: u64) -> CapturedPacket {
+        CapturedPacket {
+            dst: dst.parse().unwrap(),
+            src: src.parse().unwrap(),
+            port,
+            time: SimTime(time),
+        }
+    }
+
+    #[test]
+    fn cascade_separates_the_archetypes() {
+        assert_eq!(classify(1.0, 1, 2, 1.0), "bgp-adaptive");
+        assert_eq!(classify(0.0, 12, 3, 1.0), "prefix-walk");
+        assert_eq!(classify(0.0, 1, 1011, 1.0), "research");
+        assert_eq!(classify(0.0, 1, 2, 3.0), "hitlist-reuse");
+        assert_eq!(classify(0.0, 1, 10, 1.0), "covert");
+    }
+
+    #[test]
+    fn clusters_by_source_slash_32_and_joins_orgs() {
+        let vantage: Prefix = "3fff:909::/48".parse().unwrap();
+        let mut outcome = EcosystemOutcome::default();
+        // Research-like cluster: many ports, one IID per /64.
+        for port in 0..100u16 {
+            outcome.records.push((
+                pkt(
+                    "3fff:909:0:1::1",
+                    "2610:148::7",
+                    1000 + port,
+                    100 + u64::from(port),
+                ),
+                "research",
+            ));
+        }
+        // Covert-like cluster from a different /32.
+        for port in [443u16, 3389] {
+            outcome.records.push((
+                pkt("3fff:909:0:2::1", "2600:1f00::9", port, 5_000),
+                "covert",
+            ));
+        }
+        let feed = BgpFeed::new();
+        let dir = vec![
+            ("2610:148::/32".parse().unwrap(), OrgId::GEORGIA_TECH),
+            ("2600:1f00::/32".parse().unwrap(), OrgId::AMAZON),
+        ];
+        let table = attribute(&outcome, &[vantage], &feed, &dir);
+        assert_eq!(table.clusters.len(), 2);
+        let research = table
+            .clusters
+            .iter()
+            .find(|c| c.org == Some(OrgId::GEORGIA_TECH))
+            .unwrap();
+        assert_eq!(research.predicted, "research");
+        assert_eq!(research.n_ports, 100);
+        assert_eq!(research.vantage_count, 1);
+        let covert = table
+            .clusters
+            .iter()
+            .find(|c| c.org == Some(OrgId::AMAZON))
+            .unwrap();
+        assert_eq!(covert.predicted, "covert");
+        assert_eq!(table.confusion.accuracy(), Some(1.0));
+        assert!(table.render().contains("research"));
+    }
+
+    #[test]
+    fn bgp_correlation_needs_a_covering_announce() {
+        let vantage: Prefix = "3fff:909::/48".parse().unwrap();
+        let mut feed = BgpFeed::new();
+        feed.push(netsim::BgpEvent {
+            time: SimTime(1_000),
+            prefix: vantage,
+            asn: netsim::Asn(0),
+            announce: true,
+        });
+        feed.seal();
+        let mut outcome = EcosystemOutcome::default();
+        // Two probes inside the window, one far outside.
+        outcome.records.push((
+            pkt("3fff:909:0:1::1", "2001:41d0::1", 443, 1_030),
+            "bgp-adaptive",
+        ));
+        outcome.records.push((
+            pkt("3fff:909:0:2::1", "2001:41d0::1", 80, 1_090),
+            "bgp-adaptive",
+        ));
+        outcome.records.push((
+            pkt("3fff:909:0:3::1", "2001:41d0::1", 443, 9_000),
+            "bgp-adaptive",
+        ));
+        let table = attribute(&outcome, &[vantage], &feed, &[]);
+        assert_eq!(table.clusters.len(), 1);
+        let c = &table.clusters[0];
+        assert!((c.bgp_corr - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(c.org, None);
+    }
+
+    #[test]
+    fn export_produces_dyn_counters() {
+        let mut outcome = EcosystemOutcome::default();
+        outcome
+            .records
+            .push((pkt("3fff:909:0:1::1", "2610:148::7", 80, 100), "research"));
+        outcome.emitted.insert("research", 5);
+        outcome.captured.insert("research", 1);
+        let table = attribute(
+            &outcome,
+            &["3fff:909::/48".parse().unwrap()],
+            &BgpFeed::new(),
+            &[],
+        );
+        let mut reg = Registry::new();
+        table.export_into(&mut reg);
+        outcome.export_into(&mut reg);
+        let snap = reg.snapshot();
+        let text = format!("{snap:?}");
+        assert!(text.contains("attribution_probes"), "{text}");
+        assert!(text.contains("eco_probes"), "{text}");
+        assert!(text.contains("actor_captures"), "{text}");
+    }
+}

@@ -18,11 +18,13 @@
 //! | [`overlap`] | dataset comparison (Table 1) |
 //! | [`keyreuse`] | secret-reuse analysis (§6) |
 //! | [`security`] | combined secure-share (the 43.5 % vs 28.4 % takeaway) |
+//! | [`attribution`] | scanner-attribution confusion matrix (§5 extension) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access_control;
+pub mod attribution;
 pub mod coap_groups;
 pub mod eui64_vendors;
 pub mod iid_dist;

@@ -1,14 +1,81 @@
-//! Reproduces the §5 actor detection and benchmarks its compute path.
+//! Reproduces the §5 actor detection, runs the full adversarial
+//! ecosystem with blind attribution, and benchmarks the compute path.
+//!
+//! Besides the criterion samples, this bench *always* (including
+//! `--test` smoke mode) runs a study under [`actors::ActorRoster::ALL`],
+//! prints the attribution table, and writes per-archetype capture
+//! counts, attribution precision/recall, and ecosystem events/sec to
+//! `target/bench-reports/BENCH_actors.json` as a CI artifact.
 
+use actors::ActorRoster;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+use timetoscan::{Study, StudyConfig};
+
+/// Formats an optional ratio as a JSON value (`null` when absent).
+fn ratio(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x:.4}"))
+}
 
 fn bench(c: &mut Criterion) {
+    let smoke = c.is_test_mode();
+
+    // --- The paper's pair, via the derived §5 report. ---
     let study = bench::bench_study();
     println!(
         "{}",
         timetoscan::experiments::actors::render(&study.derived())
     );
+
+    // --- The full ecosystem: every archetype, blind attribution. ---
+    let config = if smoke {
+        StudyConfig::tiny(bench::BENCH_SEED)
+    } else {
+        StudyConfig::small(bench::BENCH_SEED)
+    }
+    .with_actors(ActorRoster::ALL);
+    let wall = Instant::now();
+    let eco_study = Study::run(config);
+    let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
+    let table = eco_study
+        .attribution
+        .as_ref()
+        .expect("telescope study has an attribution table");
+    println!("{}", table.render());
+
+    let cm = &table.confusion;
+    let labels = cm.labels();
+    let per_label = |f: &dyn Fn(&str) -> String| {
+        labels
+            .iter()
+            .map(|l| format!("\"{l}\": {}", f(l)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let captures = per_label(&|l: &str| {
+        let row: u64 = labels.iter().map(|p| cm.count(l, p)).sum();
+        row.to_string()
+    });
+    let precision = per_label(&|l: &str| ratio(cm.precision(l)));
+    let recall = per_label(&|l: &str| ratio(cm.recall(l)));
+    let events_per_sec = cm.total() as f64 / elapsed;
+    let json = format!(
+        "{{\n  \"roster\": \"{}\",\n  \"captures\": {{{captures}}},\n  \"precision\": {{{precision}}},\n  \"recall\": {{{recall}}},\n  \"accuracy\": {},\n  \"events_per_sec\": {events_per_sec:.1}\n}}\n",
+        ActorRoster::ALL,
+        ratio(cm.accuracy()),
+    );
+    let out_dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-reports");
+    std::fs::create_dir_all(&out_dir).expect("create target/bench-reports");
+    std::fs::write(out_dir.join("BENCH_actors.json"), &json).expect("write actors bench artifact");
+    println!("{json}");
+
+    // Every archetype must both land probes and be attributed cleanly.
+    assert_eq!(labels.len(), 5, "all five archetypes captured: {labels:?}");
+    let acc = cm.accuracy().expect("non-empty confusion matrix");
+    assert!(acc >= 0.9, "attribution accuracy {acc} below 0.9");
+
     c.bench_function("actors/compute", |b| {
         b.iter(|| {
             let derived = black_box(&study).derived();

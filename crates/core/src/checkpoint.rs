@@ -25,7 +25,11 @@
 //! it would silently re-home dedup state onto the wrong shards.
 //! Version 3 adds one byte for the world backend ([`WorldBackend`]);
 //! older files imply the materialized backend, the only one that
-//! existed when they were written.
+//! existed when they were written. Version 4 adds two scenario bytes:
+//! the world's SNTP-IoT percentage and the study's actor roster
+//! ([`actors::ActorRoster`]); older files imply `0` and the baseline
+//! (research + covert) roster, which is exactly what those runs
+//! simulated.
 //!
 //! The format reuses the [`store::codec`] writer/reader and the
 //! [`store::segment`] set encoding, so every corruption mode — flipped
@@ -33,6 +37,7 @@
 //! [`StoreError`], never a panic.
 
 use crate::config::{PipelineMode, StudyConfig};
+use actors::ActorRoster;
 use netsim::transport::FaultProfile;
 use netsim::world::{WorldBackend, WorldConfig};
 use netsim::{DeviceId, Duration, SimTime, TransportTotals};
@@ -48,7 +53,7 @@ use v6addr::AddrSet;
 pub const CHECKPOINT_FILE: &str = "study.ckpt";
 
 const MAGIC: &[u8; 8] = b"TTSCKPT\0";
-const VERSION: u16 = 3;
+const VERSION: u16 = 4;
 
 /// One engine shard's state in a version-2 checkpoint.
 pub struct ShardCheckpoint {
@@ -203,6 +208,9 @@ fn put_config(w: &mut Writer, cfg: &StudyConfig, version: u16) {
             WorldBackend::Procedural => 1,
         });
     }
+    if version >= 4 {
+        w.put_u8(wc.sntp_iot_pct);
+    }
     w.put_u64(cfg.collection.as_secs());
     w.put_u64(cfg.hitlist_scan_offset.as_secs());
     w.put_u64(cfg.telescope_offset.as_secs());
@@ -222,6 +230,9 @@ fn put_config(w: &mut Writer, cfg: &StudyConfig, version: u16) {
         FaultProfile::Lossy1Pct => 1,
         FaultProfile::Congested => 2,
     });
+    if version >= 4 {
+        w.put_u8(cfg.actors.bits());
+    }
 }
 
 fn read_config(r: &mut Reader<'_>, version: u16) -> Result<StudyConfig, StoreError> {
@@ -247,6 +258,8 @@ fn read_config(r: &mut Reader<'_>, version: u16) -> Result<StudyConfig, StoreErr
         } else {
             WorldBackend::Materialized
         },
+        // Versions 1–3 predate the SNTP IoT knob: it was always off.
+        sntp_iot_pct: if version >= 4 { r.u8()? } else { 0 },
     };
     Ok(StudyConfig {
         world,
@@ -275,6 +288,14 @@ fn read_config(r: &mut Reader<'_>, version: u16) -> Result<StudyConfig, StoreErr
             1 => FaultProfile::Lossy1Pct,
             2 => FaultProfile::Congested,
             _ => return Err(StoreError::Corrupt("unknown fault profile")),
+        },
+        // Versions 1–3 predate the actor roster: every old run used the
+        // paper's identified + covert pair.
+        actors: if version >= 4 {
+            ActorRoster::from_bits(r.u8()?)
+                .ok_or(StoreError::Corrupt("unknown actor roster bits"))?
+        } else {
+            ActorRoster::BASELINE
         },
     })
 }
@@ -575,6 +596,34 @@ mod tests {
         assert_eq!(back.config.world.backend, WorldBackend::Materialized);
         assert_eq!(back.config, data.config);
         assert_eq!(back.shards.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_3_files_read_with_baseline_scenario() {
+        let dir = std::env::temp_dir().join(format!("ckpt-v3-{}", std::process::id()));
+        // Genuine v3 bytes: backend byte present, no SNTP or roster
+        // bytes — a file written before the scenario knobs existed.
+        let data = sample();
+        write_versioned(&data, &dir, 3).unwrap();
+        let back = read(&dir).unwrap();
+        assert_eq!(back.config.world.sntp_iot_pct, 0);
+        assert_eq!(back.config.actors, ActorRoster::BASELINE);
+        assert_eq!(back.config, data.config);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scenario_knobs_survive_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ckpt-v4-{}", std::process::id()));
+        let mut data = sample();
+        data.config.world.sntp_iot_pct = 40;
+        data.config.actors = ActorRoster::ALL;
+        write(&data, &dir).unwrap();
+        let back = read(&dir).unwrap();
+        assert_eq!(back.config.world.sntp_iot_pct, 40);
+        assert_eq!(back.config.actors, ActorRoster::ALL);
+        assert_eq!(back.config, data.config);
         std::fs::remove_dir_all(&dir).ok();
     }
 

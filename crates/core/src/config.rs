@@ -1,5 +1,6 @@
 //! Study configuration.
 
+use actors::ActorRoster;
 use netsim::time::Duration;
 use netsim::transport::FaultProfile;
 use netsim::world::WorldConfig;
@@ -64,6 +65,12 @@ pub struct StudyConfig {
     /// [`FaultProfile::Ideal`] is bit-identical to direct calls; the
     /// presets degrade the path for robustness experiments.
     pub fault: FaultProfile,
+    /// Which scanner archetypes the telescope experiment runs. The
+    /// default [`ActorRoster::BASELINE`] is the paper's pair
+    /// (research + covert); extended rosters add the ecosystem
+    /// archetypes and feed the attribution pass. Ignored when
+    /// `telescope` is off.
+    pub actors: ActorRoster,
 }
 
 impl StudyConfig {
@@ -80,6 +87,7 @@ impl StudyConfig {
             collection_threads: 1,
             collection_shards: 1,
             fault: FaultProfile::default(),
+            actors: ActorRoster::BASELINE,
         }
     }
 
@@ -147,6 +155,13 @@ impl StudyConfig {
     /// collector).
     pub fn with_collection_shards(mut self, shards: usize) -> StudyConfig {
         self.collection_shards = shards.max(1);
+        self
+    }
+
+    /// The same config with a different actor roster for the telescope
+    /// experiment.
+    pub fn with_actors(mut self, actors: ActorRoster) -> StudyConfig {
+        self.actors = actors;
         self
     }
 }
@@ -226,6 +241,16 @@ mod tests {
         // Everything but the shard knob is untouched.
         assert_eq!(sharded.collection, StudyConfig::tiny(1).collection);
         assert_eq!(sharded.collection_threads, 1);
+    }
+
+    #[test]
+    fn baseline_roster_is_the_default() {
+        assert_eq!(StudyConfig::tiny(1).actors, ActorRoster::BASELINE);
+        assert_eq!(StudyConfig::paper_milli(1).actors, ActorRoster::BASELINE);
+        let eco = StudyConfig::tiny(1).with_actors(ActorRoster::ALL);
+        assert_eq!(eco.actors, ActorRoster::ALL);
+        // Everything but the roster is untouched.
+        assert_eq!(eco.collection, StudyConfig::tiny(1).collection);
     }
 
     #[test]

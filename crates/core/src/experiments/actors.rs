@@ -40,7 +40,11 @@ pub fn render(study: &Derived) -> String {
             format!("{}..{}", a.min_reaction, a.max_reaction),
             a.campaign_span.to_string(),
             format!("{:.0}%", a.port_coverage * 100.0),
-            a.source_orgs.iter().copied().collect::<Vec<_>>().join("+"),
+            a.source_orgs
+                .iter()
+                .map(|o| o.name())
+                .collect::<Vec<_>>()
+                .join("+"),
             match a.character() {
                 ActorCharacter::Research => "research".to_string(),
                 ActorCharacter::Covert => "covert".to_string(),

@@ -37,6 +37,7 @@ pub mod report;
 pub mod session;
 pub mod study;
 
+pub use actors::ActorRoster;
 pub use checkpoint::CheckpointData;
 pub use config::{PipelineMode, StudyConfig};
 pub use derived::{Derived, DerivedCellStats, DerivedCells, SetKind, Source};

@@ -300,6 +300,26 @@ impl StudySession {
         Study::run_resumed(self.into_checkpoint(), Some(world))
     }
 
+    /// Background maintenance between slices: compacts any dedup
+    /// archive (the flat collector's global archive and each shard's)
+    /// that has fragmented past `max_segments` sealed segments into a
+    /// single merged segment ([`Archive::optimize`]). Membership is
+    /// untouched — only layout changes — so observables stay
+    /// bit-identical; the payoff is fewer segments to probe per lookup
+    /// and a smaller resident footprint. Returns the number of archives
+    /// compacted.
+    pub fn maintain(&mut self, max_segments: usize) -> u32 {
+        let mut compacted = 0;
+        let archives = std::iter::once(&mut self.collector.global).chain(self.shards.iter_mut());
+        for archive in archives {
+            if archive.segments().len() > max_segments {
+                archive.optimize();
+                compacted += 1;
+            }
+        }
+        compacted
+    }
+
     /// Approximate heap bytes of the session's *marginal* state — the
     /// dedup archives, pending events, RPS windows, and buffered feed
     /// this study adds on top of the shared world snapshot (which is

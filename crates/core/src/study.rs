@@ -15,12 +15,13 @@
 use crate::checkpoint::{self, CheckpointData, ShardCheckpoint};
 use crate::config::{PipelineMode, StudyConfig};
 use crate::metrics;
+use actors::{attribute, org_directory, sourced_intel, ActorRoster, AttributionTable, Ecosystem};
 use hitlist::{Hitlist, HitlistConfig};
 use netsim::country::{Country, COLLECTOR_LOCATIONS};
 use netsim::time::{Duration, SimTime};
 use netsim::transport::Transport;
 use netsim::world::World;
-use netsim::{Instrumented, TransportTotals};
+use netsim::{mix2, Asn, BgpEvent, BgpFeed, Instrumented, TransportTotals};
 use ntppool::collector::{FeedSink, VecSink};
 use ntppool::monitor::{tune_collecting_servers, TuneOutcome};
 use ntppool::{
@@ -33,10 +34,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use store::{Archive, StoreError};
 use telemetry::{PipelineMonitor, Registry, RunReport, Snapshot, SpanTimer};
-use telescope::{
-    covert_actor, gt_actor, match_captures, Actor, CaptureLog, TelescopeReport, Vantage,
-};
-use v6addr::{AddrSet, OuiDb};
+use telescope::{covert_actor, gt_actor, match_captures, Actor, TelescopeReport, Vantage};
+use v6addr::{AddrSet, OuiDb, Prefix};
 
 /// Gap between the R&L emulation window and the study window (the real
 /// gap was ≈ 2 years).
@@ -74,6 +73,10 @@ pub struct Study {
     pub hitlist_scan: ScanStore,
     /// Telescope findings (when enabled).
     pub telescope: Option<TelescopeReport>,
+    /// Blind attribution of the telescope capture: per-cluster
+    /// fingerprints, archetype verdicts, and the ground-truth confusion
+    /// matrix (when the telescope is enabled).
+    pub attribution: Option<AttributionTable>,
     /// The simulated actors (for §5 reporting).
     pub actors: Vec<Actor>,
     /// Collection run statistics.
@@ -128,6 +131,36 @@ pub(crate) fn recorded_servers(pool: &Pool) -> impl Iterator<Item = ServerId> + 
     pool.servers()
         .filter(|(_, s)| matches!(s.operator, Operator::Study { .. }))
         .map(|(id, _)| id)
+}
+
+/// Domain separator for the stale-hitlist sample.
+const STALE_HITLIST_DOMAIN: u64 = 0x7374_616c; // "stal"
+
+/// Cap on the stale public-hitlist snapshot's size.
+const STALE_HITLIST_CAP: usize = 256;
+
+/// The stale public-hitlist snapshot the hitlist-reuse archetype
+/// replays: a deterministic sample of the *public* hitlist as it stood
+/// at collection start, plus every vantage address the actor-operated
+/// pool servers sourced — the leak that makes the reuse campaign
+/// visible to the telescope at all.
+fn stale_hitlist(
+    world: &World,
+    pool: &Pool,
+    vantages: &[Vantage],
+    t: SimTime,
+) -> Vec<std::net::Ipv6Addr> {
+    let snapshot = Hitlist::build(world, t, &HitlistConfig::for_world(world));
+    let mut sample = snapshot.public.sorted();
+    sample.sort_by_key(|a| {
+        let bits = u128::from(*a);
+        mix2(STALE_HITLIST_DOMAIN, (bits >> 64) as u64 ^ bits as u64)
+    });
+    sample.truncate(STALE_HITLIST_CAP);
+    sample.extend(sourced_intel(pool, vantages).into_iter().map(|(a, _)| a));
+    sample.sort_unstable();
+    sample.dedup();
+    sample
 }
 
 /// The transport the config's fault profile builds, seeded from the
@@ -404,31 +437,100 @@ impl Study {
         hl_stats.export_into(&mut hl_reg);
         telemetry.merge(&hl_reg.snapshot_with(&[("stage", "hitlist_scan")]));
 
-        // --- Telescope (§5). ---
-        let telescope = config.telescope.then(|| {
+        // --- Telescope + adversarial ecosystem (§5). ---
+        let telescope_run = config.telescope.then(|| {
             let mut tel_reg = Registry::new();
             let (tel_transport, tel_stats) = Instrumented::new(transport.clone_box());
             let sweep_start = start + config.telescope_offset;
             let gap = Duration::secs(7);
             let span = SpanTimer::start(metrics::SPAN_TELESCOPE, sweep_start.as_secs());
-            let mut vantage = Vantage::new("3fff:909::/48".parse().unwrap());
-            vantage.query_all_instrumented(&pool, &tel_transport, sweep_start, gap, &mut tel_reg);
-            let sweep_end = sweep_start + Duration::secs(gap.as_secs() * vantage.queried() as u64);
+            // Two vantages: the paper's single telescope plus a second
+            // sweeping 12 h later, giving the attribution pass a
+            // vantage-overlap feature.
+            let mut primary = Vantage::new("3fff:909::/48".parse().unwrap());
+            primary.query_all_instrumented(&pool, &tel_transport, sweep_start, gap, &mut tel_reg);
+            let sweep_end = sweep_start + Duration::secs(gap.as_secs() * primary.queried() as u64);
+            let mut secondary = Vantage::new("3fff:90a::/48".parse().unwrap());
+            secondary.query_all_via(
+                &pool,
+                &tel_transport,
+                sweep_start + Duration::hours(12),
+                gap,
+            );
             span.finish(&mut tel_reg, sweep_end.as_secs());
-            let mut log = CaptureLog::new();
-            for actor in &actors {
-                actor.scan_sourced(&vantage, &mut log);
+            let vantages = [primary, secondary];
+
+            // The route-event feed the BGP-adaptive archetype watches:
+            // synthesized AS flaps plus injected events for the vantage
+            // prefixes — both announced when the sweep starts, and the
+            // secondary flapping once mid-campaign.
+            let mut feed = BgpFeed::synthesize(&world, (start, end));
+            for v in &vantages {
+                feed.push(BgpEvent {
+                    time: sweep_start,
+                    prefix: v.prefix,
+                    asn: Asn(0),
+                    announce: true,
+                });
             }
-            let report = match_captures(&vantage, &pool, &log, &actors);
-            tel_reg.add(telescope::metrics::TELESCOPE_CAPTURES, log.len() as u64);
+            for (hours, announce) in [(36, false), (40, true)] {
+                feed.push(BgpEvent {
+                    time: sweep_start + Duration::hours(hours),
+                    prefix: vantages[1].prefix,
+                    asn: Asn(0),
+                    announce,
+                });
+            }
+            feed.seal();
+
+            // The stale public-hitlist snapshot the hitlist-reuse actor
+            // bought (built only when that archetype runs).
+            let stale = if config.actors.contains(ActorRoster::HITLIST_REUSE) {
+                stale_hitlist(&world, &pool, &vantages, start)
+            } else {
+                Vec::new()
+            };
+
+            // Drive every rostered machine on the shared tick clock.
+            let prefixes: Vec<Prefix> = vantages.iter().map(|v| v.prefix).collect();
+            let outcome = Ecosystem::assemble(
+                config.actors,
+                &actors,
+                &vantages,
+                &pool,
+                &stale,
+                &feed,
+                sweep_start,
+            )
+            .run(sweep_start, &feed, &prefixes);
+
+            // The paper's §5 matcher sees the primary telescope's slice
+            // of the capture, exactly as before the ecosystem existed.
+            let log = outcome.capture_within(vantages[0].prefix);
+            let report = match_captures(&vantages[0], &pool, &log, &actors);
+            tel_reg.add(
+                telescope::metrics::TELESCOPE_CAPTURES,
+                outcome.records.len() as u64,
+            );
             tel_reg.add(
                 telescope::metrics::TELESCOPE_ATTRIBUTED,
                 report.matched_packets,
             );
+
+            // Blind attribution over the combined capture, scored
+            // against the emitting machines.
+            let table = attribute(&outcome, &prefixes, &feed, &org_directory(&actors));
+            outcome.export_into(&mut tel_reg);
+            table.export_into(&mut tel_reg);
+
             tel_stats.export_into(&mut tel_reg);
             telemetry.merge(&tel_reg.snapshot_with(&[("stage", "telescope")]));
-            report
+            (report, table)
         });
+        let (telescope, attribution) = match telescope_run {
+            Some((r, t)) => (Some(r), Some(t)),
+            None => (None, None),
+        };
         telemetry.merge(&study_reg.snapshot());
 
         Study {
@@ -443,6 +545,7 @@ impl Study {
             ntp_scan,
             hitlist_scan,
             telescope,
+            attribution,
             actors,
             run_stats,
             tuning,

@@ -147,6 +147,19 @@ impl DeviceKind {
         )
     }
 
+    /// Is this an IoT archetype that, under the SNTP scenario knob
+    /// ([`crate::world::WorldConfig::sntp_iot_pct`]), runs a bare SNTP
+    /// client with a short *fixed* poll interval instead of a pooled
+    /// daemon — the esp32-style firmware pattern whose predictable
+    /// cadence measurably changes collection yield.
+    pub fn is_sntp_iot(&self) -> bool {
+        use DeviceKind::*;
+        matches!(
+            self,
+            QlinkWifi | EfentoSensor | NanoleafLight | CastDevice | SonosSpeaker
+        )
+    }
+
     /// Is this a CPE router (member 0 of a household)?
     pub fn is_cpe(&self) -> bool {
         use DeviceKind::*;

@@ -25,6 +25,9 @@
 //!   front-ends, …) with their addressing and exposure behaviour.
 //! * [`device`] — device state: addressing mode, prefix churn, NTP client
 //!   configuration, time-dependent address computation.
+//! * [`bgp`] — a deterministic synthetic route feed (announce/withdraw
+//!   events over the topology's allocations) that BGP-signal-adaptive
+//!   scanners consume.
 //! * [`procgen`] — pure per-coordinate derivation of households, devices
 //!   and prefixes from `(seed, AS, index, member)`, shared by both world
 //!   backends.
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod archetype;
+pub mod bgp;
 pub mod country;
 pub mod device;
 pub mod engine;
@@ -61,9 +65,11 @@ pub mod transport;
 pub mod world;
 
 pub use archetype::DeviceKind;
+pub use bgp::{BgpEvent, BgpFeed};
 pub use country::Country;
 pub use device::{Device, DeviceId, DeviceMeta};
 pub use instrument::{Instrumented, TransportStats, TransportTotals};
+pub use peeringdb::OrgId;
 pub use time::{Duration, SimTime};
 pub use topology::{AsInfo, Asn, Topology};
 pub use transport::{Delivery, FaultConfig, FaultProfile, Faulty, Ideal, Link, Transport};

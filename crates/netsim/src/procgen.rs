@@ -65,6 +65,13 @@ pub const HOUSEHOLD_STRIDE: u32 = 8;
 /// the collection engine's bucket horizon is O(1).
 pub const POLL_INTERVAL: Duration = Duration::hours(6);
 
+/// Fixed poll interval of bare SNTP IoT firmware (the esp32-clock
+/// pattern): much shorter than the daemon interval and perfectly
+/// periodic, which is what makes the cohort's collection yield — and
+/// its telescope signature — distinctive. Only devices selected by
+/// [`crate::world::WorldConfig::sntp_iot_pct`] use it.
+pub const SNTP_POLL_INTERVAL: Duration = Duration::hours(1);
+
 /// Households per eyeball AS cap: keeps the delegation-pool slot space
 /// `(count*4).clamp(8, 0xffff - POOL_BASE)` collision-free.
 const MAX_HOUSEHOLDS_PER_AS: u32 = 12_000;
@@ -81,6 +88,7 @@ const DOM_DEV: u64 = 0x6465_7669; // per-device meta (addressing, NTP coin)
 const DOM_SVC: u64 = 0x7376_6373; // per-device service stack
 const DOM_SALT: u64 = 0x7361_6c74; // per-device salt handed to BuildCtx
 const DOM_PHASE: u64 = 0x9019; // poll phase offset
+const DOM_SNTP: u64 = 0x736e_7470; // SNTP IoT overlay selection + phase
 
 /// One eyeball AS's slice of the world: the contiguous household range
 /// `[base, base+count)` and its dynamic-delegation pool parameters.
@@ -188,6 +196,7 @@ pub struct Layout {
     households: u32,
     servers: u32,
     routers: u32,
+    sntp_iot_pct: u8,
 }
 
 impl Layout {
@@ -400,6 +409,7 @@ impl Layout {
             households: config.households,
             servers: config.servers,
             routers: config.routers,
+            sntp_iot_pct: config.sntp_iot_pct,
         };
         (layout, topology, aliased)
     }
@@ -616,13 +626,31 @@ impl Layout {
     }
 
     fn sample_ntp(&self, kind: DeviceKind, id: DeviceId, rng: &mut StdRng) -> Option<NtpClientCfg> {
-        rng.random_bool(kind.pool_client_probability())
+        // The base coin is always drawn so the RNG stream position —
+        // and therefore every later draw for this device — is identical
+        // whether or not the SNTP overlay below applies.
+        let base = rng
+            .random_bool(kind.pool_client_probability())
             .then(|| NtpClientCfg {
                 poll_interval: POLL_INTERVAL,
                 phase: Duration::secs(
                     mix2(self.seed ^ DOM_PHASE, u64::from(id.0)) % POLL_INTERVAL.as_secs(),
                 ),
-            })
+            });
+        // SNTP IoT overlay: a hash-selected share of eligible IoT
+        // devices runs fixed-interval firmware SNTP instead. Pure mix2,
+        // no RNG state — with the knob at 0 the world is bit-identical
+        // to the pre-knob derivation.
+        if self.sntp_iot_pct > 0 && kind.is_sntp_iot() {
+            let h = mix2(self.seed ^ DOM_SNTP, u64::from(id.0));
+            if h % 100 < u64::from(self.sntp_iot_pct.min(100)) {
+                return Some(NtpClientCfg {
+                    poll_interval: SNTP_POLL_INTERVAL,
+                    phase: Duration::secs(mix2(h, 1) % SNTP_POLL_INTERVAL.as_secs()),
+                });
+            }
+        }
+        base
     }
 
     fn sample_member_addressing(

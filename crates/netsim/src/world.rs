@@ -34,7 +34,7 @@
 //! them (enforced by tests).
 
 use crate::device::{Attachment, Device, DeviceId, DeviceMeta, NtpClientCfg};
-use crate::procgen::{Layout, HOUSEHOLD_STRIDE, POLL_INTERVAL};
+use crate::procgen::{Layout, HOUSEHOLD_STRIDE, POLL_INTERVAL, SNTP_POLL_INTERVAL};
 use crate::services::ServiceSet;
 use crate::time::{Duration, SimTime};
 use crate::topology::{Asn, Topology};
@@ -83,6 +83,14 @@ pub struct WorldConfig {
     pub cdn: bool,
     /// World representation (derivation is identical either way).
     pub backend: WorldBackend,
+    /// Percentage (0–100) of eligible IoT devices
+    /// ([`crate::DeviceKind::is_sntp_iot`]) that run a bare SNTP client
+    /// polling the pool on a short *fixed* interval
+    /// ([`crate::procgen::SNTP_POLL_INTERVAL`]) instead of the default
+    /// daemon behaviour. `0` (the default) reproduces the pre-knob
+    /// world bit-for-bit: the overlay consumes no RNG state, so every
+    /// other device's derivation is untouched.
+    pub sntp_iot_pct: u8,
 }
 
 impl WorldConfig {
@@ -100,6 +108,7 @@ impl WorldConfig {
             privacy_regen: Duration::days(1),
             cdn: true,
             backend: WorldBackend::Materialized,
+            sntp_iot_pct: 0,
         }
     }
 
@@ -160,6 +169,13 @@ impl WorldConfig {
     /// The same world with a different representation.
     pub fn with_backend(mut self, backend: WorldBackend) -> WorldConfig {
         self.backend = backend;
+        self
+    }
+
+    /// The same world with `pct`% (clamped to 100) of eligible IoT
+    /// devices running fixed-interval SNTP clients.
+    pub fn with_sntp_iot_pct(mut self, pct: u8) -> WorldConfig {
+        self.sntp_iot_pct = pct.min(100);
         self
     }
 }
@@ -550,10 +566,16 @@ impl World {
         self.layout.client_count_estimate()
     }
 
-    /// The uniform poll interval of every pool client — the collection
-    /// engine's bucket horizon, O(1) by construction.
+    /// The minimum poll interval over every pool client — the collection
+    /// engine's bucket horizon, O(1) by construction: clients use the
+    /// uniform daemon interval, except fixed-interval SNTP IoT clients
+    /// when the [`WorldConfig::sntp_iot_pct`] knob is enabled.
     pub fn poll_floor(&self) -> Duration {
-        POLL_INTERVAL
+        if self.config.sntp_iot_pct > 0 {
+            SNTP_POLL_INTERVAL.min(POLL_INTERVAL)
+        } else {
+            POLL_INTERVAL
+        }
     }
 
     /// A deterministic order-of-magnitude estimate of this world's heap

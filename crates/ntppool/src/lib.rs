@@ -33,5 +33,5 @@ pub use pool::{Pool, ServerId};
 pub use run::{
     next_poll, poll_once, CollectionCheckpoint, CollectionRun, PollOutcome, PollReply, RunStats,
 };
-pub use server::{Operator, PoolServer};
+pub use server::{NtpDaemon, Operator, PoolServer};
 pub use shard::{Shard, ShardSet};

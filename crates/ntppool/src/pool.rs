@@ -9,10 +9,14 @@
 //! Selection is deterministic: the "random" draw is a hash of
 //! `(client id, poll sequence)`, so simulation runs are reproducible.
 
-use crate::server::PoolServer;
+use crate::server::{NtpDaemon, PoolServer};
 use netsim::country::{self, Continent, Country};
 use netsim::mix2;
 use std::collections::HashMap;
+
+/// Domain separator for the deterministic daemon draw in
+/// [`Pool::with_background`].
+const DOM_DAEMON: u64 = 0x6461_656d_6f6e;
 
 /// Index of a server in the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -34,12 +38,17 @@ impl Pool {
     }
 
     /// A pool pre-populated with every country's background servers (per
-    /// [`netsim::country::background_servers`]).
+    /// [`netsim::country::background_servers`]). Daemon implementations
+    /// are diversified deterministically by server index, approximating
+    /// the public pool's ntpd/chrony/ntpsec/openntpd mix.
     pub fn with_background() -> Pool {
         let mut pool = Pool::new();
         for (c, _, _, _, n) in country::COUNTRY_TABLE {
             for _ in 0..*n {
-                pool.add(PoolServer::background(*c));
+                let idx = pool.len() as u64;
+                let mut s = PoolServer::background(*c);
+                s.daemon = NtpDaemon::from_draw(mix2(DOM_DAEMON, idx));
+                pool.add(s);
             }
         }
         pool
@@ -206,6 +215,18 @@ mod tests {
         let share = hits[1] as f64 / (hits[0] + hits[1]) as f64;
         assert!((0.85..0.95).contains(&share), "big server share {share}");
         assert!((pool.zone_share(big) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_daemons_are_diverse_and_deterministic() {
+        let a = Pool::with_background();
+        let b = Pool::with_background();
+        let mut seen = std::collections::HashSet::new();
+        for (id, s) in a.servers() {
+            assert_eq!(s.daemon, b.server(id).daemon);
+            seen.insert(s.daemon);
+        }
+        assert_eq!(seen.len(), 4, "all daemon variants present");
     }
 
     #[test]

@@ -30,13 +30,24 @@
 //!   share mutable state while advancing and the apply order is fixed,
 //!   so every observable — study reports, set contents, service
 //!   telemetry — is byte-identical at any worker count.
-//! * **Budget-driven eviction** — after each tick the resident-bytes
-//!   budget is enforced by suspending the *largest* session (by
-//!   [`StudySession::resident_bytes`], ties broken by study id) to an
-//!   on-disk checkpoint ([`timetoscan::checkpoint`]). An evicted study
+//! * **Cost-aware eviction** — after each tick the resident-bytes
+//!   budget is enforced by suspending the session with the highest
+//!   *eviction score*: [`StudySession::resident_bytes`] × (remaining
+//!   collection window + 1), ties broken toward the higher study id.
+//!   Bytes freed matter, but so does how much work a resume has to
+//!   re-establish — a nearly-finished session is a poor victim even
+//!   when it is large, because it will be readmitted (and pay the
+//!   checkpoint round-trip) almost immediately. An evicted study
 //!   resumes byte-identically — eviction is checkpoint/resume used as
 //!   admission control — and each victim's size lands in the
 //!   `service_evicted_bytes` counter.
+//! * **Idle-slot compaction** — after advancing its slice, each tick
+//!   worker runs [`StudySession::maintain`] on the sessions it was
+//!   handed, merging any dedup archive that fragmented past
+//!   [`COMPACTION_SEGMENT_THRESHOLD`] sealed segments. Compaction
+//!   changes archive *layout*, never membership, so it is invisible in
+//!   every study report; the count lands in the
+//!   `service_compactions` counter.
 //! * **Concurrent memoized queries** — completed-study state (reports,
 //!   frozen set ids, overlap memos) lives behind an `Arc`-shared
 //!   [`QueryClient`]: [`StudyService::queries`] hands out cheap clones
@@ -118,6 +129,10 @@ impl ServiceConfig {
 pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
+
+/// Sealed-segment count past which a tick worker compacts a session's
+/// dedup archive ([`StudySession::maintain`]).
+pub const COMPACTION_SEGMENT_THRESHOLD: usize = 6;
 
 /// Handle to a submitted study. Ids are assigned in submission order
 /// and double as the scheduler's priority (lower id first).
@@ -486,32 +501,41 @@ impl StudyService {
         }
 
         // --- Plan: pull every active session out of its slot. ---
-        let mut work: Vec<(usize, Box<StudySession>, bool)> = Vec::new();
+        let mut work: Vec<(usize, Box<StudySession>, bool, u32)> = Vec::new();
         for i in 0..self.slots.len() {
             if matches!(self.slots[i], Slot::Active(_)) {
                 let slot = std::mem::replace(&mut self.slots[i], Slot::Queued(placeholder()));
                 let Slot::Active(session) = slot else {
                     unreachable!("slot was Active above")
                 };
-                work.push((i, session, false));
+                work.push((i, session, false, 0));
             }
         }
 
         // --- Advance: fan out over the worker pool. Each worker owns
-        // its chunk of sessions exclusively; nothing else is shared. ---
+        // its chunk of sessions exclusively; nothing else is shared.
+        // After its slice, each surviving session gets its idle-slot
+        // maintenance (archive compaction) on the same worker — layout
+        // only, so the work split is never observable. ---
         let slice = self.config.slice;
+        let advance = |session: &mut StudySession, done: &mut bool, compacted: &mut u32| {
+            *done = session.advance(slice);
+            if !*done {
+                *compacted = session.maintain(COMPACTION_SEGMENT_THRESHOLD);
+            }
+        };
         let workers = self.config.workers.clamp(1, work.len().max(1));
         if workers <= 1 {
-            for (_, session, done) in &mut work {
-                *done = session.advance(slice);
+            for (_, session, done, compacted) in &mut work {
+                advance(session, done, compacted);
             }
         } else {
             let chunk = work.len().div_ceil(workers);
             std::thread::scope(|scope| {
                 for part in work.chunks_mut(chunk) {
                     scope.spawn(move || {
-                        for (_, session, done) in part {
-                            *done = session.advance(slice);
+                        for (_, session, done, compacted) in part {
+                            advance(session, done, compacted);
                         }
                     });
                 }
@@ -521,8 +545,10 @@ impl StudyService {
         // --- Apply, ascending id (`work` is id-sorted by build order):
         // counters, completions, and pool contributions land in the
         // same sequence regardless of which worker ran what. ---
-        for (i, session, done) in work {
+        for (i, session, done, compacted) in work {
             self.reg.add(metrics::SERVICE_SLICES, 1);
+            self.reg
+                .add(metrics::SERVICE_COMPACTIONS, u64::from(compacted));
             stats.advanced += 1;
             if done {
                 self.complete(i as u32, *session)?;
@@ -533,25 +559,34 @@ impl StudyService {
             }
         }
 
-        // --- Budget: evict the largest resident session (ties broken
-        // toward the higher id), keep at least one. ---
+        // --- Budget: evict the session with the highest cost-aware
+        // score — resident bytes × (remaining window + 1), ties broken
+        // toward the higher id — keep at least one. Weighting by the
+        // remaining window steers eviction away from nearly-finished
+        // sessions, whose checkpoint round-trip buys almost no
+        // breathing room before they are readmitted. ---
         loop {
-            let active: Vec<(usize, usize)> = self
+            let active: Vec<(usize, usize, u64)> = self
                 .slots
                 .iter()
                 .enumerate()
                 .filter_map(|(i, s)| match s {
-                    Slot::Active(session) => Some((i, session.resident_bytes())),
+                    Slot::Active(session) => {
+                        let remaining = session.window().1.since(session.cursor()).as_secs();
+                        Some((i, session.resident_bytes(), remaining))
+                    }
                     _ => None,
                 })
                 .collect();
-            let total: usize = active.iter().map(|(_, b)| b).sum();
+            let total: usize = active.iter().map(|(_, b, _)| b).sum();
             if active.len() <= 1 || total <= self.config.max_resident_bytes {
                 break;
             }
-            let (victim, bytes) = *active
+            let (victim, bytes) = active
                 .iter()
-                .max_by_key(|&&(i, b)| (b, i))
+                .map(|&(i, b, remaining)| ((b as u128) * (u128::from(remaining) + 1), i, b))
+                .max_by_key(|&(score, i, _)| (score, i))
+                .map(|(_, i, b)| (i, b))
                 .expect("len > 1");
             let slot = std::mem::replace(&mut self.slots[victim], Slot::Queued(placeholder()));
             let Slot::Active(session) = slot else {

@@ -16,8 +16,11 @@ pub const SERVICE_RESUMES: Key = Key::bare("service_resumes");
 pub const SERVICE_EVICTIONS: Key = Key::bare("service_evictions");
 /// Summed [`timetoscan::StudySession::resident_bytes`] of eviction
 /// victims at the moment they were suspended — the budget pressure the
-/// largest-resident-first policy relieved.
+/// cost-aware (bytes × remaining-window) policy relieved.
 pub const SERVICE_EVICTED_BYTES: Key = Key::bare("service_evicted_bytes");
+/// Dedup archives compacted ([`store::Archive::optimize`]) by the tick
+/// workers' idle-slot maintenance.
+pub const SERVICE_COMPACTIONS: Key = Key::bare("service_compactions");
 /// Studies run to completion (report extracted, sets frozen).
 pub const SERVICE_COMPLETIONS: Key = Key::bare("service_completions");
 /// Cooperative slices executed across all sessions.

@@ -2,8 +2,8 @@
 
 use crate::capture::{CaptureLog, CapturedPacket};
 use crate::vantage::Vantage;
-use netsim::mix2;
 use netsim::time::Duration;
+use netsim::{mix2, OrgId};
 use ntppool::{Operator, Pool, PoolServer, ServerId};
 use std::net::Ipv6Addr;
 use v6addr::Prefix;
@@ -31,8 +31,10 @@ pub struct ActorProfile {
     /// actors skip ports to stay under the radar).
     pub port_coverage: f64,
     /// Source prefixes the scan traffic originates from, with the
-    /// operating organisation (cloud providers for the covert actor).
-    pub scan_sources: Vec<(Prefix, &'static str)>,
+    /// operating organisation's interned id (cloud providers for the
+    /// covert actor) — shared with [`netsim::peeringdb`] so attribution
+    /// joins compare ids, not strings.
+    pub scan_sources: Vec<(Prefix, OrgId)>,
 }
 
 /// An actor instance with its assigned pool server ids.
@@ -123,7 +125,7 @@ impl Actor {
 
     /// The organisation behind a scan-source address, if it is one of
     /// this actor's.
-    pub fn source_org(&self, src: Ipv6Addr) -> Option<&'static str> {
+    pub fn source_org(&self, src: Ipv6Addr) -> Option<OrgId> {
         self.profile
             .scan_sources
             .iter()
@@ -153,10 +155,7 @@ pub fn gt_actor() -> Actor {
             reaction_delay: (Duration::mins(5), Duration::mins(55)),
             campaign_duration: Duration::mins(10),
             port_coverage: 1.0,
-            scan_sources: vec![(
-                "2610:148::/32".parse().unwrap(),
-                "Georgia Institute of Technology",
-            )],
+            scan_sources: vec![("2610:148::/32".parse().unwrap(), OrgId::GEORGIA_TECH)],
         },
     )
 }
@@ -177,8 +176,8 @@ pub fn covert_actor() -> Actor {
             campaign_duration: Duration::days(4),
             port_coverage: 0.6,
             scan_sources: vec![
-                ("2600:1f00::/32".parse().unwrap(), "Amazon"),
-                ("2600:3c00::/32".parse().unwrap(), "Linode"),
+                ("2600:1f00::/32".parse().unwrap(), OrgId::AMAZON),
+                ("2600:3c00::/32".parse().unwrap(), OrgId::LINODE),
             ],
         },
     )
@@ -232,9 +231,10 @@ mod tests {
         for p in log.sorted() {
             assert!(p.time >= SimTime(0));
             assert!(p.time <= SimTime(15 + 3600 + 600));
+            assert_eq!(gt.source_org(p.src), Some(OrgId::GEORGIA_TECH));
             assert_eq!(
-                gt.source_org(p.src),
-                Some("Georgia Institute of Technology")
+                gt.source_org(p.src).unwrap().name(),
+                "Georgia Institute of Technology"
             );
         }
     }

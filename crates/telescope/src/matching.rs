@@ -4,6 +4,7 @@ use crate::actors::Actor;
 use crate::capture::CaptureLog;
 use crate::vantage::Vantage;
 use netsim::time::{Duration, SimTime};
+use netsim::OrgId;
 use ntppool::{Operator, Pool, ServerId};
 use std::collections::{BTreeSet, HashMap};
 
@@ -35,8 +36,9 @@ pub struct ActorReport {
     pub campaign_span: Duration,
     /// Did any probe's source identify the operator?
     pub identification: Option<String>,
-    /// Organisations behind the probe sources.
-    pub source_orgs: BTreeSet<&'static str>,
+    /// Interned ids of the organisations behind the probe sources (see
+    /// [`netsim::OrgId`]).
+    pub source_orgs: BTreeSet<OrgId>,
     /// Share of (address, port) pairs actually probed.
     pub port_coverage: f64,
 }
@@ -82,7 +84,7 @@ pub fn match_captures(
         min_reaction: Duration,
         max_reaction: Duration,
         first_last: HashMap<ServerId, (SimTime, SimTime)>,
-        orgs: BTreeSet<&'static str>,
+        orgs: BTreeSet<OrgId>,
         probes: u64,
     }
     let mut per_actor: HashMap<u8, Acc> = HashMap::new();
@@ -250,7 +252,7 @@ mod tests {
         assert_eq!(covert.character(), ActorCharacter::Covert);
         assert_eq!(
             covert.source_orgs.iter().copied().collect::<Vec<_>>(),
-            vec!["Amazon", "Linode"]
+            vec![OrgId::AMAZON, OrgId::LINODE]
         );
     }
 

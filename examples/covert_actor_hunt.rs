@@ -58,7 +58,11 @@ fn main() {
         println!("  port coverage: {:.0}%", a.port_coverage * 100.0);
         println!(
             "  scan sources: {}",
-            a.source_orgs.iter().copied().collect::<Vec<_>>().join(", ")
+            a.source_orgs
+                .iter()
+                .map(|o| o.name())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         match a.character() {
             ActorCharacter::Research => {
